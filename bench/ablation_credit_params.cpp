@@ -1,0 +1,150 @@
+// Ablation over the credit mechanism's tunable parameters (Section IV-B:
+// "We can distribute the weight of these two parts by adjusting lambda1 and
+// lambda2. If we want to adopt strict punishment strategy ... set lambda2
+// larger"; Eqn 5: alpha_l / alpha_d "can be adjusted according to the
+// requirement of sensitivity to malicious behaviours").
+//
+// For each parameter setting we run the closed-loop single-device scenario,
+// inject one double-spend at t=24 s, and report:
+//   punished_span — seconds between D hitting max and returning <= initial
+//   avg_pow       — average PoW seconds per transaction over the 90 s window
+//   honest_avg    — same metric for an attack-free run (reward-side effect)
+#include <cstdio>
+
+#include "factory/metrics.h"
+#include "node/gateway.h"
+#include "node/light_node.h"
+#include "node/manager.h"
+
+namespace {
+using namespace biot;
+
+struct Outcome {
+  double punished_span = -1.0;  // -1: never recovered in the horizon
+  double avg_pow = 0.0;
+};
+
+Outcome run(const consensus::CreditParams& params, bool attack) {
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(5));
+
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+
+  node::GatewayConfig gw_config;
+  gw_config.credit = params;
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, gw_config);
+  node::Manager manager(2, manager_identity, gateway, network);
+  gateway.attach();
+  manager.attach();
+
+  node::LightNodeConfig dev_config;
+  dev_config.profile = sim::DeviceProfile::pi3b_fig9();
+  dev_config.collect_interval = 0.5;
+  node::LightNode device(10, crypto::Identity::deterministic(100), 1, network,
+                         dev_config);
+  if (!manager.authorize({device.public_identity()}).is_ok()) std::abort();
+  device.start();
+  if (attack) device.schedule_attack(24.0, node::AttackKind::kDoubleSpend);
+
+  // Sample the required difficulty every second for the recovery metric.
+  const auto key = device.public_identity().sign_key;
+  double punished_from = -1.0, recovered_at = -1.0;
+  for (int t = 1; t <= 90; ++t) {
+    sched.at(static_cast<double>(t), [&, t] {
+      const int d = gateway.required_difficulty(key);
+      if (punished_from < 0) {
+        if (d >= params.max_difficulty) punished_from = t;
+      } else if (recovered_at < 0 && d <= params.initial_difficulty) {
+        recovered_at = t;
+      }
+    });
+  }
+
+  sched.run_until(90.0);
+
+  Outcome out;
+  out.avg_pow = factory::mean(device.stats().pow_durations);
+  if (punished_from > 0 && recovered_at > 0)
+    out.punished_span = recovered_at - punished_from;
+  else if (punished_from > 0)
+    out.punished_span = -1.0;
+  return out;
+}
+
+void sweep_lambda2() {
+  std::printf("\n## lambda2 sweep (punishment weight; paper default 0.5)\n");
+  std::printf("%-10s %14s %12s %12s\n", "lambda2", "punished_s", "avg_pow_s",
+              "honest_avg_s");
+  for (const double lambda2 : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    consensus::CreditParams p;
+    p.lambda2 = lambda2;
+    const auto attacked = run(p, true);
+    const auto honest = run(p, false);
+    if (attacked.punished_span >= 0)
+      std::printf("%-10.2f %14.0f %12.3f %12.3f\n", lambda2,
+                  attacked.punished_span, attacked.avg_pow, honest.avg_pow);
+    else
+      std::printf("%-10.2f %14s %12.3f %12.3f\n", lambda2, ">horizon",
+                  attacked.avg_pow, honest.avg_pow);
+  }
+}
+
+void sweep_alpha_double() {
+  std::printf("\n## alpha_d sweep (double-spend coefficient; paper default 1)\n");
+  std::printf("%-10s %14s %12s\n", "alpha_d", "punished_s", "avg_pow_s");
+  for (const double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    consensus::CreditParams p;
+    p.alpha_double = alpha;
+    const auto attacked = run(p, true);
+    if (attacked.punished_span >= 0)
+      std::printf("%-10.2f %14.0f %12.3f\n", alpha, attacked.punished_span,
+                  attacked.avg_pow);
+    else
+      std::printf("%-10.2f %14s %12.3f\n", alpha, ">horizon", attacked.avg_pow);
+  }
+}
+
+void sweep_delta_t() {
+  std::printf("\n## dT sweep (credit window; paper default 30 s)\n");
+  std::printf("%-10s %14s %12s %12s\n", "dT_s", "punished_s", "avg_pow_s",
+              "honest_avg_s");
+  for (const double dt : {10.0, 20.0, 30.0, 60.0}) {
+    consensus::CreditParams p;
+    p.delta_t = dt;
+    const auto attacked = run(p, true);
+    const auto honest = run(p, false);
+    if (attacked.punished_span >= 0)
+      std::printf("%-10.0f %14.0f %12.3f %12.3f\n", dt, attacked.punished_span,
+                  attacked.avg_pow, honest.avg_pow);
+    else
+      std::printf("%-10.0f %14s %12.3f %12.3f\n", dt, ">horizon",
+                  attacked.avg_pow, honest.avg_pow);
+  }
+}
+
+void sweep_slope() {
+  std::printf("\n## difficulty_slope sweep (reward steepness; ours, not in "
+              "the paper)\n");
+  std::printf("%-10s %12s\n", "slope", "honest_avg_s");
+  for (const double s : {0.5, 1.0, 2.0, 3.0}) {
+    consensus::CreditParams p;
+    p.difficulty_slope = s;
+    const auto honest = run(p, false);
+    std::printf("%-10.1f %12.3f\n", s, honest.avg_pow);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Credit-mechanism parameter ablation (one double-spend at "
+              "t=24 s, 90 s horizon, Pi 3B profile)\n");
+  sweep_lambda2();
+  sweep_alpha_double();
+  sweep_delta_t();
+  sweep_slope();
+  return 0;
+}

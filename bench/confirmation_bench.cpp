@@ -1,0 +1,128 @@
+// Confirmation-rule ablation: weight-threshold vs milestone confirmation.
+//
+// The paper's background section ties tangle security to transaction weight
+// ("the larger value of weight is, the more difficult of the transaction to
+// be tampered" — the six-block-security analogue), while the IOTA network it
+// deploys on actually confirmed via Coordinator milestones in 2019. This
+// bench runs the same smart-factory workload under both rules and reports
+// coverage and latency as the milestone interval varies.
+#include <cstdio>
+#include <deque>
+#include <unordered_set>
+
+#include "factory/metrics.h"
+#include "factory/scenario.h"
+
+namespace {
+using namespace biot;
+
+struct Coverage {
+  double confirmed_fraction = 0.0;
+  double mean_latency = 0.0;
+};
+
+// Weight-rule latency: time until the (threshold-1)-th distinct descendant
+// arrived (post-hoc over the final DAG).
+Coverage weight_rule(const tangle::Tangle& tangle, std::size_t threshold,
+                     double horizon) {
+  std::vector<double> latencies;
+  std::size_t data_txs = 0, confirmed = 0;
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    ++data_txs;
+    std::vector<double> arrivals;
+    std::deque<tangle::TxId> frontier{id};
+    std::unordered_set<tangle::TxId, FixedBytesHash<32>> seen{id};
+    while (!frontier.empty()) {
+      const auto cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& ap : tangle.find(cur)->approvers) {
+        if (seen.insert(ap).second) {
+          arrivals.push_back(tangle.find(ap)->arrival);
+          frontier.push_back(ap);
+        }
+      }
+    }
+    if (arrivals.size() + 1 < threshold) continue;
+    std::sort(arrivals.begin(), arrivals.end());
+    ++confirmed;
+    latencies.push_back(arrivals[threshold - 2] - rec->arrival);
+  }
+  (void)horizon;
+  return Coverage{data_txs == 0 ? 0.0
+                                : static_cast<double>(confirmed) / data_txs,
+                  factory::mean(latencies)};
+}
+
+// Milestone-rule latency: time from a data tx's arrival to the arrival of
+// the first milestone whose past cone contains it.
+Coverage milestone_rule(const tangle::Tangle& tangle) {
+  // Collect milestones in arrival order; incrementally confirm cones.
+  tangle::MilestoneTracker tracker;
+  std::unordered_map<tangle::TxId, double, FixedBytesHash<32>> confirm_time;
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kMilestone) continue;
+    // Snapshot which txs the tracker confirms with this milestone.
+    const auto before = tracker.confirmed_count();
+    tracker.observe_milestone(tangle, id);
+    if (tracker.confirmed_count() == before) continue;
+    for (const auto& tid : tangle.arrival_order()) {
+      if (tracker.is_confirmed(tid) && !confirm_time.contains(tid))
+        confirm_time.emplace(tid, rec->arrival);
+    }
+  }
+
+  std::vector<double> latencies;
+  std::size_t data_txs = 0, confirmed = 0;
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    ++data_txs;
+    const auto it = confirm_time.find(id);
+    if (it == confirm_time.end()) continue;
+    ++confirmed;
+    latencies.push_back(it->second - rec->arrival);
+  }
+  return Coverage{data_txs == 0 ? 0.0
+                                : static_cast<double>(confirmed) / data_txs,
+                  factory::mean(latencies)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Confirmation rules on the same 60 s smart-factory workload "
+              "(4 devices)\n");
+  std::printf("%-22s | %12s %12s | %12s %12s\n", "setup", "w5_frac",
+              "w5_lat_s", "ms_frac", "ms_lat_s");
+
+  for (const double interval : {2.0, 5.0, 10.0}) {
+    factory::ScenarioConfig config;
+    config.num_devices = 4;
+    config.num_gateways = 2;
+    config.distribute_keys = false;
+    config.enable_coordinator = true;
+    config.milestone_interval = interval;
+    config.device.collect_interval = 0.5;
+    config.device.profile = sim::DeviceProfile::pi3b_fig9();
+
+    factory::SmartFactory factory(config);
+    factory.bootstrap();
+    factory.run_until(60.0);
+
+    const auto& tangle = factory.gateway(0).tangle();
+    const auto weight = weight_rule(tangle, 5, 60.0);
+    const auto milestone = milestone_rule(tangle);
+    std::printf("milestones every %-4.0fs | %12.2f %12.2f | %12.2f %12.2f\n",
+                interval, weight.confirmed_fraction, weight.mean_latency,
+                milestone.confirmed_fraction, milestone.mean_latency);
+  }
+
+  std::printf("\n# weight-5 confirmation is workload-driven (latency falls "
+              "with traffic); milestone confirmation is checkpoint-driven "
+              "(latency ~ interval/2 + cone depth) but confirms the deep "
+              "past deterministically.\n");
+  return 0;
+}

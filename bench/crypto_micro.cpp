@@ -1,0 +1,158 @@
+// Crypto microbenchmarks (google-benchmark).
+//
+// Backs the paper's Section IV-C design argument: "symmetric key encryption
+// is much faster (about 100~1000 times faster) than public key encryption,
+// which is beneficial for power-constrained devices" — compare the
+// AES-* benches against EciesSeal/EciesOpen at the same message size.
+#include <benchmark/benchmark.h>
+
+#include "auth/envelope.h"
+#include "crypto/aes.h"
+#include "crypto/aes_modes.h"
+#include "crypto/csprng.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/x25519.h"
+#include "tangle/transaction.h"
+
+namespace {
+using namespace biot;
+using namespace biot::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Csprng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  Csprng rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Csprng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(65536);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  Csprng rng(4);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  const Aes aes(key);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes_cbc_encrypt(aes, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_AesCtr(benchmark::State& state) {
+  Csprng rng(5);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(16);
+  const Aes aes(key);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes_ctr_xor(aes, nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(262144);
+
+void BM_EnvelopeSeal(benchmark::State& state) {
+  Csprng rng(6);
+  const auto key = rng.fixed<32>();
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auth::envelope_seal(key, data, rng));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnvelopeSeal)->Arg(64)->Arg(4096);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Csprng rng(7);
+  const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
+  const Bytes msg = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_sign(kp, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Csprng rng(8);
+  const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
+  const Bytes msg = rng.bytes(256);
+  const auto sig = ed25519_sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  Csprng rng(9);
+  const auto a = X25519KeyPair::generate(rng);
+  const auto b = X25519KeyPair::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519(a.secret, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+// Public-key encryption of a sensor payload — compare against
+// BM_AesCbcEncrypt/64 and /4096 for the paper's 100-1000x claim.
+void BM_EciesSeal(benchmark::State& state) {
+  Csprng rng(10);
+  const auto recipient = X25519KeyPair::generate(rng);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecies_seal(recipient.public_key, data, rng));
+  }
+}
+BENCHMARK(BM_EciesSeal)->Arg(64)->Arg(4096);
+
+void BM_EciesOpen(benchmark::State& state) {
+  Csprng rng(11);
+  const auto recipient = X25519KeyPair::generate(rng);
+  const Bytes env = ecies_seal(recipient.public_key, rng.bytes(64), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecies_open(recipient, env));
+  }
+}
+BENCHMARK(BM_EciesOpen);
+
+void BM_TransactionHashEqn6(benchmark::State& state) {
+  Csprng rng(12);
+  const tangle::TxId p1 = rng.fixed<32>();
+  const tangle::TxId p2 = rng.fixed<32>();
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tangle::pow_output(p1, p2, nonce++));
+  }
+}
+BENCHMARK(BM_TransactionHashEqn6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,209 @@
+// DAG-vs-chain throughput comparison — the quantitative claim behind the
+// paper's Sections II and IV: "the synchronous consensus model in
+// chain-structured blockchains cannot make full use of bandwidth in IoT
+// systems" / "we utilize the DAG-structured blockchain ... which can achieve
+// a high throughput".
+//
+// Both systems are driven by the same smart-factory workload (N devices,
+// sensor cadence 0.5 s) on the same simulated clock:
+//
+//  - tangle: the full B-IoT stack (gateways, credit PoW, gossip). Every
+//    device attaches its own transaction after its own PoW — concurrency
+//    scales with the device count.
+//  - chain: a satoshi-style baseline where a gateway-class miner produces
+//    blocks of at most B transactions at a target interval; a transaction
+//    confirms k blocks deep. Throughput saturates at B / interval no matter
+//    how many devices submit.
+//
+// Reported per device count: accepted TPS, confirmed TPS and mean
+// confirmation latency.
+#include <cstdio>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "factory/metrics.h"
+#include "factory/scenario.h"
+
+namespace {
+using namespace biot;
+
+struct TangleResult {
+  double tps = 0.0;
+  double confirm_tps = 0.0;
+  double mean_confirm_latency = 0.0;
+};
+
+// Confirmation in the tangle: cumulative weight >= threshold. Computed
+// post-hoc from the final DAG: for each transaction, the time at which its
+// (threshold)-th distinct descendant arrived.
+TangleResult run_tangle(int num_devices, double horizon,
+                        std::size_t weight_threshold) {
+  factory::ScenarioConfig config;
+  config.num_devices = num_devices;
+  config.num_gateways = 2;
+  config.distribute_keys = false;  // throughput measurement only
+  config.device.collect_interval = 0.5;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(horizon);
+
+  TangleResult result;
+  const double window = horizon - 10.0;  // skip warm-up
+  result.tps = factory.throughput(10.0, horizon);
+
+  // Confirmation latency over the final replica of gateway 0.
+  const auto& tangle = factory.gateway(0).tangle();
+  const auto& order = tangle.arrival_order();
+  std::vector<double> latencies;
+  std::size_t confirmed = 0;
+  for (const auto& id : order) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    if (rec->arrival < 10.0) continue;
+    // BFS over approvers collecting descendant arrival times.
+    std::vector<double> arrivals;
+    std::deque<tangle::TxId> frontier{id};
+    std::unordered_set<tangle::TxId, FixedBytesHash<32>> seen{id};
+    while (!frontier.empty()) {
+      const auto cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& ap : tangle.find(cur)->approvers) {
+        if (seen.insert(ap).second) {
+          arrivals.push_back(tangle.find(ap)->arrival);
+          frontier.push_back(ap);
+        }
+      }
+    }
+    if (arrivals.size() + 1 < weight_threshold) continue;  // never confirmed
+    std::sort(arrivals.begin(), arrivals.end());
+    const double confirm_time = arrivals[weight_threshold - 2];
+    latencies.push_back(confirm_time - rec->arrival);
+    ++confirmed;
+  }
+  result.confirm_tps = static_cast<double>(confirmed) / window;
+  result.mean_confirm_latency = factory::mean(latencies);
+  return result;
+}
+
+struct ChainResult {
+  double tps = 0.0;           // transactions placed into main-chain blocks /s
+  double confirm_tps = 0.0;   // k-deep confirmed /s
+  double mean_confirm_latency = 0.0;
+  std::size_t mempool_backlog = 0;
+};
+
+// Synchronous baseline: devices enqueue transactions; a single gateway-class
+// miner seals blocks of <= block_capacity txs at exponential intervals.
+ChainResult run_chain(int num_devices, double horizon, double block_interval,
+                      std::size_t block_capacity, std::uint64_t k_confirm) {
+  sim::Scheduler sched;
+  Rng rng(42);
+  chain::Blockchain blockchain(chain::Blockchain::make_genesis());
+  const auto miner_key =
+      crypto::Identity::deterministic(7).public_identity().sign_key;
+
+  // Pre-built device transactions are expensive to sign at scale; reuse one
+  // signed tx per device and count submissions abstractly instead. For the
+  // ledger-of-record we still seal real blocks with real PoW.
+  struct Pending {
+    double submit_time;
+  };
+  std::deque<Pending> mempool;
+  std::vector<double> block_times;         // per tx: time it entered a block
+  std::vector<double> submit_times;        // matching submit time
+  std::vector<std::uint64_t> tx_heights;   // matching containing height
+  std::vector<double> height_mined_at{0.0};  // height -> sealing time
+  std::uint64_t mined_height = 0;
+  chain::BlockId head = blockchain.head();
+
+  // Device submission processes (Poisson-ish around the sensor cadence).
+  for (int d = 0; d < num_devices; ++d) {
+    // Stagger starts; each device submits every ~0.5 s.
+    double t = 0.1 + 0.01 * d;
+    while (t < horizon) {
+      sched.at(t, [&mempool, t] { mempool.push_back(Pending{t}); });
+      t += 0.45 + 0.1 * rng.uniform();
+    }
+  }
+
+  // Miner process.
+  std::function<void()> mine_next = [&] {
+    const double interval = rng.exponential(block_interval);
+    sched.after(interval, [&] {
+      chain::Block block;
+      block.prev = head;
+      block.height = ++mined_height;
+      block.timestamp = sched.now();
+      block.miner = miner_key;
+      block.difficulty = 8;  // gateway-class miner, fast host mining
+      const std::size_t take = std::min(block_capacity, mempool.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        block_times.push_back(sched.now());
+        submit_times.push_back(mempool.front().submit_time);
+        tx_heights.push_back(mined_height);
+        mempool.pop_front();
+      }
+      chain::mine_block(block, mined_height << 24);
+      if (!blockchain.add(block).is_ok()) std::abort();
+      head = block.id();
+      height_mined_at.push_back(sched.now());
+      // Mine past the workload horizon so in-window blocks reach k depth.
+      if (sched.now() < horizon + (k_confirm + 2) * block_interval) mine_next();
+    });
+  };
+  mine_next();
+
+  sched.run_until(horizon + (k_confirm + 3) * block_interval);
+
+  ChainResult result;
+  const double window = horizon - 10.0;
+  std::size_t placed = 0, confirmed = 0;
+  std::vector<double> latencies;
+  for (std::size_t i = 0; i < block_times.size(); ++i) {
+    // Throughput: transactions sealed into blocks during the window.
+    if (block_times[i] >= 10.0 && block_times[i] <= horizon) ++placed;
+    // Confirmation: the tx's block is k blocks deep; latency from submit.
+    if (submit_times[i] < 10.0 || submit_times[i] > horizon) continue;
+    const std::uint64_t deep = tx_heights[i] + k_confirm;
+    if (deep < height_mined_at.size()) {
+      ++confirmed;
+      latencies.push_back(height_mined_at[deep] - submit_times[i]);
+    }
+  }
+  result.tps = static_cast<double>(placed) / window;
+  result.confirm_tps = static_cast<double>(confirmed) / window;
+  result.mean_confirm_latency = factory::mean(latencies);
+  result.mempool_backlog = mempool.size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# DAG (B-IoT tangle) vs chain-structured baseline under the "
+              "same smart-factory workload\n");
+  std::printf("# chain: 10 s expected block interval, 20 txs/block, 6-block "
+              "confirmation; tangle: weight-5 confirmation\n");
+  std::printf("%-9s | %9s %12s %12s | %9s %12s %12s %9s\n", "devices",
+              "dag_tps", "dag_ctps", "dag_lat_s", "chain_tps", "chain_ctps",
+              "chain_lat_s", "backlog");
+
+  const double horizon = 60.0;
+  for (const int devices : {2, 4, 8, 16, 32}) {
+    const auto dag = run_tangle(devices, horizon, 5);
+    const auto chain = run_chain(devices, horizon, 10.0, 20, 6);
+    std::printf("%-9d | %9.2f %12.2f %12.2f | %9.2f %12.2f %12.2f %9zu\n",
+                devices, dag.tps, dag.confirm_tps, dag.mean_confirm_latency,
+                chain.tps, chain.confirm_tps, chain.mean_confirm_latency,
+                chain.mempool_backlog);
+  }
+
+  std::printf("\n# expected shape: dag_tps grows ~linearly with devices; "
+              "chain_tps saturates at capacity/interval = 2.0 tps and the "
+              "mempool backlog explodes; dag confirmation latency stays "
+              "seconds-scale vs the chain's k*interval floor (60 s).\n");
+  return 0;
+}

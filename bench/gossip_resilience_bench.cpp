@@ -1,0 +1,77 @@
+// Gossip resilience under message loss: how much replica divergence does a
+// lossy wireless network cause, and how completely does anti-entropy sync
+// close it? (Supports the availability claims of Section VI-C on networks
+// far worse than the paper's lab LAN.)
+#include <cstdio>
+
+#include "factory/scenario.h"
+
+namespace {
+using namespace biot;
+
+struct Row {
+  std::size_t replica0 = 0;
+  std::size_t replica1 = 0;
+  std::size_t divergence = 0;   // ids on 0 missing from 1 and vice versa
+  std::size_t healed = 0;       // divergence after sync rounds
+  double tps = 0.0;
+};
+
+std::size_t divergence(const node::Gateway& a, const node::Gateway& b) {
+  std::size_t missing = 0;
+  for (const auto& id : a.tangle().arrival_order())
+    if (!b.tangle().contains(id)) ++missing;
+  for (const auto& id : b.tangle().arrival_order())
+    if (!a.tangle().contains(id)) ++missing;
+  return missing;
+}
+
+Row run(double loss, bool with_sync) {
+  factory::ScenarioConfig config;
+  config.num_devices = 6;
+  config.num_gateways = 2;
+  config.distribute_keys = false;
+  config.device.collect_interval = 0.5;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+  config.gateway.sync_interval = with_sync ? 3.0 : 0.0;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.network().set_loss_rate(loss);
+  factory.run_until(45.0);
+
+  Row row;
+  row.tps = factory.throughput(5.0, 45.0);
+  row.divergence = divergence(factory.gateway(0), factory.gateway(1));
+
+  // Stop the loss (or just give sync time) and measure residual divergence.
+  factory.network().set_loss_rate(0.0);
+  factory.run_until(60.0);
+  row.healed = divergence(factory.gateway(0), factory.gateway(1));
+  row.replica0 = factory.gateway(0).tangle().size();
+  row.replica1 = factory.gateway(1).tangle().size();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Replica divergence under message loss, with and without "
+              "anti-entropy (45 s lossy + 15 s clean tail)\n");
+  std::printf("%-8s %-6s | %8s %10s %12s %12s\n", "loss", "sync", "tps",
+              "diverged", "after_tail", "replicas");
+
+  for (const double loss : {0.0, 0.05, 0.15, 0.30}) {
+    for (const bool sync : {false, true}) {
+      const auto row = run(loss, sync);
+      std::printf("%-8.2f %-6s | %8.2f %10zu %12zu %7zu/%zu\n", loss,
+                  sync ? "on" : "off", row.tps, row.divergence, row.healed,
+                  row.replica0, row.replica1);
+    }
+  }
+
+  std::printf("\n# expected: without sync, loss leaves permanent divergence "
+              "(gossip is fire-and-forget); with sync, divergence collapses "
+              "to 0 once the inventory exchange runs — at any loss rate.\n");
+  return 0;
+}

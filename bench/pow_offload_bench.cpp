@@ -1,0 +1,80 @@
+// Ablation: local PoW on the device vs offloaded PoW at the gateway
+// (the remote-attachToTangle pattern; the paper's light nodes had to extend
+// PyOTA with *local* PoW precisely because difficulty had to be adjustable —
+// this bench quantifies what each choice costs the device).
+//
+// Same Pi 3B device profile and workload; reported per initial difficulty:
+// accepted transactions in 60 s and the device-side PoW energy proxy
+// (total simulated seconds the device spent hashing).
+#include <cstdio>
+#include <numeric>
+
+#include "node/gateway.h"
+#include "node/light_node.h"
+#include "node/manager.h"
+
+namespace {
+using namespace biot;
+
+struct Outcome {
+  std::uint64_t accepted = 0;
+  double device_pow_seconds = 0.0;
+};
+
+Outcome run(int initial_difficulty, bool offload) {
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(4));
+
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+
+  node::GatewayConfig gw_config;
+  gw_config.policy = node::GatewayConfig::Policy::kFixed;  // isolate the variable
+  gw_config.fixed_difficulty = initial_difficulty;
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, gw_config);
+  node::Manager manager(2, manager_identity, gateway, network);
+  gateway.attach();
+  manager.attach();
+
+  node::LightNodeConfig dev_config;
+  dev_config.profile = sim::DeviceProfile::pi3b_fig9();
+  dev_config.collect_interval = 0.5;
+  dev_config.offload_pow = offload;
+  node::LightNode device(10, crypto::Identity::deterministic(100), 1, network,
+                         dev_config);
+  if (!manager.authorize({device.public_identity()}).is_ok()) std::abort();
+  device.start();
+  sched.run_until(60.0);
+
+  Outcome out;
+  out.accepted = device.stats().accepted;
+  out.device_pow_seconds =
+      std::accumulate(device.stats().pow_durations.begin(),
+                      device.stats().pow_durations.end(), 0.0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Local vs offloaded PoW on a Pi 3B light node (60 s, fixed "
+              "difficulty policy)\n");
+  std::printf("%-6s | %12s %16s | %12s %16s\n", "D", "local_txs",
+              "local_pow_s", "offload_txs", "offload_pow_s");
+  for (const int d : {8, 10, 11, 12, 13}) {
+    const auto local = run(d, false);
+    const auto off = run(d, true);
+    std::printf("%-6d | %12llu %16.2f | %12llu %16.2f\n", d,
+                static_cast<unsigned long long>(local.accepted),
+                local.device_pow_seconds,
+                static_cast<unsigned long long>(off.accepted),
+                off.device_pow_seconds);
+  }
+  std::printf("\n# offloading frees the device of all PoW energy and keeps "
+              "the submission rate flat as difficulty rises; the price is "
+              "trusting the gateway with attachment (content stays "
+              "signature-protected either way).\n");
+  return 0;
+}

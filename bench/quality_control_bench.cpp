@@ -1,0 +1,131 @@
+// Quality-control characterization (the Section VIII future-work item we
+// implemented): detection rate on genuinely broken sensors vs false-positive
+// rate on healthy ones, across the z-threshold, plus the end-to-end effect —
+// how quickly the credit mechanism throttles a garbage-spewing device.
+#include <cstdio>
+
+#include "factory/quality.h"
+#include "node/gateway.h"
+#include "node/light_node.h"
+#include "node/manager.h"
+
+namespace {
+using namespace biot;
+
+struct Rates {
+  double false_positive = 0.0;  // outlier flags on a healthy stream
+  double detection = 0.0;       // outlier flags on a broken stream
+};
+
+Rates characterize(double z_threshold) {
+  factory::QualityPolicy policy;
+  policy.z_threshold = z_threshold;
+
+  Rng rng(42);
+  const int n = 2000;
+
+  // Healthy: Gaussian around a setpoint.
+  factory::QualityMonitor healthy(policy);
+  int fp = 0;
+  for (int i = 0; i < n; ++i) {
+    factory::SensorReading r;
+    r.sensor = "ok";
+    r.value = rng.gaussian(180.0, 1.0);
+    if (healthy.score(r) <= 0.0) ++fp;
+  }
+
+  // Broken: after warm-up the sensor fails into a stuck-at-garbage regime
+  // 20% of the time.
+  factory::QualityMonitor broken(policy);
+  int detected = 0, faults = 0;
+  for (int i = 0; i < n; ++i) {
+    factory::SensorReading r;
+    r.sensor = "bad";
+    const bool fault = i > 200 && rng.bernoulli(0.2);
+    r.value = fault ? rng.uniform(1e6, 2e6) : rng.gaussian(180.0, 1.0);
+    const bool flagged = broken.score(r) <= 0.0;
+    if (fault) {
+      ++faults;
+      if (flagged) ++detected;
+    }
+  }
+
+  Rates rates;
+  rates.false_positive = static_cast<double>(fp) / n;
+  rates.detection = faults == 0 ? 0.0 : static_cast<double>(detected) / faults;
+  return rates;
+}
+
+double time_to_throttle() {
+  // End to end: a device breaks at t=30; how long until the credit
+  // mechanism has raised its difficulty above the initial value?
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(7));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, {});
+  node::Manager manager(2, manager_identity, gateway, network);
+  gateway.attach();
+  manager.attach();
+
+  node::LightNodeConfig dev_config;
+  dev_config.profile = sim::DeviceProfile::pi3b_fig9();
+  dev_config.collect_interval = 0.5;
+  node::LightNode device(10, crypto::Identity::deterministic(100), 1, network,
+                         dev_config);
+  if (!manager.authorize({device.public_identity()}).is_ok()) std::abort();
+
+  auto* sched_ptr = &sched;
+  device.set_data_source([sched_ptr, n = 0]() mutable {
+    factory::SensorReading r;
+    r.sensor = "t";
+    r.unit = "degC";
+    r.time = sched_ptr->now();
+    r.value = sched_ptr->now() < 30.0 ? 180.0 + 0.01 * (n++ % 7) : 1.0e9;
+    r.status = "ok";
+    return r.encode();
+  });
+
+  auto monitor = std::make_shared<factory::QualityMonitor>();
+  gateway.set_quality_inspector(
+      [monitor](const tangle::Transaction& tx) -> std::optional<double> {
+        if (tx.payload_encrypted) return std::nullopt;
+        const auto reading = factory::SensorReading::decode(tx.payload);
+        if (!reading) return 0.0;
+        return monitor->score(reading.value());
+      });
+
+  device.start();
+  const auto key = device.public_identity().sign_key;
+  const int initial = gateway.required_difficulty(key);
+  for (double t = 30.0; t <= 120.0; t += 0.5) {
+    sched.run_until(t);
+    if (gateway.required_difficulty(key) > initial) return t - 30.0;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Sensor data quality control (Section VIII future-work "
+              "implementation)\n\n");
+  std::printf("## detector characterization (2000 samples per stream)\n");
+  std::printf("%-12s %16s %14s\n", "z_thresh", "false_pos_rate", "detect_rate");
+  for (const double z : {3.0, 4.5, 6.0, 9.0}) {
+    const auto rates = characterize(z);
+    std::printf("%-12.1f %16.4f %14.3f\n", z, rates.false_positive,
+                rates.detection);
+  }
+
+  const double latency = time_to_throttle();
+  std::printf("\n## end to end: device breaks at t=30 s; credit mechanism "
+              "raises its PoW difficulty %.1f s later\n",
+              latency);
+  std::printf("# garbage data is punished through the exact Eqn 4/5 pipeline "
+              "as protocol attacks (alpha_q = 0.25 by default)\n");
+  return latency >= 0 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Attack demo: every threat from the paper's Section III, live.
+//
+//   - Sybil/DDoS: unauthorized devices hammer a gateway and are refused
+//   - double-spending: a compromised device reuses a sequence slot
+//   - lazy tips: the same device approves a stale pair instead of fresh tips
+//   - single point of failure: a gateway crashes mid-run
+//
+// Watch the credit mechanism throttle the attacker while honest devices
+// keep their fast PoW.
+//
+// Run: ./build/examples/attack_demo
+#include <cstdio>
+
+#include "factory/scenario.h"
+
+using namespace biot;
+
+namespace {
+void report(factory::SmartFactory& factory, const char* moment) {
+  std::printf("\n--- %s (t=%.0fs) ---\n", moment, factory.scheduler().now());
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto key = factory.device(d).public_identity().sign_key;
+    const auto& stats = factory.device(d).stats();
+    std::printf("  device %zu: accepted=%-4llu rejected=%-3llu difficulty=%d\n",
+                d, static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                factory.gateway(0).required_difficulty(key));
+  }
+  std::uint64_t conflicts = 0, lazy = 0, unauthorized = 0;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    conflicts += factory.gateway(g).stats().rejected_conflict;
+    lazy += factory.gateway(g).stats().lazy_detected;
+    unauthorized += factory.gateway(g).stats().rejected_unauthorized;
+  }
+  std::printf("  gateways: double-spends caught=%llu lazy-tips detected=%llu "
+              "unauthorized refused=%llu\n",
+              static_cast<unsigned long long>(conflicts),
+              static_cast<unsigned long long>(lazy),
+              static_cast<unsigned long long>(unauthorized));
+}
+}  // namespace
+
+int main() {
+  factory::ScenarioConfig config;
+  config.num_gateways = 2;
+  config.num_devices = 3;
+  config.distribute_keys = false;
+  config.device.collect_interval = 0.5;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  // A Sybil swarm: five forged identities flooding tips requests.
+  for (int i = 0; i < 5; ++i) {
+    auto sybil = config.device;
+    sybil.collect_interval = 0.1;
+    factory.add_unauthorized_device(sybil);
+  }
+
+  // Device 2 goes rogue: double-spend at t=20, lazy tips at t=45.
+  factory.device(2).schedule_attack(20.0, node::AttackKind::kDoubleSpend);
+  factory.device(2).schedule_attack(45.0, node::AttackKind::kLazyTips);
+
+  factory.run_until(15.0);
+  report(factory, "steady state, attacks pending");
+
+  factory.run_until(30.0);
+  report(factory, "after the double-spend");
+  std::printf("  => device 2's PoW difficulty spiked; its next transactions "
+              "cost ~2^14 hashes each\n");
+
+  factory.run_until(60.0);
+  report(factory, "after the lazy-tips attack");
+
+  // Crash gateway 1 — the paper's single-point-of-failure scenario.
+  factory.network().detach(factory.gateway(1).node_id());
+  std::printf("\n*** gateway 1 crashed ***\n");
+  factory.run_until(90.0);
+  report(factory, "after the gateway crash");
+  std::printf("  surviving replica still holds the full ledger: %zu txs\n",
+              factory.gateway(0).tangle().size());
+
+  std::printf("\nsummary: sybils attached 0 transactions, the attacker was "
+              "throttled, honest devices never slowed down, and the ledger "
+              "survived a full-node failure.\n");
+  return 0;
+}

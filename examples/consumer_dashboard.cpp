@@ -1,0 +1,86 @@
+// Consumer dashboard: a read-side client aggregating factory telemetry
+// straight off the public tangle — no central data service, no trust in any
+// single party (the data is signed by the sensors and anchored in the DAG).
+//
+// A consumer holding the factory's symmetric key (obtained from the manager
+// via the Fig 4 handshake) also sees the sensitive recipe stream; everyone
+// else sees ciphertext.
+//
+// Run: ./build/examples/consumer_dashboard
+#include <cstdio>
+#include <map>
+
+#include "factory/scenario.h"
+#include "node/consumer.h"
+
+using namespace biot;
+
+namespace {
+struct Series {
+  std::size_t count = 0;
+  double min = 1e300, max = -1e300, sum = 0.0;
+  void add(double v) {
+    ++count;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+  }
+};
+}  // namespace
+
+int main() {
+  factory::ScenarioConfig config;
+  config.num_devices = 8;
+  config.device.collect_interval = 1.0;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  // The dashboard consumer, homed on gateway 1 (any replica serves reads).
+  node::Consumer dashboard(900, crypto::Identity::deterministic(900),
+                           factory.gateway(1).node_id(), factory.network());
+  dashboard.attach();
+
+  factory.run_until(120.0);
+
+  // Hand the consumer the recipe key (in production: a Fig 4 handshake with
+  // the manager — see examples/key_distribution).
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    if (factory.sensor(d).sensitive() && factory.device(d).has_symmetric_key()) {
+      dashboard.install_key(
+          factory.manager().session_key(factory.device(d).public_identity()));
+      break;
+    }
+  }
+
+  std::map<std::string, Series> series;
+  std::size_t opaque = 0;
+  dashboard.query({}, 0.0, 10000, [&](auto readings) {
+    for (const auto& r : readings) {
+      if (!r.decrypted) {
+        ++opaque;
+        continue;
+      }
+      const auto reading = factory::SensorReading::decode(r.plaintext);
+      if (!reading) continue;
+      series[reading.value().sensor + " (" + reading.value().unit + ")"].add(
+          reading.value().value);
+    }
+  });
+  factory.run_until(121.0);
+
+  std::printf("factory telemetry after 120 s, read from gateway 1's replica:\n");
+  std::printf("%-28s %8s %10s %10s %10s\n", "sensor", "n", "min", "mean",
+              "max");
+  for (const auto& [name, s] : series) {
+    std::printf("%-28s %8zu %10.2f %10.2f %10.2f\n", name.c_str(), s.count,
+                s.min, s.sum / static_cast<double>(s.count), s.max);
+  }
+  std::printf("\nopaque payloads (no key for them): %zu\n", opaque);
+  std::printf("every row above is signed by its sensor and anchored under "
+              "%zu transactions of cumulative weight — tamper-evident "
+              "telemetry without a data silo.\n",
+              factory.gateway(1).tangle().size());
+  return series.empty() ? 1 : 0;
+}

@@ -1,0 +1,89 @@
+// Smart-factory case study (paper Section IV-A / V): two gateways, a
+// manager, eight wireless sensors — temperature, vibration, machine status
+// and sensitive process recipes — running for five simulated minutes.
+//
+// Shows: authorization bootstrap, symmetric-key distribution to sensitive
+// devices (Fig 4), encrypted vs cleartext payloads on the public tangle,
+// replica convergence across gateways, and the credit standing of every
+// device at the end.
+//
+// Run: ./build/examples/smart_factory
+#include <cstdio>
+
+#include "factory/scenario.h"
+
+using namespace biot;
+
+int main() {
+  factory::ScenarioConfig config;
+  config.num_gateways = 2;
+  config.num_devices = 8;
+  config.device.collect_interval = 1.0;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+  config.seed = 2026;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  std::printf("smart factory: %zu gateways, %zu devices\n",
+              factory.gateway_count(), factory.device_count());
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    std::printf("  device %zu: %-18s %s\n", d, factory.sensor(d).name().c_str(),
+                factory.sensor(d).sensitive() ? "[sensitive -> encrypted]"
+                                              : "[public]");
+  }
+
+  std::printf("\nrunning 300 simulated seconds...\n");
+  factory.run_until(300.0);
+
+  // --- Ledger contents -----------------------------------------------------
+  std::size_t encrypted = 0, cleartext = 0;
+  const auto& tangle = factory.gateway(0).tangle();
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    (rec->tx.payload_encrypted ? encrypted : cleartext) += 1;
+  }
+  std::printf("\ntangle after 300 s: %zu transactions "
+              "(%zu cleartext readings, %zu encrypted readings)\n",
+              tangle.size(), cleartext, encrypted);
+  std::printf("replica sizes: gateway0=%zu gateway1=%zu\n",
+              factory.gateway(0).tangle().size(),
+              factory.gateway(1).tangle().size());
+  std::printf("throughput (steady state): %.2f tx/s\n",
+              factory.throughput(30.0, 300.0));
+
+  // --- Per-device credit standing -------------------------------------------
+  std::printf("\nper-device standing (credit PoW):\n");
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto key = factory.device(d).public_identity().sign_key;
+    const auto& gw = factory.gateway(d % factory.gateway_count());
+    std::printf("  device %zu: accepted=%-4llu difficulty=%-2d %s\n", d,
+                static_cast<unsigned long long>(
+                    factory.device(d).stats().accepted),
+                gw.required_difficulty(key),
+                factory.device(d).has_symmetric_key() ? "(holds factory key)"
+                                                      : "");
+  }
+
+  // --- Decrypt one sensitive reading as the key-holding manager -------------
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (!rec->tx.payload_encrypted) continue;
+    // Find which device sent it and fetch the manager's session key.
+    for (std::size_t d = 0; d < factory.device_count(); ++d) {
+      const auto pub = factory.device(d).public_identity();
+      if (pub.sign_key != rec->tx.sender) continue;
+      const auto& key = factory.manager().session_key(pub);
+      const auto plain = auth::envelope_open(key, rec->tx.payload);
+      const auto reading = factory::SensorReading::decode(plain.value());
+      std::printf("\nmanager decrypts a recipe reading: %s = %.1f %s (%s)\n",
+                  reading.value().sensor.c_str(), reading.value().value,
+                  reading.value().unit.c_str(), reading.value().status.c_str());
+      std::printf("(everyone else sees %zu opaque bytes)\n",
+                  rec->tx.payload.size());
+      return 0;
+    }
+  }
+  return 0;
+}

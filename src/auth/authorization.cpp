@@ -1,0 +1,86 @@
+#include "auth/authorization.h"
+
+#include "common/codec.h"
+
+namespace biot::auth {
+
+Bytes AuthorizationList::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (const auto& d : devices) {
+    w.raw(d.sign_key.view());
+    w.raw(d.box_key.view());
+  }
+  return std::move(w).take();
+}
+
+Result<AuthorizationList> AuthorizationList::decode(ByteView wire) {
+  Reader r(wire);
+  const auto count = r.u32();
+  if (!count) return count.status();
+
+  AuthorizationList list;
+  // Do NOT reserve count.value() up front: the count is attacker-controlled
+  // and a forged header must not trigger a multi-gigabyte allocation. Each
+  // iteration below fails fast on truncated input instead.
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto sign = r.raw(32);
+    if (!sign) return sign.status();
+    auto box = r.raw(32);
+    if (!box) return box.status();
+    list.devices.push_back(crypto::PublicIdentity{
+        crypto::Ed25519PublicKey::from_view(sign.value()),
+        crypto::X25519PublicKey::from_view(box.value())});
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "auth list: trailing bytes");
+  return list;
+}
+
+Status AuthRegistry::apply(const tangle::Transaction& tx) {
+  if (tx.type != tangle::TxType::kAuthorization)
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "auth: not an authorization transaction");
+  if (!is_manager(tx.sender))
+    return Status::error(ErrorCode::kUnauthorized,
+                         "auth: list not published by the manager");
+  if (!tx.signature_valid())
+    return Status::error(ErrorCode::kVerifyFailed, "auth: bad manager signature");
+
+  auto list = AuthorizationList::decode(tx.payload);
+  if (!list) return list.status();
+
+  // Replace this manager's entries only; co-managers' lists are untouched.
+  for (auto it = devices_.begin(); it != devices_.end();) {
+    if (it->second.authorized_by == tx.sender)
+      it = devices_.erase(it);
+    else
+      ++it;
+  }
+  for (const auto& d : list.value().devices)
+    devices_.insert_or_assign(d.sign_key, DeviceEntry{d.box_key, tx.sender});
+  ++updates_;
+  return Status::ok();
+}
+
+std::optional<crypto::X25519PublicKey> AuthRegistry::box_key_of(
+    const crypto::Ed25519PublicKey& device_sign_key) const {
+  const auto it = devices_.find(device_sign_key);
+  if (it == devices_.end()) return std::nullopt;
+  return it->second.box_key;
+}
+
+tangle::Transaction make_authorization_tx(const crypto::Identity& manager,
+                                          const AuthorizationList& list,
+                                          std::uint64_t sequence,
+                                          TimePoint timestamp) {
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kAuthorization;
+  tx.sender = manager.public_identity().sign_key;
+  tx.sequence = sequence;
+  tx.timestamp = timestamp;
+  tx.payload = list.encode();
+  return tx;
+}
+
+}  // namespace biot::auth

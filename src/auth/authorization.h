@@ -1,0 +1,94 @@
+// Device authorization via manager-signed on-chain lists (paper Eqn 1):
+//
+//     TX = Sign_SKM( PK_d1, PK_d2, ..., PK_dn )
+//
+// The manager's public key is hard-coded into the genesis configuration;
+// only transactions signed by it may update the authorized-device list.
+// Gateways consult the registry to block requests from unauthorized devices
+// (defence against Sybil attack / DDoS, Section VI-C).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/identity.h"
+#include "tangle/transaction.h"
+
+namespace biot::auth {
+
+/// Payload of a kAuthorization transaction: the full replacement list of
+/// authorized device identities (signing + encryption public keys).
+struct AuthorizationList {
+  std::vector<crypto::PublicIdentity> devices;
+
+  Bytes encode() const;
+  static Result<AuthorizationList> decode(ByteView wire);
+};
+
+class AuthRegistry {
+ public:
+  /// `manager_key` plays the role of the genesis-configured manager
+  /// identity. The paper permits "one or more managers" per factory
+  /// (Section IV-A) — register the others with add_manager.
+  explicit AuthRegistry(const crypto::Ed25519PublicKey& manager_key)
+      : primary_manager_(manager_key) {
+    managers_.insert(manager_key);
+  }
+
+  /// Registers an additional manager allowed to publish device lists.
+  void add_manager(const crypto::Ed25519PublicKey& key) { managers_.insert(key); }
+  bool is_manager(const crypto::Ed25519PublicKey& key) const {
+    return managers_.contains(key);
+  }
+
+  /// Applies an authorization transaction: must be type kAuthorization,
+  /// sent and signed by a registered manager, with a decodable list payload.
+  /// Each successful apply REPLACES that manager's list ("publish or
+  /// update"); different managers' lists are independent.
+  Status apply(const tangle::Transaction& tx);
+
+  bool is_authorized(const crypto::Ed25519PublicKey& device_sign_key) const {
+    return devices_.contains(device_sign_key);
+  }
+  /// Encryption key registered for a device (needed to start key
+  /// distribution); nullopt when unauthorized.
+  std::optional<crypto::X25519PublicKey> box_key_of(
+      const crypto::Ed25519PublicKey& device_sign_key) const;
+
+  std::size_t authorized_count() const { return devices_.size(); }
+  /// Snapshot of the currently authorized identities (unspecified order).
+  std::vector<crypto::PublicIdentity> authorized_devices() const {
+    std::vector<crypto::PublicIdentity> out;
+    out.reserve(devices_.size());
+    for (const auto& [sign, entry] : devices_)
+      out.push_back(crypto::PublicIdentity{sign, entry.box_key});
+    return out;
+  }
+  /// The genesis-configured (primary) manager key.
+  const crypto::Ed25519PublicKey& manager_key() const { return primary_manager_; }
+  std::uint64_t updates_applied() const { return updates_; }
+
+ private:
+  struct DeviceEntry {
+    crypto::X25519PublicKey box_key;
+    crypto::Ed25519PublicKey authorized_by;
+  };
+
+  crypto::Ed25519PublicKey primary_manager_;
+  std::set<crypto::Ed25519PublicKey> managers_;
+  std::unordered_map<crypto::Ed25519PublicKey, DeviceEntry, FixedBytesHash<32>>
+      devices_;
+  std::uint64_t updates_ = 0;
+};
+
+/// Builds the signed authorization transaction for a device list (Eqn 1).
+/// Parents/nonce/difficulty are filled by the normal submission flow.
+tangle::Transaction make_authorization_tx(const crypto::Identity& manager,
+                                          const AuthorizationList& list,
+                                          std::uint64_t sequence,
+                                          TimePoint timestamp);
+
+}  // namespace biot::auth

@@ -1,0 +1,44 @@
+// Sensor-data confidentiality (paper Section IV-C): devices that collect
+// sensitive data encrypt payloads with the distributed symmetric key before
+// posting transactions; only key holders can decrypt. Non-sensitive data is
+// posted in the clear.
+#pragma once
+
+#include <optional>
+
+#include "auth/envelope.h"
+#include "common/status.h"
+#include "crypto/csprng.h"
+
+namespace biot::auth {
+
+class SensorDataProtector {
+ public:
+  /// A protector without a key passes data through unencrypted
+  /// (non-sensitive devices never receive a key from the manager).
+  SensorDataProtector() = default;
+  explicit SensorDataProtector(SymmetricKey key) : key_(key) {}
+
+  bool has_key() const { return key_.has_value(); }
+  void install_key(SymmetricKey key) { key_ = key; }
+
+  /// Returns {payload, encrypted?}: sealed when a key is installed.
+  std::pair<Bytes, bool> protect(ByteView sensor_data, crypto::Csprng& rng) const {
+    if (!key_) return {Bytes(sensor_data.begin(), sensor_data.end()), false};
+    return {envelope_seal(*key_, sensor_data, rng), true};
+  }
+
+  /// Recovers plaintext from a transaction payload.
+  Result<Bytes> recover(ByteView payload, bool encrypted) const {
+    if (!encrypted) return Bytes(payload.begin(), payload.end());
+    if (!key_)
+      return Status::error(ErrorCode::kUnauthorized,
+                           "data: no key to decrypt sensitive payload");
+    return envelope_open(*key_, payload);
+  }
+
+ private:
+  std::optional<SymmetricKey> key_;
+};
+
+}  // namespace biot::auth

@@ -1,0 +1,55 @@
+#include "auth/envelope.h"
+
+#include "crypto/aes.h"
+#include "crypto/aes_modes.h"
+#include "crypto/hmac.h"
+
+namespace biot::auth {
+
+namespace {
+constexpr std::size_t kIvSize = 16;
+constexpr std::size_t kTagSize = 32;
+
+// Independent encryption/MAC keys derived from the shared symmetric key.
+struct SubKeys {
+  Bytes enc;
+  Bytes mac;
+};
+
+SubKeys derive(const SymmetricKey& key) {
+  const Bytes okm = crypto::hkdf({}, key.view(),
+                                 to_bytes(std::string_view{"biot-envelope-v1"}), 64);
+  return SubKeys{Bytes(okm.begin(), okm.begin() + 32),
+                 Bytes(okm.begin() + 32, okm.end())};
+}
+}  // namespace
+
+Bytes envelope_seal(const SymmetricKey& key, ByteView plaintext,
+                    crypto::Csprng& rng) {
+  const SubKeys keys = derive(key);
+  const Bytes iv = rng.bytes(kIvSize);
+  const crypto::Aes aes(keys.enc);
+  const Bytes ct = crypto::aes_cbc_encrypt(aes, iv, plaintext);
+  const auto tag = crypto::hmac_sha256_concat(keys.mac, {iv, ct});
+  return concat({iv, ct, tag.view()});
+}
+
+Result<Bytes> envelope_open(const SymmetricKey& key, ByteView envelope) {
+  if (envelope.size() < kIvSize + crypto::kAesBlockSize + kTagSize)
+    return Status::error(ErrorCode::kDecryptFailed, "envelope: too short");
+
+  const ByteView iv = envelope.subspan(0, kIvSize);
+  const ByteView ct =
+      envelope.subspan(kIvSize, envelope.size() - kIvSize - kTagSize);
+  const ByteView tag = envelope.subspan(envelope.size() - kTagSize);
+
+  const SubKeys keys = derive(key);
+  const auto expect = crypto::hmac_sha256_concat(keys.mac, {iv, ct});
+  if (!ct_equal(expect.view(), tag))
+    return Status::error(ErrorCode::kDecryptFailed, "envelope: MAC mismatch");
+
+  const crypto::Aes aes(keys.enc);
+  return crypto::aes_cbc_decrypt(aes, iv, ct);
+}
+
+}  // namespace biot::auth

@@ -1,0 +1,23 @@
+// Symmetric authenticated envelope: AES-256-CBC with a random IV,
+// encrypt-then-MAC with HMAC-SHA256. This is "Enc_SKS{...}" in the paper's
+// Fig 4 handshake and the container for encrypted sensor payloads in the
+// data authority management method.
+//
+// Wire format: IV (16) || ciphertext (16k) || tag (32).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/csprng.h"
+
+namespace biot::auth {
+
+using SymmetricKey = FixedBytes<32>;
+
+Bytes envelope_seal(const SymmetricKey& key, ByteView plaintext,
+                    crypto::Csprng& rng);
+
+/// kDecryptFailed on truncation, MAC mismatch or bad padding.
+Result<Bytes> envelope_open(const SymmetricKey& key, ByteView envelope);
+
+}  // namespace biot::auth

@@ -1,0 +1,212 @@
+#include "auth/keydist.h"
+
+#include "common/codec.h"
+#include "crypto/x25519.h"
+
+namespace biot::auth {
+
+namespace {
+// Signed portions are encoded with the same codec as everything else, with a
+// domain-separation label so signatures cannot be replayed across message
+// types.
+Bytes m1_signed_bytes(const SymmetricKey& sks, TimePoint ts, std::uint64_t nonce_a) {
+  Writer w;
+  w.str("biot-keydist-m1");
+  w.raw(sks.view());
+  w.f64(ts);
+  w.u64(nonce_a);
+  return std::move(w).take();
+}
+
+Bytes m2_signed_bytes(std::uint64_t nonce_b, TimePoint ts) {
+  Writer w;
+  w.str("biot-keydist-m2");
+  w.u64(nonce_b);
+  w.f64(ts);
+  return std::move(w).take();
+}
+
+Bytes m3_signed_bytes(std::uint64_t nonce_b, TimePoint ts) {
+  Writer w;
+  w.str("biot-keydist-m3");
+  w.u64(nonce_b);
+  w.f64(ts);
+  return std::move(w).take();
+}
+
+Status check_timestamp(TimePoint ts, TimePoint now, TimePoint& last_seen,
+                       Duration max_skew) {
+  if (ts <= last_seen)
+    return Status::error(ErrorCode::kReplayDetected,
+                         "keydist: timestamp not fresh");
+  if (ts > now + max_skew || ts < now - max_skew)
+    return Status::error(ErrorCode::kReplayDetected,
+                         "keydist: timestamp outside skew window");
+  last_seen = ts;
+  return Status::ok();
+}
+}  // namespace
+
+// ---- Manager ----------------------------------------------------------------
+
+Bytes ManagerKeyDist::start_session(const crypto::PublicIdentity& device) {
+  Session session;
+  session.sks = rng_.fixed<32>();
+  session.nonce_a = rng_.next_u64();
+  session.established = false;
+
+  const TimePoint ts = clock_.now();
+  const auto sig = manager_.sign(m1_signed_bytes(session.sks, ts, session.nonce_a));
+
+  Writer w;
+  w.raw(session.sks.view());
+  w.f64(ts);
+  w.u64(session.nonce_a);
+  w.raw(sig.view());
+  const Bytes m1 = crypto::ecies_seal(device.box_key, w.bytes(), rng_);
+
+  sessions_[device.sign_key] = session;
+  return m1;
+}
+
+Result<Bytes> ManagerKeyDist::handle_m2(const crypto::PublicIdentity& device,
+                                        ByteView m2) {
+  const auto it = sessions_.find(device.sign_key);
+  if (it == sessions_.end())
+    return Status::error(ErrorCode::kNotFound, "keydist: no session for device");
+  Session& session = it->second;
+
+  auto inner = envelope_open(session.sks, m2);
+  if (!inner) return inner.status();
+
+  Reader r(inner.value());
+  const auto nonce_b = r.u64();
+  const auto ts2 = r.f64();
+  const auto nonce_a_echo = r.u64();
+  const auto sig_raw = r.raw(64);
+  if (!nonce_b || !ts2 || !nonce_a_echo || !sig_raw || !r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "keydist: malformed M2");
+
+  if (nonce_a_echo.value() != session.nonce_a)
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "keydist: nonce_a challenge failed");
+
+  const auto sig = crypto::Ed25519Signature::from_view(sig_raw.value());
+  if (!crypto::ed25519_verify(device.sign_key,
+                              m2_signed_bytes(nonce_b.value(), ts2.value()), sig))
+    return Status::error(ErrorCode::kVerifyFailed, "keydist: bad device signature");
+
+  if (auto s = check_timestamp(ts2.value(), clock_.now(), session.last_peer_ts,
+                               config_.max_clock_skew);
+      !s)
+    return s;
+
+  session.established = true;
+
+  // Build M3: Enc_SKS{ sign_SKM(nonce_b, TS3) }.
+  const TimePoint ts3 = clock_.now();
+  const auto m3_sig = manager_.sign(m3_signed_bytes(nonce_b.value(), ts3));
+  Writer w;
+  w.u64(nonce_b.value());
+  w.f64(ts3);
+  w.raw(m3_sig.view());
+  return envelope_seal(session.sks, w.bytes(), rng_);
+}
+
+bool ManagerKeyDist::session_established(
+    const crypto::PublicIdentity& device) const {
+  const auto it = sessions_.find(device.sign_key);
+  return it != sessions_.end() && it->second.established;
+}
+
+const SymmetricKey& ManagerKeyDist::session_key(
+    const crypto::PublicIdentity& device) const {
+  const auto it = sessions_.find(device.sign_key);
+  if (it == sessions_.end() || !it->second.established)
+    throw std::logic_error("keydist: session not established");
+  return it->second.sks;
+}
+
+// ---- Device -----------------------------------------------------------------
+
+Result<Bytes> DeviceKeyDist::handle_m1(ByteView m1) {
+  auto inner = crypto::ecies_open(device_.box_pair(), m1);
+  if (!inner) return inner.status();
+
+  Reader r(inner.value());
+  const auto sks_raw = r.raw(32);
+  const auto ts1 = r.f64();
+  const auto nonce_a = r.u64();
+  const auto sig_raw = r.raw(64);
+  if (!sks_raw || !ts1 || !nonce_a || !sig_raw || !r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "keydist: malformed M1");
+
+  const auto sks = SymmetricKey::from_view(sks_raw.value());
+  const auto sig = crypto::Ed25519Signature::from_view(sig_raw.value());
+  if (!crypto::ed25519_verify(manager_sign_key_,
+                              m1_signed_bytes(sks, ts1.value(), nonce_a.value()),
+                              sig))
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "keydist: bad manager signature on M1");
+
+  if (auto s = check_timestamp(ts1.value(), clock_.now(), last_peer_ts_,
+                               config_.max_clock_skew);
+      !s)
+    return s;
+
+  pending_key_ = sks;
+  established_ = false;
+  nonce_b_ = rng_.next_u64();
+
+  // Build M2: Enc_SKS{ sign_SKD(nonce_b, TS2), nonce_a }.
+  const TimePoint ts2 = clock_.now();
+  const auto m2_sig = device_.sign(m2_signed_bytes(nonce_b_, ts2));
+  Writer w;
+  w.u64(nonce_b_);
+  w.f64(ts2);
+  w.u64(nonce_a.value());
+  w.raw(m2_sig.view());
+  return envelope_seal(*pending_key_, w.bytes(), rng_);
+}
+
+Status DeviceKeyDist::handle_m3(ByteView m3) {
+  if (!pending_key_)
+    return Status::error(ErrorCode::kNotFound, "keydist: no pending session");
+
+  auto inner = envelope_open(*pending_key_, m3);
+  if (!inner) return inner.status();
+
+  Reader r(inner.value());
+  const auto nonce_b_echo = r.u64();
+  const auto ts3 = r.f64();
+  const auto sig_raw = r.raw(64);
+  if (!nonce_b_echo || !ts3 || !sig_raw || !r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "keydist: malformed M3");
+
+  if (nonce_b_echo.value() != nonce_b_)
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "keydist: nonce_b challenge failed");
+
+  const auto sig = crypto::Ed25519Signature::from_view(sig_raw.value());
+  if (!crypto::ed25519_verify(manager_sign_key_,
+                              m3_signed_bytes(nonce_b_echo.value(), ts3.value()),
+                              sig))
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "keydist: bad manager signature on M3");
+
+  if (auto s = check_timestamp(ts3.value(), clock_.now(), last_peer_ts_,
+                               config_.max_clock_skew);
+      !s)
+    return s;
+
+  established_ = true;
+  return Status::ok();
+}
+
+const SymmetricKey& DeviceKeyDist::key() const {
+  if (!established_ || !pending_key_)
+    throw std::logic_error("keydist: key not established");
+  return *pending_key_;
+}
+
+}  // namespace biot::auth

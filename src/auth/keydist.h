@@ -1,0 +1,98 @@
+// Symmetric secret key distribution without a central trust server
+// (paper Fig 4). Three messages between the manager M and an IoT device D:
+//
+//   M1  M -> D : Enc_PKD{ sign_SKM(SKS, TS1, nonce_a) }      (public-key enc)
+//   M2  D -> M : Enc_SKS{ sign_SKD(nonce_b, TS2), nonce_a }  (symmetric enc)
+//   M3  M -> D : Enc_SKS{ sign_SKM(nonce_b, TS3) }
+//
+// Every message is signed by its sender (tamper evidence), carries a
+// timestamp (replay resistance) and participates in a nonce
+// challenge-response: nonce_a proves the device decrypted M1, nonce_b proves
+// the manager holds SKS. Public-key encryption is ECIES over X25519.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "auth/envelope.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "crypto/identity.h"
+
+namespace biot::auth {
+
+struct KeyDistConfig {
+  /// Maximum tolerated |TS - local now| (seconds); beyond it = replay/stale.
+  Duration max_clock_skew = 5.0;
+};
+
+/// Manager side. One session per device; start_session may be called again
+/// to rotate the key ("flexible to update symmetric keys if needed").
+class ManagerKeyDist {
+ public:
+  ManagerKeyDist(const crypto::Identity& manager, const Clock& clock,
+                 crypto::Csprng& rng, KeyDistConfig config = {})
+      : manager_(manager), clock_(clock), rng_(rng), config_(config) {}
+
+  /// Step 1: generates a fresh SKS and nonce_a, returns the M1 envelope.
+  Bytes start_session(const crypto::PublicIdentity& device);
+
+  /// Step 3: verifies M2 (nonce_a echo, device signature, timestamp) and
+  /// returns M3. On success the session is established.
+  Result<Bytes> handle_m2(const crypto::PublicIdentity& device, ByteView m2);
+
+  bool session_established(const crypto::PublicIdentity& device) const;
+  /// Established session key; throws if the handshake has not completed.
+  const SymmetricKey& session_key(const crypto::PublicIdentity& device) const;
+
+ private:
+  struct Session {
+    SymmetricKey sks{};
+    std::uint64_t nonce_a = 0;
+    bool established = false;
+    TimePoint last_peer_ts = -1e300;  // monotone-timestamp replay guard
+  };
+
+  const crypto::Identity& manager_;
+  const Clock& clock_;
+  crypto::Csprng& rng_;
+  KeyDistConfig config_;
+  std::unordered_map<crypto::Ed25519PublicKey, Session, FixedBytesHash<32>>
+      sessions_;
+};
+
+/// Device side.
+class DeviceKeyDist {
+ public:
+  DeviceKeyDist(const crypto::Identity& device,
+                const crypto::Ed25519PublicKey& manager_sign_key,
+                const Clock& clock, crypto::Csprng& rng,
+                KeyDistConfig config = {})
+      : device_(device), manager_sign_key_(manager_sign_key), clock_(clock),
+        rng_(rng), config_(config) {}
+
+  /// Step 2: decrypts M1, verifies the manager signature and timestamp,
+  /// stores SKS (pending) and returns M2.
+  Result<Bytes> handle_m1(ByteView m1);
+
+  /// Final step: verifies M3 (nonce_b echo, manager signature, timestamp);
+  /// on success the key is confirmed established.
+  Status handle_m3(ByteView m3);
+
+  bool established() const { return established_; }
+  const SymmetricKey& key() const;
+
+ private:
+  const crypto::Identity& device_;
+  crypto::Ed25519PublicKey manager_sign_key_;
+  const Clock& clock_;
+  crypto::Csprng& rng_;
+  KeyDistConfig config_;
+
+  std::optional<SymmetricKey> pending_key_;
+  std::uint64_t nonce_b_ = 0;
+  bool established_ = false;
+  TimePoint last_peer_ts_ = -1e300;
+};
+
+}  // namespace biot::auth

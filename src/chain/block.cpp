@@ -1,0 +1,41 @@
+#include "chain/block.h"
+
+#include "common/codec.h"
+
+namespace biot::chain {
+
+crypto::Sha256Digest Block::tx_root() const {
+  crypto::Sha256 h;
+  for (const auto& tx : transactions) h.update(tx.id().view());
+  return h.finish();
+}
+
+Bytes Block::header_bytes() const {
+  Writer w;
+  w.raw(prev.view());
+  w.u64(height);
+  w.f64(timestamp);
+  w.raw(miner.view());
+  w.u8(difficulty);
+  w.raw(tx_root().view());
+  w.u64(nonce);
+  return std::move(w).take();
+}
+
+BlockId Block::id() const { return crypto::Sha256::hash(header_bytes()); }
+
+bool Block::pow_valid() const {
+  return tangle::leading_zero_bits(id()) >= difficulty;
+}
+
+std::uint64_t mine_block(Block& block, std::uint64_t start_nonce) {
+  std::uint64_t attempts = 0;
+  block.nonce = start_nonce;
+  for (;;) {
+    ++attempts;
+    if (block.pow_valid()) return attempts;
+    ++block.nonce;
+  }
+}
+
+}  // namespace biot::chain

@@ -1,0 +1,45 @@
+// Chain-structured (satoshi-style) blockchain baseline (paper Section II-A).
+//
+// The paper motivates its DAG design by contrasting it with the synchronous,
+// single-main-chain model: blocks carry batches of transactions, PoW is per
+// block, forks resolve to the longest chain, and a transaction is confirmed
+// only k blocks deep ("six-block security"). The throughput benches pit this
+// baseline against the tangle under identical workloads.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "tangle/transaction.h"
+
+namespace biot::chain {
+
+using BlockId = crypto::Sha256Digest;
+
+struct Block {
+  BlockId prev{};                 // all-zero for the genesis block
+  std::uint64_t height = 0;
+  TimePoint timestamp = 0.0;
+  crypto::Ed25519PublicKey miner{};
+  std::uint8_t difficulty = 0;    // leading zero bits required of the id
+  std::uint64_t nonce = 0;
+  std::vector<tangle::Transaction> transactions;
+
+  /// Merkle-style commitment: hash over the ordered transaction ids.
+  crypto::Sha256Digest tx_root() const;
+  /// Header encoding (prev, height, timestamp, miner, difficulty, tx_root,
+  /// nonce) — the PoW preimage.
+  Bytes header_bytes() const;
+  /// Block id = SHA-256 of the header; PoW requires `difficulty` zero bits.
+  BlockId id() const;
+
+  bool pow_valid() const;
+};
+
+/// Grinds the block nonce until its id meets the declared difficulty.
+/// Returns attempts used (for cost accounting in simulations).
+std::uint64_t mine_block(Block& block, std::uint64_t start_nonce = 0);
+
+}  // namespace biot::chain

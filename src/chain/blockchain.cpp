@@ -1,0 +1,87 @@
+#include "chain/blockchain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace biot::chain {
+
+Block Blockchain::make_genesis(TimePoint timestamp) {
+  Block g;
+  g.height = 0;
+  g.timestamp = timestamp;
+  return g;
+}
+
+Blockchain::Blockchain(Block genesis) {
+  genesis.height = 0;
+  genesis_id_ = genesis.id();
+  head_ = genesis_id_;
+  blocks_.emplace(genesis_id_, Entry{std::move(genesis)});
+}
+
+Status Blockchain::add(const Block& block) {
+  const BlockId id = block.id();
+  if (blocks_.contains(id))
+    return Status::error(ErrorCode::kRejected, "chain: duplicate block");
+
+  const auto prev = blocks_.find(block.prev);
+  if (prev == blocks_.end())
+    return Status::error(ErrorCode::kNotFound, "chain: unknown previous block");
+  if (block.height != prev->second.block.height + 1)
+    return Status::error(ErrorCode::kInvalidArgument, "chain: wrong height");
+
+  if (block.difficulty < min_difficulty_ || !block.pow_valid())
+    return Status::error(ErrorCode::kPowInvalid, "chain: PoW invalid");
+
+  for (const auto& tx : block.transactions) {
+    if (!tx.signature_valid())
+      return Status::error(ErrorCode::kVerifyFailed,
+                           "chain: transaction signature invalid");
+  }
+
+  blocks_.emplace(id, Entry{block});
+  if (block.height > blocks_.at(head_).block.height) head_ = id;
+  return Status::ok();
+}
+
+const Block* Blockchain::find(const BlockId& id) const {
+  const auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+std::vector<BlockId> Blockchain::main_chain() const {
+  std::vector<BlockId> out;
+  BlockId cur = head_;
+  for (;;) {
+    out.push_back(cur);
+    if (cur == genesis_id_) break;
+    cur = blocks_.at(cur).block.prev;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::uint64_t> Blockchain::containing_height(
+    const tangle::TxId& tx) const {
+  for (const auto& id : main_chain()) {
+    const auto& block = blocks_.at(id).block;
+    for (const auto& t : block.transactions) {
+      if (t.id() == tx) return block.height;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Blockchain::is_confirmed(const tangle::TxId& tx, std::uint64_t k) const {
+  const auto h = containing_height(tx);
+  if (!h) return false;
+  return height() >= *h + k;
+}
+
+std::size_t Blockchain::orphaned_blocks() const {
+  std::unordered_set<BlockId, FixedBytesHash<32>> main(0);
+  for (const auto& id : main_chain()) main.insert(id);
+  return blocks_.size() - main.size();
+}
+
+}  // namespace biot::chain

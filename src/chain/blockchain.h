@@ -1,0 +1,61 @@
+// Longest-chain block store with fork resolution and k-deep confirmation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace biot::chain {
+
+class Blockchain {
+ public:
+  /// The genesis block is an axiom: not PoW-checked, height forced to 0.
+  explicit Blockchain(Block genesis);
+
+  static Block make_genesis(TimePoint timestamp = 0.0);
+
+  /// Validates and stores a block:
+  ///  - prev must exist, height must be prev.height + 1
+  ///  - PoW must meet the declared difficulty and the chain's minimum
+  ///  - transactions must carry valid signatures
+  /// The longest chain (by height, first-seen tie-break) becomes the head.
+  Status add(const Block& block);
+
+  const Block* find(const BlockId& id) const;
+  bool contains(const BlockId& id) const { return blocks_.contains(id); }
+
+  const BlockId& head() const { return head_; }
+  std::uint64_t height() const { return blocks_.at(head_).block.height; }
+  std::size_t size() const { return blocks_.size(); }
+
+  /// Minimum difficulty accepted from miners.
+  void set_min_difficulty(int d) { min_difficulty_ = d; }
+
+  /// Blocks on the main chain, genesis first.
+  std::vector<BlockId> main_chain() const;
+
+  /// A transaction is confirmed when it sits in a main-chain block at least
+  /// `k` blocks deep (paper's six-block-security analogue).
+  bool is_confirmed(const tangle::TxId& tx, std::uint64_t k) const;
+
+  /// Height of the main-chain block containing `tx`, if any.
+  std::optional<std::uint64_t> containing_height(const tangle::TxId& tx) const;
+
+  /// Number of blocks accepted but not on the main chain (orphaned forks —
+  /// wasted work under the synchronous model).
+  std::size_t orphaned_blocks() const;
+
+ private:
+  struct Entry {
+    Block block;
+  };
+
+  std::unordered_map<BlockId, Entry, FixedBytesHash<32>> blocks_;
+  BlockId genesis_id_;
+  BlockId head_;
+  int min_difficulty_ = 1;
+};
+
+}  // namespace biot::chain

@@ -1,0 +1,86 @@
+// Byte-buffer utilities shared by every B-IoT module.
+//
+// `Bytes` is the canonical owning buffer type; `ByteView` the non-owning view.
+// Helpers cover hex round-trips, constant-time comparison (for MAC checks) and
+// XOR combination (used by cipher modes).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace biot {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+using MutByteView = std::span<std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex digit).
+Bytes from_hex(std::string_view hex);
+
+/// Copies a string's bytes into a Bytes buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as text (caller asserts it is valid text).
+std::string to_string(ByteView data);
+
+/// Constant-time equality; safe for comparing MACs and key material.
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// XORs `src` into `dst` (dst[i] ^= src[i]); sizes must match.
+void xor_into(MutByteView dst, ByteView src);
+
+/// Concatenates buffers.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Fixed-size byte array with hex/equality helpers — used for hashes and keys.
+template <std::size_t N>
+struct FixedBytes {
+  std::array<std::uint8_t, N> data{};
+
+  static constexpr std::size_t size() { return N; }
+  const std::uint8_t* begin() const { return data.data(); }
+  const std::uint8_t* end() const { return data.data() + N; }
+  std::uint8_t* begin() { return data.data(); }
+  std::uint8_t* end() { return data.data() + N; }
+  std::uint8_t operator[](std::size_t i) const { return data[i]; }
+  std::uint8_t& operator[](std::size_t i) { return data[i]; }
+
+  ByteView view() const { return ByteView{data.data(), N}; }
+  Bytes bytes() const { return Bytes(data.begin(), data.end()); }
+  std::string hex() const { return to_hex(view()); }
+
+  friend bool operator==(const FixedBytes& a, const FixedBytes& b) = default;
+  friend auto operator<=>(const FixedBytes& a, const FixedBytes& b) = default;
+
+  static FixedBytes from_view(ByteView v) {
+    FixedBytes out;
+    if (v.size() != N) throw std::invalid_argument("FixedBytes: size mismatch");
+    std::copy(v.begin(), v.end(), out.data.begin());
+    return out;
+  }
+  static FixedBytes parse_hex(std::string_view h) { return from_view(from_hex(h)); }
+};
+
+template <std::size_t N>
+struct FixedBytesHash {
+  std::size_t operator()(const FixedBytes<N>& v) const noexcept {
+    // Buffers here are cryptographic hashes/keys: the first 8 bytes are already
+    // uniformly distributed, so they serve directly as the table hash.
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < 8 && i < N; ++i) h = (h << 8) | v.data[i];
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace biot

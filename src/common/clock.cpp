@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace biot {
+
+TimePoint WallClock::now() const {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+void SimClock::advance_to(TimePoint t) {
+  if (t < now_) throw std::logic_error("SimClock: time moved backwards");
+  now_ = t;
+}
+
+}  // namespace biot

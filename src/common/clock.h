@@ -1,0 +1,38 @@
+// Clock abstraction. Credit dynamics (Eqns 3-4 of the paper) are functions of
+// wall time, so every component reads time through this interface; the
+// discrete-event simulator injects a SimClock and tests get full determinism.
+#pragma once
+
+#include <cstdint>
+
+namespace biot {
+
+/// Seconds since an arbitrary epoch. Double precision keeps sub-millisecond
+/// resolution over simulation horizons of years.
+using TimePoint = double;
+using Duration = double;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Real wall time (steady, monotonic).
+class WallClock final : public Clock {
+ public:
+  TimePoint now() const override;
+};
+
+/// Manually-advanced clock owned by the event scheduler.
+class SimClock final : public Clock {
+ public:
+  TimePoint now() const override { return now_; }
+  void advance_to(TimePoint t);
+  void advance_by(Duration d) { advance_to(now_ + d); }
+
+ private:
+  TimePoint now_ = 0.0;
+};
+
+}  // namespace biot

@@ -1,0 +1,111 @@
+#include "common/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace biot {
+
+namespace {
+template <typename T>
+void append_le(Bytes& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T read_le(ByteView data, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(data[pos + i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+void Writer::u16(std::uint16_t v) { append_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { append_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { append_le(buf_, v); }
+void Writer::i64(std::int64_t v) { append_le(buf_, static_cast<std::uint64_t>(v)); }
+
+void Writer::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  append_le(buf_, std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::blob(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::raw(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+Status Reader::need(std::size_t n) {
+  if (remaining() < n)
+    return Status::error(ErrorCode::kInvalidArgument, "codec: truncated input");
+  return Status::ok();
+}
+
+Result<std::uint8_t> Reader::u8() {
+  if (auto s = need(1); !s) return s;
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> Reader::u16() {
+  if (auto s = need(2); !s) return s;
+  auto v = read_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> Reader::u32() {
+  if (auto s = need(4); !s) return s;
+  auto v = read_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Reader::u64() {
+  if (auto s = need(8); !s) return s;
+  auto v = read_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> Reader::i64() {
+  auto v = u64();
+  if (!v) return v.status();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> Reader::f64() {
+  auto v = u64();
+  if (!v) return v.status();
+  return std::bit_cast<double>(v.value());
+}
+
+Result<Bytes> Reader::blob() {
+  auto len = u32();
+  if (!len) return len.status();
+  return raw(len.value());
+}
+
+Result<std::string> Reader::str() {
+  auto b = blob();
+  if (!b) return b.status();
+  return std::string(b.value().begin(), b.value().end());
+}
+
+Result<Bytes> Reader::raw(std::size_t n) {
+  if (auto s = need(n); !s) return s;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace biot

@@ -1,0 +1,64 @@
+// Binary serialization: little-endian fixed-width integers, length-prefixed
+// byte strings. Transactions, blocks and protocol messages all encode through
+// this codec so hashes are computed over a canonical wire form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace biot {
+
+/// Appends primitives to an owned buffer in canonical wire order.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void blob(ByteView data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (fixed-size fields like hashes/keys).
+  void raw(ByteView data);
+
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitives back; every accessor returns an error Status on underflow
+/// rather than throwing, since decoding attacker-controlled bytes is an
+/// expected failure path.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<double> f64();
+  Result<Bytes> blob();
+  Result<std::string> str();
+  /// Reads exactly n raw bytes.
+  Result<Bytes> raw(std::size_t n);
+
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  Status need(std::size_t n);
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace biot

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Examples turn it up; tests/benches leave it quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace biot {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: Logger("gateway").info() << "accepted tx " << id;
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line();
+
+    template <typename T>
+    Line& operator<<(const T& v) {
+      if (level_ >= log_level()) stream_ << v;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    std::string_view component_;
+    std::ostringstream stream_;
+  };
+
+  Line debug() const { return Line(LogLevel::kDebug, component_); }
+  Line info() const { return Line(LogLevel::kInfo, component_); }
+  Line warn() const { return Line(LogLevel::kWarn, component_); }
+  Line error() const { return Line(LogLevel::kError, component_); }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace biot

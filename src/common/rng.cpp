@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace biot {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF; guard the log argument away from 0.
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  have_spare_ = true;
+  return mean + stddev * u * m;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return UINT64_MAX;
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double k = std::ceil(std::log(u) / std::log1p(-p));
+  if (k >= 9.22e18) return UINT64_MAX;
+  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
+
+}  // namespace biot

@@ -1,0 +1,69 @@
+// Deterministic randomness used throughout the simulator and tests.
+// Cryptographic randomness lives in crypto/csprng.h; this header provides the
+// fast, seedable, *non*-cryptographic stream used for workload generation,
+// latency sampling and tip selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace biot {
+
+/// SplitMix64 — tiny, fast, excellent statistical quality; the canonical
+/// choice for seeding and simulation PRNG duties.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Exponential with the given mean (inter-arrival times, latency tails).
+  double exponential(double mean) noexcept;
+
+  /// Gaussian via polar Box–Muller.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Geometric: number of Bernoulli(p) trials until first success (>= 1).
+  /// Models PoW nonce attempts with p = 2^-difficulty.
+  std::uint64_t geometric(double p) noexcept;
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Picks a uniformly random index into a container of size n.
+  std::size_t index(std::size_t n) noexcept { return static_cast<std::size_t>(below(n)); }
+
+  /// Derives an independent child stream (for per-node generators).
+  Rng fork() noexcept { return Rng(next() ^ 0xd2b74407b1ce6e93ull); }
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace biot

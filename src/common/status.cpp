@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace biot {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kUnauthorized: return "unauthorized";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kVerifyFailed: return "verify_failed";
+    case ErrorCode::kDecryptFailed: return "decrypt_failed";
+    case ErrorCode::kReplayDetected: return "replay_detected";
+    case ErrorCode::kLazyBehaviour: return "lazy_behaviour";
+    case ErrorCode::kPowInvalid: return "pow_invalid";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out{error_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace biot

@@ -1,0 +1,100 @@
+// Lightweight Status/Result types for expected, recoverable outcomes
+// (invalid transaction, unauthorized device, failed decrypt, ...).
+// Programming errors and broken invariants throw instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace biot {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnauthorized,
+  kConflict,        // double-spend / sequence conflict
+  kVerifyFailed,    // signature or MAC mismatch
+  kDecryptFailed,
+  kReplayDetected,
+  kLazyBehaviour,   // stale-parent / lazy-tip violation
+  kPowInvalid,
+  kRejected,        // generic policy rejection
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("unauthorized", "conflict", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error outcome without a payload.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+  static Status error(ErrorCode code, std::string message) {
+    return Status{code, std::move(message)};
+  }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Formats "code: message" for logs and test failure output.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error outcome. Accessing value() on an error throws.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).is_ok())
+      throw std::logic_error("Result: error constructor given OK status");
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(payload_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+  ErrorCode code() const noexcept {
+    return is_ok() ? ErrorCode::kOk : std::get<Status>(payload_).code();
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok())
+      throw std::runtime_error("Result: value() on error: " +
+                               std::get<Status>(payload_).to_string());
+  }
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace biot

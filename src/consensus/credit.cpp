@@ -1,0 +1,99 @@
+#include "consensus/credit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biot::consensus {
+
+std::string_view behaviour_name(Behaviour b) noexcept {
+  switch (b) {
+    case Behaviour::kLazyTips: return "lazy_tips";
+    case Behaviour::kDoubleSpend: return "double_spend";
+    case Behaviour::kPoorQuality: return "poor_quality";
+  }
+  return "unknown";
+}
+
+void CreditModel::record_valid_tx(const tangle::TxId& id, TimePoint t) {
+  valid_.push_back(ValidTx{id, t});
+}
+
+void CreditModel::record_malicious(Behaviour b, TimePoint t) {
+  malicious_.push_back(Offence{b, t});
+}
+
+double CreditModel::positive_credit(TimePoint now,
+                                    const WeightOracle& weight_of) const {
+  // Only transactions inside the latest dT window contribute (Eqn 3); an
+  // inactive node's CrP falls to 0 — "the system will not decrease the
+  // difficulty of PoW for it".
+  const TimePoint window_start = now - params_.delta_t;
+  double sum = 0.0;
+  for (auto it = valid_.rbegin(); it != valid_.rend(); ++it) {
+    if (it->time < window_start) break;  // deque is time-ordered
+    if (it->time > now) continue;        // ignore future records defensively
+    sum += weight_of(it->id);
+  }
+  return sum / params_.delta_t;
+}
+
+double CreditModel::negative_credit(TimePoint now) const {
+  double sum = 0.0;
+  for (const auto& offence : malicious_) {
+    const double elapsed = std::max(now - offence.time, params_.min_elapsed);
+    sum += params_.alpha(offence.behaviour) * params_.delta_t / elapsed;
+  }
+  return -sum;
+}
+
+double CreditModel::credit(TimePoint now, const WeightOracle& weight_of) const {
+  return params_.lambda1 * positive_credit(now, weight_of) +
+         params_.lambda2 * negative_credit(now);
+}
+
+int CreditModel::difficulty(TimePoint now, const WeightOracle& weight_of) const {
+  // Nodes with no malicious record are only ever *rewarded*: their
+  // difficulty is capped at the initial value, so a freshly-joined or
+  // momentarily-idle honest node (tiny CrP) is not punished beyond the
+  // baseline. Detected attackers may climb all the way to max_difficulty.
+  const int upper = malicious_.empty() ? params_.initial_difficulty
+                                       : params_.max_difficulty;
+
+  const double cr = credit(now, weight_of);
+  double d;
+  if (cr >= params_.reference_credit) {
+    d = params_.initial_difficulty -
+        params_.difficulty_slope * std::log2(cr / params_.reference_credit);
+  } else {
+    d = params_.initial_difficulty +
+        params_.penalty_gain * (params_.reference_credit - cr);
+  }
+  const int rounded = static_cast<int>(std::lround(d));
+  return std::clamp(rounded, params_.min_difficulty, upper);
+}
+
+CreditModel& CreditRegistry::model(const tangle::AccountKey& node) {
+  const auto it = models_.find(node);
+  if (it != models_.end()) return it->second;
+  return models_.emplace(node, CreditModel{params_}).first->second;
+}
+
+const CreditModel* CreditRegistry::find(const tangle::AccountKey& node) const {
+  const auto it = models_.find(node);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+double CreditRegistry::credit(const tangle::AccountKey& node, TimePoint now,
+                              const WeightOracle& weight_of) const {
+  const auto* m = find(node);
+  return m == nullptr ? 0.0 : m->credit(now, weight_of);
+}
+
+int CreditRegistry::difficulty(const tangle::AccountKey& node, TimePoint now,
+                               const WeightOracle& weight_of) const {
+  const auto* m = find(node);
+  return m == nullptr ? params_.initial_difficulty
+                      : m->difficulty(now, weight_of);
+}
+
+}  // namespace biot::consensus

@@ -1,0 +1,22 @@
+#include "consensus/detectors.h"
+
+namespace biot::consensus {
+
+namespace {
+bool parent_is_stale(const tangle::Tangle& tangle, const tangle::TxId& parent,
+                     TimePoint now, const LazyTipPolicy& policy) {
+  const auto* rec = tangle.find(parent);
+  if (rec == nullptr) return false;  // unknown parents fail validation anyway
+  if (now - rec->arrival <= policy.max_parent_age) return false;
+  if (policy.require_already_approved && rec->approvers.empty()) return false;
+  return true;
+}
+}  // namespace
+
+bool is_lazy_approval(const tangle::Tangle& tangle, const tangle::Transaction& tx,
+                      TimePoint now, const LazyTipPolicy& policy) {
+  return parent_is_stale(tangle, tx.parent1, now, policy) &&
+         parent_is_stale(tangle, tx.parent2, now, policy);
+}
+
+}  // namespace biot::consensus

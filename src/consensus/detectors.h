@@ -1,0 +1,30 @@
+// Behaviour detectors feeding the credit model.
+//
+// Lazy tips (threat model, Section III): a node that keeps approving a fixed
+// pair of very old, already-verified transactions instead of fresh tips.
+// "Lazy tips behaviours can be detected easily according to verification
+// records on blockchain" (Section VI-C) — the records consulted here are the
+// parents' arrival times and approval counts.
+//
+// Double-spending is detected by the ledger (tangle/ledger.h, kConflict).
+#pragma once
+
+#include "common/clock.h"
+#include "tangle/tangle.h"
+
+namespace biot::consensus {
+
+struct LazyTipPolicy {
+  /// A parent older than this (seconds since it arrived) is "very old".
+  Duration max_parent_age = 20.0;
+  /// Only count a parent as lazily chosen if someone else already verified
+  /// it (a genuinely slow network may leave old true tips around).
+  bool require_already_approved = true;
+};
+
+/// True when BOTH parents of `tx` are stale under the policy — the
+/// transaction contributes no new validation work to the tangle.
+bool is_lazy_approval(const tangle::Tangle& tangle, const tangle::Transaction& tx,
+                      TimePoint now, const LazyTipPolicy& policy);
+
+}  // namespace biot::consensus

@@ -1,0 +1,50 @@
+// Difficulty policies: how a gateway (and a well-behaved light node) decides
+// the PoW difficulty required for a sender's next transaction.
+//
+// FixedDifficultyPolicy is the paper's "original PoW" control experiment;
+// CreditDifficultyPolicy is the credit-based mechanism under evaluation.
+#pragma once
+
+#include "consensus/credit.h"
+
+namespace biot::consensus {
+
+class DifficultyPolicy {
+ public:
+  virtual ~DifficultyPolicy() = default;
+  /// Difficulty required from `sender` at time `now`; `weight_of` resolves
+  /// transaction weights against the current tangle state.
+  virtual int required_difficulty(const tangle::AccountKey& sender,
+                                  TimePoint now,
+                                  const WeightOracle& weight_of) const = 0;
+};
+
+/// Constant difficulty for everyone (original PoW baseline).
+class FixedDifficultyPolicy final : public DifficultyPolicy {
+ public:
+  explicit FixedDifficultyPolicy(int difficulty) : difficulty_(difficulty) {}
+  int required_difficulty(const tangle::AccountKey&, TimePoint,
+                          const WeightOracle&) const override {
+    return difficulty_;
+  }
+
+ private:
+  int difficulty_;
+};
+
+/// Credit-based difficulty (the paper's mechanism). Not owning: the registry
+/// is shared with the gateway that records behaviours into it.
+class CreditDifficultyPolicy final : public DifficultyPolicy {
+ public:
+  explicit CreditDifficultyPolicy(const CreditRegistry& registry)
+      : registry_(registry) {}
+  int required_difficulty(const tangle::AccountKey& sender, TimePoint now,
+                          const WeightOracle& weight_of) const override {
+    return registry_.difficulty(sender, now, weight_of);
+  }
+
+ private:
+  const CreditRegistry& registry_;
+};
+
+}  // namespace biot::consensus

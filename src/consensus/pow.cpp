@@ -1,0 +1,20 @@
+#include "consensus/pow.h"
+
+namespace biot::consensus {
+
+std::optional<MineResult> Miner::mine(const tangle::TxId& parent1,
+                                      const tangle::TxId& parent2,
+                                      int difficulty) {
+  std::uint64_t attempts = 0;
+  for (;;) {
+    const std::uint64_t nonce = next_nonce_++;
+    ++attempts;
+    ++total_attempts_;
+    const auto out = tangle::pow_output(parent1, parent2, nonce);
+    if (tangle::leading_zero_bits(out) >= difficulty)
+      return MineResult{nonce, attempts};
+    if (max_attempts_ != 0 && attempts >= max_attempts_) return std::nullopt;
+  }
+}
+
+}  // namespace biot::consensus

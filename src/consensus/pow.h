@@ -1,0 +1,43 @@
+// Proof-of-work engine (Eqn 6 of the paper):
+//
+//     output = hash( hash(TX1) || hash(TX2) || nonce )
+//
+// A nonce is valid when the output has at least `difficulty` leading zero
+// bits. The Miner really grinds nonces (used by tests, examples and
+// host-scale benches); the simulator's DeviceProfile models the same search
+// analytically at calibrated device speeds (see sim/device_profile.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tangle/transaction.h"
+
+namespace biot::consensus {
+
+struct MineResult {
+  std::uint64_t nonce = 0;
+  std::uint64_t attempts = 0;  // hash evaluations performed
+};
+
+class Miner {
+ public:
+  /// `start_nonce` seeds the search (vary per node for determinism without
+  /// collisions); `max_attempts` bounds runaway searches (0 = unbounded).
+  explicit Miner(std::uint64_t start_nonce = 0, std::uint64_t max_attempts = 0)
+      : next_nonce_(start_nonce), max_attempts_(max_attempts) {}
+
+  /// Searches for a nonce meeting `difficulty` leading zero bits.
+  /// Returns nullopt only when max_attempts is exhausted.
+  std::optional<MineResult> mine(const tangle::TxId& parent1,
+                                 const tangle::TxId& parent2, int difficulty);
+
+  std::uint64_t total_attempts() const { return total_attempts_; }
+
+ private:
+  std::uint64_t next_nonce_;
+  std::uint64_t max_attempts_;
+  std::uint64_t total_attempts_ = 0;
+};
+
+}  // namespace biot::consensus

@@ -1,0 +1,34 @@
+// AES block cipher (FIPS 197) for 128/192/256-bit keys, from scratch.
+// The paper's data authority management method encrypts sensitive sensor data
+// with AES before posting transactions (Section IV-C, Fig 10).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace biot::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/// A fully-keyed AES instance; encrypts/decrypts single 16-byte blocks.
+/// Modes of operation live in aes_modes.h.
+class Aes {
+ public:
+  /// Key must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  // Round keys as 4-byte words: 4 * (rounds + 1) words.
+  std::uint32_t round_keys_[60];
+  int rounds_;
+};
+
+}  // namespace biot::crypto

@@ -1,0 +1,87 @@
+#include "crypto/aes_modes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace biot::crypto {
+
+Bytes pkcs7_pad(ByteView data) {
+  const std::size_t pad = kAesBlockSize - (data.size() % kAesBlockSize);
+  Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
+  return out;
+}
+
+Result<Bytes> pkcs7_unpad(ByteView data) {
+  if (data.empty() || data.size() % kAesBlockSize != 0)
+    return Status::error(ErrorCode::kDecryptFailed, "pkcs7: bad length");
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > kAesBlockSize)
+    return Status::error(ErrorCode::kDecryptFailed, "pkcs7: bad pad byte");
+  // Constant-time-ish check of all pad bytes.
+  std::uint8_t diff = 0;
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i) diff |= data[i] ^ pad;
+  if (diff != 0)
+    return Status::error(ErrorCode::kDecryptFailed, "pkcs7: inconsistent padding");
+  return Bytes(data.begin(), data.end() - pad);
+}
+
+Bytes aes_cbc_encrypt(const Aes& aes, ByteView iv, ByteView plaintext) {
+  if (iv.size() != kAesBlockSize)
+    throw std::invalid_argument("aes_cbc_encrypt: iv must be 16 bytes");
+  const Bytes padded = pkcs7_pad(plaintext);
+
+  Bytes out(padded.size());
+  std::uint8_t chain[kAesBlockSize];
+  std::memcpy(chain, iv.data(), kAesBlockSize);
+
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] = padded[off + i] ^ chain[i];
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(chain, out.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+Result<Bytes> aes_cbc_decrypt(const Aes& aes, ByteView iv, ByteView ciphertext) {
+  if (iv.size() != kAesBlockSize)
+    throw std::invalid_argument("aes_cbc_decrypt: iv must be 16 bytes");
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0)
+    return Status::error(ErrorCode::kDecryptFailed, "cbc: ciphertext length");
+
+  Bytes padded(ciphertext.size());
+  std::uint8_t chain[kAesBlockSize];
+  std::memcpy(chain, iv.data(), kAesBlockSize);
+
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) padded[off + i] = block[i] ^ chain[i];
+    std::memcpy(chain, ciphertext.data() + off, kAesBlockSize);
+  }
+  return pkcs7_unpad(padded);
+}
+
+Bytes aes_ctr_xor(const Aes& aes, ByteView nonce, ByteView data) {
+  if (nonce.size() != kAesBlockSize)
+    throw std::invalid_argument("aes_ctr_xor: nonce must be 16 bytes");
+
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, nonce.data(), kAesBlockSize);
+  std::uint8_t keystream[kAesBlockSize];
+
+  for (std::size_t off = 0; off < out.size(); off += kAesBlockSize) {
+    aes.encrypt_block(counter, keystream);
+    const std::size_t n = std::min(kAesBlockSize, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    // Increment the counter block (big-endian).
+    for (int i = kAesBlockSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace biot::crypto

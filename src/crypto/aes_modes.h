@@ -1,0 +1,28 @@
+// AES modes of operation: CBC with PKCS#7 padding and CTR (stream).
+// Sensor payload encryption in the data authority management method uses
+// CBC; ECIES uses CTR with HMAC (encrypt-then-MAC).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace biot::crypto {
+
+/// Appends PKCS#7 padding to reach a multiple of the AES block size.
+Bytes pkcs7_pad(ByteView data);
+
+/// Strips and validates PKCS#7 padding.
+Result<Bytes> pkcs7_unpad(ByteView data);
+
+/// AES-CBC encrypt with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes aes_cbc_encrypt(const Aes& aes, ByteView iv, ByteView plaintext);
+
+/// AES-CBC decrypt; fails (kDecryptFailed) on bad length or padding.
+Result<Bytes> aes_cbc_decrypt(const Aes& aes, ByteView iv, ByteView ciphertext);
+
+/// AES-CTR keystream XOR (encryption == decryption). `nonce` must be 16 bytes
+/// and is used as the initial counter block (incremented big-endian).
+Bytes aes_ctr_xor(const Aes& aes, ByteView nonce, ByteView data);
+
+}  // namespace biot::crypto

@@ -1,0 +1,106 @@
+#include "crypto/csprng.h"
+
+#include <bit>
+#include <cstring>
+#include <random>
+
+namespace biot::crypto {
+
+namespace {
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+constexpr std::uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+}  // namespace
+
+void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+Csprng::Csprng() {
+  std::array<std::uint8_t, 32> key;
+  std::random_device rd;
+  for (std::size_t i = 0; i < key.size(); i += 4) {
+    const std::uint32_t w = rd();
+    key[i] = static_cast<std::uint8_t>(w);
+    key[i + 1] = static_cast<std::uint8_t>(w >> 8);
+    key[i + 2] = static_cast<std::uint8_t>(w >> 16);
+    key[i + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+  *this = Csprng(key);
+}
+
+Csprng::Csprng(std::uint64_t seed) {
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  *this = Csprng(key);
+}
+
+Csprng::Csprng(const std::array<std::uint8_t, 32>& key) {
+  for (int i = 0; i < 4; ++i) state_[i] = kSigma[i];
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = std::uint32_t{key[4 * i]} | (std::uint32_t{key[4 * i + 1]} << 8) |
+                    (std::uint32_t{key[4 * i + 2]} << 16) |
+                    (std::uint32_t{key[4 * i + 3]} << 24);
+  }
+  state_[12] = 0;  // block counter
+  state_[13] = 0;
+  state_[14] = 0;  // nonce (fixed; each instance is single-stream)
+  state_[15] = 0;
+}
+
+void Csprng::refill() {
+  chacha20_block(state_, buffer_);
+  buffer_pos_ = 0;
+  if (++state_[12] == 0) ++state_[13];  // 64-bit counter across words 12/13
+}
+
+void Csprng::fill(MutByteView out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (buffer_pos_ == 64) refill();
+    const std::size_t take = std::min(out.size() - off, 64 - buffer_pos_);
+    std::memcpy(out.data() + off, buffer_ + buffer_pos_, take);
+    buffer_pos_ += take;
+    off += take;
+  }
+}
+
+Bytes Csprng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(MutByteView{out.data(), n});
+  return out;
+}
+
+std::uint64_t Csprng::next_u64() {
+  std::uint8_t b[8];
+  fill(MutByteView{b, 8});
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace biot::crypto

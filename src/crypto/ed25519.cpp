@@ -1,0 +1,279 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/sha512.h"
+
+namespace biot::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// ---- 512-bit helper arithmetic (8x64 little-endian words) ----------------
+
+struct U512 {
+  u64 w[8] = {0};
+};
+
+U512 load_le(ByteView b) {
+  U512 x;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    x.w[i / 8] |= u64{b[i]} << (8 * (i % 8));
+  return x;
+}
+
+// Group order L = 2^252 + 27742317777372353535851937790883648493 (253 bits).
+constexpr u64 kL[8] = {0x5812631a5cf5d3edull, 0x14def9dea2f79cd6ull,
+                       0x0000000000000000ull, 0x1000000000000000ull, 0, 0, 0, 0};
+
+// Compares x with (L << shift); returns true if x >= L<<shift.
+bool geq_shifted(const U512& x, int shift) {
+  // Build L << shift lazily word by word from the top.
+  const int word_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 7; i >= 0; --i) {
+    u64 li = 0;
+    const int src = i - word_shift;
+    if (src >= 0 && src < 8) li = kL[src] << bit_shift;
+    if (bit_shift != 0 && src - 1 >= 0) li |= kL[src - 1] >> (64 - bit_shift);
+    if (x.w[i] != li) return x.w[i] > li;
+  }
+  return true;  // equal
+}
+
+// Subtracts (L << shift) from x; caller guarantees x >= L<<shift.
+void sub_shifted(U512& x, int shift) {
+  const int word_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  u128 bor = 0;
+  for (int i = 0; i < 8; ++i) {
+    u64 li = 0;
+    const int src = i - word_shift;
+    if (src >= 0 && src < 8) li = kL[src] << bit_shift;
+    if (bit_shift != 0 && src - 1 >= 0) li |= kL[src - 1] >> (64 - bit_shift);
+    const u128 lhs = (u128)x.w[i];
+    const u128 rhs = (u128)li + bor;
+    if (lhs >= rhs) {
+      x.w[i] = (u64)(lhs - rhs);
+      bor = 0;
+    } else {
+      x.w[i] = (u64)(lhs + ((u128)1 << 64) - rhs);
+      bor = 1;
+    }
+  }
+}
+
+// x mod L via binary shift-subtract (x up to 512 bits, L is 253 bits).
+FixedBytes<32> mod_l(U512 x) {
+  for (int shift = 512 - 253; shift >= 0; --shift) {
+    if (geq_shifted(x, shift)) sub_shifted(x, shift);
+  }
+  FixedBytes<32> out;
+  for (int i = 0; i < 32; ++i)
+    out[i] = static_cast<std::uint8_t>(x.w[i / 8] >> (8 * (i % 8)));
+  return out;
+}
+
+U512 mul_256(ByteView a, ByteView b) {
+  u64 aw[4] = {0}, bw[4] = {0};
+  for (int i = 0; i < 32; ++i) {
+    aw[i / 8] |= u64{a[i]} << (8 * (i % 8));
+    bw[i / 8] |= u64{b[i]} << (8 * (i % 8));
+  }
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 t = (u128)aw[i] * bw[j] + r.w[i + j] + carry;
+      r.w[i + j] = (u64)t;
+      carry = t >> 64;
+    }
+    r.w[i + 4] += (u64)carry;
+  }
+  return r;
+}
+
+U512 add_512(U512 a, ByteView c32) {
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    u64 ci = 0;
+    if (i < 4)
+      for (int j = 0; j < 8; ++j) ci |= u64{c32[8 * i + j]} << (8 * j);
+    const u128 t = (u128)a.w[i] + ci + carry;
+    a.w[i] = (u64)t;
+    carry = t >> 64;
+  }
+  return a;
+}
+}  // namespace
+
+FixedBytes<32> sc_reduce64(ByteView bytes64) {
+  if (bytes64.size() != 64) throw std::invalid_argument("sc_reduce64: need 64 bytes");
+  return mod_l(load_le(bytes64));
+}
+
+FixedBytes<32> sc_muladd(ByteView a, ByteView b, ByteView c) {
+  if (a.size() != 32 || b.size() != 32 || c.size() != 32)
+    throw std::invalid_argument("sc_muladd: need 32-byte operands");
+  return mod_l(add_512(mul_256(a, b), c));
+}
+
+bool sc_is_canonical(ByteView s) {
+  if (s.size() != 32) return false;
+  // Compare little-endian s with L.
+  for (int i = 31; i >= 0; --i) {
+    const std::uint8_t li = static_cast<std::uint8_t>(kL[i / 8] >> (8 * (i % 8)));
+    if (s[i] != li) return s[i] < li;
+  }
+  return false;  // s == L is not canonical
+}
+
+// ---- Point arithmetic -----------------------------------------------------
+
+EdPoint EdPoint::identity() {
+  return EdPoint{Fe::zero(), Fe::one(), Fe::one(), Fe::zero()};
+}
+
+const EdPoint& EdPoint::base() {
+  static const EdPoint b = [] {
+    // Compressed generator: y = 4/5, sign(x) = 0.
+    const auto pt = EdPoint::decompress(
+        from_hex("5866666666666666666666666666666666666666666666666666666666666666"));
+    if (!pt) throw std::logic_error("ed25519: failed to decompress base point");
+    return *pt;
+  }();
+  return b;
+}
+
+EdPoint EdPoint::add(const EdPoint& o) const {
+  // add-2008-hwcd-3 for a = -1 twisted Edwards, k = 2d.
+  static const Fe k2d = fe_edwards_d() + fe_edwards_d();
+  const Fe A = (Y - X) * (o.Y - o.X);
+  const Fe B = (Y + X) * (o.Y + o.X);
+  const Fe C = T * k2d * o.T;
+  const Fe D = (Z * o.Z).mul_small(2);
+  const Fe E = B - A;
+  const Fe F = D - C;
+  const Fe G = D + C;
+  const Fe H = B + A;
+  return EdPoint{E * F, G * H, F * G, E * H};
+}
+
+EdPoint EdPoint::dbl() const {
+  // dbl-2008-hwcd for a = -1.
+  const Fe A = X.square();
+  const Fe B = Y.square();
+  const Fe C = Z.square().mul_small(2);
+  const Fe D = A.negate();
+  const Fe E = (X + Y).square() - A - B;
+  const Fe G = D + B;
+  const Fe F = G - C;
+  const Fe H = D - B;
+  return EdPoint{E * F, G * H, F * G, E * H};
+}
+
+EdPoint EdPoint::negate() const { return EdPoint{X.negate(), Y, Z, T.negate()}; }
+
+EdPoint EdPoint::scalar_mul(ByteView scalar32) const {
+  if (scalar32.size() != 32)
+    throw std::invalid_argument("scalar_mul: need 32-byte scalar");
+  EdPoint r = identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = r.dbl();
+    if ((scalar32[bit >> 3] >> (bit & 7)) & 1) r = r.add(*this);
+  }
+  return r;
+}
+
+FixedBytes<32> EdPoint::compress() const {
+  const Fe zinv = Z.invert();
+  const Fe x = X * zinv;
+  const Fe y = Y * zinv;
+  auto out = y.to_bytes();
+  if (x.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<EdPoint> EdPoint::decompress(ByteView bytes32) {
+  if (bytes32.size() != 32) return std::nullopt;
+  const bool sign = (bytes32[31] & 0x80) != 0;
+  const Fe y = Fe::from_bytes(bytes32);
+
+  // Solve -x^2 + y^2 = 1 + d x^2 y^2  =>  x^2 = (y^2 - 1) / (d y^2 + 1).
+  const Fe y2 = y.square();
+  const Fe u = y2 - Fe::one();
+  const Fe v = fe_edwards_d() * y2 + Fe::one();
+  Fe x;
+  if (!fe_sqrt_ratio(x, u, v)) return std::nullopt;
+
+  if (x.is_zero() && sign) return std::nullopt;  // -0 is not a valid encoding
+  if (x.is_negative() != sign) x = x.negate();
+
+  return EdPoint{x, y, Fe::one(), x * y};
+}
+
+// ---- Signatures ------------------------------------------------------------
+
+namespace {
+struct ExpandedKey {
+  std::uint8_t scalar[32];  // clamped lower half of SHA-512(seed)
+  std::uint8_t prefix[32];  // upper half, the deterministic-nonce key
+};
+
+ExpandedKey expand(const Ed25519Seed& seed) {
+  const auto h = Sha512::hash(seed.view());
+  ExpandedKey out;
+  std::memcpy(out.scalar, h.data.data(), 32);
+  std::memcpy(out.prefix, h.data.data() + 32, 32);
+  out.scalar[0] &= 248;
+  out.scalar[31] &= 127;
+  out.scalar[31] |= 64;
+  return out;
+}
+}  // namespace
+
+Ed25519KeyPair Ed25519KeyPair::from_seed(const Ed25519Seed& seed) {
+  const ExpandedKey ek = expand(seed);
+  const EdPoint A = EdPoint::base().scalar_mul(ByteView{ek.scalar, 32});
+  return Ed25519KeyPair{seed, A.compress()};
+}
+
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message) {
+  const ExpandedKey ek = expand(kp.seed);
+
+  const auto r_hash = Sha512::hash_concat({ByteView{ek.prefix, 32}, message});
+  const auto r = sc_reduce64(r_hash.view());
+  const auto R = EdPoint::base().scalar_mul(r.view()).compress();
+
+  const auto k_hash =
+      Sha512::hash_concat({R.view(), kp.public_key.view(), message});
+  const auto k = sc_reduce64(k_hash.view());
+  const auto S = sc_muladd(k.view(), ByteView{ek.scalar, 32}, r.view());
+
+  Ed25519Signature sig;
+  std::memcpy(sig.data.data(), R.data.data(), 32);
+  std::memcpy(sig.data.data() + 32, S.data.data(), 32);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
+                    const Ed25519Signature& sig) {
+  const ByteView r_bytes{sig.data.data(), 32};
+  const ByteView s_bytes{sig.data.data() + 32, 32};
+  if (!sc_is_canonical(s_bytes)) return false;
+
+  const auto A = EdPoint::decompress(pk.view());
+  if (!A) return false;
+
+  const auto k_hash = Sha512::hash_concat({r_bytes, pk.view(), message});
+  const auto k = sc_reduce64(k_hash.view());
+
+  // R' = [S]B + [k](-A); accept iff encoding matches R.
+  const EdPoint sB = EdPoint::base().scalar_mul(s_bytes);
+  const EdPoint kA = A->negate().scalar_mul(k.view());
+  const auto r_check = sB.add(kA).compress();
+  return ct_equal(r_check.view(), r_bytes);
+}
+
+}  // namespace biot::crypto

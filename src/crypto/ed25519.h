@@ -1,0 +1,57 @@
+// Ed25519 signatures (RFC 8032), from scratch on top of field25519.
+// Every B-IoT entity (manager, gateway, IoT device) signs transactions and
+// protocol messages with an Ed25519 key; the public key is the entity's
+// blockchain identity (paper Section IV-A).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/field25519.h"
+
+namespace biot::crypto {
+
+using Ed25519Seed = FixedBytes<32>;
+using Ed25519PublicKey = FixedBytes<32>;
+using Ed25519Signature = FixedBytes<64>;
+
+/// A point on the Edwards curve in extended homogeneous coordinates.
+struct EdPoint {
+  Fe X, Y, Z, T;
+
+  static EdPoint identity();
+  static const EdPoint& base();  // generator B (y = 4/5)
+
+  EdPoint add(const EdPoint& other) const;
+  EdPoint dbl() const;
+  EdPoint negate() const;
+  /// Scalar multiplication, scalar given as 32 little-endian bytes.
+  EdPoint scalar_mul(ByteView scalar32) const;
+
+  FixedBytes<32> compress() const;
+  static std::optional<EdPoint> decompress(ByteView bytes32);
+};
+
+/// Reduces a 64-byte little-endian value mod the group order L.
+FixedBytes<32> sc_reduce64(ByteView bytes64);
+/// (a*b + c) mod L; all operands 32-byte little-endian.
+FixedBytes<32> sc_muladd(ByteView a, ByteView b, ByteView c);
+/// True iff s (32 bytes LE) is canonical, i.e. < L.
+bool sc_is_canonical(ByteView s);
+
+/// Expanded private key material derived from a 32-byte seed.
+struct Ed25519KeyPair {
+  Ed25519Seed seed;
+  Ed25519PublicKey public_key;
+
+  static Ed25519KeyPair from_seed(const Ed25519Seed& seed);
+};
+
+/// Signs `message` with the key pair (deterministic per RFC 8032).
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message);
+
+/// Verifies; strict about canonical S. Returns false on any failure.
+bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
+                    const Ed25519Signature& sig);
+
+}  // namespace biot::crypto

@@ -1,0 +1,217 @@
+#include "crypto/field25519.h"
+
+#include <stdexcept>
+
+namespace biot::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+inline u64 load64_le(const std::uint8_t* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= u64{p[i]} << (8 * i);
+  return v;
+}
+
+// Carry-propagates limbs so each fits in 51 bits (with small headroom).
+inline void carry(u64 h[5]) {
+  u64 c;
+  c = h[0] >> 51; h[0] &= kMask51; h[1] += c;
+  c = h[1] >> 51; h[1] &= kMask51; h[2] += c;
+  c = h[2] >> 51; h[2] &= kMask51; h[3] += c;
+  c = h[3] >> 51; h[3] &= kMask51; h[4] += c;
+  c = h[4] >> 51; h[4] &= kMask51; h[0] += c * 19;
+  c = h[0] >> 51; h[0] &= kMask51; h[1] += c;
+}
+
+// Reduces to the unique representative < p.
+inline void freeze(u64 h[5]) {
+  carry(h);
+  // After carry, value < 2^255 + small. Add 19 and see if it wraps 2^255:
+  // compute h + 19, propagate; if bit 255 set, the original was >= p.
+  u64 t[5] = {h[0] + 19, h[1], h[2], h[3], h[4]};
+  u64 c;
+  c = t[0] >> 51; t[0] &= kMask51; t[1] += c;
+  c = t[1] >> 51; t[1] &= kMask51; t[2] += c;
+  c = t[2] >> 51; t[2] &= kMask51; t[3] += c;
+  c = t[3] >> 51; t[3] &= kMask51; t[4] += c;
+  const u64 ge_p = t[4] >> 51;  // 1 iff h >= p
+  t[4] &= kMask51;
+  // Select t (h - p + 2^255 truncated == h - p) when ge_p, else h.
+  const u64 m = 0 - ge_p;
+  for (int i = 0; i < 5; ++i) h[i] = (t[i] & m) | (h[i] & ~m);
+}
+}  // namespace
+
+Fe Fe::from_bytes(ByteView b) {
+  if (b.size() != 32) throw std::invalid_argument("Fe::from_bytes: need 32 bytes");
+  Fe f;
+  f.v[0] = load64_le(b.data()) & kMask51;
+  f.v[1] = (load64_le(b.data() + 6) >> 3) & kMask51;
+  f.v[2] = (load64_le(b.data() + 12) >> 6) & kMask51;
+  f.v[3] = (load64_le(b.data() + 19) >> 1) & kMask51;
+  f.v[4] = (load64_le(b.data() + 24) >> 12) & kMask51;
+  return f;
+}
+
+FixedBytes<32> Fe::to_bytes() const {
+  u64 h[5] = {v[0], v[1], v[2], v[3], v[4]};
+  freeze(h);
+  FixedBytes<32> out;
+  // Pack 5x51-bit limbs into four 64-bit words, little-endian.
+  u64 w0 = h[0] | (h[1] << 51);
+  u64 w1 = (h[1] >> 13) | (h[2] << 38);
+  u64 w2 = (h[2] >> 26) | (h[3] << 25);
+  u64 w3 = (h[3] >> 39) | (h[4] << 12);
+  const u64 words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 8; ++j)
+      out[8 * i + j] = static_cast<std::uint8_t>(words[i] >> (8 * j));
+  return out;
+}
+
+Fe operator+(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  carry(r.v);
+  return r;
+}
+
+Fe operator-(const Fe& a, const Fe& b) {
+  // Add 2p (in radix-51 form) to keep limbs non-negative before subtracting.
+  static constexpr u64 k2p[5] = {0xfffffffffffda, 0xffffffffffffe, 0xffffffffffffe,
+                                 0xffffffffffffe, 0xffffffffffffe};
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + k2p[i] - b.v[i];
+  carry(r.v);
+  return r;
+}
+
+Fe Fe::negate() const { return Fe::zero() - *this; }
+
+Fe operator*(const Fe& f, const Fe& g) {
+  const u64 f0 = f.v[0], f1 = f.v[1], f2 = f.v[2], f3 = f.v[3], f4 = f.v[4];
+  const u64 g0 = g.v[0], g1 = g.v[1], g2 = g.v[2], g3 = g.v[3], g4 = g.v[4];
+  const u64 g1_19 = g1 * 19, g2_19 = g2 * 19, g3_19 = g3 * 19, g4_19 = g4 * 19;
+
+  u128 h0 = (u128)f0 * g0 + (u128)f1 * g4_19 + (u128)f2 * g3_19 + (u128)f3 * g2_19 + (u128)f4 * g1_19;
+  u128 h1 = (u128)f0 * g1 + (u128)f1 * g0 + (u128)f2 * g4_19 + (u128)f3 * g3_19 + (u128)f4 * g2_19;
+  u128 h2 = (u128)f0 * g2 + (u128)f1 * g1 + (u128)f2 * g0 + (u128)f3 * g4_19 + (u128)f4 * g3_19;
+  u128 h3 = (u128)f0 * g3 + (u128)f1 * g2 + (u128)f2 * g1 + (u128)f3 * g0 + (u128)f4 * g4_19;
+  u128 h4 = (u128)f0 * g4 + (u128)f1 * g3 + (u128)f2 * g2 + (u128)f3 * g1 + (u128)f4 * g0;
+
+  Fe r;
+  u128 c;
+  c = h0 >> 51; h0 &= kMask51; h1 += c;
+  c = h1 >> 51; h1 &= kMask51; h2 += c;
+  c = h2 >> 51; h2 &= kMask51; h3 += c;
+  c = h3 >> 51; h3 &= kMask51; h4 += c;
+  c = h4 >> 51; h4 &= kMask51;
+  h0 += c * 19;
+  c = h0 >> 51; h0 &= kMask51; h1 += c;
+
+  r.v[0] = (u64)h0; r.v[1] = (u64)h1; r.v[2] = (u64)h2;
+  r.v[3] = (u64)h3; r.v[4] = (u64)h4;
+  return r;
+}
+
+Fe Fe::square() const { return *this * *this; }
+
+Fe Fe::mul_small(std::uint64_t cst) const {
+  Fe r;
+  u128 c = 0;
+  for (int i = 0; i < 5; ++i) {
+    const u128 t = (u128)v[i] * cst + c;
+    r.v[i] = (u64)t & kMask51;
+    c = t >> 51;
+  }
+  r.v[0] += (u64)c * 19;
+  carry(r.v);
+  return r;
+}
+
+namespace {
+// x^e for a fixed 255-bit exponent given as 32 little-endian bytes.
+Fe pow_bytes(const Fe& x, const std::uint8_t e[32]) {
+  Fe result = Fe::one();
+  // MSB-first square-and-multiply.
+  for (int bit = 254; bit >= 0; --bit) {
+    result = result.square();
+    if ((e[bit >> 3] >> (bit & 7)) & 1) result = result * x;
+  }
+  return result;
+}
+}  // namespace
+
+Fe Fe::invert() const {
+  // p - 2 = 2^255 - 21 -> bytes little-endian.
+  std::uint8_t e[32];
+  for (int i = 0; i < 32; ++i) e[i] = 0xff;
+  e[0] = 0xeb;  // 0xff - 20
+  e[31] = 0x7f;
+  return pow_bytes(*this, e);
+}
+
+Fe Fe::pow_p58() const {
+  // (p - 5) / 8 = (2^255 - 24)/8 = 2^252 - 3 -> bytes little-endian.
+  std::uint8_t e[32];
+  for (int i = 0; i < 32; ++i) e[i] = 0xff;
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return pow_bytes(*this, e);
+}
+
+bool Fe::is_zero() const {
+  const auto b = to_bytes();
+  std::uint8_t acc = 0;
+  for (auto x : b.data) acc |= x;
+  return acc == 0;
+}
+
+bool Fe::is_negative() const { return to_bytes()[0] & 1; }
+
+void Fe::cswap(Fe& a, Fe& b, std::uint64_t flag) {
+  const u64 m = 0 - flag;
+  for (int i = 0; i < 5; ++i) {
+    const u64 t = m & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= t;
+    b.v[i] ^= t;
+  }
+}
+
+bool operator==(const Fe& a, const Fe& b) { return a.to_bytes() == b.to_bytes(); }
+
+const Fe& fe_sqrtm1() {
+  static const Fe k = Fe::from_bytes(
+      from_hex("b0a00e4a271beec478e42fad0618432fa7d7fb3d99004d2b0bdfc14f8024832b"));
+  return k;
+}
+
+const Fe& fe_edwards_d() {
+  static const Fe k = Fe::from_bytes(
+      from_hex("a3785913ca4deb75abd841414d0a700098e879777940c78c73fe6f2bee6c0352"));
+  return k;
+}
+
+bool fe_sqrt_ratio(Fe& out, const Fe& u, const Fe& v) {
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8)  (RFC 8032, 5.1.3).
+  const Fe v3 = v.square() * v;
+  const Fe v7 = v3.square() * v;
+  Fe x = (u * v3) * (u * v7).pow_p58();
+
+  const Fe vxx = v * x.square();
+  if (vxx == u) {
+    out = x;
+    return true;
+  }
+  if (vxx == u.negate()) {
+    out = x * fe_sqrtm1();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace biot::crypto

@@ -1,0 +1,60 @@
+// Arithmetic in GF(2^255 - 19), the base field of Curve25519/Ed25519.
+// Representation: 5 unsigned 51-bit limbs (radix 2^51), products accumulated
+// in unsigned __int128. This is the standard "fe51" construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace biot::crypto {
+
+struct Fe {
+  // limb i holds bits [51*i, 51*i+50]; values may exceed 51 bits transiently
+  // between reductions but all public operations return carry-reduced form.
+  std::uint64_t v[5] = {0, 0, 0, 0, 0};
+
+  static Fe zero() { return Fe{}; }
+  static Fe one() { return Fe{{1, 0, 0, 0, 0}}; }
+  /// Small constant (< 2^51).
+  static Fe from_u64(std::uint64_t x) { return Fe{{x, 0, 0, 0, 0}}; }
+
+  /// Loads 32 little-endian bytes; the top bit (255) is ignored per convention.
+  static Fe from_bytes(ByteView b);
+  /// Canonical (frozen, < p) 32-byte little-endian encoding.
+  FixedBytes<32> to_bytes() const;
+
+  friend Fe operator+(const Fe& a, const Fe& b);
+  friend Fe operator-(const Fe& a, const Fe& b);
+  friend Fe operator*(const Fe& a, const Fe& b);
+
+  Fe square() const;
+  Fe mul_small(std::uint64_t c) const;  // c < 2^13 or so
+  Fe negate() const;
+
+  /// Multiplicative inverse via Fermat (x^(p-2)); inverse of 0 is 0.
+  Fe invert() const;
+  /// x^((p-5)/8), the core of the square-root computation.
+  Fe pow_p58() const;
+
+  bool is_zero() const;
+  /// Least significant bit of the canonical encoding ("sign" of x).
+  bool is_negative() const;
+
+  /// Constant-time conditional swap of a and b when flag == 1.
+  static void cswap(Fe& a, Fe& b, std::uint64_t flag);
+
+  friend bool operator==(const Fe& a, const Fe& b);
+};
+
+/// sqrt(-1) mod p (precomputed constant).
+const Fe& fe_sqrtm1();
+/// Edwards curve constant d = -121665/121666 mod p.
+const Fe& fe_edwards_d();
+
+/// Computes sqrt(u/v) if it exists. Returns false when u/v is not a square.
+/// On success `out` is the principal root (used by point decompression).
+bool fe_sqrt_ratio(Fe& out, const Fe& u, const Fe& v);
+
+}  // namespace biot::crypto

@@ -1,0 +1,79 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace biot::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+
+struct HmacKeys {
+  std::uint8_t ipad[kBlockSize];
+  std::uint8_t opad[kBlockSize];
+};
+
+HmacKeys prepare(ByteView key) {
+  std::uint8_t k[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    const auto d = Sha256::hash(key);
+    std::copy(d.begin(), d.end(), k);
+  } else {
+    std::copy(key.begin(), key.end(), k);
+  }
+  HmacKeys out;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    out.ipad[i] = k[i] ^ 0x36;
+    out.opad[i] = k[i] ^ 0x5c;
+  }
+  return out;
+}
+}  // namespace
+
+Sha256Digest hmac_sha256(ByteView key, ByteView data) {
+  return hmac_sha256_concat(key, {data});
+}
+
+Sha256Digest hmac_sha256_concat(ByteView key, std::initializer_list<ByteView> parts) {
+  const HmacKeys keys = prepare(key);
+  Sha256 inner;
+  inner.update(ByteView{keys.ipad, kBlockSize});
+  for (const auto& p : parts) inner.update(p);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView{keys.opad, kBlockSize});
+  outer.update(inner_digest.view());
+  return outer.finish();
+}
+
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize)
+    throw std::invalid_argument("hkdf_expand: length too large");
+  Bytes out;
+  out.reserve(length);
+  Sha256Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    const std::uint8_t ctr_byte[1] = {counter};
+    const auto block = hmac_sha256_concat(
+        prk, {ByteView{t.data.data(), t_len}, info, ByteView{ctr_byte, 1}});
+    t = block;
+    t_len = kSha256DigestSize;
+    const std::size_t take = std::min(length - out.size(), kSha256DigestSize);
+    out.insert(out.end(), block.begin(), block.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk.view(), info, length);
+}
+
+}  // namespace biot::crypto

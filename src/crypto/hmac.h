@@ -1,0 +1,26 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-SHA256 (RFC 5869).
+// Used for encrypt-then-MAC in ECIES and for session-key derivation in the
+// Fig 4 key-distribution protocol.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace biot::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Sha256Digest hmac_sha256(ByteView key, ByteView data);
+
+/// HMAC over the concatenation of several parts.
+Sha256Digest hmac_sha256_concat(ByteView key, std::initializer_list<ByteView> parts);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes (<= 255*32) of output keying material.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace biot::crypto

@@ -1,0 +1,59 @@
+// A node identity bundles the two key pairs every B-IoT entity owns:
+// an Ed25519 signing pair (the blockchain account, paper Eqn 1) and an
+// X25519 encryption pair (for the Fig 4 key-distribution handshake).
+#pragma once
+
+#include <string>
+
+#include "crypto/csprng.h"
+#include "crypto/ed25519.h"
+#include "crypto/x25519.h"
+
+namespace biot::crypto {
+
+/// Public half of an identity — what other parties see on chain.
+struct PublicIdentity {
+  Ed25519PublicKey sign_key;
+  X25519PublicKey box_key;
+
+  /// Short printable identifier (first 8 hex chars of the signing key).
+  std::string short_id() const { return sign_key.hex().substr(0, 8); }
+
+  friend bool operator==(const PublicIdentity&, const PublicIdentity&) = default;
+};
+
+/// Full identity with secret material. Kept by the owning node only.
+class Identity {
+ public:
+  /// Generates fresh random key pairs.
+  static Identity generate(Csprng& rng) {
+    Identity id;
+    id.sign_pair_ = Ed25519KeyPair::from_seed(rng.fixed<32>());
+    id.box_pair_ = X25519KeyPair::generate(rng);
+    return id;
+  }
+
+  /// Deterministic identity for tests (derived from a seed integer).
+  static Identity deterministic(std::uint64_t seed) {
+    Csprng rng(seed ^ 0x1d203f4a5b6c7d8eull);
+    return generate(rng);
+  }
+
+  const Ed25519KeyPair& sign_pair() const { return sign_pair_; }
+  const X25519KeyPair& box_pair() const { return box_pair_; }
+
+  PublicIdentity public_identity() const {
+    return PublicIdentity{sign_pair_.public_key, box_pair_.public_key};
+  }
+
+  Ed25519Signature sign(ByteView message) const {
+    return ed25519_sign(sign_pair_, message);
+  }
+
+ private:
+  Identity() = default;
+  Ed25519KeyPair sign_pair_{};
+  X25519KeyPair box_pair_{};
+};
+
+}  // namespace biot::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+// Used for transaction hashing, the PoW target check (Eqn 6 of the paper),
+// HMAC and HKDF.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace biot::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = FixedBytes<kSha256DigestSize>;
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); auto d = h.finish();
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+  /// Hash of the concatenation of several buffers.
+  static Sha256Digest hash_concat(std::initializer_list<ByteView> parts);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace biot::crypto

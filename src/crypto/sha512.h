@@ -1,0 +1,34 @@
+// SHA-512 (FIPS 180-4), required by Ed25519 (RFC 8032) key expansion and
+// challenge derivation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace biot::crypto {
+
+inline constexpr std::size_t kSha512DigestSize = 64;
+using Sha512Digest = FixedBytes<kSha512DigestSize>;
+
+class Sha512 {
+ public:
+  Sha512() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Sha512Digest finish();
+
+  static Sha512Digest hash(ByteView data);
+  static Sha512Digest hash_concat(std::initializer_list<ByteView> parts);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0;  // bytes processed (paper-scale inputs never overflow)
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace biot::crypto

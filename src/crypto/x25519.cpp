@@ -1,0 +1,125 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/aes_modes.h"
+#include "crypto/field25519.h"
+#include "crypto/hmac.h"
+
+namespace biot::crypto {
+
+namespace {
+void clamp(std::uint8_t k[32]) {
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+}
+}  // namespace
+
+FixedBytes<32> x25519(const FixedBytes<32>& scalar, const FixedBytes<32>& u_point) {
+  std::uint8_t k[32];
+  std::memcpy(k, scalar.data.data(), 32);
+  clamp(k);
+
+  const Fe x1 = Fe::from_bytes(u_point.view());
+  Fe x2 = Fe::one(), z2 = Fe::zero();
+  Fe x3 = x1, z3 = Fe::one();
+  std::uint64_t swap = 0;
+
+  // RFC 7748 Montgomery ladder; a24 = (486662 - 2) / 4.
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t bit = (k[t >> 3] >> (t & 7)) & 1;
+    swap ^= bit;
+    Fe::cswap(x2, x3, swap);
+    Fe::cswap(z2, z3, swap);
+    swap = bit;
+
+    const Fe A = x2 + z2;
+    const Fe AA = A.square();
+    const Fe B = x2 - z2;
+    const Fe BB = B.square();
+    const Fe E = AA - BB;
+    const Fe C = x3 + z3;
+    const Fe D = x3 - z3;
+    const Fe DA = D * A;
+    const Fe CB = C * B;
+    x3 = (DA + CB).square();
+    z3 = x1 * (DA - CB).square();
+    x2 = AA * BB;
+    z2 = E * (AA + E.mul_small(121665));
+  }
+  Fe::cswap(x2, x3, swap);
+  Fe::cswap(z2, z3, swap);
+
+  return (x2 * z2.invert()).to_bytes();
+}
+
+X25519PublicKey x25519_public(const X25519SecretKey& secret) {
+  FixedBytes<32> base{};
+  base[0] = 9;
+  return x25519(secret, base);
+}
+
+X25519KeyPair X25519KeyPair::generate(Csprng& rng) {
+  return from_secret(rng.fixed<32>());
+}
+
+X25519KeyPair X25519KeyPair::from_secret(const X25519SecretKey& secret) {
+  return X25519KeyPair{secret, x25519_public(secret)};
+}
+
+namespace {
+constexpr std::size_t kTagSize = 32;
+constexpr char kKdfInfo[] = "biot-ecies-v1";
+
+struct DerivedKeys {
+  Bytes enc_key;   // 32 bytes, AES-256
+  Bytes mac_key;   // 32 bytes
+  Bytes ctr_nonce; // 16 bytes
+};
+
+DerivedKeys derive(ByteView shared_secret, ByteView ephemeral_pub, ByteView recipient_pub) {
+  const Bytes salt = concat({ephemeral_pub, recipient_pub});
+  const Bytes okm = hkdf(salt, shared_secret,
+                         to_bytes(std::string_view{kKdfInfo}), 80);
+  DerivedKeys keys;
+  keys.enc_key.assign(okm.begin(), okm.begin() + 32);
+  keys.mac_key.assign(okm.begin() + 32, okm.begin() + 64);
+  keys.ctr_nonce.assign(okm.begin() + 64, okm.begin() + 80);
+  return keys;
+}
+}  // namespace
+
+Bytes ecies_seal(const X25519PublicKey& recipient, ByteView plaintext, Csprng& rng) {
+  const auto eph = X25519KeyPair::generate(rng);
+  const auto shared = x25519(eph.secret, recipient);
+  const auto keys = derive(shared.view(), eph.public_key.view(), recipient.view());
+
+  const Aes aes(keys.enc_key);
+  const Bytes ct = aes_ctr_xor(aes, keys.ctr_nonce, plaintext);
+  const auto tag = hmac_sha256_concat(keys.mac_key, {eph.public_key.view(), ct});
+
+  return concat({eph.public_key.view(), ct, tag.view()});
+}
+
+Result<Bytes> ecies_open(const X25519KeyPair& recipient, ByteView envelope) {
+  if (envelope.size() < 32 + kTagSize)
+    return Status::error(ErrorCode::kDecryptFailed, "ecies: envelope too short");
+
+  const ByteView eph_pub = envelope.subspan(0, 32);
+  const ByteView ct = envelope.subspan(32, envelope.size() - 32 - kTagSize);
+  const ByteView tag = envelope.subspan(envelope.size() - kTagSize);
+
+  const auto shared = x25519(recipient.secret, FixedBytes<32>::from_view(eph_pub));
+  const auto keys = derive(shared.view(), eph_pub, recipient.public_key.view());
+
+  const auto expect_tag = hmac_sha256_concat(keys.mac_key, {eph_pub, ct});
+  if (!ct_equal(expect_tag.view(), tag))
+    return Status::error(ErrorCode::kDecryptFailed, "ecies: MAC mismatch");
+
+  const Aes aes(keys.enc_key);
+  return aes_ctr_xor(aes, keys.ctr_nonce, ct);
+}
+
+}  // namespace biot::crypto

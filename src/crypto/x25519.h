@@ -1,0 +1,37 @@
+// X25519 Diffie–Hellman (RFC 7748) and an ECIES-style authenticated
+// public-key encryption built from X25519 + HKDF + AES-CTR + HMAC.
+// The Fig 4 key-distribution protocol encrypts M1 to the device's public
+// encryption key with ecies_seal.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/csprng.h"
+
+namespace biot::crypto {
+
+using X25519PublicKey = FixedBytes<32>;
+using X25519SecretKey = FixedBytes<32>;
+
+/// Scalar multiplication on the Montgomery curve: out = scalar * u-point.
+FixedBytes<32> x25519(const FixedBytes<32>& scalar, const FixedBytes<32>& u_point);
+
+/// Public key for a (clamped) secret scalar: scalar * basepoint(9).
+X25519PublicKey x25519_public(const X25519SecretKey& secret);
+
+struct X25519KeyPair {
+  X25519SecretKey secret;
+  X25519PublicKey public_key;
+
+  static X25519KeyPair generate(Csprng& rng);
+  static X25519KeyPair from_secret(const X25519SecretKey& secret);
+};
+
+/// ECIES envelope: ephemeral pubkey (32) || AES-CTR ciphertext || HMAC tag (32).
+/// Keys derive via HKDF-SHA256 from the X25519 shared secret; encrypt-then-MAC.
+Bytes ecies_seal(const X25519PublicKey& recipient, ByteView plaintext, Csprng& rng);
+
+/// Opens an ECIES envelope; kDecryptFailed on MAC mismatch or truncation.
+Result<Bytes> ecies_open(const X25519KeyPair& recipient, ByteView envelope);
+
+}  // namespace biot::crypto

@@ -1,0 +1,61 @@
+#include "factory/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biot::factory {
+
+double QualityMonitor::z_score(Stats& s, double value) const {
+  if (s.samples < policy_.warmup_samples || s.variance <= 1e-12) return 0.0;
+  return (value - s.mean) / std::sqrt(s.variance);
+}
+
+double QualityMonitor::score(const SensorReading& reading) {
+  Stats& s = streams_[reading.sensor];
+  const double z = z_score(s, reading.value);
+  const bool warmed = s.samples > policy_.warmup_samples;
+  const bool outlier = warmed && std::abs(z) > policy_.z_threshold;
+
+  if (outlier) {
+    // Outliers never update the baseline (a faulty stream must not widen
+    // its own acceptance band) — unless they persist long enough to be a
+    // genuine regime change, in which case the baseline relearns from
+    // scratch.
+    if (++s.consecutive_outliers >= policy_.regime_change_after) {
+      const auto outliers = s.outliers;
+      const auto regimes = s.regime_changes;
+      s = Stats{};
+      s.outliers = outliers;
+      s.regime_changes = regimes + 1;
+    }
+  } else {
+    s.consecutive_outliers = 0;
+    const double a = policy_.ewma_alpha;
+    if (s.samples == 0) {
+      s.mean = reading.value;
+      s.variance = 0.0;
+    } else {
+      const double delta = reading.value - s.mean;
+      s.mean += a * delta;
+      s.variance = (1.0 - a) * (s.variance + a * delta * delta);
+    }
+  }
+  ++s.samples;
+
+  if (!warmed) return 1.0;  // still learning
+  const double severity = std::abs(z) / policy_.z_threshold;
+  if (severity > 1.0) ++s.outliers;
+  return std::clamp(1.0 - severity, 0.0, 1.0);
+}
+
+bool QualityMonitor::is_outlier(const SensorReading& reading) {
+  return score(reading) <= 0.0;
+}
+
+const QualityMonitor::Stats* QualityMonitor::stats(
+    const std::string& sensor) const {
+  const auto it = streams_.find(sensor);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+}  // namespace biot::factory

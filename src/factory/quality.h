@@ -1,0 +1,66 @@
+// Sensor data quality control — the paper's first future-work item
+// ("explore sensor data quality control schemes in blockchain-based
+// systems", Section VIII).
+//
+// Design: gateways score each cleartext reading against a per-sensor
+// exponentially-weighted running mean/variance. Readings far outside the
+// learned band (or non-decodable payloads) count as poor-quality events; a
+// gateway hook feeds persistent offenders into the credit mechanism as a
+// third behaviour class (Behaviour::kPoorQuality, coefficient alpha_q in the
+// Eqn 5 extension), so a sensor spewing garbage pays with harder PoW exactly
+// like a lazy or double-spending node.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "factory/sensors.h"
+
+namespace biot::factory {
+
+struct QualityPolicy {
+  /// EWMA smoothing factor for mean/variance updates.
+  double ewma_alpha = 0.05;
+  /// |z| above this is an outlier once the baseline is learned.
+  double z_threshold = 6.0;
+  /// Readings to observe per sensor before judging (baseline warm-up).
+  std::size_t warmup_samples = 20;
+  /// Outliers do not update the baseline (they would inflate the variance
+  /// and mask further faults) — but this many CONSECUTIVE outliers are
+  /// accepted as a genuine regime change and the baseline relearns.
+  std::size_t regime_change_after = 30;
+};
+
+/// Per-sensor streaming baseline and outlier detector.
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(QualityPolicy policy = {}) : policy_(policy) {}
+
+  /// Scores a reading in [0, 1]: 1 = perfectly in-band, 0 = extreme outlier.
+  /// Updates the baseline with every call (outliers update it too, weakly).
+  double score(const SensorReading& reading);
+
+  /// Convenience: true when score < the z-threshold-equivalent cutoff and
+  /// the baseline has warmed up.
+  bool is_outlier(const SensorReading& reading);
+
+  /// Observed statistics for a sensor stream (for tests/telemetry).
+  struct Stats {
+    std::size_t samples = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+    std::size_t outliers = 0;
+    std::size_t consecutive_outliers = 0;
+    std::size_t regime_changes = 0;
+  };
+  const Stats* stats(const std::string& sensor) const;
+
+ private:
+  double z_score(Stats& s, double value) const;
+
+  QualityPolicy policy_;
+  std::unordered_map<std::string, Stats> streams_;
+};
+
+}  // namespace biot::factory

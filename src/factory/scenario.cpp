@@ -1,0 +1,137 @@
+#include "factory/scenario.h"
+
+namespace biot::factory {
+
+SmartFactory::SmartFactory(ScenarioConfig config)
+    : config_(config),
+      manager_identity_(crypto::Identity::deterministic(config.seed)),
+      coordinator_identity_(
+          crypto::Identity::deterministic(config.seed * 31 + 17)) {
+  network_ = std::make_unique<sim::Network>(
+      scheduler_,
+      std::make_unique<sim::ExponentialTailLatency>(config_.latency_base,
+                                                    config_.latency_tail),
+      Rng(config_.seed ^ 0x4e54ull));
+
+  const auto genesis = tangle::Tangle::make_genesis();
+  const auto manager_key = manager_identity_.public_identity().sign_key;
+
+  // Gateways (full nodes), fully meshed for gossip.
+  for (int g = 0; g < config_.num_gateways; ++g) {
+    gateway_identities_.push_back(
+        crypto::Identity::deterministic(config_.seed * 1000 + 1 + g));
+    gateways_.push_back(std::make_unique<node::Gateway>(
+        next_node_id_++, gateway_identities_.back(), manager_key, genesis,
+        *network_, config_.gateway));
+  }
+  for (auto& a : gateways_) {
+    for (auto& b : gateways_) {
+      if (a->node_id() != b->node_id()) a->add_peer(b->node_id());
+    }
+  }
+
+  // Manager is co-located with gateway 0 (it is a specific full node).
+  manager_ = std::make_unique<node::Manager>(next_node_id_++, manager_identity_,
+                                             *gateways_.front(), *network_);
+
+  if (config_.enable_coordinator) {
+    coordinator_ = std::make_unique<node::Coordinator>(
+        coordinator_identity_, *gateways_.front(), scheduler_,
+        config_.milestone_interval);
+    // Every replica must recognize the coordinator's milestones.
+    for (auto& g : gateways_)
+      g->set_coordinator(coordinator_identity_.public_identity().sign_key);
+  }
+
+  // Devices (light nodes) with their sensor models, spread across gateways.
+  for (int d = 0; d < config_.num_devices; ++d) {
+    auto device_config = config_.device;
+    device_config.start_time =
+        config_.device.start_time + d * config_.device_stagger;
+    const auto gateway_id =
+        gateways_[static_cast<std::size_t>(d) % gateways_.size()]->node_id();
+    auto node = std::make_unique<node::LightNode>(
+        next_node_id_++,
+        crypto::Identity::deterministic(config_.seed * 5000 + 100 + d),
+        gateway_id, *network_, device_config);
+    // Every other gateway serves as a failover target.
+    for (const auto& g : gateways_) {
+      if (g->node_id() != gateway_id) node->add_backup_gateway(g->node_id());
+    }
+
+    sensors_.push_back(make_sensor(d));
+    sensor_rngs_.emplace_back(config_.seed * 7000 + d);
+    auto* sensor = sensors_.back().get();
+    auto* rng = &sensor_rngs_.back();
+    auto* sched = &scheduler_;
+    node->set_data_source([sensor, rng, sched] {
+      return sensor->sample(sched->now(), *rng).encode();
+    });
+    devices_.push_back(std::move(node));
+  }
+}
+
+void SmartFactory::bootstrap() {
+  for (auto& g : gateways_) g->attach();
+  manager_->attach();
+  if (coordinator_) coordinator_->start();
+
+  // Step 2: publish the authorization list covering all devices.
+  std::vector<crypto::PublicIdentity> list;
+  list.reserve(devices_.size());
+  for (const auto& d : devices_) list.push_back(d->public_identity());
+  const auto status = manager_->authorize(list);
+  if (!status.is_ok())
+    throw std::runtime_error("bootstrap: authorization failed: " +
+                             status.to_string());
+
+  const auto manager_key = manager_identity_.public_identity().sign_key;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    devices_[d]->enable_keydist(manager_key);
+    devices_[d]->start();
+  }
+
+  // Step 3: distribute symmetric keys to sensitive-data devices once the
+  // authorization gossip has propagated.
+  if (config_.distribute_keys) {
+    scheduler_.after(0.05, [this] {
+      for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (!sensors_[d]->sensitive()) continue;
+        const auto status = manager_->distribute_key(
+            devices_[d]->public_identity(), devices_[d]->node_id());
+        if (!status.is_ok())
+          throw std::runtime_error("bootstrap: key distribution failed: " +
+                                   status.to_string());
+      }
+    });
+  }
+}
+
+std::size_t SmartFactory::add_unauthorized_device(node::LightNodeConfig config) {
+  const auto index = unauthorized_.size();
+  auto node = std::make_unique<node::LightNode>(
+      next_node_id_++,
+      crypto::Identity::deterministic(config_.seed * 9000 + 777 + index),
+      gateways_.front()->node_id(), *network_, config);
+  node->start();
+  unauthorized_.push_back(std::move(node));
+  return index;
+}
+
+std::uint64_t SmartFactory::total_accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& d : devices_) total += d->stats().accepted;
+  return total;
+}
+
+double SmartFactory::throughput(TimePoint t0, TimePoint t1) const {
+  std::uint64_t count = 0;
+  for (const auto& d : devices_) {
+    for (const auto t : d->stats().accepted_times) {
+      if (t >= t0 && t <= t1) ++count;
+    }
+  }
+  return static_cast<double>(count) / std::max(t1 - t0, 1e-9);
+}
+
+}  // namespace biot::factory

@@ -1,0 +1,213 @@
+#include "factory/sensors.h"
+
+#include <cmath>
+
+namespace biot::factory {
+
+Bytes SensorReading::encode() const {
+  Writer w;
+  w.str(sensor);
+  w.str(unit);
+  w.f64(time);
+  w.f64(value);
+  w.str(status);
+  return std::move(w).take();
+}
+
+Result<SensorReading> SensorReading::decode(ByteView wire) {
+  Reader r(wire);
+  SensorReading out;
+  auto sensor = r.str();
+  if (!sensor) return sensor.status();
+  out.sensor = std::move(sensor).take();
+  auto unit = r.str();
+  if (!unit) return unit.status();
+  out.unit = std::move(unit).take();
+  const auto time = r.f64();
+  if (!time) return time.status();
+  out.time = time.value();
+  const auto value = r.f64();
+  if (!value) return value.status();
+  out.value = value.value();
+  auto status = r.str();
+  if (!status) return status.status();
+  out.status = std::move(status).take();
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "reading: trailing bytes");
+  return out;
+}
+
+// ---- Temperature ------------------------------------------------------------
+
+TemperatureSensor::TemperatureSensor(std::string name, double setpoint_c,
+                                     double reversion, double noise)
+    : name_(std::move(name)),
+      setpoint_(setpoint_c),
+      reversion_(reversion),
+      noise_(noise),
+      current_(setpoint_c) {}
+
+SensorReading TemperatureSensor::sample(TimePoint now, Rng& rng) {
+  const double dt = std::max(now - last_time_, 1e-6);
+  last_time_ = now;
+  // Euler–Maruyama step of dX = theta (mu - X) dt + sigma dW.
+  current_ += reversion_ * (setpoint_ - current_) * dt +
+              noise_ * std::sqrt(dt) * rng.gaussian(0.0, 1.0);
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "degC";
+  r.time = now;
+  r.value = current_;
+  r.status = std::abs(current_ - setpoint_) > 5.0 ? "out_of_band" : "ok";
+  return r;
+}
+
+// ---- Vibration ----------------------------------------------------------------
+
+VibrationSensor::VibrationSensor(std::string name, double base_rms,
+                                 double fault_probability)
+    : name_(std::move(name)),
+      base_rms_(base_rms),
+      fault_probability_(fault_probability) {}
+
+SensorReading VibrationSensor::sample(TimePoint now, Rng& rng) {
+  if (fault_remaining_ == 0 && rng.bernoulli(fault_probability_))
+    fault_remaining_ = 5;  // a burst of elevated readings
+
+  double rms = base_rms_ + rng.gaussian(0.0, 0.1 * base_rms_);
+  if (fault_remaining_ > 0) {
+    rms *= 3.0 + rng.uniform();
+    --fault_remaining_;
+  }
+
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "mm/s";
+  r.time = now;
+  r.value = rms;
+  r.status = fault_remaining_ > 0 ? "fault" : "ok";
+  return r;
+}
+
+// ---- Machine status ------------------------------------------------------------
+
+MachineStatusSensor::MachineStatusSensor(std::string name)
+    : name_(std::move(name)) {}
+
+SensorReading MachineStatusSensor::sample(TimePoint now, Rng& rng) {
+  // Dwell dynamics: mostly stay, occasionally transition.
+  const double u = rng.uniform();
+  switch (state_) {
+    case State::kIdle:
+      if (u < 0.3) state_ = State::kRunning;
+      break;
+    case State::kRunning:
+      if (u < 0.02)
+        state_ = State::kFault;
+      else if (u < 0.10)
+        state_ = State::kIdle;
+      break;
+    case State::kFault:
+      if (u < 0.5) state_ = State::kIdle;
+      break;
+  }
+
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "state";
+  r.time = now;
+  r.value = static_cast<double>(state_);
+  r.status = state_ == State::kFault ? "fault"
+             : state_ == State::kRunning ? "running"
+                                         : "idle";
+  return r;
+}
+
+// ---- Power meter ---------------------------------------------------------------
+
+PowerMeterSensor::PowerMeterSensor(std::string name, double base_kw)
+    : name_(std::move(name)), base_kw_(base_kw) {}
+
+SensorReading PowerMeterSensor::sample(TimePoint now, Rng& rng) {
+  // Duty cycle: ~60 s period, plus noise and rare inrush spikes.
+  const double duty = 0.6 + 0.4 * std::sin(now * 2.0 * 3.14159265 / 60.0);
+  double kw = base_kw_ * duty + rng.gaussian(0.0, 0.3);
+  const bool spike = rng.bernoulli(0.02);
+  if (spike) kw += base_kw_ * rng.uniform(0.5, 1.5);  // motor inrush
+
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "kW";
+  r.time = now;
+  r.value = std::max(kw, 0.0);
+  r.status = spike ? "inrush" : "ok";
+  return r;
+}
+
+// ---- Door events ----------------------------------------------------------------
+
+DoorSensor::DoorSensor(std::string name) : name_(std::move(name)) {}
+
+SensorReading DoorSensor::sample(TimePoint now, Rng& rng) {
+  if (held_open_ > 0) {
+    --held_open_;
+  } else if (open_) {
+    if (rng.bernoulli(0.6)) open_ = false;        // usually closes soon
+    else if (rng.bernoulli(0.1)) held_open_ = 10;  // propped open: alarm
+  } else if (rng.bernoulli(0.15)) {
+    open_ = true;
+  }
+
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "state";
+  r.time = now;
+  r.value = open_ || held_open_ > 0 ? 1.0 : 0.0;
+  r.status = held_open_ > 0 ? "held_open_alarm" : (open_ ? "open" : "closed");
+  return r;
+}
+
+// ---- Process recipe -------------------------------------------------------------
+
+ProcessRecipeSensor::ProcessRecipeSensor(std::string name)
+    : name_(std::move(name)) {}
+
+SensorReading ProcessRecipeSensor::sample(TimePoint now, Rng& rng) {
+  // Operating parameter for the current part: spindle speed around a
+  // proprietary setpoint, revised occasionally.
+  if (rng.bernoulli(0.05)) ++recipe_revision_;
+  SensorReading r;
+  r.sensor = name_;
+  r.unit = "rpm";
+  r.time = now;
+  r.value = 12000.0 + 250.0 * recipe_revision_ + rng.gaussian(0.0, 15.0);
+  r.status = "rev-" + std::to_string(recipe_revision_);
+  return r;
+}
+
+std::unique_ptr<SensorModel> make_sensor(int index) {
+  // Indices 0-3 keep their historical assignments (scenario tests and the
+  // key-distribution flow rely on index % 4 == 3 being sensitive); the
+  // wider mix cycles in the remaining models.
+  switch (index % 6) {
+    case 0:
+      return std::make_unique<TemperatureSensor>(
+          "temp-oven-" + std::to_string(index), 180.0);
+    case 1:
+      return std::make_unique<VibrationSensor>(
+          "vib-spindle-" + std::to_string(index));
+    case 2:
+      return std::make_unique<MachineStatusSensor>(
+          "status-line-" + std::to_string(index));
+    case 3:
+      return std::make_unique<ProcessRecipeSensor>(
+          "recipe-mill-" + std::to_string(index));
+    case 4:
+      return std::make_unique<PowerMeterSensor>(
+          "power-feed-" + std::to_string(index));
+    default:
+      return std::make_unique<DoorSensor>("door-bay-" + std::to_string(index));
+  }
+}
+
+}  // namespace biot::factory

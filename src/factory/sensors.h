@@ -1,0 +1,127 @@
+// Synthetic smart-factory sensor models (substitute for the paper's physical
+// wireless sensors). Each model produces a self-describing binary reading;
+// "sensitive" sensors (process recipes, QC data) are the ones whose payloads
+// the data authority management method encrypts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace biot::factory {
+
+/// One decoded sensor reading.
+struct SensorReading {
+  std::string sensor;   // e.g. "temp-oven-3"
+  std::string unit;     // e.g. "degC"
+  TimePoint time = 0.0;
+  double value = 0.0;
+  std::string status;   // "ok", "fault", ...
+
+  Bytes encode() const;
+  static Result<SensorReading> decode(ByteView wire);
+};
+
+class SensorModel {
+ public:
+  virtual ~SensorModel() = default;
+  virtual SensorReading sample(TimePoint now, Rng& rng) = 0;
+  /// Whether this sensor's data must be encrypted before posting.
+  virtual bool sensitive() const { return false; }
+  virtual const std::string& name() const = 0;
+};
+
+/// Ornstein–Uhlenbeck temperature process around a setpoint.
+class TemperatureSensor final : public SensorModel {
+ public:
+  TemperatureSensor(std::string name, double setpoint_c,
+                    double reversion = 0.1, double noise = 0.4);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double setpoint_;
+  double reversion_;
+  double noise_;
+  double current_;
+  TimePoint last_time_ = 0.0;
+};
+
+/// Vibration RMS with occasional bearing-fault bursts.
+class VibrationSensor final : public SensorModel {
+ public:
+  VibrationSensor(std::string name, double base_rms = 1.2,
+                  double fault_probability = 0.01);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double base_rms_;
+  double fault_probability_;
+  int fault_remaining_ = 0;
+};
+
+/// Machine state (idle / running / fault) with dwell-time dynamics.
+class MachineStatusSensor final : public SensorModel {
+ public:
+  explicit MachineStatusSensor(std::string name);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  enum class State { kIdle, kRunning, kFault } state_ = State::kIdle;
+  std::string name_;
+};
+
+/// Power meter: load follows a duty cycle with stochastic spikes.
+class PowerMeterSensor final : public SensorModel {
+ public:
+  PowerMeterSensor(std::string name, double base_kw = 12.0);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double base_kw_;
+};
+
+/// Door/access events: open/closed transitions with occasional held-open
+/// alarms. Access logs are sensitive in many plants.
+class DoorSensor final : public SensorModel {
+ public:
+  explicit DoorSensor(std::string name);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  bool sensitive() const override { return true; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  bool open_ = false;
+  int held_open_ = 0;
+};
+
+/// Machine operating parameters for a part recipe — the sensitive data the
+/// paper's smart-factory case study shares across factories (Section IV-A).
+class ProcessRecipeSensor final : public SensorModel {
+ public:
+  explicit ProcessRecipeSensor(std::string name);
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  bool sensitive() const override { return true; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int recipe_revision_ = 0;
+};
+
+/// Factory for the standard sensor mix used by scenarios.
+std::unique_ptr<SensorModel> make_sensor(int index);
+
+}  // namespace biot::factory

@@ -1,0 +1,141 @@
+#include "factory/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace biot::factory {
+
+namespace {
+/// Splits a CSV line on commas (fields in this format never contain commas).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+}  // namespace
+
+Result<WorkloadTrace> WorkloadTrace::parse(std::string_view csv) {
+  WorkloadTrace trace;
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line_no == 1 && line.rfind("time,", 0) == 0) continue;  // header
+
+    const auto fields = split_csv(line);
+    if (fields.size() != 5)
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "trace: line " + std::to_string(line_no) +
+                               ": expected 5 fields");
+    TraceEvent event;
+    char* end = nullptr;
+    event.time = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str())
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "trace: line " + std::to_string(line_no) +
+                               ": bad timestamp");
+    event.reading.sensor = fields[1];
+    event.reading.unit = fields[2];
+    event.reading.value = std::strtod(fields[3].c_str(), &end);
+    if (end == fields[3].c_str())
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "trace: line " + std::to_string(line_no) +
+                               ": bad value");
+    event.reading.status = fields[4];
+    event.reading.time = event.time;
+    trace.events_.push_back(std::move(event));
+  }
+  trace.sort();
+  return trace;
+}
+
+Result<WorkloadTrace> WorkloadTrace::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::error(ErrorCode::kNotFound, "trace: cannot open " + path);
+  std::string contents;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  return parse(contents);
+}
+
+std::string WorkloadTrace::to_csv() const {
+  std::ostringstream out;
+  out << "time,sensor,unit,value,status\n";
+  for (const auto& e : events_) {
+    out << e.time << ',' << e.reading.sensor << ',' << e.reading.unit << ','
+        << e.reading.value << ',' << e.reading.status << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::string> WorkloadTrace::sensors() const {
+  std::vector<std::string> names;
+  for (const auto& e : events_) {
+    if (std::find(names.begin(), names.end(), e.reading.sensor) == names.end())
+      names.push_back(e.reading.sensor);
+  }
+  return names;
+}
+
+std::vector<TraceEvent> WorkloadTrace::for_sensor(const std::string& name) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.reading.sensor == name) out.push_back(e);
+  }
+  return out;
+}
+
+void WorkloadTrace::append(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+void WorkloadTrace::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+TraceSensor::TraceSensor(std::string name, std::vector<TraceEvent> events,
+                         bool sensitive)
+    : name_(std::move(name)), events_(std::move(events)), sensitive_(sensitive) {
+  if (events_.empty())
+    throw std::invalid_argument("TraceSensor: empty event list");
+}
+
+SensorReading TraceSensor::sample(TimePoint now, Rng&) {
+  auto reading = events_[next_].reading;
+  next_ = (next_ + 1) % events_.size();  // loop when exhausted
+  reading.time = now;                    // re-anchor to simulation time
+  return reading;
+}
+
+WorkloadTrace synthesize_trace(int num_sensors, double duration,
+                               double interval, std::uint64_t seed) {
+  WorkloadTrace trace;
+  Rng rng(seed);
+  std::vector<std::unique_ptr<SensorModel>> sensors;
+  sensors.reserve(static_cast<std::size_t>(num_sensors));
+  for (int i = 0; i < num_sensors; ++i) sensors.push_back(make_sensor(i));
+
+  for (double t = 0.0; t < duration; t += interval) {
+    for (auto& sensor : sensors) {
+      TraceEvent event;
+      event.time = t + rng.uniform(0.0, interval * 0.1);  // jitter
+      event.reading = sensor->sample(event.time, rng);
+      trace.append(std::move(event));
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+}  // namespace biot::factory

@@ -1,0 +1,76 @@
+// Trace-driven workloads: replay recorded sensor streams through the
+// simulator instead of (or alongside) the synthetic models. The paper
+// evaluates with live sensors on a Raspberry Pi; a downstream user will
+// want to feed their own captured data through the same pipeline.
+//
+// Trace format: CSV lines `time,sensor,unit,value,status` (header optional,
+// '#' comments ignored). biot::factory::synthesize_trace produces a
+// compatible file from the synthetic sensor models for round-trip testing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "factory/sensors.h"
+
+namespace biot::factory {
+
+struct TraceEvent {
+  TimePoint time = 0.0;
+  SensorReading reading;
+};
+
+/// A loaded trace: time-ordered events, possibly spanning several sensors.
+class WorkloadTrace {
+ public:
+  static Result<WorkloadTrace> parse(std::string_view csv);
+  static Result<WorkloadTrace> load(const std::string& path);
+
+  /// Serializes back to canonical CSV.
+  std::string to_csv() const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  TimePoint duration() const {
+    return events_.empty() ? 0.0 : events_.back().time;
+  }
+  /// Names of the distinct sensors appearing in the trace.
+  std::vector<std::string> sensors() const;
+  /// Events for one sensor, in time order.
+  std::vector<TraceEvent> for_sensor(const std::string& name) const;
+
+  void append(TraceEvent event);
+  /// Sorts by time (stable) — call after appending out-of-order events.
+  void sort();
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Replays one sensor's slice of a trace as a SensorModel: each sample()
+/// returns the next recorded reading (time-shifted to the simulation clock);
+/// when the trace runs out it loops, offsetting timestamps.
+class TraceSensor final : public SensorModel {
+ public:
+  TraceSensor(std::string name, std::vector<TraceEvent> events,
+              bool sensitive = false);
+
+  SensorReading sample(TimePoint now, Rng& rng) override;
+  bool sensitive() const override { return sensitive_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> events_;
+  std::size_t next_ = 0;
+  bool sensitive_;
+};
+
+/// Generates a synthetic trace by sampling the standard sensor mix — handy
+/// for tests and as a format example.
+WorkloadTrace synthesize_trace(int num_sensors, double duration,
+                               double interval, std::uint64_t seed);
+
+}  // namespace biot::factory

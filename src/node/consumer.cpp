@@ -1,0 +1,63 @@
+#include "node/consumer.h"
+
+namespace biot::node {
+
+Consumer::Consumer(sim::NodeId id, crypto::Identity identity,
+                   sim::NodeId gateway, sim::Network& network)
+    : id_(id),
+      identity_(std::move(identity)),
+      gateway_(gateway),
+      network_(network) {}
+
+void Consumer::attach() {
+  network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
+    on_message(from, wire);
+  });
+}
+
+void Consumer::query(const crypto::Ed25519PublicKey& sender, TimePoint since,
+                     std::uint32_t max_results, Callback callback) {
+  DataQuery body;
+  body.sender = sender;
+  body.since = since;
+  body.max_results = max_results;
+
+  RpcMessage msg;
+  msg.type = MsgType::kDataQuery;
+  msg.request_id = next_request_id_++;
+  msg.sender_key = identity_.public_identity().sign_key;
+  msg.body = body.encode();
+
+  pending_.emplace(msg.request_id, std::move(callback));
+  network_.send(id_, gateway_, msg.encode());
+  ++queries_sent_;
+}
+
+void Consumer::on_message(sim::NodeId, const Bytes& wire) {
+  const auto msg = RpcMessage::decode(wire);
+  if (!msg || msg.value().type != MsgType::kDataResponse) return;
+
+  const auto it = pending_.find(msg.value().request_id);
+  if (it == pending_.end()) return;
+  Callback callback = std::move(it->second);
+  pending_.erase(it);
+
+  const auto response = DataResponse::decode(msg.value().body);
+  if (!response) return;
+
+  std::vector<RecoveredReading> readings;
+  readings.reserve(response.value().transactions.size());
+  for (const auto& tx : response.value().transactions) {
+    RecoveredReading r;
+    r.tx = tx;
+    const auto plain = protector_.recover(tx.payload, tx.payload_encrypted);
+    if (plain) {
+      r.plaintext = plain.value();
+      r.decrypted = true;
+    }
+    readings.push_back(std::move(r));
+  }
+  callback(std::move(readings));
+}
+
+}  // namespace biot::node

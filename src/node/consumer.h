@@ -1,0 +1,67 @@
+// Data consumer: any party reading sensor data off the public tangle —
+// a dashboard, an analytics pipeline, or another factory (paper Section
+// IV-A's data-sharing story). Consumers query a gateway for data
+// transactions and decrypt the sensitive ones they hold keys for; everything
+// else is readable in the clear by design.
+//
+// Reads need no authorization (the tangle is public); confidentiality of
+// sensitive payloads rests on the data authority management method.
+#pragma once
+
+#include <functional>
+
+#include "auth/data_protection.h"
+#include "crypto/identity.h"
+#include "node/rpc.h"
+#include "sim/network.h"
+
+namespace biot::node {
+
+/// A reading recovered from the chain: the raw transaction plus the
+/// plaintext payload when recoverable.
+struct RecoveredReading {
+  tangle::Transaction tx;
+  Bytes plaintext;        // empty when the payload could not be decrypted
+  bool decrypted = false; // false for encrypted payloads without the key
+};
+
+class Consumer {
+ public:
+  Consumer(sim::NodeId id, crypto::Identity identity, sim::NodeId gateway,
+           sim::Network& network);
+
+  /// Registers the consumer's message handler.
+  void attach();
+
+  /// Installs a symmetric key (obtained from a manager via the Fig 4
+  /// handshake) enabling decryption of that key's sensitive payloads.
+  void install_key(const auth::SymmetricKey& key) {
+    protector_.install_key(key);
+  }
+
+  /// Result callback type for queries.
+  using Callback = std::function<void(std::vector<RecoveredReading>)>;
+
+  /// Asynchronously fetches data transactions matching the filter; the
+  /// callback fires when the gateway's response arrives. An all-zero
+  /// `sender` matches every account.
+  void query(const crypto::Ed25519PublicKey& sender, TimePoint since,
+             std::uint32_t max_results, Callback callback);
+
+  std::uint64_t queries_sent() const { return queries_sent_; }
+
+ private:
+  void on_message(sim::NodeId from, const Bytes& wire);
+
+  sim::NodeId id_;
+  crypto::Identity identity_;
+  sim::NodeId gateway_;
+  sim::Network& network_;
+  auth::SensorDataProtector protector_;
+
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, Callback> pending_;
+  std::uint64_t queries_sent_ = 0;
+};
+
+}  // namespace biot::node

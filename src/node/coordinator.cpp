@@ -1,0 +1,53 @@
+#include "node/coordinator.h"
+
+#include "common/log.h"
+
+namespace biot::node {
+
+namespace {
+Logger logger("coordinator");
+}
+
+Coordinator::Coordinator(const crypto::Identity& identity, Gateway& gateway,
+                         sim::Scheduler& sched, Duration interval)
+    : identity_(identity),
+      gateway_(gateway),
+      sched_(sched),
+      interval_(interval),
+      miner_(0xc0c0ull << 32) {}
+
+void Coordinator::start() {
+  gateway_.set_coordinator(identity_.public_identity().sign_key);
+  if (running_) return;
+  running_ = true;
+  sched_.after(interval_, [this] { tick(); });
+}
+
+void Coordinator::tick() {
+  const auto status = issue_milestone();
+  if (!status.is_ok())
+    logger.warn() << "milestone rejected: " << status.to_string();
+  sched_.after(interval_, [this] { tick(); });
+}
+
+Status Coordinator::issue_milestone() {
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kMilestone;
+  tx.sender = identity_.public_identity().sign_key;
+  tx.sequence = sequence_++;
+  tx.timestamp = sched_.now();
+
+  const auto [t1, t2] = gateway_.select_tips();
+  tx.parent1 = t1;
+  tx.parent2 = t2;
+  tx.difficulty = static_cast<std::uint8_t>(
+      gateway_.required_difficulty(tx.sender));
+  tx.signature = identity_.sign(tx.signing_bytes());
+  tx.nonce = miner_.mine(tx.parent1, tx.parent2, tx.difficulty)->nonce;
+
+  const auto status = gateway_.submit(tx);
+  if (status.is_ok()) ++issued_;
+  return status;
+}
+
+}  // namespace biot::node

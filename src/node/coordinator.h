@@ -1,0 +1,46 @@
+// Coordinator: issues periodic signed milestone transactions.
+//
+// The public IOTA tangle the paper deploys on used exactly this mechanism
+// in 2019 — a well-known identity checkpointing the DAG so everything in a
+// milestone's past cone counts as confirmed. The coordinator is co-located
+// with a gateway (it is a full-node role, like the manager) and its
+// milestones flow through the ordinary admission pipeline: tips, PoW,
+// signature, ledger sequence, gossip.
+#pragma once
+
+#include "consensus/pow.h"
+#include "node/gateway.h"
+
+namespace biot::node {
+
+class Coordinator {
+ public:
+  Coordinator(const crypto::Identity& identity, Gateway& gateway,
+              sim::Scheduler& sched, Duration interval = 5.0);
+
+  /// Registers the coordinator key with its gateway and schedules periodic
+  /// milestone issuance (first one after `interval`).
+  void start();
+
+  /// Issues one milestone immediately; returns the admission status.
+  Status issue_milestone();
+
+  crypto::PublicIdentity public_identity() const {
+    return identity_.public_identity();
+  }
+  std::uint64_t milestones_issued() const { return issued_; }
+
+ private:
+  void tick();
+
+  const crypto::Identity& identity_;
+  Gateway& gateway_;
+  sim::Scheduler& sched_;
+  Duration interval_;
+  consensus::Miner miner_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t issued_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace biot::node

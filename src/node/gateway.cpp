@@ -1,0 +1,586 @@
+#include "node/gateway.h"
+
+#include "common/codec.h"
+#include "common/log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "storage/snapshot.h"
+
+namespace biot::node {
+
+namespace {
+Logger logger("gateway");
+}
+
+Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
+                 const crypto::Ed25519PublicKey& manager_key,
+                 const tangle::Transaction& genesis, sim::Network& network,
+                 GatewayConfig config)
+    : id_(id),
+      identity_(identity),
+      network_(network),
+      config_(config),
+      tangle_(genesis),
+      auth_(manager_key),
+      credit_(config.credit),
+      miner_((std::uint64_t{id} << 48) | 0xa77ull),
+      rng_(0x6a77ull ^ id) {
+  if (config_.policy == GatewayConfig::Policy::kCredit)
+    policy_ = std::make_unique<consensus::CreditDifficultyPolicy>(credit_);
+  else
+    policy_ = std::make_unique<consensus::FixedDifficultyPolicy>(
+        config_.fixed_difficulty);
+
+  if (config_.tips == GatewayConfig::TipStrategy::kWeightedWalk)
+    tip_selector_ =
+        std::make_unique<tangle::WeightedWalkTipSelector>(config_.walk_alpha);
+  else
+    tip_selector_ = std::make_unique<tangle::UniformRandomTipSelector>();
+}
+
+Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
+                 const crypto::Ed25519PublicKey& manager_key,
+                 tangle::Tangle restored, sim::Network& network,
+                 GatewayConfig config,
+                 const std::optional<crypto::Ed25519PublicKey>& coordinator)
+    : Gateway(id, identity, manager_key,
+              restored.find(restored.genesis_id())->tx, network, config) {
+  coordinator_key_ = coordinator;
+
+  // Replay history in arrival order; structural validity was already
+  // re-checked when the tangle loaded (deserialize_tangle runs every
+  // signature and PoW through Tangle::add).
+  const auto restored_order = restored.arrival_order();
+  for (const auto& id_in_order : restored_order) {
+    const auto* rec = restored.find(id_in_order);
+    const auto& tx = rec->tx;
+    if (tx.type == tangle::TxType::kGenesis) continue;
+
+    // Lazy detection against the partially-rebuilt tangle, exactly as the
+    // original admission did.
+    const bool lazy =
+        consensus::is_lazy_approval(tangle_, tx, rec->arrival, config_.lazy);
+    if (!tangle_.add(tx, rec->arrival).is_ok()) continue;  // defensive
+
+    const auto outcome = ledger_.apply_resolving(tx);
+    const bool conflicted =
+        outcome == tangle::Ledger::ApplyOutcome::kConflictKeptExisting ||
+        outcome == tangle::Ledger::ApplyOutcome::kConflictDisplaced;
+    if (conflicted)
+      credit_.record_malicious(tx.sender, consensus::Behaviour::kDoubleSpend,
+                               rec->arrival);
+    if (lazy)
+      credit_.record_malicious(tx.sender, consensus::Behaviour::kLazyTips,
+                               rec->arrival);
+    else if (!conflicted)
+      credit_.record_valid_tx(tx.sender, tx.id(), rec->arrival);
+
+    if (tx.type == tangle::TxType::kMilestone && coordinator_key_ &&
+        tx.sender == *coordinator_key_)
+      milestones_.observe_milestone(tangle_, tx.id());
+    if (tx.type == tangle::TxType::kAuthorization) (void)auth_.apply(tx);
+  }
+}
+
+void Gateway::attach() {
+  network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
+    on_message(from, wire);
+  });
+  if (config_.sync_interval > 0.0)
+    network_.scheduler().after(config_.sync_interval, [this] { sync_tick(); });
+}
+
+void Gateway::sync_tick() {
+  if (!peers_.empty()) {
+    // Round-robin one peer per tick; ship our whole id inventory. For the
+    // factory-scale tangles of this system an explicit inventory is small
+    // (32 B per tx); larger deployments would swap in a Merkle summary
+    // without changing the protocol shape.
+    const auto peer = peers_[next_sync_peer_++ % peers_.size()];
+    Writer w;
+    const auto& order = tangle_.arrival_order();
+    w.u32(static_cast<std::uint32_t>(order.size()));
+    for (const auto& id : order) w.raw(id.view());
+
+    RpcMessage msg;
+    msg.type = MsgType::kSyncSummary;
+    msg.request_id = 0;
+    msg.sender_key = identity_.public_identity().sign_key;
+    msg.body = std::move(w).take();
+    network_.send(id_, peer, msg.encode());
+    ++stats_.syncs_sent;
+  }
+  network_.scheduler().after(config_.sync_interval, [this] { sync_tick(); });
+}
+
+void Gateway::handle_sync_summary(sim::NodeId from, const RpcMessage& msg) {
+  Reader r(msg.body);
+  const auto count = r.u32();
+  if (!count) return;
+  std::unordered_set<tangle::TxId, FixedBytesHash<32>> peer_has;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    const auto id = r.raw(32);
+    if (!id) return;
+    peer_has.insert(tangle::TxId::from_view(id.value()));
+  }
+
+  // Ship everything the peer lacks, in arrival order so parents precede
+  // children and the peer can attach in one pass.
+  Writer w;
+  std::uint32_t missing = 0;
+  Writer txs;
+  for (const auto& id : tangle_.arrival_order()) {
+    if (peer_has.contains(id)) continue;
+    const auto* rec = tangle_.find(id);
+    if (rec->tx.type == tangle::TxType::kGenesis) continue;
+    txs.blob(rec->tx.encode());
+    ++missing;
+  }
+  if (missing == 0) return;
+  w.u32(missing);
+  w.raw(std::move(txs).take());
+  stats_.sync_txs_served += missing;
+
+  RpcMessage out;
+  out.type = MsgType::kSyncMissing;
+  out.request_id = msg.request_id;
+  out.sender_key = identity_.public_identity().sign_key;
+  out.body = std::move(w).take();
+  network_.send(id_, from, out.encode());
+}
+
+void Gateway::handle_sync_missing(const RpcMessage& msg) {
+  Reader r(msg.body);
+  const auto count = r.u32();
+  if (!count) return;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    const auto wire = r.blob();
+    if (!wire) return;
+    const auto tx = tangle::Transaction::decode(wire.value());
+    if (!tx) continue;
+    if (admit(tx.value(), /*from_gossip=*/true).is_ok())
+      ++stats_.sync_txs_applied;
+  }
+}
+
+bool Gateway::rate_limit_allows(const crypto::Ed25519PublicKey& sender) {
+  if (config_.rate_limit_per_sender <= 0.0) return true;
+  const TimePoint t = now();
+  auto [it, inserted] = buckets_.try_emplace(
+      sender, TokenBucket{config_.rate_limit_burst, t});  // start full
+  auto& bucket = it->second;
+  bucket.tokens = std::min(
+      config_.rate_limit_burst,
+      bucket.tokens + (t - bucket.last_refill) * config_.rate_limit_per_sender);
+  bucket.last_refill = t;
+  if (bucket.tokens < 1.0) {
+    ++stats_.rate_limited;
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+consensus::WeightOracle Gateway::weight_oracle() const {
+  // Weight of a transaction = "the number of validation to this transaction"
+  // (Section IV-B): its own weight of 1 plus the direct approvals it has
+  // received so far. Direct counts keep CrP bounded by the node's real
+  // validation service to the tangle; cumulative weight would grow
+  // quadratically in the window and swamp the Eqn 4 penalty.
+  return [this](const tangle::TxId& id) {
+    return 1.0 + static_cast<double>(tangle_.approver_count(id));
+  };
+}
+
+int Gateway::required_difficulty(const tangle::AccountKey& sender) const {
+  return policy_->required_difficulty(sender, now(), weight_oracle());
+}
+
+tangle::TipPair Gateway::select_tips() {
+  ++stats_.tips_served;
+  return tip_selector_->select(tangle_, rng_);
+}
+
+void Gateway::on_message(sim::NodeId from, const Bytes& wire) {
+  const auto msg = RpcMessage::decode(wire);
+  if (!msg) {
+    logger.warn() << "dropping malformed message from node " << from;
+    return;
+  }
+  switch (msg.value().type) {
+    // Service-edge requests pass the per-sender token bucket first; a flood
+    // is shed silently (no reply — replying would amplify the attack).
+    case MsgType::kGetTipsRequest:
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_get_tips(from, msg.value());
+      break;
+    case MsgType::kSubmitTx:
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_submit(from, msg.value());
+      break;
+    case MsgType::kAttachRequest:
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_attach(from, msg.value());
+      break;
+    case MsgType::kConfirmQuery:
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_confirm_query(from, msg.value());
+      break;
+    case MsgType::kDataQuery:
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_data_query(from, msg.value());
+      break;
+    case MsgType::kBroadcastTx:
+      handle_gossip(msg.value());
+      break;
+    case MsgType::kSyncSummary:
+      handle_sync_summary(from, msg.value());
+      break;
+    case MsgType::kSyncMissing:
+      handle_sync_missing(msg.value());
+      break;
+    default:
+      logger.warn() << "unexpected message type from node " << from;
+  }
+}
+
+void Gateway::handle_get_tips(sim::NodeId from, const RpcMessage& msg) {
+  TipsResponse resp;
+  const bool is_manager = auth_.is_manager(msg.sender_key);
+  if (!is_manager && !auth_.is_authorized(msg.sender_key)) {
+    // Admission control: unauthorized devices are refused service outright
+    // (Sybil / DDoS defence, Section VI-C).
+    ++stats_.rejected_unauthorized;
+    resp.status = ErrorCode::kUnauthorized;
+    resp.message = "device not in authorization list";
+  } else {
+    const auto [t1, t2] = select_tips();
+    resp.tip1 = t1;
+    resp.tip2 = t2;
+    resp.required_difficulty = static_cast<std::uint8_t>(
+        required_difficulty(msg.sender_key));
+  }
+  reply(from, MsgType::kGetTipsResponse, msg.request_id, resp.encode());
+}
+
+ConfirmationInfo Gateway::confirmation_status(const tangle::TxId& id) const {
+  ConfirmationInfo info;
+  info.tx_id = id;
+  info.known = tangle_.contains(id);
+  if (!info.known) return info;
+  info.milestone_confirmed = milestones_.is_confirmed(id);
+  info.cumulative_weight = tangle_.cumulative_weight(id);
+  info.weight_confirmed = info.cumulative_weight >= config_.confirmation_weight;
+  return info;
+}
+
+void Gateway::handle_confirm_query(sim::NodeId from, const RpcMessage& msg) {
+  if (msg.body.size() != 32) return;  // malformed query: drop
+  const auto info =
+      confirmation_status(tangle::TxId::from_view(msg.body));
+  reply(from, MsgType::kConfirmResponse, msg.request_id, info.encode());
+}
+
+std::size_t Gateway::snapshot_and_prune(
+    TimePoint cutoff,
+    const std::function<void(const tangle::Transaction&, TimePoint)>&
+        archive_tx) {
+  // Capture the derived state the snapshot genesis must commit to.
+  std::vector<tangle::AccountKey> accounts;
+  std::vector<crypto::PublicIdentity> authorized = auth_.authorized_devices();
+  std::unordered_set<tangle::AccountKey, FixedBytesHash<32>> seen;
+  for (const auto& id : tangle_.arrival_order()) {
+    const auto* rec = tangle_.find(id);
+    if (seen.insert(rec->tx.sender).second) accounts.push_back(rec->tx.sender);
+  }
+  const auto state = storage::capture_state(now(), ledger_, accounts, authorized);
+  auto pruned = storage::prune(tangle_, state, cutoff);
+
+  for (const auto& id : pruned.archived) {
+    const auto* rec = tangle_.find(id);
+    archive_tx(rec->tx, rec->arrival);
+  }
+  // Recent transactions reference pruned parents and cannot carry over
+  // verbatim (parents are inside the signature); archive them too so no
+  // history is lost, then restart from the snapshot genesis.
+  for (const auto& id : tangle_.arrival_order()) {
+    const auto* rec = tangle_.find(id);
+    if (rec->tx.type == tangle::TxType::kGenesis) continue;
+    if (rec->arrival >= cutoff) archive_tx(rec->tx, rec->arrival);
+  }
+
+  const std::size_t archived = tangle_.size() - 1;
+  tangle_ = std::move(pruned.tangle);
+  milestones_ = tangle::MilestoneTracker{};  // confirmations restart
+  return archived;
+}
+
+void Gateway::handle_data_query(sim::NodeId from, const RpcMessage& msg) {
+  const auto query = DataQuery::decode(msg.body);
+  if (!query) return;
+
+  // Reading the ledger is open to any party — the tangle is a public
+  // blockchain; confidentiality of sensitive payloads comes from the data
+  // authority management method (AES envelopes), not from access control
+  // on reads (paper Section IV-C).
+  const tangle::AccountKey zero{};
+  DataResponse response;
+  for (const auto& id : tangle_.arrival_order()) {
+    if (response.transactions.size() >= query.value().max_results) break;
+    const auto* rec = tangle_.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    if (rec->arrival < query.value().since) continue;
+    if (query.value().sender != zero && rec->tx.sender != query.value().sender)
+      continue;
+    response.transactions.push_back(rec->tx);
+  }
+  reply(from, MsgType::kDataResponse, msg.request_id, response.encode());
+}
+
+Status Gateway::admit(const tangle::Transaction& tx, bool from_gossip) {
+  const auto sender = tx.sender;
+  const bool is_manager = auth_.is_manager(sender);
+  const bool is_coordinator =
+      coordinator_key_.has_value() && sender == *coordinator_key_;
+
+  // Milestones are only ever acceptable from the registered Coordinator —
+  // a forged checkpoint would confirm arbitrary history, so this holds for
+  // gossip too.
+  if (tx.type == tangle::TxType::kMilestone && !is_coordinator) {
+    ++stats_.rejected_unauthorized;
+    return Status::error(ErrorCode::kUnauthorized,
+                         "milestone not issued by the coordinator");
+  }
+
+  // Admission control guards the *service* edge: requests from devices.
+  // Gossip between full nodes relays the public tangle, which may carry
+  // transactions admitted by other factories' gateways under their own
+  // authorization lists (Section IV-A: "the tangle network ... is a public
+  // blockchain network, any party can access the network").
+  if (!from_gossip && !is_manager && !is_coordinator &&
+      !auth_.is_authorized(sender)) {
+    ++stats_.rejected_unauthorized;
+    return Status::error(ErrorCode::kUnauthorized,
+                         "sender not in authorization list");
+  }
+
+  // Difficulty policy enforcement. Gossiped transactions were already
+  // policy-checked by the accepting gateway; re-checking here would race
+  // with credit drift between replicas, so gossip only revalidates structure.
+  if (!from_gossip) {
+    const int required = required_difficulty(sender);
+    if (tx.difficulty < required) {
+      ++stats_.rejected_difficulty;
+      return Status::error(ErrorCode::kPowInvalid,
+                           "declared difficulty below required");
+    }
+  }
+
+  // Ledger conflict handling differs by path. At the service edge a
+  // double-spend is rejected outright and punished (alpha_d). Gossiped
+  // transactions may legitimately conflict with something this replica
+  // already applied (the attacker hit two gateways before gossip met);
+  // those attach structurally and the ledger resolves the slot with a
+  // replica-consistent rule after attachment — see Ledger::apply_resolving.
+  if (!from_gossip) {
+    if (auto s = ledger_.check(tx); !s) {
+      if (s.code() == ErrorCode::kConflict) {
+        ++stats_.rejected_conflict;
+        credit_.record_malicious(sender, consensus::Behaviour::kDoubleSpend,
+                                 now());
+      } else {
+        ++stats_.rejected_other;
+      }
+      return s;
+    }
+  }
+
+  // Lazy-tip detection BEFORE attaching (the parents' tip/approval state
+  // changes once the transaction attaches). Lazy transactions are still
+  // structurally valid — they attach, but the sender is punished (alpha_l).
+  const bool lazy = consensus::is_lazy_approval(tangle_, tx, now(), config_.lazy);
+
+  if (auto s = tangle_.add(tx, now()); !s) {
+    if (s.code() == ErrorCode::kPowInvalid)
+      ++stats_.rejected_pow;
+    else
+      ++stats_.rejected_other;
+    return s;
+  }
+
+  bool conflicted = false;
+  if (from_gossip) {
+    const auto outcome = ledger_.apply_resolving(tx);
+    if (outcome == tangle::Ledger::ApplyOutcome::kConflictKeptExisting ||
+        outcome == tangle::Ledger::ApplyOutcome::kConflictDisplaced) {
+      conflicted = true;
+      ++stats_.rejected_conflict;
+      credit_.record_malicious(sender, consensus::Behaviour::kDoubleSpend,
+                               now());
+    }
+  } else {
+    (void)ledger_.apply(tx);  // cannot fail: check() passed above
+  }
+
+  if (lazy) {
+    ++stats_.lazy_detected;
+    credit_.record_malicious(sender, consensus::Behaviour::kLazyTips, now());
+  } else if (!conflicted) {
+    credit_.record_valid_tx(sender, tx.id(), now());
+  }
+
+  // Quality control (future-work extension): judge the payload when an
+  // inspector is installed; a zero score is a poor-quality event.
+  if (quality_inspector_ && tx.type == tangle::TxType::kData) {
+    if (const auto score = quality_inspector_(tx);
+        score.has_value() && *score <= 0.0) {
+      ++stats_.poor_quality_detected;
+      credit_.record_malicious(sender, consensus::Behaviour::kPoorQuality,
+                               now());
+    }
+  }
+
+  if (tx.type == tangle::TxType::kMilestone)
+    milestones_.observe_milestone(tangle_, tx.id());
+
+  if (tx.type == tangle::TxType::kAuthorization) {
+    if (auto s = auth_.apply(tx); !s) {
+      // Another factory's manager publishing its own list arrives via
+      // gossip and is expected to be ignored here — only log real failures.
+      if (s.code() == ErrorCode::kUnauthorized)
+        logger.info() << "ignoring foreign authorization list";
+      else
+        logger.warn() << "authorization tx attached but not applied: "
+                      << s.to_string();
+    }
+  }
+
+  ++stats_.accepted;
+
+  // A newly attached transaction may be the parent some buffered
+  // out-of-order gossip was waiting for.
+  adopt_orphans(tx.id());
+  return Status::ok();
+}
+
+Status Gateway::submit(const tangle::Transaction& tx) {
+  const auto status = admit(tx, /*from_gossip=*/false);
+  if (status.is_ok()) {
+    RpcMessage gossip;
+    gossip.type = MsgType::kBroadcastTx;
+    gossip.sender_key = identity_.public_identity().sign_key;
+    gossip.body = tx.encode();
+    const Bytes wire = gossip.encode();
+    for (const auto peer : peers_) network_.send(id_, peer, wire);
+  }
+  return status;
+}
+
+void Gateway::handle_submit(sim::NodeId from, const RpcMessage& msg) {
+  SubmitResult result;
+  const auto tx = tangle::Transaction::decode(msg.body);
+  if (!tx) {
+    result.status = ErrorCode::kInvalidArgument;
+    result.message = "undecodable transaction";
+  } else if (tx.value().sender != msg.sender_key) {
+    result.status = ErrorCode::kUnauthorized;
+    result.message = "transaction sender differs from RPC sender";
+  } else {
+    const auto status = submit(tx.value());
+    result.status = status.code();
+    result.message = status.message();
+    result.tx_id = tx.value().id();
+  }
+  reply(from, MsgType::kSubmitResult, msg.request_id, result.encode());
+}
+
+void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
+  // Offloaded PoW (the remote attachToTangle pattern): the device signed the
+  // transaction but left the nonce to us. Grind it at the difficulty the
+  // credit policy demands of the *device*, then run the normal admission
+  // pipeline. The gateway is a server-class node, so this is cheap for it —
+  // and the credit mechanism still prices the device's behaviour, because
+  // the required difficulty follows the device's credit either way.
+  SubmitResult result;
+  auto tx = tangle::Transaction::decode(msg.body);
+  if (!tx) {
+    result.status = ErrorCode::kInvalidArgument;
+    result.message = "undecodable transaction";
+  } else if (tx.value().sender != msg.sender_key) {
+    result.status = ErrorCode::kUnauthorized;
+    result.message = "transaction sender differs from RPC sender";
+  } else {
+    auto& t = tx.value();
+    // The declared difficulty is signed by the device, so it cannot be
+    // adjusted here; if it fell behind the policy (credit moved since the
+    // tips response), the device must refresh and re-sign.
+    const int required = required_difficulty(t.sender);
+    if (t.difficulty < required) {
+      ++stats_.rejected_difficulty;
+      result.status = ErrorCode::kPowInvalid;
+      result.message = "declared difficulty below required";
+    } else {
+      const auto mined = miner_.mine(t.parent1, t.parent2, t.difficulty);
+      t.nonce = mined->nonce;
+      const auto status = submit(t);
+      result.status = status.code();
+      result.message = status.message();
+      result.tx_id = t.id();
+    }
+  }
+  reply(from, MsgType::kAttachResult, msg.request_id, result.encode());
+}
+
+void Gateway::buffer_orphan(const tangle::TxId& missing_parent,
+                            tangle::Transaction tx) {
+  if (orphan_count_ >= config_.max_orphans) return;  // bounded under attack
+  orphans_[missing_parent].push_back(std::move(tx));
+  ++orphan_count_;
+  ++stats_.orphans_buffered;
+}
+
+void Gateway::adopt_orphans(const tangle::TxId& arrived) {
+  const auto it = orphans_.find(arrived);
+  if (it == orphans_.end()) return;
+  auto waiting = std::move(it->second);
+  orphans_.erase(it);
+  orphan_count_ -= waiting.size();
+  for (auto& tx : waiting) {
+    // Re-admission may re-orphan on the OTHER parent; that re-buffers.
+    if (admit(tx, /*from_gossip=*/true).is_ok()) ++stats_.orphans_adopted;
+  }
+}
+
+void Gateway::handle_gossip(const RpcMessage& msg) {
+  ++stats_.gossip_received;
+  const auto tx = tangle::Transaction::decode(msg.body);
+  if (!tx) return;
+  const auto status = admit(tx.value(), /*from_gossip=*/true);
+  if (status.is_ok()) {
+    // Relay onward so the tangle converges across >2 gateways; duplicates
+    // are rejected by the tangle, which stops the flood.
+    RpcMessage relay = msg;
+    const Bytes wire = relay.encode();
+    for (const auto peer : peers_) network_.send(id_, peer, wire);
+  } else if (status.code() == ErrorCode::kNotFound) {
+    // Random per-message latency reorders gossip: hold the child until its
+    // missing parent lands rather than dropping it.
+    const auto& t = tx.value();
+    const auto missing = tangle_.contains(t.parent1) ? t.parent2 : t.parent1;
+    buffer_orphan(missing, t);
+  }
+}
+
+void Gateway::reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
+                    const Bytes& body) {
+  RpcMessage msg;
+  msg.type = type;
+  msg.request_id = request_id;
+  msg.sender_key = identity_.public_identity().sign_key;
+  msg.body = body;
+  network_.send(id_, to, msg.encode());
+}
+
+}  // namespace biot::node

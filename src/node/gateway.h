@@ -1,0 +1,217 @@
+// Gateway (full node). Maintains a tangle replica, enforces admission
+// control against the manager-published authorization list, enforces the
+// difficulty policy, detects malicious behaviours (feeding the credit
+// model), applies the ledger, answers light-node RPCs and gossips accepted
+// transactions to peer gateways (paper Section IV-A "Gateways").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "auth/authorization.h"
+#include "consensus/credit.h"
+#include "consensus/detectors.h"
+#include "consensus/policy.h"
+#include "consensus/pow.h"
+#include "node/rpc.h"
+#include "sim/network.h"
+#include "tangle/ledger.h"
+#include "tangle/milestones.h"
+#include "tangle/tangle.h"
+#include "tangle/tip_selection.h"
+
+namespace biot::node {
+
+struct GatewayConfig {
+  /// Difficulty policy: kCredit (the paper's mechanism) or kFixed baseline.
+  enum class Policy { kCredit, kFixed } policy = Policy::kCredit;
+  int fixed_difficulty = 11;  // used when policy == kFixed
+  consensus::CreditParams credit;
+  consensus::LazyTipPolicy lazy;
+  /// Cumulative-weight threshold for confirmation queries.
+  std::size_t confirmation_weight = 5;
+  /// Tip selection handed to light nodes: uniform random over tips, or the
+  /// IOTA-style alpha-weighted MCMC walk (lazy-tip resistant but O(n) per
+  /// selection — see bench/tip_selection_bench).
+  enum class TipStrategy { kUniform, kWeightedWalk } tips = TipStrategy::kUniform;
+  double walk_alpha = 0.5;  // used when tips == kWeightedWalk
+  /// Anti-entropy: every `sync_interval` seconds each gateway sends its
+  /// transaction-id inventory to one peer (round-robin); the peer answers
+  /// with whatever the sender is missing. Heals partitions completely where
+  /// live gossip alone cannot backfill missed history. 0 disables.
+  Duration sync_interval = 0.0;
+  /// Per-sender request rate limit (token bucket, requests/second) applied
+  /// to the service edge before any other processing — even replying
+  /// "unauthorized" costs cycles, so a DDoS flood is shed here. 0 disables.
+  double rate_limit_per_sender = 0.0;
+  double rate_limit_burst = 10.0;
+  /// Gossip can deliver a child before its parents (per-message latency is
+  /// random); such orphans are buffered and retried when the parent lands
+  /// instead of being dropped. Bounds memory under attack.
+  std::size_t max_orphans = 256;
+};
+
+struct GatewayStats {
+  std::uint64_t tips_served = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_unauthorized = 0;
+  std::uint64_t rejected_difficulty = 0;
+  std::uint64_t rejected_pow = 0;
+  std::uint64_t rejected_conflict = 0;   // double-spends caught
+  std::uint64_t rejected_other = 0;
+  std::uint64_t lazy_detected = 0;
+  std::uint64_t poor_quality_detected = 0;
+  std::uint64_t gossip_received = 0;
+  std::uint64_t syncs_sent = 0;
+  std::uint64_t sync_txs_served = 0;    // txs shipped to lagging peers
+  std::uint64_t sync_txs_applied = 0;   // txs backfilled from peers
+  std::uint64_t rate_limited = 0;       // service requests shed at the edge
+  std::uint64_t orphans_buffered = 0;   // out-of-order gossip held back
+  std::uint64_t orphans_adopted = 0;    // later attached successfully
+};
+
+class Gateway {
+ public:
+  Gateway(sim::NodeId id, const crypto::Identity& identity,
+          const crypto::Ed25519PublicKey& manager_key,
+          const tangle::Transaction& genesis, sim::Network& network,
+          GatewayConfig config = {});
+
+  /// Cold start from a persisted replica (storage::load_tangle). All derived
+  /// state — ledger slots and balances, the authorization list, milestone
+  /// confirmations and every node's credit history — is REBUILT by replaying
+  /// the restored history in arrival order. This is the paper's tamper-proof
+  /// credit property made operational: "the credit value is calculated based
+  /// on transaction weight and abnormal behaviours, which can be reflected
+  /// from blockchain records" — a restarted gateway derives it from chain.
+  /// The coordinator key (when used) must be set via set_coordinator before
+  /// restore so historical milestones are honoured.
+  Gateway(sim::NodeId id, const crypto::Identity& identity,
+          const crypto::Ed25519PublicKey& manager_key,
+          tangle::Tangle restored, sim::Network& network,
+          GatewayConfig config = {},
+          const std::optional<crypto::Ed25519PublicKey>& coordinator = {});
+
+  /// Registers the gateway's message handler with the network.
+  void attach();
+
+  sim::NodeId node_id() const { return id_; }
+  void add_peer(sim::NodeId peer) { peers_.push_back(peer); }
+
+  const tangle::Tangle& tangle() const { return tangle_; }
+  const tangle::Ledger& ledger() const { return ledger_; }
+  tangle::Ledger& ledger() { return ledger_; }
+  const auth::AuthRegistry& auth_registry() const { return auth_; }
+  /// Registers a co-manager (the paper permits several per factory).
+  void add_manager(const crypto::Ed25519PublicKey& key) { auth_.add_manager(key); }
+
+  /// Registers the Coordinator key: only this identity may attach milestone
+  /// transactions. Milestone-based confirmation is disabled until set.
+  void set_coordinator(const crypto::Ed25519PublicKey& key) {
+    coordinator_key_ = key;
+  }
+  const tangle::MilestoneTracker& milestones() const { return milestones_; }
+
+  /// Confirmation status under both rules (weight threshold + milestones).
+  ConfirmationInfo confirmation_status(const tangle::TxId& id) const;
+  const consensus::CreditRegistry& credit_registry() const { return credit_; }
+  const GatewayStats& stats() const { return stats_; }
+
+  /// Weight oracle over this gateway's tangle replica: weight(tx) = 1 +
+  /// direct approvals received so far.
+  consensus::WeightOracle weight_oracle() const;
+
+  /// Difficulty currently required of `sender` under the active policy.
+  int required_difficulty(const tangle::AccountKey& sender) const;
+
+  /// Local (non-RPC) submission path used by in-process callers and tests.
+  /// Performs the exact same admission pipeline as a kSubmitTx message.
+  Status submit(const tangle::Transaction& tx);
+
+  /// Sensor-data quality inspector (future-work extension, Section VIII).
+  /// Returns a quality score in [0, 1] for a transaction's payload, or
+  /// nullopt when the payload cannot be judged (e.g. encrypted). Scores of
+  /// 0 are recorded as Behaviour::kPoorQuality against the sender — the
+  /// transaction still attaches (bad data is not a protocol violation), but
+  /// the sender's PoW gets harder.
+  using QualityInspector =
+      std::function<std::optional<double>(const tangle::Transaction&)>;
+  void set_quality_inspector(QualityInspector inspector) {
+    quality_inspector_ = std::move(inspector);
+  }
+
+  /// Tip pair this gateway would hand out right now.
+  tangle::TipPair select_tips();
+
+  /// Operational local snapshot (the "storage limitations" future-work item,
+  /// live): archives every transaction older than `cutoff` through
+  /// `archive_tx` (arrival order), then swaps the hot tangle for one rooted
+  /// at a snapshot genesis committing to the current ledger/authorization
+  /// state. Ledger and credit state carry over untouched; devices re-anchor
+  /// on the snapshot genesis at their next tips request. In a multi-gateway
+  /// deployment all replicas must prune at an agreed point (e.g. a
+  /// milestone) or gossip for in-flight history will dangle. Returns the
+  /// number of archived transactions.
+  std::size_t snapshot_and_prune(
+      TimePoint cutoff,
+      const std::function<void(const tangle::Transaction&, TimePoint)>&
+          archive_tx);
+
+ private:
+  void on_message(sim::NodeId from, const Bytes& wire);
+  void handle_get_tips(sim::NodeId from, const RpcMessage& msg);
+  void handle_submit(sim::NodeId from, const RpcMessage& msg);
+  void handle_attach(sim::NodeId from, const RpcMessage& msg);
+  void handle_confirm_query(sim::NodeId from, const RpcMessage& msg);
+  void handle_data_query(sim::NodeId from, const RpcMessage& msg);
+  void handle_gossip(const RpcMessage& msg);
+  void handle_sync_summary(sim::NodeId from, const RpcMessage& msg);
+  void handle_sync_missing(const RpcMessage& msg);
+  void sync_tick();
+  /// Token-bucket check for a service request; false = shed.
+  bool rate_limit_allows(const crypto::Ed25519PublicKey& sender);
+  /// Buffers an out-of-order gossiped transaction awaiting `missing_parent`.
+  void buffer_orphan(const tangle::TxId& missing_parent,
+                     tangle::Transaction tx);
+  /// Retries orphans that were waiting for `arrived`.
+  void adopt_orphans(const tangle::TxId& arrived);
+  Status admit(const tangle::Transaction& tx, bool from_gossip);
+  void reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
+             const Bytes& body);
+  TimePoint now() const { return network_.scheduler().now(); }
+
+  sim::NodeId id_;
+  const crypto::Identity& identity_;
+  sim::Network& network_;
+  GatewayConfig config_;
+
+  tangle::Tangle tangle_;
+  tangle::Ledger ledger_;
+  auth::AuthRegistry auth_;
+  consensus::CreditRegistry credit_;
+  std::unique_ptr<consensus::DifficultyPolicy> policy_;
+  std::unique_ptr<tangle::TipSelector> tip_selector_;
+  consensus::Miner miner_;  // serves offloaded-PoW attach requests
+  Rng rng_;
+
+  struct TokenBucket {
+    double tokens = 0.0;
+    TimePoint last_refill = 0.0;
+  };
+  std::unordered_map<crypto::Ed25519PublicKey, TokenBucket, FixedBytesHash<32>>
+      buckets_;
+
+  std::vector<sim::NodeId> peers_;
+  std::size_t next_sync_peer_ = 0;
+  // missing parent id -> transactions waiting on it
+  std::unordered_map<tangle::TxId, std::vector<tangle::Transaction>,
+                     FixedBytesHash<32>>
+      orphans_;
+  std::size_t orphan_count_ = 0;
+  QualityInspector quality_inspector_;
+  std::optional<crypto::Ed25519PublicKey> coordinator_key_;
+  tangle::MilestoneTracker milestones_;
+  GatewayStats stats_;
+};
+
+}  // namespace biot::node

@@ -1,0 +1,252 @@
+#include "node/light_node.h"
+
+#include "common/log.h"
+
+namespace biot::node {
+
+namespace {
+Logger logger("light_node");
+}
+
+LightNode::LightNode(sim::NodeId id, crypto::Identity identity,
+                     sim::NodeId gateway, sim::Network& network,
+                     LightNodeConfig config)
+    : id_(id),
+      identity_(std::move(identity)),
+      gateway_(gateway),
+      network_(network),
+      config_(config),
+      csprng_(0xb107ull * (id + 1)),
+      rng_(0x11aull * (id + 1)),
+      miner_(std::uint64_t{id} << 32) {
+  data_source_ = [this] { return csprng_.bytes(config_.payload_size); };
+}
+
+void LightNode::start() {
+  network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
+    on_message(from, wire);
+  });
+  network_.scheduler().at(config_.start_time, [this] { begin_cycle(); });
+}
+
+void LightNode::schedule_attack(TimePoint at, AttackKind kind) {
+  attack_plan_.push_back(PlannedAttack{at, kind});
+}
+
+void LightNode::enable_keydist(const crypto::Ed25519PublicKey& manager_key) {
+  keydist_.emplace(identity_, manager_key, network_.scheduler().clock(), csprng_);
+}
+
+void LightNode::query_confirmation(const tangle::TxId& id) {
+  send(MsgType::kConfirmQuery, id.bytes());
+}
+
+void LightNode::send(MsgType type, const Bytes& body) {
+  RpcMessage msg;
+  msg.type = type;
+  msg.request_id = next_request_id_++;
+  msg.sender_key = identity_.public_identity().sign_key;
+  msg.body = body;
+  network_.send(id_, gateway_, msg.encode());
+}
+
+void LightNode::begin_cycle() {
+  if (cycle_in_flight_) return;
+  cycle_in_flight_ = true;
+  ++stats_.cycles_started;
+  ++cycle_serial_;
+  send(MsgType::kGetTipsRequest, {});
+
+  // Watchdog: a shed or lost reply must not wedge the device forever; and
+  // repeated silence means the gateway is likely down — fail over.
+  if (config_.request_timeout > 0.0) {
+    network_.scheduler().after(
+        config_.request_timeout, [this, serial = cycle_serial_] {
+          if (cycle_in_flight_ && cycle_serial_ == serial) {
+            ++stats_.timeouts;
+            awaiting_results_ = 0;
+            if (++consecutive_timeouts_ >= config_.failover_after_timeouts &&
+                !backup_gateways_.empty()) {
+              gateway_ = backup_gateways_[next_backup_++ %
+                                          backup_gateways_.size()];
+              consecutive_timeouts_ = 0;
+              ++stats_.failovers;
+              logger.info() << "node " << id_ << " failing over to gateway "
+                            << gateway_;
+            }
+            schedule_next_cycle();
+          }
+        });
+  }
+}
+
+void LightNode::schedule_next_cycle() {
+  cycle_in_flight_ = false;
+  if (config_.continuous) {
+    network_.scheduler().after(0.0, [this] { begin_cycle(); });
+  } else {
+    network_.scheduler().after(config_.collect_interval, [this] { begin_cycle(); });
+  }
+}
+
+void LightNode::on_message(sim::NodeId from, const Bytes& wire) {
+  const auto msg = RpcMessage::decode(wire);
+  if (!msg) {
+    logger.warn() << "node " << id_ << ": malformed message";
+    return;
+  }
+  switch (msg.value().type) {
+    case MsgType::kGetTipsResponse: {
+      const auto tips = TipsResponse::decode(msg.value().body);
+      if (tips) on_tips(tips.value());
+      break;
+    }
+    case MsgType::kSubmitResult:
+    case MsgType::kAttachResult: {
+      const auto result = SubmitResult::decode(msg.value().body);
+      if (result) on_result(result.value());
+      break;
+    }
+    case MsgType::kConfirmResponse: {
+      const auto info = ConfirmationInfo::decode(msg.value().body);
+      if (info) last_confirmation_ = info.value();
+      break;
+    }
+    case MsgType::kKeyDistM1:
+    case MsgType::kKeyDistM3:
+      handle_keydist(msg.value(), from);
+      break;
+    default:
+      break;
+  }
+}
+
+tangle::Transaction LightNode::build_tx(const tangle::TipPair& parents,
+                                        int difficulty, std::uint64_t sequence,
+                                        Bytes payload, bool encrypted) {
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kData;
+  tx.sender = identity_.public_identity().sign_key;
+  tx.parent1 = parents.first;
+  tx.parent2 = parents.second;
+  tx.sequence = sequence;
+  tx.timestamp = now();
+  tx.difficulty = static_cast<std::uint8_t>(difficulty);
+  tx.payload = std::move(payload);
+  tx.payload_encrypted = encrypted;
+  return tx;
+}
+
+void LightNode::mine_and_submit(tangle::Transaction tx) {
+  if (config_.offload_pow) {
+    // Remote attachment: sign and ship; the gateway grinds the nonce. The
+    // device pays only the tip-validation time.
+    tx.signature = identity_.sign(tx.signing_bytes());
+    stats_.pow_durations.push_back(0.0);
+    ++awaiting_results_;
+    network_.scheduler().after(
+        config_.tip_validation_s,
+        [this, wire = tx.encode()] { send(MsgType::kAttachRequest, wire); });
+    return;
+  }
+
+  // Local PoW: really grind the nonce (cheap on the host at IoT
+  // difficulties) ...
+  const auto mined = miner_.mine(tx.parent1, tx.parent2, tx.difficulty);
+  tx.nonce = mined->nonce;
+  tx.signature = identity_.sign(tx.signing_bytes());
+
+  // ... but account for it at device speed on the simulated clock.
+  const Duration pow_time =
+      config_.profile.sample_pow_time(tx.difficulty, rng_);
+  stats_.pow_durations.push_back(pow_time);
+
+  ++awaiting_results_;
+  network_.scheduler().after(
+      config_.tip_validation_s + pow_time,
+      [this, wire = tx.encode()] { send(MsgType::kSubmitTx, wire); });
+}
+
+void LightNode::on_tips(const TipsResponse& tips) {
+  if (tips.status != ErrorCode::kOk) {
+    ++stats_.unauthorized;
+    schedule_next_cycle();
+    return;
+  }
+
+  if (!stale_parents_) stale_parents_ = {tips.tip1, tips.tip2};
+
+  // Pull due attacks off the plan.
+  std::optional<AttackKind> attack;
+  if (!attack_plan_.empty() && attack_plan_.front().at <= now()) {
+    attack = attack_plan_.front().kind;
+    attack_plan_.pop_front();
+  }
+
+  const auto [payload, encrypted] = protector_.protect(data_source_(), csprng_);
+
+  if (attack == AttackKind::kLazyTips) {
+    // Approve the remembered stale pair instead of the fresh tips.
+    ++stats_.attacks_launched;
+    mine_and_submit(build_tx(*stale_parents_, tips.required_difficulty,
+                             sequence_++, payload, encrypted));
+    return;
+  }
+
+  if (attack == AttackKind::kDoubleSpend) {
+    // Two distinct transactions claiming the same sequence slot.
+    ++stats_.attacks_launched;
+    const std::uint64_t seq = sequence_++;
+    auto tx1 = build_tx({tips.tip1, tips.tip2}, tips.required_difficulty, seq,
+                        payload, encrypted);
+    const auto [payload2, encrypted2] = protector_.protect(data_source_(), csprng_);
+    auto tx2 = build_tx({tips.tip2, tips.tip1}, tips.required_difficulty, seq,
+                        payload2, encrypted2);
+    mine_and_submit(std::move(tx1));
+    mine_and_submit(std::move(tx2));
+    return;
+  }
+
+  mine_and_submit(build_tx({tips.tip1, tips.tip2}, tips.required_difficulty,
+                           sequence_++, payload, encrypted));
+}
+
+void LightNode::on_result(const SubmitResult& result) {
+  consecutive_timeouts_ = 0;  // the gateway is alive
+  if (result.status == ErrorCode::kOk) {
+    ++stats_.accepted;
+    stats_.accepted_times.push_back(now());
+  } else {
+    ++stats_.rejected;
+  }
+  if (!cycle_in_flight_) return;  // stale reply after a watchdog timeout
+  if (awaiting_results_ > 0) --awaiting_results_;
+  if (awaiting_results_ == 0) schedule_next_cycle();
+}
+
+void LightNode::handle_keydist(const RpcMessage& msg, sim::NodeId from) {
+  if (!keydist_) return;
+  if (msg.type == MsgType::kKeyDistM1) {
+    auto m2 = keydist_->handle_m1(msg.body);
+    if (!m2) {
+      logger.warn() << "node " << id_ << ": M1 rejected: "
+                    << m2.status().to_string();
+      return;
+    }
+    RpcMessage out;
+    out.type = MsgType::kKeyDistM2;
+    out.request_id = msg.request_id;
+    out.sender_key = identity_.public_identity().sign_key;
+    out.body = std::move(m2).take();
+    network_.send(id_, from, out.encode());
+  } else if (msg.type == MsgType::kKeyDistM3) {
+    const auto status = keydist_->handle_m3(msg.body);
+    if (status.is_ok()) {
+      protector_.install_key(keydist_->key());
+    } else {
+      logger.warn() << "node " << id_ << ": M3 rejected: " << status.to_string();
+    }
+  }
+}
+
+}  // namespace biot::node

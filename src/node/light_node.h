@@ -1,0 +1,177 @@
+// Light node: a power-constrained IoT device (paper Section IV-A).
+//
+// It keeps no tangle replica. Each submission cycle follows Fig 6 steps 4-5:
+// request two tips from its gateway, validate them, run PoW binding the new
+// transaction to the tips, and submit. PoW really grinds nonces (host time)
+// while the *simulated* duration comes from the device's compute profile, so
+// the discrete-event clock reproduces Raspberry-Pi-scale timings.
+//
+// Attack behaviours from the threat model are built in and schedulable:
+// lazy tips (approve a fixed stale pair) and double-spending (submit two
+// transactions on the same sequence slot).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "auth/data_protection.h"
+#include "auth/keydist.h"
+#include "consensus/pow.h"
+#include "crypto/identity.h"
+#include "node/rpc.h"
+#include "tangle/tip_selection.h"
+#include "sim/device_profile.h"
+#include "sim/network.h"
+
+namespace biot::node {
+
+enum class AttackKind : std::uint8_t { kLazyTips = 0, kDoubleSpend = 1 };
+
+struct LightNodeConfig {
+  sim::DeviceProfile profile = sim::DeviceProfile::pi3b_fig9();
+  /// Seconds between sensor collections; ignored when continuous.
+  Duration collect_interval = 2.0;
+  /// Continuous mode: begin the next cycle as soon as the previous resolves
+  /// (used by the Fig 9 average-time-per-transaction experiments).
+  bool continuous = false;
+  /// Simulated cost of validating the two fetched tips.
+  Duration tip_validation_s = 0.02;
+  /// Offload PoW to the gateway (remote attachToTangle): the device signs
+  /// and ships the transaction, the gateway grinds the nonce. Spares the
+  /// device the 2^D hash search at the price of trusting the gateway with
+  /// attachment (the signature still protects the content).
+  bool offload_pow = false;
+  /// Payload size when using the default random data source.
+  std::size_t payload_size = 64;
+  /// First cycle fires at this simulated time.
+  TimePoint start_time = 0.1;
+  /// Give up on a cycle if the gateway has not answered within this long
+  /// (lost/shed messages must not wedge the device). 0 disables.
+  Duration request_timeout = 10.0;
+  /// After this many consecutive timeouts the device assumes its gateway is
+  /// down and fails over to the next backup gateway (see add_backup_gateway).
+  std::uint32_t failover_after_timeouts = 2;
+};
+
+struct LightNodeStats {
+  std::uint64_t cycles_started = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unauthorized = 0;
+  std::uint64_t attacks_launched = 0;
+  std::uint64_t timeouts = 0;   // cycles abandoned waiting for the gateway
+  std::uint64_t failovers = 0;  // times the device re-homed to a backup
+  /// Simulated PoW seconds spent, one entry per mined transaction.
+  std::vector<Duration> pow_durations;
+  /// Simulated times at which submissions were accepted.
+  std::vector<TimePoint> accepted_times;
+};
+
+class LightNode {
+ public:
+  LightNode(sim::NodeId id, crypto::Identity identity, sim::NodeId gateway,
+            sim::Network& network, LightNodeConfig config = {});
+
+  /// Registers with the network and schedules the first cycle.
+  void start();
+
+  /// Queues an attack to replace the next honest cycle at/after `at`.
+  void schedule_attack(TimePoint at, AttackKind kind);
+
+  /// Registers an alternative gateway; after `failover_after_timeouts`
+  /// consecutive unanswered cycles the device re-homes to the next backup
+  /// (round-robin through home + backups). Models the paper's "resilient
+  /// for failure of one or more nodes" availability claim end to end.
+  void add_backup_gateway(sim::NodeId gateway) {
+    backup_gateways_.push_back(gateway);
+  }
+  sim::NodeId current_gateway() const { return gateway_; }
+
+  /// Data source override (default: random bytes of config.payload_size).
+  void set_data_source(std::function<Bytes()> source) {
+    data_source_ = std::move(source);
+  }
+
+  /// Installs the symmetric key (sensitive-data devices) — normally done by
+  /// the Fig 4 handshake, exposed for direct setup in tests.
+  void install_symmetric_key(const auth::SymmetricKey& key) {
+    protector_.install_key(key);
+  }
+  bool has_symmetric_key() const { return protector_.has_key(); }
+  const auth::SensorDataProtector& protector() const { return protector_; }
+
+  /// Wires up the device side of the key-distribution handshake.
+  void enable_keydist(const crypto::Ed25519PublicKey& manager_key);
+
+  /// Asks the gateway whether a transaction is confirmed; the answer lands
+  /// in last_confirmation() after the simulated round trip.
+  void query_confirmation(const tangle::TxId& id);
+  const std::optional<ConfirmationInfo>& last_confirmation() const {
+    return last_confirmation_;
+  }
+
+  const crypto::Identity& identity() const { return identity_; }
+  crypto::PublicIdentity public_identity() const {
+    return identity_.public_identity();
+  }
+  sim::NodeId node_id() const { return id_; }
+  const LightNodeStats& stats() const { return stats_; }
+
+  /// Resumes the per-sender sequence counter after a device restart — the
+  /// ledger's slot for this account continues where history left off
+  /// (query Gateway::ledger().next_sequence()). Devices persist this in
+  /// practice; reusing an old slot reads as a double-spend.
+  void resume_sequence(std::uint64_t next) { sequence_ = next; }
+
+ private:
+  void on_message(sim::NodeId from, const Bytes& wire);
+  void begin_cycle();
+  void schedule_next_cycle();
+  void on_tips(const TipsResponse& tips);
+  void on_result(const SubmitResult& result);
+  void handle_keydist(const RpcMessage& msg, sim::NodeId from);
+
+  tangle::Transaction build_tx(const tangle::TipPair& parents, int difficulty,
+                               std::uint64_t sequence, Bytes payload,
+                               bool encrypted);
+  void mine_and_submit(tangle::Transaction tx);
+  void send(MsgType type, const Bytes& body);
+  TimePoint now() const { return network_.scheduler().now(); }
+
+  sim::NodeId id_;
+  crypto::Identity identity_;
+  sim::NodeId gateway_;
+  sim::Network& network_;
+  LightNodeConfig config_;
+
+  crypto::Csprng csprng_;
+  Rng rng_;
+  consensus::Miner miner_;
+  auth::SensorDataProtector protector_;
+  std::optional<auth::DeviceKeyDist> keydist_;
+  std::function<Bytes()> data_source_;
+
+  std::uint64_t sequence_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  bool cycle_in_flight_ = false;
+  std::uint64_t awaiting_results_ = 0;
+  std::uint64_t cycle_serial_ = 0;  // distinguishes cycles for the timeout
+
+  /// Stale pair remembered from the first tips response (lazy-attack fodder).
+  std::optional<tangle::TipPair> stale_parents_;
+  struct PlannedAttack {
+    TimePoint at;
+    AttackKind kind;
+  };
+  std::deque<PlannedAttack> attack_plan_;
+
+  std::optional<ConfirmationInfo> last_confirmation_;
+  std::vector<sim::NodeId> backup_gateways_;
+  std::size_t next_backup_ = 0;
+  std::uint32_t consecutive_timeouts_ = 0;
+  LightNodeStats stats_;
+};
+
+}  // namespace biot::node

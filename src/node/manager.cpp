@@ -1,0 +1,85 @@
+#include "node/manager.h"
+
+#include "common/log.h"
+
+namespace biot::node {
+
+namespace {
+Logger logger("manager");
+}
+
+Manager::Manager(sim::NodeId id, const crypto::Identity& identity,
+                 Gateway& gateway, sim::Network& network)
+    : id_(id),
+      identity_(identity),
+      gateway_(gateway),
+      network_(network),
+      csprng_(0x3a3aull * (id + 1)),
+      miner_(std::uint64_t{id} << 40),
+      keydist_(identity_, network.scheduler().clock(), csprng_) {}
+
+void Manager::attach() {
+  network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
+    on_message(from, wire);
+  });
+}
+
+Status Manager::authorize(const std::vector<crypto::PublicIdentity>& devices) {
+  auth::AuthorizationList list;
+  list.devices = devices;
+  auto tx = auth::make_authorization_tx(identity_, list, sequence_++, now());
+
+  const auto [t1, t2] = gateway_.select_tips();
+  tx.parent1 = t1;
+  tx.parent2 = t2;
+  tx.difficulty = static_cast<std::uint8_t>(
+      gateway_.required_difficulty(identity_.public_identity().sign_key));
+  const auto mined = miner_.mine(tx.parent1, tx.parent2, tx.difficulty);
+  tx.nonce = mined->nonce;
+  tx.signature = identity_.sign(tx.signing_bytes());
+
+  return gateway_.submit(tx);
+}
+
+Status Manager::distribute_key(const crypto::PublicIdentity& device,
+                               sim::NodeId device_node) {
+  if (!gateway_.auth_registry().is_authorized(device.sign_key))
+    return Status::error(ErrorCode::kUnauthorized,
+                         "manager: device not authorized; publish the list first");
+
+  pending_devices_[device.sign_key] = device;
+
+  RpcMessage msg;
+  msg.type = MsgType::kKeyDistM1;
+  msg.request_id = next_request_id_++;
+  msg.sender_key = identity_.public_identity().sign_key;
+  msg.body = keydist_.start_session(device);
+  network_.send(id_, device_node, msg.encode());
+  return Status::ok();
+}
+
+void Manager::on_message(sim::NodeId from, const Bytes& wire) {
+  const auto msg = RpcMessage::decode(wire);
+  if (!msg || msg.value().type != MsgType::kKeyDistM2) return;
+
+  const auto it = pending_devices_.find(msg.value().sender_key);
+  if (it == pending_devices_.end()) {
+    logger.warn() << "M2 from unknown device";
+    return;
+  }
+
+  auto m3 = keydist_.handle_m2(it->second, msg.value().body);
+  if (!m3) {
+    logger.warn() << "M2 rejected: " << m3.status().to_string();
+    return;
+  }
+
+  RpcMessage out;
+  out.type = MsgType::kKeyDistM3;
+  out.request_id = msg.value().request_id;
+  out.sender_key = identity_.public_identity().sign_key;
+  out.body = std::move(m3).take();
+  network_.send(id_, from, out.encode());
+}
+
+}  // namespace biot::node

@@ -1,0 +1,72 @@
+// Manager: the specific full node responsible for device administration
+// (paper Section IV-A). Its public key is fixed at genesis; it publishes the
+// authorization list as signed transactions (Eqn 1) and runs the Fig 4
+// symmetric-key distribution handshake with sensitive-data devices.
+//
+// The manager is co-located with its own gateway (it IS a full node), so
+// administrative transactions enter the tangle through the normal admission
+// pipeline — tips, PoW and all.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "auth/keydist.h"
+#include "consensus/pow.h"
+#include "node/gateway.h"
+
+namespace biot::node {
+
+class Manager {
+ public:
+  Manager(sim::NodeId id, const crypto::Identity& identity, Gateway& gateway,
+          sim::Network& network);
+
+  /// Registers the manager's message handler (for key-distribution M2s).
+  void attach();
+
+  /// Publishes `devices` as the new authorization list: builds the Eqn 1
+  /// transaction, fetches tips, mines at the required difficulty and submits
+  /// through the co-located gateway.
+  Status authorize(const std::vector<crypto::PublicIdentity>& devices);
+
+  /// Starts the Fig 4 handshake with an authorized device. The device must
+  /// have called LightNode::enable_keydist.
+  Status distribute_key(const crypto::PublicIdentity& device,
+                        sim::NodeId device_node);
+
+  bool session_established(const crypto::PublicIdentity& device) const {
+    return keydist_.session_established(device);
+  }
+  const auth::SymmetricKey& session_key(const crypto::PublicIdentity& device) const {
+    return keydist_.session_key(device);
+  }
+
+  const crypto::Identity& identity() const { return identity_; }
+  crypto::PublicIdentity public_identity() const {
+    return identity_.public_identity();
+  }
+  sim::NodeId node_id() const { return id_; }
+
+ private:
+  void on_message(sim::NodeId from, const Bytes& wire);
+  TimePoint now() const { return network_.scheduler().now(); }
+
+  sim::NodeId id_;
+  const crypto::Identity& identity_;
+  Gateway& gateway_;
+  sim::Network& network_;
+
+  crypto::Csprng csprng_;
+  consensus::Miner miner_;
+  auth::ManagerKeyDist keydist_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t next_request_id_ = 1;
+
+  /// Devices we are distributing keys to, keyed by signing key (M2 routing).
+  std::unordered_map<crypto::Ed25519PublicKey, crypto::PublicIdentity,
+                     FixedBytesHash<32>>
+      pending_devices_;
+};
+
+}  // namespace biot::node

@@ -1,0 +1,184 @@
+#include "node/rpc.h"
+
+#include "common/codec.h"
+
+namespace biot::node {
+
+Bytes RpcMessage::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(request_id);
+  w.raw(sender_key.view());
+  w.blob(body);
+  return std::move(w).take();
+}
+
+Result<RpcMessage> RpcMessage::decode(ByteView wire) {
+  Reader r(wire);
+  RpcMessage msg;
+
+  const auto type_byte = r.u8();
+  if (!type_byte) return type_byte.status();
+  if (type_byte.value() < 1 ||
+      type_byte.value() > static_cast<std::uint8_t>(MsgType::kDataResponse))
+    return Status::error(ErrorCode::kInvalidArgument, "rpc: bad message type");
+  msg.type = static_cast<MsgType>(type_byte.value());
+
+  const auto rid = r.u64();
+  if (!rid) return rid.status();
+  msg.request_id = rid.value();
+
+  const auto key = r.raw(32);
+  if (!key) return key.status();
+  msg.sender_key = crypto::Ed25519PublicKey::from_view(key.value());
+
+  auto body = r.blob();
+  if (!body) return body.status();
+  msg.body = std::move(body).take();
+
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "rpc: trailing bytes");
+  return msg;
+}
+
+Bytes TipsResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(message);
+  w.raw(tip1.view());
+  w.raw(tip2.view());
+  w.u8(required_difficulty);
+  return std::move(w).take();
+}
+
+Result<TipsResponse> TipsResponse::decode(ByteView wire) {
+  Reader r(wire);
+  TipsResponse out;
+  const auto st = r.u8();
+  if (!st) return st.status();
+  out.status = static_cast<ErrorCode>(st.value());
+  auto msg = r.str();
+  if (!msg) return msg.status();
+  out.message = std::move(msg).take();
+  const auto t1 = r.raw(32);
+  if (!t1) return t1.status();
+  out.tip1 = tangle::TxId::from_view(t1.value());
+  const auto t2 = r.raw(32);
+  if (!t2) return t2.status();
+  out.tip2 = tangle::TxId::from_view(t2.value());
+  const auto d = r.u8();
+  if (!d) return d.status();
+  out.required_difficulty = d.value();
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "tips: trailing bytes");
+  return out;
+}
+
+Bytes ConfirmationInfo::encode() const {
+  Writer w;
+  w.raw(tx_id.view());
+  w.u8(known ? 1 : 0);
+  w.u8(milestone_confirmed ? 1 : 0);
+  w.u8(weight_confirmed ? 1 : 0);
+  w.u64(cumulative_weight);
+  return std::move(w).take();
+}
+
+Result<ConfirmationInfo> ConfirmationInfo::decode(ByteView wire) {
+  Reader r(wire);
+  ConfirmationInfo out;
+  const auto id = r.raw(32);
+  if (!id) return id.status();
+  out.tx_id = tangle::TxId::from_view(id.value());
+  const auto known = r.u8();
+  if (!known) return known.status();
+  out.known = known.value() != 0;
+  const auto by_milestone = r.u8();
+  if (!by_milestone) return by_milestone.status();
+  out.milestone_confirmed = by_milestone.value() != 0;
+  const auto by_weight = r.u8();
+  if (!by_weight) return by_weight.status();
+  out.weight_confirmed = by_weight.value() != 0;
+  const auto weight = r.u64();
+  if (!weight) return weight.status();
+  out.cumulative_weight = weight.value();
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "confirm: trailing bytes");
+  return out;
+}
+
+Bytes DataQuery::encode() const {
+  Writer w;
+  w.raw(sender.view());
+  w.f64(since);
+  w.u32(max_results);
+  return std::move(w).take();
+}
+
+Result<DataQuery> DataQuery::decode(ByteView wire) {
+  Reader r(wire);
+  DataQuery out;
+  const auto sender = r.raw(32);
+  if (!sender) return sender.status();
+  out.sender = crypto::Ed25519PublicKey::from_view(sender.value());
+  const auto since = r.f64();
+  if (!since) return since.status();
+  out.since = since.value();
+  const auto max = r.u32();
+  if (!max) return max.status();
+  out.max_results = max.value();
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "query: trailing bytes");
+  return out;
+}
+
+Bytes DataResponse::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(transactions.size()));
+  for (const auto& tx : transactions) w.blob(tx.encode());
+  return std::move(w).take();
+}
+
+Result<DataResponse> DataResponse::decode(ByteView wire) {
+  Reader r(wire);
+  const auto count = r.u32();
+  if (!count) return count.status();
+  DataResponse out;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    const auto tx_wire = r.blob();
+    if (!tx_wire) return tx_wire.status();
+    auto tx = tangle::Transaction::decode(tx_wire.value());
+    if (!tx) return tx.status();
+    out.transactions.push_back(std::move(tx).take());
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "data: trailing bytes");
+  return out;
+}
+
+Bytes SubmitResult::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(message);
+  w.raw(tx_id.view());
+  return std::move(w).take();
+}
+
+Result<SubmitResult> SubmitResult::decode(ByteView wire) {
+  Reader r(wire);
+  SubmitResult out;
+  const auto st = r.u8();
+  if (!st) return st.status();
+  out.status = static_cast<ErrorCode>(st.value());
+  auto msg = r.str();
+  if (!msg) return msg.status();
+  out.message = std::move(msg).take();
+  const auto id = r.raw(32);
+  if (!id) return id.status();
+  out.tx_id = tangle::TxId::from_view(id.value());
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "submit: trailing bytes");
+  return out;
+}
+
+}  // namespace biot::node

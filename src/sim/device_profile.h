@@ -1,0 +1,82 @@
+// Compute-cost models for the device classes in the paper's testbed.
+//
+// The paper measures PoW and AES timings on a Raspberry Pi 3B. We reproduce
+// those *seconds-scale* numbers inside the simulator by modelling each
+// operation's cost analytically and calibrating constants against the paper's
+// own measured points (see DESIGN.md §1 and EXPERIMENTS.md):
+//
+//  - PoW at difficulty D (leading zero bits): the nonce search is a sequence
+//    of Bernoulli(2^-D) trials, so attempts ~ Geometric(2^-D) with mean 2^D,
+//    and time = overhead + attempts / hash_rate.
+//  - AES over n bytes: time = overhead + n / throughput (Fig 10 is linear).
+//
+// Note the paper's Fig 7 and Fig 9 imply *different* effective hash rates for
+// the same Pi (245.3 s at D=14 vs 0.7 s average at D=11); each figure's bench
+// therefore uses a profile calibrated against that figure's own baseline
+// point, and EXPERIMENTS.md records the discrepancy.
+#pragma once
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace biot::sim {
+
+struct DeviceProfile {
+  double hash_rate_hz = 1.0e6;     // PoW hash attempts per second
+  double pow_overhead_s = 0.0;     // fixed per-PoW setup cost
+  double aes_rate_bps = 1.0e8;     // AES bytes per second
+  double aes_overhead_s = 0.0;     // fixed per-message cost
+  /// Active power draw while hashing (W). The Pi 3B pulls ~3.7 W under
+  /// sustained CPU load; energy per PoW = pow_seconds * pow_power_w.
+  double pow_power_w = 3.7;
+
+  /// Expected PoW duration at difficulty D (leading-zero-bit target).
+  Duration expected_pow_time(int difficulty) const {
+    return pow_overhead_s + std::ldexp(1.0, difficulty) / hash_rate_hz;
+  }
+
+  /// Samples a PoW duration: geometric number of attempts at p = 2^-D.
+  Duration sample_pow_time(int difficulty, Rng& rng) const {
+    const double p = std::ldexp(1.0, -difficulty);
+    const double attempts = static_cast<double>(rng.geometric(p));
+    return pow_overhead_s + attempts / hash_rate_hz;
+  }
+
+  /// AES encryption duration for an n-byte message (linear, Fig 10).
+  Duration aes_time(std::size_t n_bytes) const {
+    return aes_overhead_s + static_cast<double>(n_bytes) / aes_rate_bps;
+  }
+
+  /// Raspberry Pi 3B calibrated against Fig 7 (245.3 s at D=14):
+  /// hash_rate = 2^14 / (245.3 - overhead), overhead = the D=1 floor 0.162 s.
+  static DeviceProfile pi3b_fig7() {
+    DeviceProfile p;
+    p.pow_overhead_s = 0.162;
+    p.hash_rate_hz = std::ldexp(1.0, 14) / (245.3 - p.pow_overhead_s);  // ~66.8 H/s
+    p.aes_rate_bps = 677000.0;   // Fig 10 linear fit (~677 KB/s)
+    p.aes_overhead_s = 0.0001;
+    return p;
+  }
+
+  /// Raspberry Pi 3B calibrated against Fig 9 (0.7 s average at D=11).
+  static DeviceProfile pi3b_fig9() {
+    DeviceProfile p;
+    p.pow_overhead_s = 0.0;
+    p.hash_rate_hz = std::ldexp(1.0, 11) / 0.7;  // ~2926 H/s
+    p.aes_rate_bps = 677000.0;
+    p.aes_overhead_s = 0.0001;
+    return p;
+  }
+
+  /// Gateway/server-class full node (PC in the paper's Fig 5 testbed).
+  static DeviceProfile server() {
+    DeviceProfile p;
+    p.hash_rate_hz = 5.0e6;
+    p.aes_rate_bps = 2.0e8;
+    return p;
+  }
+};
+
+}  // namespace biot::sim

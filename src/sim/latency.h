@@ -1,0 +1,53 @@
+// Link latency models for the simulated network. The smart-factory scenario
+// uses LAN-ish latencies (sub-millisecond to a few milliseconds); the models
+// are pluggable so benches can explore WAN regimes too.
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace biot::sim {
+
+/// Samples per-message one-way delay.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual Duration sample(Rng& rng) const = 0;
+};
+
+/// Constant delay (useful for deterministic protocol tests).
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(Duration delay) : delay_(delay) {}
+  Duration sample(Rng&) const override { return delay_; }
+
+ private:
+  Duration delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(Duration lo, Duration hi) : lo_(lo), hi_(hi) {}
+  Duration sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+
+ private:
+  Duration lo_, hi_;
+};
+
+/// base + Exp(mean_tail): heavy-ish tail typical of congested wireless links.
+class ExponentialTailLatency final : public LatencyModel {
+ public:
+  ExponentialTailLatency(Duration base, Duration mean_tail)
+      : base_(base), mean_tail_(mean_tail) {}
+  Duration sample(Rng& rng) const override {
+    return base_ + rng.exponential(mean_tail_);
+  }
+
+ private:
+  Duration base_, mean_tail_;
+};
+
+}  // namespace biot::sim

@@ -1,0 +1,61 @@
+#include "sim/network.h"
+
+namespace biot::sim {
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+
+  if (!link_up(from, to)) {
+    ++stats_.dropped_link;
+    return;
+  }
+  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  Duration delay = latency_->sample(rng_);
+  if (bandwidth_ > 0.0)
+    delay += static_cast<double>(payload.size()) / bandwidth_;
+  sched_.after(delay, [this, from, to, payload = std::move(payload)] {
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(from, payload);
+  });
+}
+
+void Network::broadcast(NodeId from, const Bytes& payload) {
+  for (const auto& [id, handler] : handlers_) {
+    if (id == from) continue;
+    send(from, id, payload);
+  }
+}
+
+void Network::set_link_down(NodeId a, NodeId b, bool down) {
+  if (down)
+    down_links_.insert(link_key(a, b));
+  else
+    down_links_.erase(link_key(a, b));
+}
+
+void Network::partition(const std::set<NodeId>& group, bool active) {
+  if (active)
+    partitioned_ = group;
+  else
+    partitioned_.clear();
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  if (down_links_.contains(link_key(a, b))) return false;
+  if (!partitioned_.empty() &&
+      partitioned_.contains(a) != partitioned_.contains(b))
+    return false;
+  return true;
+}
+
+}  // namespace biot::sim

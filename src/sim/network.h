@@ -1,0 +1,87 @@
+// Simulated message network connecting B-IoT nodes. Substitutes for the
+// paper's RESTful HTTP RPC between light nodes (PyOTA) and full nodes (IRI):
+// unicast and broadcast of serialized messages with sampled latency, optional
+// loss, and link/partition control for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/latency.h"
+#include "sim/scheduler.h"
+
+namespace biot::sim {
+
+using NodeId = std::uint32_t;
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;      // random loss
+  std::uint64_t dropped_link = 0;      // severed link / partition
+  std::uint64_t dropped_detached = 0;  // receiver not attached
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  /// Handler invoked at delivery time: (sender, payload).
+  using Handler = std::function<void(NodeId, const Bytes&)>;
+
+  Network(Scheduler& sched, std::unique_ptr<LatencyModel> latency, Rng rng)
+      : sched_(sched), latency_(std::move(latency)), rng_(rng) {}
+
+  /// Registers a node; replaces any previous handler for the id.
+  void attach(NodeId id, Handler handler) { handlers_[id] = std::move(handler); }
+  /// Removes a node (models crash / power-off; in-flight messages are lost).
+  void detach(NodeId id) { handlers_.erase(id); }
+  bool is_attached(NodeId id) const { return handlers_.contains(id); }
+
+  /// Queues a message for delivery after a sampled latency.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Sends to every attached node except the sender.
+  void broadcast(NodeId from, const Bytes& payload);
+
+  /// Probability in [0,1] that any given message is silently dropped.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// Link bandwidth in bytes/second; adds a size/bandwidth transmission
+  /// delay on top of the sampled latency (0 = infinite bandwidth, the
+  /// default). Models the constrained wireless links of the smart factory.
+  void set_bandwidth(double bytes_per_second) { bandwidth_ = bytes_per_second; }
+
+  /// Severs / restores the bidirectional link between two nodes.
+  void set_link_down(NodeId a, NodeId b, bool down);
+  /// Severs every link crossing the boundary of `group` (network partition).
+  void partition(const std::set<NodeId>& group, bool active);
+
+  const NetworkStats& stats() const { return stats_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  bool link_up(NodeId a, NodeId b) const;
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    const auto lo = std::min(a, b), hi = std::max(a, b);
+    return (std::uint64_t{hi} << 32) | lo;
+  }
+
+  Scheduler& sched_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  double loss_rate_ = 0.0;
+  double bandwidth_ = 0.0;  // bytes/s; 0 = unconstrained
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::set<std::uint64_t> down_links_;
+  std::set<NodeId> partitioned_;
+  NetworkStats stats_;
+};
+
+}  // namespace biot::sim

@@ -1,0 +1,41 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace biot::sim {
+
+void Scheduler::at(TimePoint t, Action action) {
+  if (t < now()) throw std::logic_error("Scheduler::at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // The underlying element is non-const; casting away the const that top()
+  // adds and moving out before pop() avoids copying the std::function.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.advance_to(ev.time);
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(TimePoint t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+    ++n;
+  }
+  clock_.advance_to(t);
+  return n;
+}
+
+}  // namespace biot::sim

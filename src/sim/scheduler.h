@@ -1,0 +1,57 @@
+// Discrete-event scheduler: the substrate that stands in for the paper's
+// physical testbed (Raspberry Pi + PC + network). Events run in strict
+// (time, insertion-sequence) order, so every simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace biot::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (seconds).
+  TimePoint now() const { return clock_.now(); }
+  const Clock& clock() const { return clock_; }
+
+  /// Schedules `action` at absolute time `t` (>= now).
+  void at(TimePoint t, Action action);
+  /// Schedules `action` after `delay` seconds.
+  void after(Duration delay, Action action) { at(now() + delay, std::move(action)); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+  /// Runs until the queue drains; returns the number of events executed.
+  std::size_t run();
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  std::size_t run_until(TimePoint t);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace biot::sim

@@ -1,0 +1,95 @@
+#include "storage/archive.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace biot::storage {
+
+namespace {
+constexpr char kMagic[8] = {'B', 'I', 'O', 'T', 'A', 'R', 'C', '1'};
+}
+
+ArchiveWriter::ArchiveWriter(const std::string& path) {
+  // Append mode; write the magic only when the file starts empty.
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr)
+    throw std::runtime_error("archive: cannot open " + path);
+  std::fseek(file_, 0, SEEK_END);
+  if (std::ftell(file_) == 0) {
+    if (std::fwrite(kMagic, 1, sizeof kMagic, file_) != sizeof kMagic)
+      throw std::runtime_error("archive: cannot write header");
+  }
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ArchiveWriter::append(const tangle::Transaction& tx, TimePoint arrival) {
+  Writer w;
+  w.f64(arrival);
+  const Bytes body = tx.encode();
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.raw(body);
+  const auto digest = crypto::Sha256::hash(w.bytes());
+  w.raw(digest.view());
+
+  const auto& buf = w.bytes();
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
+    return Status::error(ErrorCode::kInternal, "archive: short write");
+  if (std::fflush(file_) != 0)
+    return Status::error(ErrorCode::kInternal, "archive: flush failed");
+  ++records_;
+  return Status::ok();
+}
+
+Result<std::vector<ArchivedTx>> read_archive(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::error(ErrorCode::kNotFound, "archive: cannot open " + path);
+
+  Bytes contents;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    contents.insert(contents.end(), buf, buf + n);
+  std::fclose(f);
+
+  if (contents.size() < sizeof kMagic ||
+      std::memcmp(contents.data(), kMagic, sizeof kMagic) != 0)
+    return Status::error(ErrorCode::kInvalidArgument, "archive: bad magic");
+
+  std::vector<ArchivedTx> out;
+  Reader r(ByteView{contents.data() + sizeof kMagic,
+                    contents.size() - sizeof kMagic});
+  while (!r.at_end()) {
+    const auto arrival = r.f64();
+    if (!arrival) return arrival.status();
+    const auto len = r.u32();
+    if (!len) return len.status();
+    const auto body = r.raw(len.value());
+    if (!body) return body.status();
+    const auto digest = r.raw(32);
+    if (!digest) return digest.status();
+
+    // Recompute the record digest over the framed fields.
+    Writer w;
+    w.f64(arrival.value());
+    w.u32(len.value());
+    w.raw(body.value());
+    const auto expect = crypto::Sha256::hash(w.bytes());
+    if (!ct_equal(expect.view(), digest.value()))
+      return Status::error(ErrorCode::kVerifyFailed,
+                           "archive: record digest mismatch");
+
+    auto tx = tangle::Transaction::decode(body.value());
+    if (!tx) return tx.status();
+    out.push_back(ArchivedTx{std::move(tx).take(), arrival.value()});
+  }
+  return out;
+}
+
+}  // namespace biot::storage

@@ -1,0 +1,53 @@
+// Append-only transaction archive.
+//
+// The paper's conclusion lists "storage limitations" as an open problem:
+// full nodes cannot keep the entire tangle in memory forever. The storage
+// module implements the standard remedy (IOTA's "local snapshots"): old
+// transactions are streamed to an append-only archive file, the live tangle
+// is pruned to a snapshot (see snapshot.h), and history stays auditable
+// offline.
+//
+// File format: magic "BIOTARC1", then repeated records
+//   u64 arrival-time-bits | u32 length | tx bytes | 32-byte SHA-256 of record
+// Each record carries its own digest, so truncation or corruption is
+// detected on read.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tangle/tangle.h"
+
+namespace biot::storage {
+
+struct ArchivedTx {
+  tangle::Transaction tx;
+  TimePoint arrival = 0.0;
+};
+
+/// Appends transactions to an archive file (creates it with a header when
+/// absent). Not thread-safe; one writer per file.
+class ArchiveWriter {
+ public:
+  /// Opens (or creates) `path` for appending. Throws on I/O failure.
+  explicit ArchiveWriter(const std::string& path);
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  Status append(const tangle::Transaction& tx, TimePoint arrival);
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+/// Reads a whole archive back. Returns kVerifyFailed if any record's digest
+/// does not match (corruption), kInvalidArgument on malformed framing.
+Result<std::vector<ArchivedTx>> read_archive(const std::string& path);
+
+}  // namespace biot::storage

@@ -1,0 +1,118 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace biot::storage {
+
+Bytes SnapshotState::encode() const {
+  Writer w;
+  w.f64(taken_at);
+  w.u32(static_cast<std::uint32_t>(balances.size()));
+  for (const auto& [account, balance] : balances) {
+    w.raw(account.view());
+    w.u64(balance);
+  }
+  w.u32(static_cast<std::uint32_t>(next_sequences.size()));
+  for (const auto& [account, seq] : next_sequences) {
+    w.raw(account.view());
+    w.u64(seq);
+  }
+  w.u32(static_cast<std::uint32_t>(authorized.size()));
+  for (const auto& id : authorized) {
+    w.raw(id.sign_key.view());
+    w.raw(id.box_key.view());
+  }
+  return std::move(w).take();
+}
+
+Result<SnapshotState> SnapshotState::decode(ByteView wire) {
+  Reader r(wire);
+  SnapshotState out;
+  const auto taken = r.f64();
+  if (!taken) return taken.status();
+  out.taken_at = taken.value();
+
+  const auto nb = r.u32();
+  if (!nb) return nb.status();
+  for (std::uint32_t i = 0; i < nb.value(); ++i) {
+    const auto key = r.raw(32);
+    if (!key) return key.status();
+    const auto bal = r.u64();
+    if (!bal) return bal.status();
+    out.balances.emplace_back(tangle::AccountKey::from_view(key.value()),
+                              bal.value());
+  }
+  const auto ns = r.u32();
+  if (!ns) return ns.status();
+  for (std::uint32_t i = 0; i < ns.value(); ++i) {
+    const auto key = r.raw(32);
+    if (!key) return key.status();
+    const auto seq = r.u64();
+    if (!seq) return seq.status();
+    out.next_sequences.emplace_back(tangle::AccountKey::from_view(key.value()),
+                                    seq.value());
+  }
+  const auto na = r.u32();
+  if (!na) return na.status();
+  for (std::uint32_t i = 0; i < na.value(); ++i) {
+    const auto sign = r.raw(32);
+    if (!sign) return sign.status();
+    const auto box = r.raw(32);
+    if (!box) return box.status();
+    out.authorized.push_back(crypto::PublicIdentity{
+        crypto::Ed25519PublicKey::from_view(sign.value()),
+        crypto::X25519PublicKey::from_view(box.value())});
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "snapshot: trailing bytes");
+  return out;
+}
+
+crypto::Sha256Digest SnapshotState::state_hash() const {
+  return crypto::Sha256::hash(encode());
+}
+
+tangle::Transaction make_snapshot_genesis(const SnapshotState& state) {
+  auto genesis = tangle::Tangle::make_genesis(state.taken_at);
+  genesis.payload = state.state_hash().bytes();
+  return genesis;
+}
+
+SnapshotState capture_state(
+    TimePoint now, const tangle::Ledger& ledger,
+    const std::vector<tangle::AccountKey>& accounts,
+    const std::vector<crypto::PublicIdentity>& authorized) {
+  SnapshotState state;
+  state.taken_at = now;
+  for (const auto& account : accounts) {
+    if (const auto bal = ledger.balance(account); bal > 0)
+      state.balances.emplace_back(account, bal);
+    if (const auto seq = ledger.next_sequence(account); seq > 0)
+      state.next_sequences.emplace_back(account, seq);
+  }
+  // Canonical order so the state hash is replica-independent.
+  std::sort(state.balances.begin(), state.balances.end());
+  std::sort(state.next_sequences.begin(), state.next_sequences.end());
+  state.authorized = authorized;
+  std::sort(state.authorized.begin(), state.authorized.end(),
+            [](const auto& a, const auto& b) { return a.sign_key < b.sign_key; });
+  return state;
+}
+
+PruneResult prune(const tangle::Tangle& tangle, const SnapshotState& state,
+                  TimePoint cutoff) {
+  PruneResult result{tangle::Tangle(make_snapshot_genesis(state)), state, {}, 0};
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type == tangle::TxType::kGenesis) continue;
+    if (rec->arrival < cutoff)
+      result.archived.push_back(id);
+    else
+      ++result.retained;
+  }
+  return result;
+}
+
+}  // namespace biot::storage

@@ -1,0 +1,70 @@
+// Local snapshots: bounded-storage operation for full nodes.
+//
+// A snapshot freezes the *state* derived from the tangle — account balances,
+// the consumed sequence slots of recent history, and the authorization list —
+// plus the recent unconfirmed subgraph, and discards everything older. The
+// dropped transactions go to the archive (archive.h) first, so history is
+// never lost, only moved off the hot path. A new tangle restarts from a
+// snapshot genesis whose payload commits to the state hash, which makes the
+// continuation verifiable: any replica resuming from the same snapshot
+// builds the same genesis id.
+//
+// This implements the "storage limitations" future-work item from the
+// paper's conclusion with the scheme IOTA itself later shipped ("local
+// snapshots").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/identity.h"
+#include "tangle/ledger.h"
+#include "tangle/tangle.h"
+
+namespace biot::storage {
+
+/// Serializable ledger state at snapshot time.
+struct SnapshotState {
+  TimePoint taken_at = 0.0;
+  /// Account balances (only non-zero balances are recorded).
+  std::vector<std::pair<tangle::AccountKey, std::uint64_t>> balances;
+  /// Per-account next sequence number (replay floor for resumed accounts).
+  std::vector<std::pair<tangle::AccountKey, std::uint64_t>> next_sequences;
+  /// Authorized device identities at snapshot time.
+  std::vector<crypto::PublicIdentity> authorized;
+
+  Bytes encode() const;
+  static Result<SnapshotState> decode(ByteView wire);
+  /// Commitment embedded in the snapshot genesis payload.
+  crypto::Sha256Digest state_hash() const;
+};
+
+/// Result of pruning a tangle against a snapshot horizon.
+struct PruneResult {
+  tangle::Tangle tangle;               // fresh tangle rooted at the snapshot
+  SnapshotState state;
+  std::vector<tangle::TxId> archived;  // ids dropped from the hot set
+  std::size_t retained = 0;            // recent txs that could NOT be carried
+                                       // over (their parents were pruned) —
+                                       // they remain valid in the archive
+};
+
+/// Genesis transaction for a resumed tangle: commits to the snapshot state.
+tangle::Transaction make_snapshot_genesis(const SnapshotState& state);
+
+/// Captures the current state from a ledger + authorization view.
+SnapshotState capture_state(TimePoint now, const tangle::Ledger& ledger,
+                            const std::vector<tangle::AccountKey>& accounts,
+                            const std::vector<crypto::PublicIdentity>& authorized);
+
+/// Prunes: every transaction with arrival < `cutoff` is listed as archived;
+/// the returned tangle contains only the snapshot genesis (transactions newer
+/// than the cutoff cannot be re-attached verbatim because their signed parent
+/// references point into the pruned region — they are counted in `retained`
+/// and likewise preserved in the archive). Devices simply re-anchor their
+/// next transactions on the snapshot genesis.
+PruneResult prune(const tangle::Tangle& tangle, const SnapshotState& state,
+                  TimePoint cutoff);
+
+}  // namespace biot::storage

@@ -1,0 +1,97 @@
+#include "tangle/ledger.h"
+
+namespace biot::tangle {
+
+void Ledger::credit(const AccountKey& account, std::uint64_t amount) {
+  accounts_[account].balance += amount;
+}
+
+Status Ledger::check(const Transaction& tx) const {
+  const auto it = accounts_.find(tx.sender);
+  if (it != accounts_.end()) {
+    const auto used = it->second.used_sequences.find(tx.sequence);
+    if (used != it->second.used_sequences.end()) {
+      if (used->second.id == tx.id())
+        return Status::error(ErrorCode::kRejected, "ledger: replayed transaction");
+      ++conflicts_;
+      return Status::error(ErrorCode::kConflict,
+                           "ledger: double-spend on sequence slot");
+    }
+  }
+  if (tx.transfer) {
+    const std::uint64_t bal = it == accounts_.end() ? 0 : it->second.balance;
+    if (bal < tx.transfer->amount)
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "ledger: insufficient balance");
+  }
+  return Status::ok();
+}
+
+Status Ledger::apply(const Transaction& tx) {
+  if (auto s = check(tx); !s) return s;
+  auto& sender = accounts_[tx.sender];
+  sender.used_sequences.emplace(tx.sequence, Slot{tx.id(), tx.transfer});
+  if (tx.transfer) {
+    sender.balance -= tx.transfer->amount;
+    accounts_[tx.transfer->to].balance += tx.transfer->amount;
+  }
+  return Status::ok();
+}
+
+Ledger::ApplyOutcome Ledger::apply_resolving(const Transaction& tx) {
+  auto& sender = accounts_[tx.sender];
+  const auto existing = sender.used_sequences.find(tx.sequence);
+  if (existing == sender.used_sequences.end()) {
+    // Free slot; enforce funds for transfers exactly as apply() does.
+    if (tx.transfer && sender.balance < tx.transfer->amount)
+      return ApplyOutcome::kConflictKeptExisting;  // cannot take effect
+    sender.used_sequences.emplace(tx.sequence, Slot{tx.id(), tx.transfer});
+    if (tx.transfer) {
+      sender.balance -= tx.transfer->amount;
+      accounts_[tx.transfer->to].balance += tx.transfer->amount;
+    }
+    return ApplyOutcome::kApplied;
+  }
+
+  const TxId new_id = tx.id();
+  if (existing->second.id == new_id) return ApplyOutcome::kReplay;
+  ++conflicts_;
+
+  // Deterministic winner: the smaller transaction id.
+  if (!(new_id < existing->second.id))
+    return ApplyOutcome::kConflictKeptExisting;
+
+  // Revert the incumbent if that is safe (conservation first).
+  if (const auto& old = existing->second.transfer; old.has_value()) {
+    auto& recipient = accounts_[old->to];
+    if (recipient.balance < old->amount)
+      return ApplyOutcome::kConflictKeptExisting;  // funds moved on already
+    if (tx.transfer &&
+        sender.balance + old->amount < tx.transfer->amount)
+      return ApplyOutcome::kConflictKeptExisting;  // newcomer can't be funded
+    recipient.balance -= old->amount;
+    sender.balance += old->amount;
+  } else if (tx.transfer && sender.balance < tx.transfer->amount) {
+    return ApplyOutcome::kConflictKeptExisting;
+  }
+
+  existing->second = Slot{new_id, tx.transfer};
+  if (tx.transfer) {
+    sender.balance -= tx.transfer->amount;
+    accounts_[tx.transfer->to].balance += tx.transfer->amount;
+  }
+  return ApplyOutcome::kConflictDisplaced;
+}
+
+std::uint64_t Ledger::balance(const AccountKey& account) const {
+  const auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+std::uint64_t Ledger::next_sequence(const AccountKey& account) const {
+  const auto it = accounts_.find(account);
+  if (it == accounts_.end() || it->second.used_sequences.empty()) return 0;
+  return it->second.used_sequences.rbegin()->first + 1;
+}
+
+}  // namespace biot::tangle

@@ -1,0 +1,71 @@
+// Account-based ledger state with double-spend / replay detection.
+//
+// Every transaction consumes a (sender, sequence) slot; seeing two distinct
+// transactions claim the same slot is the tangle's double-spending event
+// (threat model, Section III). Transfers additionally move token balance.
+// Gateways consult the ledger before attaching transactions and report
+// conflicts to the credit model (alpha_d penalty).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "tangle/transaction.h"
+
+namespace biot::tangle {
+
+class Ledger {
+ public:
+  /// Seeds an account with initial balance (genesis allocation).
+  void credit(const AccountKey& account, std::uint64_t amount);
+
+  /// Pure check: would `tx` be accepted right now?
+  ///  - kConflict          a different tx already holds (sender, sequence)
+  ///  - kRejected          sequence already applied by this very tx (replay)
+  ///  - kInvalidArgument   transfer with insufficient balance
+  Status check(const Transaction& tx) const;
+
+  /// check() then record the (sender, sequence) slot and move funds.
+  Status apply(const Transaction& tx);
+
+  /// Replica-consistent application for gossiped/synced transactions.
+  /// Two gateways may each accept one side of a double-spend before their
+  /// gossip meets; first-seen order differs between replicas, so conflicts
+  /// are resolved by a deterministic rule instead: the transaction with the
+  /// lexicographically SMALLER id wins the slot. When the newcomer wins and
+  /// the incumbent's effects can be safely reverted (the recipient still
+  /// holds the funds), the incumbent is displaced; otherwise the incumbent
+  /// is kept (conservation beats strict determinism in the pathological
+  /// spent-downstream case).
+  enum class ApplyOutcome {
+    kApplied,                // slot was free
+    kReplay,                 // identical transaction already applied
+    kConflictKeptExisting,   // conflict; incumbent wins (or unsafe to revert)
+    kConflictDisplaced,      // conflict; newcomer won, incumbent reverted
+  };
+  ApplyOutcome apply_resolving(const Transaction& tx);
+
+  std::uint64_t balance(const AccountKey& account) const;
+  /// Next unused sequence number for an account (0 for unseen accounts).
+  std::uint64_t next_sequence(const AccountKey& account) const;
+  /// Number of conflicts detected so far (double-spend attempts observed).
+  std::uint64_t conflicts_detected() const { return conflicts_; }
+
+ private:
+  struct Slot {
+    TxId id{};
+    std::optional<Transfer> transfer;  // retained so a loser can be reverted
+  };
+  struct Account {
+    std::uint64_t balance = 0;
+    // sequence -> the transaction that consumed the slot
+    std::map<std::uint64_t, Slot> used_sequences;
+  };
+
+  std::unordered_map<AccountKey, Account, FixedBytesHash<32>> accounts_;
+  mutable std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace biot::tangle

@@ -1,0 +1,35 @@
+#include "tangle/milestones.h"
+
+#include <deque>
+
+namespace biot::tangle {
+
+std::size_t MilestoneTracker::observe_milestone(const Tangle& tangle,
+                                                const TxId& milestone_id) {
+  const auto* rec = tangle.find(milestone_id);
+  if (rec == nullptr) return 0;
+
+  ++milestones_;
+  last_milestone_at_ = rec->arrival;
+
+  // Walk the past cone, pruning at already-confirmed transactions (their
+  // ancestors are confirmed too, by induction).
+  std::size_t newly = 0;
+  std::deque<TxId> frontier{milestone_id};
+  while (!frontier.empty()) {
+    const TxId cur = frontier.front();
+    frontier.pop_front();
+    if (!confirmed_.insert(cur).second) continue;
+    ++newly;
+    const auto* cur_rec = tangle.find(cur);
+    if (cur_rec == nullptr || cur_rec->tx.type == TxType::kGenesis) continue;
+    if (!confirmed_.contains(cur_rec->tx.parent1))
+      frontier.push_back(cur_rec->tx.parent1);
+    if (cur_rec->tx.parent2 != cur_rec->tx.parent1 &&
+        !confirmed_.contains(cur_rec->tx.parent2))
+      frontier.push_back(cur_rec->tx.parent2);
+  }
+  return newly;
+}
+
+}  // namespace biot::tangle

@@ -1,0 +1,117 @@
+#include "tangle/tangle.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace biot::tangle {
+
+Transaction Tangle::make_genesis(TimePoint timestamp) {
+  Transaction g;
+  g.type = TxType::kGenesis;
+  g.timestamp = timestamp;
+  // Self-parented sentinel: both parents are the all-zero id.
+  return g;
+}
+
+Tangle::Tangle(const Transaction& genesis) {
+  if (genesis.type != TxType::kGenesis)
+    throw std::invalid_argument("Tangle: constructor requires a genesis tx");
+  genesis_id_ = genesis.id();
+  records_.emplace(genesis_id_, TxRecord{genesis, genesis.timestamp, {}});
+  tips_.insert(genesis_id_);
+  order_.push_back(genesis_id_);
+}
+
+Status Tangle::add(const Transaction& tx, TimePoint arrival) {
+  if (tx.type == TxType::kGenesis)
+    return Status::error(ErrorCode::kRejected, "tangle: duplicate genesis");
+
+  const TxId id = tx.id();
+  if (records_.contains(id))
+    return Status::error(ErrorCode::kRejected, "tangle: duplicate transaction");
+
+  const auto p1 = records_.find(tx.parent1);
+  const auto p2 = records_.find(tx.parent2);
+  if (p1 == records_.end() || p2 == records_.end())
+    return Status::error(ErrorCode::kNotFound, "tangle: unknown parent");
+
+  if (!tx.signature_valid())
+    return Status::error(ErrorCode::kVerifyFailed, "tangle: bad signature");
+
+  if (tx.difficulty == 0 || !pow_valid(tx))
+    return Status::error(ErrorCode::kPowInvalid, "tangle: PoW does not meet difficulty");
+
+  records_.emplace(id, TxRecord{tx, arrival, {}});
+  p1->second.approvers.push_back(id);
+  if (tx.parent2 != tx.parent1) p2->second.approvers.push_back(id);
+
+  tips_.erase(tx.parent1);
+  tips_.erase(tx.parent2);
+  tips_.insert(id);
+  order_.push_back(id);
+  return Status::ok();
+}
+
+const TxRecord* Tangle::find(const TxId& id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t Tangle::approver_count(const TxId& id) const {
+  const auto* rec = find(id);
+  return rec ? rec->approvers.size() : 0;
+}
+
+std::size_t Tangle::cumulative_weight(const TxId& id) const {
+  const auto* rec = find(id);
+  if (rec == nullptr) return 0;
+
+  std::unordered_set<TxId, FixedBytesHash<32>> visited;
+  std::deque<TxId> frontier{id};
+  visited.insert(id);
+  while (!frontier.empty()) {
+    const TxId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& ap : records_.at(cur).approvers) {
+      if (visited.insert(ap).second) frontier.push_back(ap);
+    }
+  }
+  return visited.size();
+}
+
+bool Tangle::is_confirmed(const TxId& id, std::size_t weight_threshold) const {
+  return contains(id) && cumulative_weight(id) >= weight_threshold;
+}
+
+std::size_t Tangle::depth(const TxId& id) const {
+  const auto* rec = find(id);
+  if (rec == nullptr) return 0;
+  // Longest path over the approver DAG via memoized DFS in arrival order:
+  // approvers always arrive later, so a reverse arrival-order sweep is a
+  // valid topological order.
+  std::unordered_map<TxId, std::size_t, FixedBytesHash<32>> memo;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const auto& r = records_.at(*it);
+    std::size_t best = 0;
+    for (const auto& ap : r.approvers) best = std::max(best, memo[ap] + 1);
+    memo[*it] = best;
+  }
+  return memo.at(id);
+}
+
+std::unordered_map<TxId, double, FixedBytesHash<32>> approximate_weights(
+    const Tangle& tangle) {
+  std::unordered_map<TxId, double, FixedBytesHash<32>> w;
+  const auto& order = tangle.arrival_order();
+  w.reserve(order.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto* rec = tangle.find(*it);
+    double sum = 1.0;
+    for (const auto& ap : rec->approvers) sum += w[ap];
+    w[*it] = sum;
+  }
+  return w;
+}
+
+}  // namespace biot::tangle

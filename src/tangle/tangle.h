@@ -1,0 +1,78 @@
+// The tangle: a DAG of transactions where each new transaction approves two
+// former ones. Maintains the approval graph, the tip set, per-transaction
+// weights (number of direct + indirect validations, paper Section II-B) and
+// confirmation state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tangle/transaction.h"
+
+namespace biot::tangle {
+
+/// Validation/bookkeeping record for one transaction in the graph.
+struct TxRecord {
+  Transaction tx;
+  TimePoint arrival = 0.0;             // local time the tangle accepted it
+  std::vector<TxId> approvers;         // transactions that directly approve it
+};
+
+class Tangle {
+ public:
+  /// Builds the deterministic genesis transaction (self-parented, unsigned —
+  /// its validity is an axiom, like the hard-coded genesis config in Fig 6).
+  static Transaction make_genesis(TimePoint timestamp = 0.0);
+
+  explicit Tangle(const Transaction& genesis);
+
+  /// Validates structure (duplicate, parents known, signature, PoW) and
+  /// attaches the transaction. Does NOT check credit-difficulty policy or
+  /// ledger conflicts — those belong to the gateway (node layer).
+  Status add(const Transaction& tx, TimePoint arrival);
+
+  bool contains(const TxId& id) const { return records_.contains(id); }
+  /// Record access; nullptr when unknown.
+  const TxRecord* find(const TxId& id) const;
+
+  /// Transactions with no approvers yet.
+  const std::set<TxId>& tips() const { return tips_; }
+  bool is_tip(const TxId& id) const { return tips_.contains(id); }
+
+  std::size_t size() const { return records_.size(); }
+  const TxId& genesis_id() const { return genesis_id_; }
+  /// Ids in arrival order (stable iteration for benches/metrics).
+  const std::vector<TxId>& arrival_order() const { return order_; }
+
+  std::size_t approver_count(const TxId& id) const;
+
+  /// Exact cumulative weight: 1 + number of distinct transactions that
+  /// directly or indirectly approve `id` (BFS over the approver graph).
+  std::size_t cumulative_weight(const TxId& id) const;
+
+  /// A transaction is confirmed once its cumulative weight reaches the
+  /// threshold (the paper's analogue of bitcoin's six-block security).
+  bool is_confirmed(const TxId& id, std::size_t weight_threshold) const;
+
+  /// Depth of `id`: longest approval path from any tip down to it. Genesis
+  /// has the largest depth. Used by lazy-tip detection heuristics.
+  std::size_t depth(const TxId& id) const;
+
+ private:
+  std::unordered_map<TxId, TxRecord, FixedBytesHash<32>> records_;
+  std::set<TxId> tips_;
+  std::vector<TxId> order_;
+  TxId genesis_id_;
+};
+
+/// Approximate weights for every transaction (see Tangle::cumulative_weight
+/// for the exact version): one reverse-topological pass, additive children
+/// rule. Returned map is keyed by TxId.
+std::unordered_map<TxId, double, FixedBytesHash<32>> approximate_weights(
+    const Tangle& tangle);
+
+}  // namespace biot::tangle

@@ -1,0 +1,56 @@
+#include "tangle/tip_selection.h"
+
+#include <cmath>
+#include <vector>
+
+namespace biot::tangle {
+
+TipPair UniformRandomTipSelector::select(const Tangle& tangle, Rng& rng) const {
+  const auto& tips = tangle.tips();
+  if (tips.empty()) throw std::logic_error("tip selection: tangle has no tips");
+
+  std::vector<const TxId*> pool;
+  pool.reserve(tips.size());
+  for (const auto& t : tips) pool.push_back(&t);
+
+  const TxId& a = *pool[rng.index(pool.size())];
+  const TxId& b = *pool[rng.index(pool.size())];
+  return {a, b};
+}
+
+TxId WeightedWalkTipSelector::walk(
+    const Tangle& tangle,
+    const std::unordered_map<TxId, double, FixedBytesHash<32>>& weights,
+    Rng& rng) const {
+  TxId current = tangle.genesis_id();
+  for (;;) {
+    const auto* rec = tangle.find(current);
+    if (rec->approvers.empty()) return current;  // reached a tip
+
+    // Transition probabilities proportional to exp(alpha * w); normalize by
+    // the max exponent for numerical stability.
+    double max_w = 0.0;
+    for (const auto& ap : rec->approvers)
+      max_w = std::max(max_w, weights.at(ap));
+
+    std::vector<double> cumulative;
+    cumulative.reserve(rec->approvers.size());
+    double total = 0.0;
+    for (const auto& ap : rec->approvers) {
+      total += std::exp(alpha_ * (weights.at(ap) - max_w));
+      cumulative.push_back(total);
+    }
+
+    const double pick = rng.uniform(0.0, total);
+    std::size_t idx = 0;
+    while (idx + 1 < cumulative.size() && cumulative[idx] <= pick) ++idx;
+    current = rec->approvers[idx];
+  }
+}
+
+TipPair WeightedWalkTipSelector::select(const Tangle& tangle, Rng& rng) const {
+  const auto weights = approximate_weights(tangle);
+  return {walk(tangle, weights, rng), walk(tangle, weights, rng)};
+}
+
+}  // namespace biot::tangle

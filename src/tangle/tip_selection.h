@@ -1,0 +1,61 @@
+// Tip selection strategies.
+//
+// Honest nodes pick two unverified tips (uniformly, or by the IOTA-style
+// weighted MCMC walk that biases toward the heavy part of the tangle and
+// starves lazy tips). The LazyTipSelector models the "lazy tips" attack from
+// the paper's threat model: always approving a fixed pair of old
+// transactions instead of contributing fresh validations.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "tangle/tangle.h"
+
+namespace biot::tangle {
+
+using TipPair = std::pair<TxId, TxId>;
+
+class TipSelector {
+ public:
+  virtual ~TipSelector() = default;
+  virtual TipPair select(const Tangle& tangle, Rng& rng) const = 0;
+};
+
+/// Uniform random choice among current tips (two independent draws, so the
+/// pair may repeat a tip — allowed, as in IOTA trunk == branch).
+class UniformRandomTipSelector final : public TipSelector {
+ public:
+  TipPair select(const Tangle& tangle, Rng& rng) const override;
+};
+
+/// IOTA-style alpha-weighted Markov-chain walk from genesis toward the tips.
+/// At each step the walker moves to approver `a` with probability
+/// proportional to exp(alpha * w(a)), where w is the fast approximate
+/// cumulative weight. alpha = 0 degenerates to an unweighted walk; larger
+/// alpha concentrates on the main tangle and abandons lazy side-branches.
+class WeightedWalkTipSelector final : public TipSelector {
+ public:
+  explicit WeightedWalkTipSelector(double alpha) : alpha_(alpha) {}
+  TipPair select(const Tangle& tangle, Rng& rng) const override;
+
+ private:
+  TxId walk(const Tangle& tangle,
+            const std::unordered_map<TxId, double, FixedBytesHash<32>>& weights,
+            Rng& rng) const;
+  double alpha_;
+};
+
+/// Malicious: always approves the same fixed (old) pair of transactions.
+class LazyTipSelector final : public TipSelector {
+ public:
+  LazyTipSelector(TxId fixed1, TxId fixed2)
+      : fixed_(std::move(fixed1), std::move(fixed2)) {}
+  TipPair select(const Tangle&, Rng&) const override { return fixed_; }
+
+ private:
+  TipPair fixed_;
+};
+
+}  // namespace biot::tangle

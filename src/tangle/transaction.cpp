@@ -1,0 +1,154 @@
+#include "tangle/transaction.h"
+
+#include "common/codec.h"
+
+namespace biot::tangle {
+
+std::string_view tx_type_name(TxType t) noexcept {
+  switch (t) {
+    case TxType::kGenesis: return "genesis";
+    case TxType::kData: return "data";
+    case TxType::kTransfer: return "transfer";
+    case TxType::kAuthorization: return "authorization";
+    case TxType::kMilestone: return "milestone";
+  }
+  return "unknown";
+}
+
+Bytes Transaction::signing_bytes() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(sender.view());
+  w.raw(parent1.view());
+  w.raw(parent2.view());
+  w.u64(sequence);
+  w.f64(timestamp);
+  w.u8(difficulty);
+  w.u8(transfer.has_value() ? 1 : 0);
+  if (transfer) {
+    w.raw(transfer->to.view());
+    w.u64(transfer->amount);
+  }
+  w.u8(payload_encrypted ? 1 : 0);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Bytes Transaction::encode() const {
+  Writer w;
+  w.raw(signing_bytes());
+  w.u64(nonce);  // attachment field: outside the signature, inside the id
+  w.raw(signature.view());
+  return std::move(w).take();
+}
+
+Result<Transaction> Transaction::decode(ByteView wire) {
+  Reader r(wire);
+  Transaction tx;
+
+  const auto type_byte = r.u8();
+  if (!type_byte) return type_byte.status();
+  if (type_byte.value() > static_cast<std::uint8_t>(TxType::kMilestone))
+    return Status::error(ErrorCode::kInvalidArgument, "tx: bad type byte");
+  tx.type = static_cast<TxType>(type_byte.value());
+
+  auto read_fixed32 = [&r]() -> Result<crypto::Sha256Digest> {
+    auto raw = r.raw(32);
+    if (!raw) return raw.status();
+    return crypto::Sha256Digest::from_view(raw.value());
+  };
+
+  auto sender = read_fixed32();
+  if (!sender) return sender.status();
+  tx.sender = sender.value();
+  auto p1 = read_fixed32();
+  if (!p1) return p1.status();
+  tx.parent1 = p1.value();
+  auto p2 = read_fixed32();
+  if (!p2) return p2.status();
+  tx.parent2 = p2.value();
+
+  auto seq = r.u64();
+  if (!seq) return seq.status();
+  tx.sequence = seq.value();
+  auto ts = r.f64();
+  if (!ts) return ts.status();
+  tx.timestamp = ts.value();
+  auto diff = r.u8();
+  if (!diff) return diff.status();
+  tx.difficulty = diff.value();
+
+  auto has_transfer = r.u8();
+  if (!has_transfer) return has_transfer.status();
+  if (has_transfer.value() > 1)
+    return Status::error(ErrorCode::kInvalidArgument, "tx: bad transfer flag");
+  if (has_transfer.value() == 1) {
+    Transfer t;
+    auto to = read_fixed32();
+    if (!to) return to.status();
+    t.to = to.value();
+    auto amount = r.u64();
+    if (!amount) return amount.status();
+    t.amount = amount.value();
+    tx.transfer = t;
+  }
+
+  auto enc_flag = r.u8();
+  if (!enc_flag) return enc_flag.status();
+  if (enc_flag.value() > 1)
+    return Status::error(ErrorCode::kInvalidArgument, "tx: bad encrypted flag");
+  tx.payload_encrypted = enc_flag.value() == 1;
+
+  auto payload = r.blob();
+  if (!payload) return payload.status();
+  tx.payload = std::move(payload).take();
+
+  auto nonce = r.u64();
+  if (!nonce) return nonce.status();
+  tx.nonce = nonce.value();
+
+  auto sig = r.raw(64);
+  if (!sig) return sig.status();
+  tx.signature = crypto::Ed25519Signature::from_view(sig.value());
+
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "tx: trailing bytes");
+  return tx;
+}
+
+TxId Transaction::id() const { return crypto::Sha256::hash(encode()); }
+
+bool Transaction::signature_valid() const {
+  return crypto::ed25519_verify(sender, signing_bytes(), signature);
+}
+
+crypto::Sha256Digest pow_output(const TxId& parent1, const TxId& parent2,
+                                std::uint64_t nonce) {
+  std::uint8_t nonce_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    nonce_bytes[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  return crypto::Sha256::hash_concat(
+      {parent1.view(), parent2.view(), ByteView{nonce_bytes, 8}});
+}
+
+int leading_zero_bits(const crypto::Sha256Digest& digest) {
+  int bits = 0;
+  for (auto byte : digest.data) {
+    if (byte == 0) {
+      bits += 8;
+      continue;
+    }
+    for (int b = 7; b >= 0; --b) {
+      if ((byte >> b) & 1) return bits;
+      ++bits;
+    }
+  }
+  return bits;
+}
+
+bool pow_valid(const Transaction& tx) {
+  return leading_zero_bits(pow_output(tx.parent1, tx.parent2, tx.nonce)) >=
+         tx.difficulty;
+}
+
+}  // namespace biot::tangle

@@ -1,0 +1,90 @@
+// Transaction model for the DAG-structured blockchain ("tangle").
+//
+// Per the paper (Section II-B), each transaction is an individual DAG node
+// that approves two former transactions (its parents) and carries a PoW nonce
+// binding it to them (Eqn 6):
+//
+//     output = hash( hash(TX1) || hash(TX2) || nonce )
+//
+// The transaction body is signed by the sender's Ed25519 key; the id is the
+// SHA-256 of the full canonical encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+
+namespace biot::tangle {
+
+using TxId = crypto::Sha256Digest;
+using AccountKey = crypto::Ed25519PublicKey;
+
+enum class TxType : std::uint8_t {
+  kGenesis = 0,
+  kData = 1,           // sensor readings (possibly AES-encrypted payload)
+  kTransfer = 2,       // token movement between accounts
+  kAuthorization = 3,  // manager-published device authorization list (Eqn 1)
+  kMilestone = 4,      // coordinator checkpoint (milestone confirmation)
+};
+
+std::string_view tx_type_name(TxType t) noexcept;
+
+/// Value-transfer portion of a transaction (absent for pure data txs).
+struct Transfer {
+  AccountKey to{};
+  std::uint64_t amount = 0;
+
+  friend bool operator==(const Transfer&, const Transfer&) = default;
+};
+
+struct Transaction {
+  TxType type = TxType::kData;
+  AccountKey sender{};
+  TxId parent1{};            // "trunk" approval
+  TxId parent2{};            // "branch" approval
+  std::uint64_t sequence = 0;  // per-sender monotone counter (replay/conflict id)
+  TimePoint timestamp = 0.0;
+  std::uint8_t difficulty = 0;  // claimed PoW difficulty (leading zero bits)
+  std::uint64_t nonce = 0;
+  std::optional<Transfer> transfer;
+  Bytes payload;             // application data; opaque to consensus
+  bool payload_encrypted = false;
+  crypto::Ed25519Signature signature{};
+
+  /// Canonical encoding of the signed portion: everything except the
+  /// signature and the PoW nonce. The nonce is an *attachment* field (as in
+  /// IOTA): it can be ground after signing, which is what makes PoW
+  /// offloading to a gateway possible for very constrained devices. The
+  /// transaction id still commits to the nonce (it hashes the full wire
+  /// encoding).
+  Bytes signing_bytes() const;
+  /// Full canonical wire encoding (signed portion + signature).
+  Bytes encode() const;
+  static Result<Transaction> decode(ByteView wire);
+
+  /// Transaction id: SHA-256 of the full encoding.
+  TxId id() const;
+
+  /// Checks the Ed25519 signature against `sender`.
+  bool signature_valid() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Eqn 6 bundle hash: H( H-as-id(TX1) || H-as-id(TX2) || nonce ).
+crypto::Sha256Digest pow_output(const TxId& parent1, const TxId& parent2,
+                                std::uint64_t nonce);
+
+/// Number of leading zero bits in a digest (the PoW "difficulty met").
+int leading_zero_bits(const crypto::Sha256Digest& digest);
+
+/// True iff the nonce satisfies the claimed difficulty for these parents.
+bool pow_valid(const Transaction& tx);
+
+}  // namespace biot::tangle

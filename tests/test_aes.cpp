@@ -1,0 +1,216 @@
+// AES against FIPS-197 / NIST SP 800-38A vectors, plus mode and padding
+// behaviour (CBC round-trips, CTR stream properties, PKCS#7 edge cases).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/aes_modes.h"
+#include "crypto/csprng.h"
+
+namespace biot::crypto {
+namespace {
+
+Bytes encrypt_one_block(ByteView key, ByteView pt) {
+  Aes aes(key);
+  Bytes out(16);
+  aes.encrypt_block(pt.data(), out.data());
+  return out;
+}
+
+Bytes decrypt_one_block(ByteView key, ByteView ct) {
+  Aes aes(key);
+  Bytes out(16);
+  aes.decrypt_block(ct.data(), out.data());
+  return out;
+}
+
+// FIPS-197 Appendix C.1 (AES-128).
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Bytes ct = encrypt_one_block(key, pt);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(decrypt_one_block(key, ct), pt);
+}
+
+// FIPS-197 Appendix C.2 (AES-192).
+TEST(Aes, Fips197Aes192) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Bytes ct = encrypt_one_block(key, pt);
+  EXPECT_EQ(to_hex(ct), "dda97ca4864cdfe06eaf70a0ec0d7191");
+  EXPECT_EQ(decrypt_one_block(key, ct), pt);
+}
+
+// FIPS-197 Appendix C.3 (AES-256).
+TEST(Aes, Fips197Aes256) {
+  const Bytes key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Bytes ct = encrypt_one_block(key, pt);
+  EXPECT_EQ(to_hex(ct), "8ea2b7ca516745bfeafc49904b496089");
+  EXPECT_EQ(decrypt_one_block(key, ct), pt);
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  const Bytes key(17, 0);
+  EXPECT_THROW(Aes{key}, std::invalid_argument);
+  EXPECT_THROW(Aes{Bytes{}}, std::invalid_argument);
+}
+
+// NIST SP 800-38A F.2.1: CBC-AES128 encryption, first two blocks.
+TEST(AesCbc, Sp80038aVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Aes aes(key);
+  const Bytes ct = aes_cbc_encrypt(aes, iv, pt);
+  // Our CBC appends a PKCS#7 padding block; the first two blocks must match.
+  ASSERT_GE(ct.size(), 32u);
+  EXPECT_EQ(to_hex(ByteView{ct.data(), 16}), "7649abac8119b246cee98e9b12e9197d");
+  EXPECT_EQ(to_hex(ByteView{ct.data() + 16, 16}), "5086cb9b507219ee95db113a917678b2");
+  const auto back = aes_cbc_decrypt(aes, iv, ct);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value(), pt);
+}
+
+// NIST SP 800-38A F.5.1: CTR-AES128, first two blocks.
+TEST(AesCtr, Sp80038aVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Aes aes(key);
+  const Bytes ct = aes_ctr_xor(aes, nonce, pt);
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+  EXPECT_EQ(aes_ctr_xor(aes, nonce, ct), pt);  // CTR is an involution
+}
+
+TEST(Pkcs7, PadUnpadRoundTrip) {
+  for (std::size_t n = 0; n <= 48; ++n) {
+    const Bytes data(n, 0x11);
+    const Bytes padded = pkcs7_pad(data);
+    EXPECT_EQ(padded.size() % kAesBlockSize, 0u);
+    EXPECT_GT(padded.size(), data.size());  // padding always added
+    const auto back = pkcs7_unpad(padded);
+    ASSERT_TRUE(back) << "n=" << n;
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+TEST(Pkcs7, RejectsEmptyAndUnaligned) {
+  EXPECT_FALSE(pkcs7_unpad(Bytes{}));
+  EXPECT_FALSE(pkcs7_unpad(Bytes(15, 1)));
+}
+
+TEST(Pkcs7, RejectsBadPadValues) {
+  Bytes block(16, 0);
+  block[15] = 0;  // pad byte 0 invalid
+  EXPECT_FALSE(pkcs7_unpad(block));
+  block[15] = 17;  // > block size invalid
+  EXPECT_FALSE(pkcs7_unpad(block));
+  block[15] = 3;
+  block[14] = 3;
+  block[13] = 4;  // inconsistent run
+  EXPECT_FALSE(pkcs7_unpad(block));
+}
+
+TEST(AesCbc, RoundTripVariousLengthsAndKeys) {
+  Csprng rng(1234);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const Bytes key = rng.bytes(key_len);
+    const Bytes iv = rng.bytes(16);
+    Aes aes(key);
+    for (std::size_t n : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+      const Bytes pt = rng.bytes(n);
+      const Bytes ct = aes_cbc_encrypt(aes, iv, pt);
+      const auto back = aes_cbc_decrypt(aes, iv, ct);
+      ASSERT_TRUE(back);
+      EXPECT_EQ(back.value(), pt);
+    }
+  }
+}
+
+TEST(AesCbc, WrongKeyFailsOrGarbles) {
+  Csprng rng(5);
+  const Bytes key1 = rng.bytes(16), key2 = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes pt = rng.bytes(64);
+  Aes a1(key1), a2(key2);
+  const Bytes ct = aes_cbc_encrypt(a1, iv, pt);
+  const auto back = aes_cbc_decrypt(a2, iv, ct);
+  // Either padding check fails, or (rarely) it "succeeds" with wrong bytes.
+  if (back) {
+    EXPECT_NE(back.value(), pt);
+  }
+}
+
+TEST(AesCbc, TamperedCiphertextDetectedOrGarbled) {
+  Csprng rng(6);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  const Bytes pt = rng.bytes(48);
+  Aes aes(key);
+  Bytes ct = aes_cbc_encrypt(aes, iv, pt);
+  ct[20] ^= 0x01;
+  const auto back = aes_cbc_decrypt(aes, iv, ct);
+  if (back) {
+    EXPECT_NE(back.value(), pt);
+  }
+}
+
+TEST(AesCbc, RejectsTruncatedCiphertext) {
+  Csprng rng(7);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  Aes aes(key);
+  const Bytes ct = aes_cbc_encrypt(aes, iv, rng.bytes(40));
+  EXPECT_FALSE(aes_cbc_decrypt(aes, iv, ByteView{ct.data(), ct.size() - 1}));
+  EXPECT_FALSE(aes_cbc_decrypt(aes, iv, ByteView{}));
+}
+
+TEST(AesCbc, IvMustBe16Bytes) {
+  Aes aes(Bytes(16, 0));
+  EXPECT_THROW(aes_cbc_encrypt(aes, Bytes(8, 0), Bytes{1}), std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(aes, Bytes(8, 0), Bytes(16, 0)), std::invalid_argument);
+}
+
+TEST(AesCtr, CounterWrapsAcrossByteBoundary) {
+  // Nonce ending in 0xff forces a carry into the next counter byte.
+  const Bytes key(16, 0x42);
+  Bytes nonce(16, 0x00);
+  for (int i = 8; i < 16; ++i) nonce[i] = 0xff;
+  Aes aes(key);
+  const Bytes pt(80, 0x00);
+  const Bytes ks = aes_ctr_xor(aes, nonce, pt);  // keystream since pt is zero
+  // Blocks must all differ (counter actually changed despite the wrap).
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      EXPECT_NE(Bytes(ks.begin() + 16 * i, ks.begin() + 16 * (i + 1)),
+                Bytes(ks.begin() + 16 * j, ks.begin() + 16 * (j + 1)));
+    }
+  }
+}
+
+// Paper Fig 10 property: encryption cost grows linearly with message length;
+// here we assert the functional part — all message sizes round-trip.
+TEST(AesCbc, Fig10MessageSizesRoundTrip) {
+  Csprng rng(10);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  Aes aes(key);
+  for (std::size_t log2n = 6; log2n <= 16; ++log2n) {
+    const Bytes pt = rng.bytes(std::size_t{1} << log2n);
+    const auto back = aes_cbc_decrypt(aes, iv, aes_cbc_encrypt(aes, iv, pt));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back.value(), pt);
+  }
+}
+
+}  // namespace
+}  // namespace biot::crypto

@@ -1,0 +1,226 @@
+// Data authority management tests: authorization lists (Eqn 1), symmetric
+// envelopes, and sensor-data protection.
+#include <gtest/gtest.h>
+
+#include "auth/authorization.h"
+#include "auth/data_protection.h"
+#include "auth/envelope.h"
+#include "test_util.h"
+
+namespace biot::auth {
+namespace {
+
+crypto::Identity manager_id() { return crypto::Identity::deterministic(100); }
+crypto::Identity device_id(int i) {
+  return crypto::Identity::deterministic(200 + i);
+}
+
+tangle::Transaction signed_auth_tx(const crypto::Identity& signer,
+                                   const AuthorizationList& list,
+                                   std::uint64_t seq = 0) {
+  auto tx = make_authorization_tx(signer, list, seq, 1.0);
+  // Minimal valid PoW so the tx could also pass tangle checks.
+  tx.difficulty = 1;
+  consensus::Miner miner;
+  tx.nonce = miner.mine(tx.parent1, tx.parent2, tx.difficulty)->nonce;
+  tx.signature = signer.sign(tx.signing_bytes());
+  return tx;
+}
+
+TEST(AuthorizationList, EncodeDecodeRoundTrip) {
+  AuthorizationList list;
+  for (int i = 0; i < 5; ++i) list.devices.push_back(device_id(i).public_identity());
+  const auto decoded = AuthorizationList::decode(list.encode());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded.value().devices.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(decoded.value().devices[i], list.devices[i]);
+}
+
+TEST(AuthorizationList, EmptyListRoundTrip) {
+  const auto decoded = AuthorizationList::decode(AuthorizationList{}.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded.value().devices.empty());
+}
+
+TEST(AuthorizationList, DecodeRejectsTruncation) {
+  AuthorizationList list;
+  list.devices.push_back(device_id(0).public_identity());
+  Bytes wire = list.encode();
+  wire.pop_back();
+  EXPECT_FALSE(AuthorizationList::decode(wire));
+}
+
+class AuthRegistryTest : public ::testing::Test {
+ protected:
+  AuthRegistryTest()
+      : manager_(manager_id()),
+        registry_(manager_.public_identity().sign_key) {}
+
+  crypto::Identity manager_;
+  AuthRegistry registry_;
+};
+
+TEST_F(AuthRegistryTest, ManagerListAuthorizesDevices) {
+  AuthorizationList list;
+  list.devices.push_back(device_id(1).public_identity());
+  list.devices.push_back(device_id(2).public_identity());
+  ASSERT_TRUE(registry_.apply(signed_auth_tx(manager_, list)).is_ok());
+
+  EXPECT_TRUE(registry_.is_authorized(device_id(1).public_identity().sign_key));
+  EXPECT_TRUE(registry_.is_authorized(device_id(2).public_identity().sign_key));
+  EXPECT_FALSE(registry_.is_authorized(device_id(3).public_identity().sign_key));
+  EXPECT_EQ(registry_.authorized_count(), 2u);
+}
+
+TEST_F(AuthRegistryTest, UpdateReplacesList) {
+  AuthorizationList first;
+  first.devices.push_back(device_id(1).public_identity());
+  ASSERT_TRUE(registry_.apply(signed_auth_tx(manager_, first, 0)).is_ok());
+
+  AuthorizationList second;
+  second.devices.push_back(device_id(2).public_identity());
+  ASSERT_TRUE(registry_.apply(signed_auth_tx(manager_, second, 1)).is_ok());
+
+  // Deauthorization by omission (the paper's authorize/deauthorize flow).
+  EXPECT_FALSE(registry_.is_authorized(device_id(1).public_identity().sign_key));
+  EXPECT_TRUE(registry_.is_authorized(device_id(2).public_identity().sign_key));
+  EXPECT_EQ(registry_.updates_applied(), 2u);
+}
+
+TEST_F(AuthRegistryTest, RejectsNonManagerPublisher) {
+  const auto impostor = device_id(66);
+  AuthorizationList list;
+  list.devices.push_back(impostor.public_identity());
+  const auto status = registry_.apply(signed_auth_tx(impostor, list));
+  EXPECT_EQ(status.code(), ErrorCode::kUnauthorized);
+  EXPECT_EQ(registry_.authorized_count(), 0u);
+}
+
+TEST_F(AuthRegistryTest, RejectsForgedSignature) {
+  AuthorizationList list;
+  list.devices.push_back(device_id(1).public_identity());
+  auto tx = signed_auth_tx(manager_, list);
+  tx.payload.push_back(0);  // payload no longer matches the signature
+  EXPECT_EQ(registry_.apply(tx).code(), ErrorCode::kVerifyFailed);
+}
+
+TEST_F(AuthRegistryTest, RejectsWrongTxType) {
+  AuthorizationList list;
+  auto tx = signed_auth_tx(manager_, list);
+  tx.type = tangle::TxType::kData;
+  tx.signature = manager_.sign(tx.signing_bytes());
+  EXPECT_EQ(registry_.apply(tx).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AuthRegistryTest, BoxKeyLookup) {
+  const auto dev = device_id(4);
+  AuthorizationList list;
+  list.devices.push_back(dev.public_identity());
+  ASSERT_TRUE(registry_.apply(signed_auth_tx(manager_, list)).is_ok());
+
+  const auto box = registry_.box_key_of(dev.public_identity().sign_key);
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ(*box, dev.public_identity().box_key);
+  EXPECT_FALSE(registry_.box_key_of(device_id(5).public_identity().sign_key));
+}
+
+// ---- Envelope -----------------------------------------------------------------
+
+TEST(Envelope, SealOpenRoundTrip) {
+  crypto::Csprng rng(1);
+  const auto key = rng.fixed<32>();
+  for (std::size_t n : {0u, 1u, 15u, 16u, 1000u}) {
+    const Bytes pt = rng.bytes(n);
+    const auto back = envelope_open(key, envelope_seal(key, pt, rng));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back.value(), pt);
+  }
+}
+
+TEST(Envelope, WrongKeyFails) {
+  crypto::Csprng rng(2);
+  const auto k1 = rng.fixed<32>();
+  const auto k2 = rng.fixed<32>();
+  const auto env = envelope_seal(k1, to_bytes("secret"), rng);
+  EXPECT_EQ(envelope_open(k2, env).code(), ErrorCode::kDecryptFailed);
+}
+
+TEST(Envelope, TamperAnywhereFails) {
+  crypto::Csprng rng(3);
+  const auto key = rng.fixed<32>();
+  const Bytes env = envelope_seal(key, to_bytes("payload data here"), rng);
+  for (std::size_t i = 0; i < env.size(); i += 7) {
+    Bytes bad = env;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(envelope_open(key, bad)) << "offset " << i;
+  }
+}
+
+TEST(Envelope, TruncationFails) {
+  crypto::Csprng rng(4);
+  const auto key = rng.fixed<32>();
+  const Bytes env = envelope_seal(key, to_bytes("p"), rng);
+  EXPECT_FALSE(envelope_open(key, ByteView{env.data(), env.size() - 1}));
+  EXPECT_FALSE(envelope_open(key, ByteView{}));
+}
+
+TEST(Envelope, FreshIvPerSeal) {
+  crypto::Csprng rng(5);
+  const auto key = rng.fixed<32>();
+  EXPECT_NE(envelope_seal(key, to_bytes("m"), rng),
+            envelope_seal(key, to_bytes("m"), rng));
+}
+
+// ---- Sensor data protection ------------------------------------------------------
+
+TEST(DataProtection, NoKeyPassesThrough) {
+  SensorDataProtector protector;
+  crypto::Csprng rng(6);
+  const auto [payload, encrypted] = protector.protect(to_bytes("21.5 degC"), rng);
+  EXPECT_FALSE(encrypted);
+  EXPECT_EQ(to_string(payload), "21.5 degC");
+  const auto back = protector.recover(payload, false);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(to_string(back.value()), "21.5 degC");
+}
+
+TEST(DataProtection, WithKeyEncrypts) {
+  crypto::Csprng rng(7);
+  SensorDataProtector protector(rng.fixed<32>());
+  const Bytes reading = to_bytes("recipe rpm=12000");
+  const auto [payload, encrypted] = protector.protect(reading, rng);
+  EXPECT_TRUE(encrypted);
+  EXPECT_NE(payload, reading);
+  const auto back = protector.recover(payload, true);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value(), reading);
+}
+
+TEST(DataProtection, KeyHolderOnlyDecrypts) {
+  crypto::Csprng rng(8);
+  const auto key = rng.fixed<32>();
+  SensorDataProtector sender(key);
+  SensorDataProtector authorized(key);
+  SensorDataProtector outsider;  // no key
+
+  const auto [payload, encrypted] = sender.protect(to_bytes("sensitive"), rng);
+  ASSERT_TRUE(encrypted);
+  EXPECT_TRUE(authorized.recover(payload, true));
+  const auto denied = outsider.recover(payload, true);
+  EXPECT_EQ(denied.code(), ErrorCode::kUnauthorized);
+}
+
+TEST(DataProtection, InstallKeyUpgradesDevice) {
+  SensorDataProtector protector;
+  EXPECT_FALSE(protector.has_key());
+  crypto::Csprng rng(9);
+  protector.install_key(rng.fixed<32>());
+  EXPECT_TRUE(protector.has_key());
+  const auto [payload, encrypted] = protector.protect(to_bytes("x"), rng);
+  (void)payload;
+  EXPECT_TRUE(encrypted);
+}
+
+}  // namespace
+}  // namespace biot::auth

@@ -1,0 +1,171 @@
+// Chain-structured baseline: block hashing/PoW, longest-chain resolution,
+// k-deep confirmation, orphan accounting.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "test_util.h"
+
+namespace biot::chain {
+namespace {
+
+using testutil::TxFactory;
+
+class ChainTest : public ::testing::Test {
+ protected:
+  ChainTest() : chain_(Blockchain::make_genesis()), alice_(1) {
+    miner_key_ = crypto::Identity::deterministic(50).public_identity().sign_key;
+  }
+
+  Block make_block(const BlockId& prev, std::uint64_t height,
+                   std::vector<tangle::Transaction> txs = {},
+                   int difficulty = 4) {
+    Block b;
+    b.prev = prev;
+    b.height = height;
+    b.timestamp = static_cast<double>(height);
+    b.miner = miner_key_;
+    b.difficulty = static_cast<std::uint8_t>(difficulty);
+    b.transactions = std::move(txs);
+    mine_block(b, next_nonce_);
+    next_nonce_ += 1u << 20;
+    return b;
+  }
+
+  Blockchain chain_;
+  TxFactory alice_;
+  crypto::Ed25519PublicKey miner_key_;
+  std::uint64_t next_nonce_ = 0;
+};
+
+TEST_F(ChainTest, GenesisIsHead) {
+  EXPECT_EQ(chain_.height(), 0u);
+  EXPECT_EQ(chain_.size(), 1u);
+  EXPECT_EQ(chain_.main_chain().size(), 1u);
+}
+
+TEST_F(ChainTest, MinedBlockSatisfiesPow) {
+  const auto b = make_block(chain_.head(), 1, {}, 8);
+  EXPECT_TRUE(b.pow_valid());
+  EXPECT_GE(tangle::leading_zero_bits(b.id()), 8);
+}
+
+TEST_F(ChainTest, AppendsExtendHead) {
+  auto b1 = make_block(chain_.head(), 1);
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  EXPECT_EQ(chain_.head(), b1.id());
+  auto b2 = make_block(b1.id(), 2);
+  ASSERT_TRUE(chain_.add(b2).is_ok());
+  EXPECT_EQ(chain_.height(), 2u);
+}
+
+TEST_F(ChainTest, RejectsDuplicateBlock) {
+  auto b1 = make_block(chain_.head(), 1);
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  EXPECT_EQ(chain_.add(b1).code(), ErrorCode::kRejected);
+}
+
+TEST_F(ChainTest, RejectsUnknownPrev) {
+  BlockId bogus{};
+  bogus[0] = 1;
+  auto b = make_block(bogus, 1);
+  EXPECT_EQ(chain_.add(b).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ChainTest, RejectsWrongHeight) {
+  auto b = make_block(chain_.head(), 5);
+  EXPECT_EQ(chain_.add(b).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ChainTest, RejectsInsufficientPow) {
+  Block b;
+  b.prev = chain_.head();
+  b.height = 1;
+  b.miner = miner_key_;
+  b.difficulty = 30;
+  b.nonce = 0;  // unmined
+  if (b.pow_valid()) GTEST_SKIP() << "freak nonce";
+  EXPECT_EQ(chain_.add(b).code(), ErrorCode::kPowInvalid);
+}
+
+TEST_F(ChainTest, RejectsBelowMinimumDifficulty) {
+  chain_.set_min_difficulty(8);
+  auto b = make_block(chain_.head(), 1, {}, 4);
+  EXPECT_EQ(chain_.add(b).code(), ErrorCode::kPowInvalid);
+}
+
+TEST_F(ChainTest, RejectsBadTransactionSignature) {
+  auto tx = alice_.make(tangle::TxId{}, tangle::TxId{});
+  tx.payload = to_bytes("tampered");
+  auto b = make_block(chain_.head(), 1, {tx});
+  EXPECT_EQ(chain_.add(b).code(), ErrorCode::kVerifyFailed);
+}
+
+TEST_F(ChainTest, BlockIdCommitsToTransactions) {
+  auto tx = alice_.make(tangle::TxId{}, tangle::TxId{});
+  auto b = make_block(chain_.head(), 1, {tx});
+  const auto id_before = b.id();
+  b.transactions[0].payload = to_bytes("swap");
+  EXPECT_NE(b.id(), id_before);  // tx_root changed
+}
+
+TEST_F(ChainTest, ForkResolvesToLongestChain) {
+  auto a1 = make_block(chain_.head(), 1);
+  ASSERT_TRUE(chain_.add(a1).is_ok());
+  // Competing fork from genesis.
+  auto b1 = make_block(chain_.main_chain().front(), 1);
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  EXPECT_EQ(chain_.head(), a1.id());  // first-seen wins at equal height
+
+  auto b2 = make_block(b1.id(), 2);
+  ASSERT_TRUE(chain_.add(b2).is_ok());
+  EXPECT_EQ(chain_.head(), b2.id());  // longer fork takes over
+  EXPECT_EQ(chain_.orphaned_blocks(), 1u);  // a1 orphaned
+}
+
+TEST_F(ChainTest, ConfirmationRequiresDepth) {
+  auto tx = alice_.make(tangle::TxId{}, tangle::TxId{});
+  auto b1 = make_block(chain_.head(), 1, {tx});
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  EXPECT_FALSE(chain_.is_confirmed(tx.id(), 2));
+
+  auto prev = b1.id();
+  for (std::uint64_t h = 2; h <= 3; ++h) {
+    auto b = make_block(prev, h);
+    ASSERT_TRUE(chain_.add(b).is_ok());
+    prev = b.id();
+  }
+  EXPECT_TRUE(chain_.is_confirmed(tx.id(), 2));
+  EXPECT_FALSE(chain_.is_confirmed(tx.id(), 6));
+}
+
+TEST_F(ChainTest, OrphanedTransactionNotConfirmed) {
+  auto tx = alice_.make(tangle::TxId{}, tangle::TxId{});
+  auto a1 = make_block(chain_.head(), 1, {tx});
+  ASSERT_TRUE(chain_.add(a1).is_ok());
+
+  // A longer competing fork that does NOT contain tx.
+  auto b1 = make_block(chain_.main_chain().front(), 1);
+  auto b2 = make_block(b1.id(), 2);
+  auto b3 = make_block(b2.id(), 3);
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  ASSERT_TRUE(chain_.add(b2).is_ok());
+  ASSERT_TRUE(chain_.add(b3).is_ok());
+
+  EXPECT_FALSE(chain_.containing_height(tx.id()).has_value());
+  EXPECT_FALSE(chain_.is_confirmed(tx.id(), 1));
+}
+
+TEST_F(ChainTest, MainChainOrderedFromGenesis) {
+  auto b1 = make_block(chain_.head(), 1);
+  ASSERT_TRUE(chain_.add(b1).is_ok());
+  auto b2 = make_block(b1.id(), 2);
+  ASSERT_TRUE(chain_.add(b2).is_ok());
+  const auto mc = chain_.main_chain();
+  ASSERT_EQ(mc.size(), 3u);
+  EXPECT_EQ(chain_.find(mc[0])->height, 0u);
+  EXPECT_EQ(chain_.find(mc[1])->height, 1u);
+  EXPECT_EQ(chain_.find(mc[2])->height, 2u);
+}
+
+}  // namespace
+}  // namespace biot::chain

@@ -1,0 +1,69 @@
+// CLI argument parser tests (tools/cli_args.h).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "cli_args.h"
+
+namespace biot::tools {
+namespace {
+
+CliArgs parse(std::vector<std::string> argv) {
+  std::vector<char*> raw;
+  static std::vector<std::string> storage;  // keep c_str() alive
+  storage = std::move(argv);
+  raw.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) raw.push_back(const_cast<char*>(s.c_str()));
+  return CliArgs(static_cast<int>(raw.size()), raw.data());
+}
+
+TEST(CliArgs, SpaceSeparatedValues) {
+  const auto args = parse({"--devices", "8", "--seconds", "60"});
+  EXPECT_EQ(args.get_int("devices", 0), 8);
+  EXPECT_EQ(args.get_double("seconds", 0), 60.0);
+}
+
+TEST(CliArgs, EqualsSeparatedValues) {
+  const auto args = parse({"--devices=16", "--name=factory-a"});
+  EXPECT_EQ(args.get_int("devices", 0), 16);
+  EXPECT_EQ(args.get("name", ""), "factory-a");
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const auto args = parse({"--coordinator", "--offload", "--seconds", "5"});
+  EXPECT_TRUE(args.has("coordinator"));
+  EXPECT_TRUE(args.has("offload"));
+  EXPECT_FALSE(args.has("fixed-pow"));
+  EXPECT_EQ(args.get_int("seconds", 0), 5);
+}
+
+TEST(CliArgs, BooleanFollowedByFlagNotConsumed) {
+  // --coordinator must not swallow the following --devices as its value.
+  const auto args = parse({"--coordinator", "--devices", "3"});
+  EXPECT_TRUE(args.has("coordinator"));
+  EXPECT_EQ(args.get("coordinator", "x"), "");
+  EXPECT_EQ(args.get_int("devices", 0), 3);
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto args = parse({"file1.bin", "--archive", "file2.bin"});
+  // "--archive file2.bin" is flag+value; file1.bin is positional.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file1.bin");
+  EXPECT_EQ(args.get("archive", ""), "file2.bin");
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(CliArgs, LastOccurrenceWins) {
+  const auto args = parse({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(args.get_int("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace biot::tools

@@ -1,0 +1,242 @@
+// Unit tests for the common substrate: bytes/hex, codec, status, rng, clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace biot {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "sensor-42";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x00, 0x55};
+  const Bytes b = {0x0f, 0xf0, 0x55};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(Bytes, XorSizeMismatchThrows) {
+  Bytes a = {1};
+  const Bytes b = {1, 2};
+  EXPECT_THROW(xor_into(a, b), std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  EXPECT_EQ(concat({a, b, a}), (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(FixedBytes, RoundTripAndCompare) {
+  auto a = FixedBytes<4>::parse_hex("00112233");
+  auto b = FixedBytes<4>::parse_hex("00112233");
+  auto c = FixedBytes<4>::parse_hex("00112234");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.hex(), "00112233");
+}
+
+TEST(FixedBytes, FromViewSizeMismatchThrows) {
+  const Bytes data = {1, 2, 3};
+  EXPECT_THROW(FixedBytes<4>::from_view(data), std::invalid_argument);
+}
+
+TEST(Codec, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.blob(Bytes{9, 8, 7});
+  w.str("hello");
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_EQ(r.f64().value(), 3.25);
+  EXPECT_EQ(r.blob().value(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, TruncatedInputFails) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.u16());
+  EXPECT_TRUE(r.u16());
+  EXPECT_FALSE(r.u8());
+  EXPECT_EQ(r.u8().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Codec, BlobLengthBeyondDataFails) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.blob());
+}
+
+TEST(Codec, RawReadsExactCount) {
+  Writer w;
+  w.raw(Bytes{1, 2, 3, 4});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.raw(2).value(), (Bytes{1, 2}));
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::ok());
+  const auto s = Status::error(ErrorCode::kConflict, "double spend");
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), ErrorCode::kConflict);
+  EXPECT_EQ(s.to_string(), "conflict: double spend");
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r = 42;
+  EXPECT_TRUE(r);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r = Status::error(ErrorCode::kNotFound, "missing");
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(Result, OkStatusIntoResultThrows) {
+  EXPECT_THROW((Result<int>{Status::ok()}), std::logic_error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, GeometricMeanMatchesInverseP) {
+  Rng rng(5);
+  const double p = 1.0 / 64.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, 64.0, 4.0);
+}
+
+TEST(Rng, GeometricEdgeCases) {
+  Rng rng(6);
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+  EXPECT_GE(rng.geometric(0.5), 1u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance_to(1.5);
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.advance_by(0.5);
+  EXPECT_EQ(clock.now(), 2.0);
+  EXPECT_THROW(clock.advance_to(1.0), std::logic_error);
+}
+
+TEST(WallClock, MovesForward) {
+  WallClock clock;
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace biot

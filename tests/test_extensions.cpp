@@ -1,0 +1,341 @@
+// Tests for the future-work extensions: sensor data quality control
+// (paper Section VIII) and gateway PoW offloading (remote attachToTangle).
+#include <gtest/gtest.h>
+
+#include "factory/quality.h"
+#include "node/gateway.h"
+#include "node/light_node.h"
+#include "node/manager.h"
+
+namespace biot {
+namespace {
+
+// ---- QualityMonitor ----------------------------------------------------------
+
+factory::SensorReading reading(const char* sensor, double value) {
+  factory::SensorReading r;
+  r.sensor = sensor;
+  r.unit = "degC";
+  r.value = value;
+  r.status = "ok";
+  return r;
+}
+
+TEST(QualityMonitor, WarmupIsLenient) {
+  factory::QualityMonitor monitor;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(monitor.score(reading("t", 20.0 + 0.1 * i)), 1.0);
+  }
+}
+
+TEST(QualityMonitor, InBandReadingsScoreHigh) {
+  factory::QualityMonitor monitor;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  EXPECT_GT(monitor.score(reading("t", 20.3)), 0.8);
+}
+
+TEST(QualityMonitor, ExtremeOutlierScoresZero) {
+  factory::QualityMonitor monitor;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  EXPECT_EQ(monitor.score(reading("t", 900.0)), 0.0);
+  const auto* stats = monitor.stats("t");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->outliers, 1u);
+}
+
+TEST(QualityMonitor, OutlierDoesNotPoisonBaseline) {
+  factory::QualityMonitor monitor;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  // One wild spike (winsorized update), then normal readings stay in-band.
+  (void)monitor.score(reading("t", 5000.0));
+  EXPECT_GT(monitor.score(reading("t", 20.1)), 0.5);
+}
+
+TEST(QualityMonitor, StreamsAreIndependent) {
+  factory::QualityMonitor monitor;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    (void)monitor.score(reading("cold", rng.gaussian(4.0, 0.2)));
+    (void)monitor.score(reading("hot", rng.gaussian(200.0, 5.0)));
+  }
+  // 200 degC is normal for "hot" but absurd for "cold".
+  EXPECT_GT(monitor.score(reading("hot", 201.0)), 0.8);
+  EXPECT_EQ(monitor.score(reading("cold", 201.0)), 0.0);
+}
+
+TEST(QualityMonitor, InterleavedFaultsDoNotInflateTheBand) {
+  // A sensor alternating healthy/garbage must keep being flagged: outliers
+  // must not feed the variance estimate (the classic self-masking bug).
+  factory::QualityMonitor monitor;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  int flagged = 0, faults = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool fault = i % 4 == 0;  // every 4th reading is garbage
+    const double v = fault ? 1e6 : rng.gaussian(20.0, 0.5);
+    const double s = monitor.score(reading("t", v));
+    if (fault) {
+      ++faults;
+      if (s <= 0.0) ++flagged;
+    }
+  }
+  EXPECT_EQ(flagged, faults);  // every single fault caught
+  EXPECT_EQ(monitor.stats("t")->regime_changes, 0u);
+}
+
+TEST(QualityMonitor, RegimeChangeCounterTracksRelearn) {
+  factory::QualityPolicy policy;
+  policy.regime_change_after = 10;
+  factory::QualityMonitor monitor(policy);
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  for (int i = 0; i < 15; ++i) (void)monitor.score(reading("t", 500.0));
+  ASSERT_NE(monitor.stats("t"), nullptr);
+  EXPECT_EQ(monitor.stats("t")->regime_changes, 1u);
+}
+
+TEST(QualityMonitor, AdaptsToRegimeChangeEventually) {
+  factory::QualityPolicy policy;
+  policy.ewma_alpha = 0.2;  // fast learner for the test
+  factory::QualityMonitor monitor(policy);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(20.0, 0.5)));
+  // The process genuinely moves to a new setpoint.
+  for (int i = 0; i < 200; ++i)
+    (void)monitor.score(reading("t", rng.gaussian(26.0, 0.5)));
+  EXPECT_GT(monitor.score(reading("t", 26.0)), 0.5);
+}
+
+// ---- Gateway quality integration -------------------------------------------------
+
+class ExtensionSimTest : public ::testing::Test {
+ protected:
+  ExtensionSimTest()
+      : manager_identity_(crypto::Identity::deterministic(1)),
+        gateway_identity_(crypto::Identity::deterministic(2)),
+        network_(sched_, std::make_unique<sim::FixedLatency>(0.002), Rng(3)),
+        gateway_(1, gateway_identity_,
+                 manager_identity_.public_identity().sign_key,
+                 tangle::Tangle::make_genesis(), network_, gateway_config()),
+        manager_(2, manager_identity_, gateway_, network_) {
+    gateway_.attach();
+    manager_.attach();
+  }
+
+  static node::GatewayConfig gateway_config() {
+    node::GatewayConfig c;
+    c.credit.initial_difficulty = 4;
+    c.credit.max_difficulty = 8;
+    return c;
+  }
+
+  node::LightNodeConfig device_config() {
+    node::LightNodeConfig c;
+    c.profile.hash_rate_hz = 1e6;
+    c.collect_interval = 0.5;
+    return c;
+  }
+
+  sim::Scheduler sched_;
+  crypto::Identity manager_identity_;
+  crypto::Identity gateway_identity_;
+  sim::Network network_;
+  node::Gateway gateway_;
+  node::Manager manager_;
+};
+
+TEST_F(ExtensionSimTest, GarbageSensorGetsPunished) {
+  auto config = device_config();
+  node::LightNode device(10, crypto::Identity::deterministic(100), 1, network_,
+                         config);
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+
+  // Device emits a plausible stream, then breaks and emits garbage.
+  device.set_data_source([this, n = 0]() mutable {
+    factory::SensorReading r;
+    r.sensor = "temp";
+    r.unit = "degC";
+    r.time = sched_.now();
+    r.value = (n++ < 60) ? 20.0 + 0.01 * n : 1.0e7;  // broken sensor
+    r.status = "ok";
+    return r.encode();
+  });
+
+  auto monitor = std::make_shared<factory::QualityMonitor>();
+  gateway_.set_quality_inspector(
+      [monitor](const tangle::Transaction& tx) -> std::optional<double> {
+        if (tx.payload_encrypted) return std::nullopt;
+        const auto reading = factory::SensorReading::decode(tx.payload);
+        if (!reading) return 0.0;  // undecodable payload = worst quality
+        return monitor->score(reading.value());
+      });
+
+  device.start();
+  sched_.run_until(60.0);
+
+  EXPECT_GT(gateway_.stats().poor_quality_detected, 0u);
+  // Punished through the same credit pipeline as protocol attacks.
+  EXPECT_GT(gateway_.required_difficulty(device.public_identity().sign_key),
+            gateway_config().credit.initial_difficulty);
+}
+
+TEST_F(ExtensionSimTest, HealthySensorUnaffectedByInspector) {
+  node::LightNode device(11, crypto::Identity::deterministic(101), 1, network_,
+                         device_config());
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.set_data_source([this, n = 0]() mutable {
+    factory::SensorReading r;
+    r.sensor = "temp";
+    r.unit = "degC";
+    r.time = sched_.now();
+    r.value = 20.0 + 0.05 * ((n++ % 10) - 5);
+    r.status = "ok";
+    return r.encode();
+  });
+
+  auto monitor = std::make_shared<factory::QualityMonitor>();
+  gateway_.set_quality_inspector(
+      [monitor](const tangle::Transaction& tx) -> std::optional<double> {
+        if (tx.payload_encrypted) return std::nullopt;
+        const auto reading = factory::SensorReading::decode(tx.payload);
+        if (!reading) return 0.0;
+        return monitor->score(reading.value());
+      });
+
+  device.start();
+  sched_.run_until(30.0);
+
+  EXPECT_EQ(gateway_.stats().poor_quality_detected, 0u);
+  EXPECT_LE(gateway_.required_difficulty(device.public_identity().sign_key),
+            gateway_config().credit.initial_difficulty);
+}
+
+TEST_F(ExtensionSimTest, EncryptedPayloadsSkipInspection) {
+  auto config = device_config();
+  node::LightNode device(12, crypto::Identity::deterministic(102), 1, network_,
+                         config);
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  crypto::Csprng key_rng(9);
+  device.install_symmetric_key(key_rng.fixed<32>());
+
+  bool saw_encrypted = false;
+  gateway_.set_quality_inspector(
+      [&saw_encrypted](const tangle::Transaction& tx) -> std::optional<double> {
+        if (tx.payload_encrypted) {
+          saw_encrypted = true;
+          return std::nullopt;  // cannot judge ciphertext
+        }
+        return 0.0;  // would punish anything in the clear
+      });
+
+  device.start();
+  sched_.run_until(10.0);
+
+  EXPECT_TRUE(saw_encrypted);
+  EXPECT_EQ(gateway_.stats().poor_quality_detected, 0u);
+}
+
+// ---- PoW offloading -----------------------------------------------------------
+
+TEST_F(ExtensionSimTest, OffloadedPowAttachesTransactions) {
+  auto config = device_config();
+  config.offload_pow = true;
+  node::LightNode device(13, crypto::Identity::deterministic(103), 1, network_,
+                         config);
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.start();
+  sched_.run_until(10.0);
+
+  EXPECT_GT(device.stats().accepted, 10u);
+  EXPECT_EQ(device.stats().rejected, 0u);
+  // The device spent zero simulated PoW time.
+  for (const auto d : device.stats().pow_durations) EXPECT_EQ(d, 0.0);
+  // Attached transactions carry gateway-mined nonces that satisfy Eqn 6.
+  for (const auto& id : gateway_.tangle().arrival_order()) {
+    const auto* rec = gateway_.tangle().find(id);
+    if (rec->tx.type == tangle::TxType::kData) {
+      EXPECT_TRUE(tangle::pow_valid(rec->tx));
+    }
+  }
+}
+
+TEST_F(ExtensionSimTest, OffloadedDeviceIsFasterThanLocalPi) {
+  auto local = device_config();
+  local.profile.hash_rate_hz = 20.0;  // very constrained local miner
+  node::LightNode miner_device(14, crypto::Identity::deterministic(104), 1,
+                               network_, local);
+
+  auto offload = device_config();
+  offload.offload_pow = true;
+  node::LightNode offload_device(15, crypto::Identity::deterministic(105), 1,
+                                 network_, offload);
+
+  ASSERT_TRUE(manager_
+                  .authorize({miner_device.public_identity(),
+                              offload_device.public_identity()})
+                  .is_ok());
+  miner_device.start();
+  offload_device.start();
+  sched_.run_until(30.0);
+
+  EXPECT_GT(offload_device.stats().accepted, miner_device.stats().accepted);
+}
+
+TEST_F(ExtensionSimTest, OffloadStillSubjectToAuthorization) {
+  auto config = device_config();
+  config.offload_pow = true;
+  node::LightNode sybil(16, crypto::Identity::deterministic(666), 1, network_,
+                        config);
+  sybil.start();  // never authorized
+  sched_.run_until(5.0);
+
+  EXPECT_EQ(sybil.stats().accepted, 0u);
+  EXPECT_EQ(gateway_.tangle().size(), 1u);
+}
+
+TEST_F(ExtensionSimTest, OffloadedContentStillTamperProof) {
+  // The gateway mines the nonce but cannot alter signed content: mutate the
+  // payload in handle_attach's position by crafting a tx whose signature is
+  // broken and confirm rejection.
+  auto config = device_config();
+  config.offload_pow = true;
+  node::LightNode device(17, crypto::Identity::deterministic(106), 1, network_,
+                         config);
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+
+  // Hand-craft a tampered attach request.
+  const auto [t1, t2] = gateway_.select_tips();
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kData;
+  tx.sender = device.public_identity().sign_key;
+  tx.parent1 = t1;
+  tx.parent2 = t2;
+  tx.sequence = 0;
+  tx.timestamp = 0.0;
+  tx.difficulty = 4;
+  tx.payload = to_bytes("original");
+  tx.signature = device.identity().sign(tx.signing_bytes());
+  tx.payload = to_bytes("tampered");  // content changed after signing
+
+  node::RpcMessage msg;
+  msg.type = node::MsgType::kAttachRequest;
+  msg.request_id = 1;
+  msg.sender_key = tx.sender;
+  msg.body = tx.encode();
+  network_.send(99, 1, msg.encode());
+  sched_.run();
+
+  EXPECT_EQ(gateway_.tangle().size(), 2u);  // genesis + auth tx only
+}
+
+}  // namespace
+}  // namespace biot

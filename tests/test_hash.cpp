@@ -1,0 +1,231 @@
+// SHA-256 / SHA-512 / HMAC / HKDF / ChaCha20 CSPRNG against published vectors
+// (FIPS 180-4, RFC 4231, RFC 5869, RFC 8439).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/csprng.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace biot::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(to_bytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog etc");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView{data.data(), split});
+    h.update(ByteView{data.data() + split, data.size() - split});
+    EXPECT_EQ(h.finish(), Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding boundary cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes data(n, 0x5a);
+    Sha256 one;
+    one.update(data);
+    Sha256 two;
+    for (auto b : data) two.update(ByteView{&b, 1});
+    EXPECT_EQ(one.finish(), two.finish()) << "n=" << n;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(to_bytes("junk"));
+  (void)h.finish();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(h.finish().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, HashConcatEqualsHashOfConcat) {
+  const Bytes a = to_bytes("foo"), b = to_bytes("bar");
+  EXPECT_EQ(Sha256::hash_concat({a, b}), Sha256::hash(to_bytes("foobar")));
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(Sha512::hash({}).hex(),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(Sha512::hash(to_bytes("abc")).hex(),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, LongTwoBlockMessage) {
+  EXPECT_EQ(Sha512::hash(to_bytes(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")).hex(),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionA) {
+  Sha512 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finish().hex(),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, BoundaryLengths) {
+  for (std::size_t n : {111u, 112u, 127u, 128u, 129u, 239u, 240u, 256u}) {
+    const Bytes data(n, 0xa5);
+    Sha512 one;
+    one.update(data);
+    Sha512 two;
+    for (auto b : data) two.update(ByteView{&b, 1});
+    EXPECT_EQ(one.finish(), two.finish()) << "n=" << n;
+  }
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, to_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short key "Jefe".
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(to_bytes("Jefe"),
+                        to_bytes("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, data).hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_sha256(key, to_bytes(
+                "Test Using Larger Than Block-Size Key - Hash Key First")).hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, ConcatMatchesFlat) {
+  const Bytes key = to_bytes("k");
+  const Bytes a = to_bytes("aa"), b = to_bytes("bb");
+  EXPECT_EQ(hmac_sha256_concat(key, {a, b}), hmac_sha256(key, to_bytes("aabb")));
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: zero-length salt and info.
+TEST(Hkdf, Rfc5869Case3) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandRejectsOversizedOutput) {
+  const auto prk = hkdf_extract({}, to_bytes("x"));
+  EXPECT_THROW(hkdf_expand(prk.view(), {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+// RFC 8439 section 2.3.2 block function vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865; state[1] = 0x3320646e;
+  state[2] = 0x79622d32; state[3] = 0x6b206574;
+  // key 00 01 02 ... 1f
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = static_cast<std::uint32_t>(4 * i) |
+                   (static_cast<std::uint32_t>(4 * i + 1) << 8) |
+                   (static_cast<std::uint32_t>(4 * i + 2) << 16) |
+                   (static_cast<std::uint32_t>(4 * i + 3) << 24);
+  }
+  state[12] = 1;  // counter
+  state[13] = 0x09000000;
+  state[14] = 0x4a000000;
+  state[15] = 0x00000000;
+
+  std::uint8_t out[64];
+  chacha20_block(state, out);
+  EXPECT_EQ(to_hex(ByteView{out, 64}),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Csprng, DeterministicWithSeed) {
+  Csprng a(99), b(99);
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Csprng, DifferentSeedsDiffer) {
+  Csprng a(1), b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Csprng, FillSpansBlockBoundaries) {
+  Csprng a(7);
+  const Bytes big = a.bytes(200);
+  Csprng b(7);
+  Bytes parts;
+  for (std::size_t taken = 0; taken < 200;) {
+    const std::size_t n = std::min<std::size_t>(33, 200 - taken);
+    const Bytes piece = b.bytes(n);
+    parts.insert(parts.end(), piece.begin(), piece.end());
+    taken += n;
+  }
+  EXPECT_EQ(big, parts);
+}
+
+TEST(Csprng, OsSeededStreamsDiffer) {
+  Csprng a, b;
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+}  // namespace
+}  // namespace biot::crypto

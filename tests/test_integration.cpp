@@ -1,0 +1,479 @@
+// End-to-end smart-factory integration tests: the full Fig 6 workflow,
+// failure injection (gateway crash, partition), attack mitigation, and the
+// sensor data pipeline.
+#include <gtest/gtest.h>
+
+#include "factory/metrics.h"
+#include "factory/scenario.h"
+
+namespace biot::factory {
+namespace {
+
+ScenarioConfig fast_config() {
+  ScenarioConfig c;
+  // Host-friendly difficulties and device speeds for tests.
+  c.gateway.credit.initial_difficulty = 4;
+  c.gateway.credit.max_difficulty = 8;
+  c.device.profile.hash_rate_hz = 1e6;
+  c.device.collect_interval = 0.5;
+  return c;
+}
+
+TEST(SmartFactory, BootstrapAuthorizesAllDevices) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(1.0);
+
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    EXPECT_EQ(factory.gateway(g).auth_registry().authorized_count(),
+              factory.device_count());
+  }
+}
+
+TEST(SmartFactory, DevicesProduceAcceptedTransactions) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(20.0);
+
+  EXPECT_GT(factory.total_accepted(), 40u);
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    EXPECT_GT(factory.device(d).stats().accepted, 0u) << "device " << d;
+  }
+}
+
+TEST(SmartFactory, GatewayReplicasConverge) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(20.0);
+  factory.run_until(21.0);  // drain gossip
+
+  const auto size0 = factory.gateway(0).tangle().size();
+  for (std::size_t g = 1; g < factory.gateway_count(); ++g) {
+    EXPECT_EQ(factory.gateway(g).tangle().size(), size0);
+  }
+}
+
+TEST(SmartFactory, SensitiveDeviceEncryptsAfterKeyDistribution) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(20.0);
+
+  // Device 3 carries the ProcessRecipeSensor (index % 4 == 3 => sensitive).
+  ASSERT_TRUE(factory.sensor(3).sensitive());
+  EXPECT_TRUE(factory.device(3).has_symmetric_key());
+
+  std::size_t encrypted = 0, cleartext = 0;
+  const auto& tangle = factory.gateway(0).tangle();
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData) continue;
+    if (rec->tx.payload_encrypted)
+      ++encrypted;
+    else
+      ++cleartext;
+  }
+  EXPECT_GT(encrypted, 0u);
+  EXPECT_GT(cleartext, 0u);  // non-sensitive devices post in the clear
+}
+
+TEST(SmartFactory, EncryptedPayloadsDecodeForKeyHolder) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(15.0);
+
+  const auto device3 = factory.device(3).public_identity();
+  const auto& key = factory.manager().session_key(device3);
+
+  std::size_t decoded = 0;
+  const auto& tangle = factory.gateway(1).tangle();  // read from the replica
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (!rec->tx.payload_encrypted) continue;
+    const auto plain = auth::envelope_open(key, rec->tx.payload);
+    ASSERT_TRUE(plain.is_ok());
+    const auto reading = SensorReading::decode(plain.value());
+    ASSERT_TRUE(reading.is_ok());
+    EXPECT_EQ(reading.value().unit, "rpm");  // the recipe sensor
+    ++decoded;
+  }
+  EXPECT_GT(decoded, 0u);
+}
+
+TEST(SmartFactory, ClearPayloadsAreReadableSensorReadings) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(10.0);
+
+  std::size_t decoded = 0;
+  const auto& tangle = factory.gateway(0).tangle();
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type != tangle::TxType::kData || rec->tx.payload_encrypted)
+      continue;
+    ASSERT_TRUE(SensorReading::decode(rec->tx.payload).is_ok());
+    ++decoded;
+  }
+  EXPECT_GT(decoded, 10u);
+}
+
+TEST(SmartFactory, SybilSwarmBlockedWithoutDisruptingService) {
+  auto config = fast_config();
+  SmartFactory factory(config);
+  factory.bootstrap();
+  for (int i = 0; i < 5; ++i) {
+    auto sybil_config = config.device;
+    sybil_config.collect_interval = 0.1;  // hammering the gateway
+    factory.add_unauthorized_device(sybil_config);
+  }
+  factory.run_until(20.0);
+
+  // All sybil requests refused; nothing attached from them.
+  for (std::size_t s = 0; s < factory.unauthorized_count(); ++s) {
+    EXPECT_EQ(factory.unauthorized_device(s).stats().accepted, 0u);
+    EXPECT_GT(factory.unauthorized_device(s).stats().unauthorized, 10u);
+  }
+  // Honest devices keep working.
+  EXPECT_GT(factory.total_accepted(), 40u);
+}
+
+TEST(SmartFactory, RateLimiterShedsFloodKeepsHonestTraffic) {
+  auto config = fast_config();
+  // Honest devices issue ~4 requests/s (tips + submit at 2 cycles/s);
+  // allow 10/s with a small burst. Sybils fire 20 cycles/s.
+  config.gateway.rate_limit_per_sender = 10.0;
+  config.gateway.rate_limit_burst = 5.0;
+  SmartFactory factory(config);
+  factory.bootstrap();
+  auto sybil_config = config.device;
+  sybil_config.collect_interval = 0.05;
+  sybil_config.request_timeout = 0.1;  // aggressive: re-fires despite sheds
+  factory.add_unauthorized_device(sybil_config);
+  factory.run_until(20.0);
+
+  // The flood was shed at the edge...
+  std::uint64_t shed = 0;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    shed += factory.gateway(g).stats().rate_limited;
+  EXPECT_GT(shed, 50u);
+  // ...while honest devices ran at full rate.
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    EXPECT_GT(factory.device(d).stats().accepted, 20u) << "device " << d;
+  }
+}
+
+TEST(SmartFactory, DevicesFailOverWhenTheirGatewayDies) {
+  auto config = fast_config();
+  config.device.request_timeout = 1.0;  // detect the dead gateway quickly
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(5.0);
+
+  // Devices 1 and 3 are homed on gateway 1 (round-robin). Kill it.
+  const auto dead = factory.gateway(1).node_id();
+  ASSERT_EQ(factory.device(1).current_gateway(), dead);
+  factory.network().detach(dead);
+  const auto before_d1 = factory.device(1).stats().accepted;
+
+  factory.run_until(30.0);
+
+  // They re-homed to gateway 0 and kept submitting.
+  EXPECT_EQ(factory.device(1).current_gateway(), factory.gateway(0).node_id());
+  EXPECT_EQ(factory.device(3).current_gateway(), factory.gateway(0).node_id());
+  EXPECT_GE(factory.device(1).stats().failovers, 1u);
+  EXPECT_GT(factory.device(1).stats().accepted, before_d1 + 10);
+  // Full availability: every device made progress after the crash.
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    EXPECT_GT(factory.device(d).stats().accepted, 20u) << "device " << d;
+  }
+}
+
+TEST(SmartFactory, SurvivesGatewayCrash) {
+  // Single point of failure test: kill gateway 1; devices homed on gateway 0
+  // keep submitting and the surviving replica keeps growing.
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(5.0);
+  const auto before = factory.gateway(0).tangle().size();
+
+  factory.network().detach(factory.gateway(1).node_id());  // crash
+  factory.run_until(15.0);
+
+  EXPECT_GT(factory.gateway(0).tangle().size(), before);
+  // Devices 0 and 2 are homed on gateway 0 (round-robin) and unaffected.
+  EXPECT_GT(factory.device(0).stats().accepted, 5u);
+  EXPECT_GT(factory.device(2).stats().accepted, 5u);
+}
+
+TEST(SmartFactory, OutOfOrderGossipIsAdoptedNotDropped) {
+  // High-variance latency reorders gossip between the two gateways; the
+  // orphan buffer must keep replicas converged WITHOUT anti-entropy sync.
+  auto config = fast_config();
+  config.gateway.sync_interval = 0.0;  // no safety net
+  config.device.collect_interval = 0.1;  // fast cadence vs slow links:
+  config.latency_base = 0.001;
+  config.latency_tail = 0.5;  // heavy jitter — reordering is routine
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(30.0);
+  factory.run_until(40.0);  // drain in-flight gossip
+
+  std::uint64_t buffered = 0, adopted = 0;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    buffered += factory.gateway(g).stats().orphans_buffered;
+    adopted += factory.gateway(g).stats().orphans_adopted;
+  }
+  EXPECT_GT(buffered, 0u);       // reordering actually happened
+  EXPECT_EQ(adopted, buffered);  // and every orphan found its parent
+  // Devices keep producing, so a handful of gossips are always in flight;
+  // replicas must agree up to that in-flight window (without the orphan
+  // buffer the gap grows with every reordering instead).
+  const auto s0 = factory.gateway(0).tangle().size();
+  const auto s1 = factory.gateway(1).tangle().size();
+  EXPECT_LE(std::max(s0, s1) - std::min(s0, s1), 8u);
+}
+
+TEST(SmartFactory, AntiEntropyFullyHealsPartition) {
+  // With periodic anti-entropy sync, replicas converge COMPLETELY after a
+  // partition — live gossip alone cannot backfill the missed history.
+  auto config = fast_config();
+  config.gateway.sync_interval = 2.0;
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(5.0);
+
+  std::set<sim::NodeId> island{factory.gateway(1).node_id(),
+                               factory.device(1).node_id(),
+                               factory.device(3).node_id()};
+  factory.network().partition(island, true);
+  factory.run_until(15.0);
+  EXPECT_NE(factory.gateway(0).tangle().size(),
+            factory.gateway(1).tangle().size());
+
+  factory.network().partition({}, false);
+  factory.run_until(25.0);  // a few sync rounds after healing
+
+  // Same size AND same contents.
+  ASSERT_EQ(factory.gateway(0).tangle().size(),
+            factory.gateway(1).tangle().size());
+  for (const auto& id : factory.gateway(0).tangle().arrival_order()) {
+    EXPECT_TRUE(factory.gateway(1).tangle().contains(id));
+  }
+  EXPECT_GT(factory.gateway(0).stats().sync_txs_applied +
+                factory.gateway(1).stats().sync_txs_applied,
+            0u);
+}
+
+TEST(SmartFactory, SyncIdleWhenReplicasAgree) {
+  auto config = fast_config();
+  config.gateway.sync_interval = 1.0;
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(10.0);
+  factory.run_until(12.0);  // drain gossip, then more sync rounds
+
+  // Sync ran but had (almost) nothing to ship: live gossip keeps replicas
+  // current; anti-entropy only pays when histories diverge.
+  EXPECT_GT(factory.gateway(0).stats().syncs_sent, 5u);
+  const auto shipped = factory.gateway(0).stats().sync_txs_served +
+                       factory.gateway(1).stats().sync_txs_served;
+  EXPECT_LT(shipped, factory.gateway(0).tangle().size() / 4);
+}
+
+TEST(SmartFactory, PartitionHealsAndReplicasCatchUp) {
+  SmartFactory factory(fast_config());
+  factory.bootstrap();
+  factory.run_until(5.0);
+
+  // Partition gateway 1 (and its devices) away from gateway 0.
+  std::set<sim::NodeId> island{factory.gateway(1).node_id(),
+                               factory.device(1).node_id(),
+                               factory.device(3).node_id()};
+  factory.network().partition(island, true);
+  factory.run_until(10.0);
+  const auto size0 = factory.gateway(0).tangle().size();
+  const auto size1 = factory.gateway(1).tangle().size();
+  EXPECT_NE(size0, size1);  // replicas diverged during the partition
+
+  factory.network().partition({}, false);
+  factory.run_until(20.0);
+  // New traffic gossips normally again; both replicas keep growing.
+  EXPECT_GT(factory.gateway(0).tangle().size(), size0);
+  EXPECT_GT(factory.gateway(1).tangle().size(), size1);
+}
+
+TEST(SmartFactory, AttackerThrottledHonestUnaffected) {
+  auto config = fast_config();
+  config.device.profile.hash_rate_hz = 3000.0;  // Pi-ish: punishment bites
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.device(1).schedule_attack(5.0, node::AttackKind::kDoubleSpend);
+  factory.run_until(60.0);
+
+  const auto& attacker = factory.device(1).stats();
+  const auto& honest = factory.device(0).stats();
+  EXPECT_EQ(attacker.attacks_launched, 1u);
+  EXPECT_GE(factory.gateway(0).stats().rejected_conflict +
+                factory.gateway(1).stats().rejected_conflict,
+            1u);
+  // The attacker's post-attack PoW got harder: its max sampled PoW time
+  // exceeds the honest node's max.
+  const auto max_of = [](const std::vector<double>& xs) {
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+  };
+  EXPECT_GT(max_of(attacker.pow_durations), max_of(honest.pow_durations));
+  // Honest devices were not slowed down.
+  EXPECT_GT(honest.accepted, 20u);
+}
+
+TEST(SmartFactory, CrossGatewayDoubleSpendConvergesOnOneWinner) {
+  // The attacker submits conflicting transactions to two different gateways
+  // at the same instant; gossip crosses mid-flight. Both replicas must end
+  // up agreeing on the same winner (deterministic id rule), and the sender
+  // must be punished on both.
+  auto config = fast_config();
+  SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(2.0);
+
+  // A rogue identity we control the secret key of; authorize it alongside
+  // the regular devices, then hand-craft the conflicting pair against the
+  // current tips of each gateway.
+  crypto::Identity rogue = crypto::Identity::deterministic(5000);
+  std::vector<crypto::PublicIdentity> list;
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    list.push_back(factory.device(d).public_identity());
+  list.push_back(rogue.public_identity());
+  ASSERT_TRUE(factory.manager().authorize(list).is_ok());
+  factory.run_until(3.0);
+
+  auto craft = [&](node::Gateway& gw, const char* payload) {
+    tangle::Transaction tx;
+    tx.type = tangle::TxType::kData;
+    tx.sender = rogue.public_identity().sign_key;
+    const auto [t1, t2] = gw.select_tips();
+    tx.parent1 = t1;
+    tx.parent2 = t2;
+    tx.sequence = 7;  // same slot in both
+    tx.timestamp = factory.scheduler().now();
+    tx.difficulty = static_cast<std::uint8_t>(
+        gw.required_difficulty(tx.sender));
+    tx.payload = to_bytes(payload);
+    tx.signature = rogue.sign(tx.signing_bytes());
+    consensus::Miner miner(0x7777);
+    tx.nonce = miner.mine(tx.parent1, tx.parent2, tx.difficulty)->nonce;
+    return tx;
+  };
+
+  const auto tx_a = craft(factory.gateway(0), "branch A");
+  const auto tx_b = craft(factory.gateway(1), "branch B");
+  ASSERT_TRUE(factory.gateway(0).submit(tx_a).is_ok());
+  ASSERT_TRUE(factory.gateway(1).submit(tx_b).is_ok());
+  factory.run_until(6.0);
+
+  // Both replicas saw both transactions and punished the rogue.
+  EXPECT_TRUE(factory.gateway(0).tangle().contains(tx_a.id()));
+  EXPECT_TRUE(factory.gateway(0).tangle().contains(tx_b.id()));
+  EXPECT_TRUE(factory.gateway(1).tangle().contains(tx_a.id()));
+  EXPECT_TRUE(factory.gateway(1).tangle().contains(tx_b.id()));
+  EXPECT_GE(factory.gateway(0).stats().rejected_conflict, 1u);
+  EXPECT_GE(factory.gateway(1).stats().rejected_conflict, 1u);
+  const auto rogue_key = rogue.public_identity().sign_key;
+  EXPECT_EQ(factory.gateway(0).required_difficulty(rogue_key),
+            config.gateway.credit.max_difficulty);
+  EXPECT_EQ(factory.gateway(1).required_difficulty(rogue_key),
+            config.gateway.credit.max_difficulty);
+}
+
+TEST(SmartFactory, ThroughputScalesWithDeviceCount) {
+  auto small = fast_config();
+  small.num_devices = 2;
+  SmartFactory f_small(small);
+  f_small.bootstrap();
+  f_small.run_until(20.0);
+
+  auto large = fast_config();
+  large.num_devices = 8;
+  SmartFactory f_large(large);
+  f_large.bootstrap();
+  f_large.run_until(20.0);
+
+  // Asynchronous consensus: more concurrent devices => more throughput.
+  EXPECT_GT(f_large.throughput(5.0, 20.0), 2.0 * f_small.throughput(5.0, 20.0));
+}
+
+TEST(SmartFactory, DeterministicGivenSeed) {
+  auto config = fast_config();
+  SmartFactory a(config), b(config);
+  a.bootstrap();
+  b.bootstrap();
+  a.run_until(10.0);
+  b.run_until(10.0);
+  EXPECT_EQ(a.total_accepted(), b.total_accepted());
+  EXPECT_EQ(a.gateway(0).tangle().size(), b.gateway(0).tangle().size());
+}
+
+TEST(Sensors, ModelsProduceDecodableReadings) {
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    auto sensor = make_sensor(i);
+    for (int t = 0; t < 20; ++t) {
+      const auto reading = sensor->sample(t * 1.0, rng);
+      const auto decoded = SensorReading::decode(reading.encode());
+      ASSERT_TRUE(decoded.is_ok());
+      EXPECT_EQ(decoded.value().sensor, sensor->name());
+    }
+  }
+}
+
+TEST(Sensors, TemperatureTracksSetpoint) {
+  TemperatureSensor sensor("t", 180.0);
+  Rng rng(2);
+  double sum = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) sum += sensor.sample(i * 1.0, rng).value;
+  EXPECT_NEAR(sum / n, 180.0, 3.0);
+}
+
+TEST(Sensors, RecipeSensorIsSensitive) {
+  EXPECT_TRUE(ProcessRecipeSensor("r").sensitive());
+  EXPECT_FALSE(TemperatureSensor("t", 20.0).sensitive());
+  EXPECT_FALSE(VibrationSensor("v").sensitive());
+  EXPECT_FALSE(PowerMeterSensor("p").sensitive());
+  EXPECT_TRUE(DoorSensor("d").sensitive());  // access logs are sensitive
+}
+
+TEST(Sensors, PowerMeterStaysNonNegativeAndSpikes) {
+  PowerMeterSensor sensor("p", 12.0);
+  Rng rng(8);
+  bool saw_inrush = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto r = sensor.sample(i * 1.0, rng);
+    EXPECT_GE(r.value, 0.0);
+    EXPECT_EQ(r.unit, "kW");
+    if (r.status == "inrush") saw_inrush = true;
+  }
+  EXPECT_TRUE(saw_inrush);
+}
+
+TEST(Sensors, DoorSensorEmitsAllStates) {
+  DoorSensor sensor("d");
+  Rng rng(9);
+  std::set<std::string> states;
+  for (int i = 0; i < 500; ++i) states.insert(sensor.sample(i * 1.0, rng).status);
+  EXPECT_TRUE(states.contains("open"));
+  EXPECT_TRUE(states.contains("closed"));
+  EXPECT_TRUE(states.contains("held_open_alarm"));
+}
+
+TEST(Metrics, BasicStatistics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace biot::factory

@@ -1,0 +1,179 @@
+// Fig 4 key-distribution protocol: happy path, nonce challenge-response,
+// signature checks, replay and tamper resistance.
+#include <gtest/gtest.h>
+
+#include "auth/keydist.h"
+#include "common/clock.h"
+
+namespace biot::auth {
+namespace {
+
+class KeyDistTest : public ::testing::Test {
+ protected:
+  KeyDistTest()
+      : manager_identity_(crypto::Identity::deterministic(1)),
+        device_identity_(crypto::Identity::deterministic(2)),
+        manager_rng_(11),
+        device_rng_(22),
+        manager_(manager_identity_, clock_, manager_rng_),
+        device_(device_identity_, manager_identity_.public_identity().sign_key,
+                clock_, device_rng_) {}
+
+  /// Runs the full three-message handshake; returns the final status.
+  Status run_handshake() {
+    const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+    clock_.advance_by(0.1);
+    auto m2 = device_.handle_m1(m1);
+    if (!m2) return m2.status();
+    clock_.advance_by(0.1);
+    auto m3 = manager_.handle_m2(device_identity_.public_identity(), m2.value());
+    if (!m3) return m3.status();
+    clock_.advance_by(0.1);
+    return device_.handle_m3(m3.value());
+  }
+
+  SimClock clock_;
+  crypto::Identity manager_identity_;
+  crypto::Identity device_identity_;
+  crypto::Csprng manager_rng_;
+  crypto::Csprng device_rng_;
+  ManagerKeyDist manager_;
+  DeviceKeyDist device_;
+};
+
+TEST_F(KeyDistTest, HappyPathEstablishesSharedKey) {
+  ASSERT_TRUE(run_handshake().is_ok());
+  EXPECT_TRUE(device_.established());
+  EXPECT_TRUE(manager_.session_established(device_identity_.public_identity()));
+  EXPECT_EQ(device_.key(),
+            manager_.session_key(device_identity_.public_identity()));
+}
+
+TEST_F(KeyDistTest, KeyRotationProducesFreshKey) {
+  ASSERT_TRUE(run_handshake().is_ok());
+  const auto first = device_.key();
+  ASSERT_TRUE(run_handshake().is_ok());
+  EXPECT_NE(device_.key(), first);  // "flexible to update symmetric keys"
+}
+
+TEST_F(KeyDistTest, M1ToWrongDeviceFails) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  crypto::Csprng other_rng(33);
+  const auto other = crypto::Identity::deterministic(3);
+  DeviceKeyDist wrong(other, manager_identity_.public_identity().sign_key,
+                      clock_, other_rng);
+  // ECIES to the intended device's box key: another device cannot open it.
+  EXPECT_EQ(wrong.handle_m1(m1).code(), ErrorCode::kDecryptFailed);
+}
+
+TEST_F(KeyDistTest, ForgedManagerSignatureRejected) {
+  // An attacker who knows the device's public key but not the manager's
+  // secret key cannot produce an acceptable M1.
+  crypto::Csprng attacker_rng(44);
+  const auto attacker = crypto::Identity::deterministic(4);
+  ManagerKeyDist fake_manager(attacker, clock_, attacker_rng);
+  const Bytes m1 = fake_manager.start_session(device_identity_.public_identity());
+  // Device can decrypt (sealed to its key) but the signature check fails.
+  EXPECT_EQ(device_.handle_m1(m1).code(), ErrorCode::kVerifyFailed);
+}
+
+TEST_F(KeyDistTest, TamperedM1Rejected) {
+  Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  m1[m1.size() / 2] ^= 0x01;
+  EXPECT_EQ(device_.handle_m1(m1).code(), ErrorCode::kDecryptFailed);
+}
+
+TEST_F(KeyDistTest, ReplayedM1Rejected) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(0.1);
+  ASSERT_TRUE(device_.handle_m1(m1));
+  // Same M1 again: timestamp is not fresh anymore.
+  const auto second = device_.handle_m1(m1);
+  EXPECT_EQ(second.code(), ErrorCode::kReplayDetected);
+}
+
+TEST_F(KeyDistTest, StaleM1OutsideSkewRejected) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(60.0);  // way past the 5 s skew window
+  EXPECT_EQ(device_.handle_m1(m1).code(), ErrorCode::kReplayDetected);
+}
+
+TEST_F(KeyDistTest, ReplayedM2Rejected) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(0.1);
+  auto m2 = device_.handle_m1(m1);
+  ASSERT_TRUE(m2);
+  clock_.advance_by(0.1);
+  ASSERT_TRUE(manager_.handle_m2(device_identity_.public_identity(), m2.value()));
+  const auto replay =
+      manager_.handle_m2(device_identity_.public_identity(), m2.value());
+  EXPECT_EQ(replay.code(), ErrorCode::kReplayDetected);
+}
+
+TEST_F(KeyDistTest, TamperedM2Rejected) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(0.1);
+  auto m2 = device_.handle_m1(m1);
+  ASSERT_TRUE(m2);
+  Bytes bad = m2.value();
+  bad[bad.size() - 1] ^= 0x01;
+  EXPECT_EQ(manager_.handle_m2(device_identity_.public_identity(), bad).code(),
+            ErrorCode::kDecryptFailed);
+}
+
+TEST_F(KeyDistTest, M2WithoutSessionRejected) {
+  EXPECT_EQ(manager_.handle_m2(device_identity_.public_identity(),
+                               Bytes(64, 0)).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(KeyDistTest, M2FromWrongSessionKeyFailsNonceCheck) {
+  // Start two sessions; feed M2 from session A into a fresh session B. The
+  // rotated SKS makes the old M2 undecipherable.
+  const Bytes m1a = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(0.1);
+  auto m2a = device_.handle_m1(m1a);
+  ASSERT_TRUE(m2a);
+  (void)manager_.start_session(device_identity_.public_identity());  // rotate
+  const auto result =
+      manager_.handle_m2(device_identity_.public_identity(), m2a.value());
+  EXPECT_FALSE(result.status().is_ok());
+}
+
+TEST_F(KeyDistTest, M3WithoutM1Rejected) {
+  EXPECT_EQ(device_.handle_m3(Bytes(96, 0)).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KeyDistTest, TamperedM3Rejected) {
+  const Bytes m1 = manager_.start_session(device_identity_.public_identity());
+  clock_.advance_by(0.1);
+  auto m2 = device_.handle_m1(m1);
+  ASSERT_TRUE(m2);
+  clock_.advance_by(0.1);
+  auto m3 = manager_.handle_m2(device_identity_.public_identity(), m2.value());
+  ASSERT_TRUE(m3);
+  Bytes bad = m3.value();
+  bad[20] ^= 0x01;
+  EXPECT_FALSE(device_.handle_m3(bad).is_ok());
+  EXPECT_FALSE(device_.established());
+}
+
+TEST_F(KeyDistTest, KeyAccessBeforeEstablishedThrows) {
+  EXPECT_THROW(device_.key(), std::logic_error);
+  EXPECT_THROW(manager_.session_key(device_identity_.public_identity()),
+               std::logic_error);
+}
+
+TEST_F(KeyDistTest, EstablishedKeyEncryptsSensorData) {
+  ASSERT_TRUE(run_handshake().is_ok());
+  crypto::Csprng rng(55);
+  const Bytes reading = to_bytes("spindle 11987 rpm");
+  const Bytes env = envelope_seal(device_.key(), reading, rng);
+  const auto opened = envelope_open(
+      manager_.session_key(device_identity_.public_identity()), env);
+  ASSERT_TRUE(opened);
+  EXPECT_EQ(opened.value(), reading);
+}
+
+}  // namespace
+}  // namespace biot::auth

@@ -1,0 +1,214 @@
+// Ledger tests: balances, sequence slots, double-spend/replay detection.
+#include <gtest/gtest.h>
+
+#include "tangle/ledger.h"
+#include "tangle/tangle.h"
+#include "test_util.h"
+
+namespace biot::tangle {
+namespace {
+
+using testutil::TxFactory;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : alice_(1), bob_(2) { genesis_ = Tangle::make_genesis().id(); }
+
+  TxFactory alice_;
+  TxFactory bob_;
+  TxId genesis_;
+  Ledger ledger_;
+};
+
+TEST_F(LedgerTest, InitialBalancesZero) {
+  EXPECT_EQ(ledger_.balance(alice_.key()), 0u);
+  EXPECT_EQ(ledger_.next_sequence(alice_.key()), 0u);
+}
+
+TEST_F(LedgerTest, CreditAddsBalance) {
+  ledger_.credit(alice_.key(), 100);
+  ledger_.credit(alice_.key(), 50);
+  EXPECT_EQ(ledger_.balance(alice_.key()), 150u);
+}
+
+TEST_F(LedgerTest, DataTxConsumesSequence) {
+  const auto tx = alice_.make(genesis_, genesis_);
+  EXPECT_TRUE(ledger_.apply(tx).is_ok());
+  EXPECT_EQ(ledger_.next_sequence(alice_.key()), 1u);
+}
+
+TEST_F(LedgerTest, TransferMovesFunds) {
+  ledger_.credit(alice_.key(), 100);
+  const auto tx = alice_.make_transfer(genesis_, genesis_, bob_.key(), 30);
+  ASSERT_TRUE(ledger_.apply(tx).is_ok());
+  EXPECT_EQ(ledger_.balance(alice_.key()), 70u);
+  EXPECT_EQ(ledger_.balance(bob_.key()), 30u);
+}
+
+TEST_F(LedgerTest, InsufficientBalanceRejected) {
+  ledger_.credit(alice_.key(), 10);
+  const auto tx = alice_.make_transfer(genesis_, genesis_, bob_.key(), 30);
+  EXPECT_EQ(ledger_.apply(tx).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ledger_.balance(alice_.key()), 10u);
+  EXPECT_EQ(ledger_.balance(bob_.key()), 0u);
+}
+
+TEST_F(LedgerTest, ExactBalanceTransferAllowed) {
+  ledger_.credit(alice_.key(), 30);
+  const auto tx = alice_.make_transfer(genesis_, genesis_, bob_.key(), 30);
+  EXPECT_TRUE(ledger_.apply(tx).is_ok());
+  EXPECT_EQ(ledger_.balance(alice_.key()), 0u);
+}
+
+TEST_F(LedgerTest, ReplaySameTxRejectedWithoutConflictFlag) {
+  const auto tx = alice_.make(genesis_, genesis_);
+  ASSERT_TRUE(ledger_.apply(tx).is_ok());
+  const auto again = ledger_.apply(tx);
+  EXPECT_EQ(again.code(), ErrorCode::kRejected);
+  EXPECT_EQ(ledger_.conflicts_detected(), 0u);
+}
+
+TEST_F(LedgerTest, DoubleSpendDetectedAsConflict) {
+  ledger_.credit(alice_.key(), 100);
+  // Two different transactions claiming the same sequence slot.
+  auto tx1 = alice_.make_transfer(genesis_, genesis_, bob_.key(), 60);
+  auto tx2 = tx1;
+  tx2.transfer->amount = 70;  // different content, same (sender, sequence)
+  alice_.finalize(tx2);
+
+  ASSERT_TRUE(ledger_.apply(tx1).is_ok());
+  const auto second = ledger_.apply(tx2);
+  EXPECT_EQ(second.code(), ErrorCode::kConflict);
+  EXPECT_EQ(ledger_.conflicts_detected(), 1u);
+  // Funds moved only once.
+  EXPECT_EQ(ledger_.balance(bob_.key()), 60u);
+}
+
+TEST_F(LedgerTest, CheckDoesNotMutate) {
+  ledger_.credit(alice_.key(), 100);
+  const auto tx = alice_.make_transfer(genesis_, genesis_, bob_.key(), 60);
+  EXPECT_TRUE(ledger_.check(tx).is_ok());
+  EXPECT_TRUE(ledger_.check(tx).is_ok());  // still ok: nothing was recorded
+  EXPECT_EQ(ledger_.balance(bob_.key()), 0u);
+  EXPECT_EQ(ledger_.next_sequence(alice_.key()), 0u);
+}
+
+TEST_F(LedgerTest, SequencesNeedNotBeDense) {
+  auto tx0 = alice_.make(genesis_, genesis_);  // seq 0
+  auto tx1 = alice_.make(genesis_, genesis_);  // seq 1
+  (void)tx0;
+  // Apply out of order: the ledger keyed by slot, not strict ordering —
+  // asynchronous DAG arrival order is not deterministic.
+  EXPECT_TRUE(ledger_.apply(tx1).is_ok());
+  EXPECT_EQ(ledger_.next_sequence(alice_.key()), 2u);
+}
+
+TEST_F(LedgerTest, IndependentAccountsDoNotInterfere) {
+  const auto a = alice_.make(genesis_, genesis_);
+  auto b = bob_.make(genesis_, genesis_);
+  EXPECT_EQ(a.sequence, b.sequence);  // both 0
+  EXPECT_TRUE(ledger_.apply(a).is_ok());
+  EXPECT_TRUE(ledger_.apply(b).is_ok());  // same seq, different sender: fine
+}
+
+TEST_F(LedgerTest, ConflictCountAccumulates) {
+  auto tx1 = alice_.make(genesis_, genesis_);
+  auto tx2 = tx1;
+  tx2.payload = to_bytes("x");
+  alice_.finalize(tx2);
+  auto tx3 = tx1;
+  tx3.payload = to_bytes("y");
+  alice_.finalize(tx3);
+
+  ASSERT_TRUE(ledger_.apply(tx1).is_ok());
+  EXPECT_FALSE(ledger_.apply(tx2));
+  EXPECT_FALSE(ledger_.apply(tx3));
+  EXPECT_EQ(ledger_.conflicts_detected(), 2u);
+}
+
+// ---- Replica-consistent resolution (apply_resolving) -------------------------
+
+TEST_F(LedgerTest, ResolvingFreeSlotApplies) {
+  const auto tx = alice_.make(genesis_, genesis_);
+  EXPECT_EQ(ledger_.apply_resolving(tx), Ledger::ApplyOutcome::kApplied);
+  EXPECT_EQ(ledger_.apply_resolving(tx), Ledger::ApplyOutcome::kReplay);
+}
+
+TEST_F(LedgerTest, ResolvingPicksSmallerIdDeterministically) {
+  auto tx1 = alice_.make(genesis_, genesis_);
+  auto tx2 = tx1;
+  tx2.payload = to_bytes("other branch");
+  alice_.finalize(tx2);
+  const auto winner_id = std::min(tx1.id(), tx2.id());
+
+  // Replica A sees tx1 first, replica B sees tx2 first.
+  Ledger a, b;
+  EXPECT_EQ(a.apply_resolving(tx1), Ledger::ApplyOutcome::kApplied);
+  EXPECT_EQ(b.apply_resolving(tx2), Ledger::ApplyOutcome::kApplied);
+  const auto a2 = a.apply_resolving(tx2);
+  const auto b2 = b.apply_resolving(tx1);
+  // Exactly one replica displaces, the other keeps — both end on winner_id.
+  const bool a_holds_winner =
+      (a2 == Ledger::ApplyOutcome::kConflictDisplaced) == (tx2.id() == winner_id);
+  const bool b_holds_winner =
+      (b2 == Ledger::ApplyOutcome::kConflictDisplaced) == (tx1.id() == winner_id);
+  EXPECT_TRUE(a_holds_winner);
+  EXPECT_TRUE(b_holds_winner);
+}
+
+TEST_F(LedgerTest, ResolvingDisplacementMovesFundsOnce) {
+  TxFactory carol(3);
+  ledger_.credit(alice_.key(), 100);
+  auto tx_to_bob = alice_.make_transfer(genesis_, genesis_, bob_.key(), 60);
+  auto tx_to_carol = tx_to_bob;
+  tx_to_carol.transfer = Transfer{carol.key(), 60};
+  alice_.finalize(tx_to_carol);
+
+  ASSERT_EQ(ledger_.apply_resolving(tx_to_bob), Ledger::ApplyOutcome::kApplied);
+  const auto outcome = ledger_.apply_resolving(tx_to_carol);
+  // Whatever wins, exactly 60 left Alice and exactly one recipient has it.
+  EXPECT_EQ(ledger_.balance(alice_.key()), 40u);
+  EXPECT_EQ(ledger_.balance(bob_.key()) + ledger_.balance(carol.key()), 60u);
+  if (tx_to_carol.id() < tx_to_bob.id()) {
+    EXPECT_EQ(outcome, Ledger::ApplyOutcome::kConflictDisplaced);
+    EXPECT_EQ(ledger_.balance(carol.key()), 60u);
+  } else {
+    EXPECT_EQ(outcome, Ledger::ApplyOutcome::kConflictKeptExisting);
+    EXPECT_EQ(ledger_.balance(bob_.key()), 60u);
+  }
+}
+
+TEST_F(LedgerTest, ResolvingRefusesUnsafeRevert) {
+  // Bob receives and immediately spends; displacing the incoming transfer
+  // would break conservation, so the incumbent must be kept regardless of
+  // id order.
+  ledger_.credit(alice_.key(), 50);
+  TxFactory carol(3);
+  auto incoming = alice_.make_transfer(genesis_, genesis_, bob_.key(), 50);
+  ASSERT_EQ(ledger_.apply_resolving(incoming), Ledger::ApplyOutcome::kApplied);
+  const auto spend = bob_.make_transfer(genesis_, genesis_, carol.key(), 50);
+  ASSERT_EQ(ledger_.apply_resolving(spend), Ledger::ApplyOutcome::kApplied);
+
+  // Craft many conflicting alternatives; every one must be kept out.
+  for (int i = 0; i < 8; ++i) {
+    auto rival = incoming;
+    rival.payload = to_bytes("alt" + std::to_string(i));
+    alice_.finalize(rival);
+    EXPECT_EQ(ledger_.apply_resolving(rival),
+              Ledger::ApplyOutcome::kConflictKeptExisting);
+  }
+  EXPECT_EQ(ledger_.balance(carol.key()), 50u);
+}
+
+TEST_F(LedgerTest, ResolvingConflictCountsTracked) {
+  auto tx1 = alice_.make(genesis_, genesis_);
+  auto tx2 = tx1;
+  tx2.payload = to_bytes("x");
+  alice_.finalize(tx2);
+  ASSERT_EQ(ledger_.apply_resolving(tx1), Ledger::ApplyOutcome::kApplied);
+  (void)ledger_.apply_resolving(tx2);
+  EXPECT_EQ(ledger_.conflicts_detected(), 1u);
+}
+
+}  // namespace
+}  // namespace biot::tangle

@@ -1,0 +1,70 @@
+// Logger behaviour: level filtering and formatting.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace biot {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class CaptureStderr {
+ public:
+  CaptureStderr() { ::testing::internal::CaptureStderr(); }
+  std::string stop() { return ::testing::internal::GetCapturedStderr(); }
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(log_level()) {}
+  ~LogTest() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, MessagesBelowLevelSuppressed) {
+  set_log_level(LogLevel::kError);
+  CaptureStderr capture;
+  Logger logger("test");
+  logger.debug() << "invisible";
+  logger.info() << "invisible";
+  logger.warn() << "invisible";
+  EXPECT_EQ(capture.stop(), "");
+}
+
+TEST_F(LogTest, MessagesAtLevelEmitted) {
+  set_log_level(LogLevel::kInfo);
+  CaptureStderr capture;
+  Logger logger("gateway");
+  logger.info() << "accepted tx " << 42;
+  const auto out = capture.stop();
+  EXPECT_NE(out.find("[info] gateway: accepted tx 42"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  CaptureStderr capture;
+  Logger logger("x");
+  logger.error() << "even errors";
+  EXPECT_EQ(capture.stop(), "");
+}
+
+TEST_F(LogTest, StreamFormatsMixedTypes) {
+  set_log_level(LogLevel::kDebug);
+  CaptureStderr capture;
+  Logger logger("fmt");
+  logger.debug() << "a=" << 1 << " b=" << 2.5 << " c=" << "str";
+  const auto out = capture.stop();
+  EXPECT_NE(out.find("a=1 b=2.5 c=str"), std::string::npos);
+}
+
+TEST_F(LogTest, LogLineDirectApi) {
+  set_log_level(LogLevel::kWarn);
+  CaptureStderr capture;
+  log_line(LogLevel::kWarn, "component", "message");
+  log_line(LogLevel::kInfo, "component", "hidden");
+  const auto out = capture.stop();
+  EXPECT_NE(out.find("[warn] component: message"), std::string::npos);
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biot

@@ -1,0 +1,284 @@
+// Milestone confirmation tests: past-cone tracking, coordinator issuance,
+// gateway enforcement, the confirmation-status RPC and the scenario wiring.
+#include <gtest/gtest.h>
+
+#include "factory/scenario.h"
+#include "node/coordinator.h"
+#include "tangle/milestones.h"
+#include "test_util.h"
+
+namespace biot {
+namespace {
+
+using testutil::TxFactory;
+
+// ---- MilestoneTracker --------------------------------------------------------
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  TrackerTest() : tangle_(tangle::Tangle::make_genesis()), node_(1) {}
+
+  tangle::TxId attach(const tangle::TxId& p1, const tangle::TxId& p2) {
+    const auto tx = node_.make(p1, p2, 2);
+    EXPECT_TRUE(tangle_.add(tx, 0.0).is_ok());
+    return tx.id();
+  }
+
+  tangle::Tangle tangle_;
+  TxFactory node_;
+  tangle::MilestoneTracker tracker_;
+};
+
+TEST_F(TrackerTest, MilestoneConfirmsPastCone) {
+  const auto g = tangle_.genesis_id();
+  const auto a = attach(g, g);
+  const auto b = attach(a, a);
+  const auto side = attach(g, g);  // not an ancestor of the milestone
+  // Wait: 'side' approves g which IS in the past cone, but side itself is
+  // not an ancestor of b.
+  const auto newly = tracker_.observe_milestone(tangle_, b);
+  EXPECT_EQ(newly, 3u);  // b, a, genesis
+  EXPECT_TRUE(tracker_.is_confirmed(b));
+  EXPECT_TRUE(tracker_.is_confirmed(a));
+  EXPECT_TRUE(tracker_.is_confirmed(g));
+  EXPECT_FALSE(tracker_.is_confirmed(side));
+}
+
+TEST_F(TrackerTest, SecondMilestoneOnlyWalksNewRegion) {
+  const auto g = tangle_.genesis_id();
+  const auto a = attach(g, g);
+  const auto m1 = attach(a, a);
+  EXPECT_EQ(tracker_.observe_milestone(tangle_, m1), 3u);
+
+  const auto c = attach(m1, m1);
+  const auto m2 = attach(c, c);
+  EXPECT_EQ(tracker_.observe_milestone(tangle_, m2), 2u);  // c + m2 only
+  EXPECT_EQ(tracker_.confirmed_count(), 5u);
+  EXPECT_EQ(tracker_.milestone_count(), 2u);
+}
+
+TEST_F(TrackerTest, UnknownMilestoneIsNoop) {
+  tangle::TxId bogus{};
+  bogus[0] = 1;
+  EXPECT_EQ(tracker_.observe_milestone(tangle_, bogus), 0u);
+  EXPECT_EQ(tracker_.milestone_count(), 0u);
+}
+
+TEST_F(TrackerTest, DiamondConfirmedOnce) {
+  const auto g = tangle_.genesis_id();
+  const auto a = attach(g, g);
+  const auto b = attach(a, a);
+  const auto c = attach(a, a);
+  const auto d = attach(b, c);
+  EXPECT_EQ(tracker_.observe_milestone(tangle_, d), 5u);  // no double count
+}
+
+// ---- Coordinator + gateway + RPC ----------------------------------------------
+
+TEST(Coordinator, MilestonesConfirmDeviceTraffic) {
+  factory::ScenarioConfig config;
+  config.num_devices = 3;
+  config.distribute_keys = false;
+  config.enable_coordinator = true;
+  config.milestone_interval = 3.0;
+  config.device.collect_interval = 0.5;
+  config.device.profile.hash_rate_hz = 1e6;
+  config.gateway.credit.initial_difficulty = 4;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(30.0);
+
+  EXPECT_GE(factory.coordinator().milestones_issued(), 8u);
+  // Most of the tangle lies under some milestone on every replica.
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    const auto& gw = factory.gateway(g);
+    EXPECT_GT(gw.milestones().confirmed_count(),
+              gw.tangle().size() * 6 / 10)
+        << "gateway " << g;
+  }
+
+  // A transaction accepted early is milestone-confirmed by now.
+  const auto& tangle = factory.gateway(0).tangle();
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.type == tangle::TxType::kData && rec->arrival < 10.0) {
+      EXPECT_TRUE(factory.gateway(0).milestones().is_confirmed(id));
+      break;
+    }
+  }
+}
+
+TEST(Coordinator, ForgedMilestoneRejected) {
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+  const auto coordinator_identity = crypto::Identity::deterministic(3);
+  const auto impostor = crypto::Identity::deterministic(66);
+
+  node::GatewayConfig config;
+  config.credit.initial_difficulty = 3;
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, config);
+  gateway.set_coordinator(coordinator_identity.public_identity().sign_key);
+
+  // Impostor crafts a structurally perfect milestone.
+  consensus::Miner miner;
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kMilestone;
+  tx.sender = impostor.public_identity().sign_key;
+  tx.parent1 = gateway.tangle().genesis_id();
+  tx.parent2 = gateway.tangle().genesis_id();
+  tx.difficulty = 3;
+  tx.signature = impostor.sign(tx.signing_bytes());
+  tx.nonce = miner.mine(tx.parent1, tx.parent2, 3)->nonce;
+
+  EXPECT_EQ(gateway.submit(tx).code(), ErrorCode::kUnauthorized);
+  EXPECT_EQ(gateway.milestones().milestone_count(), 0u);
+}
+
+TEST(Coordinator, WithoutCoordinatorMilestonesAlwaysRejected) {
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, {});
+
+  consensus::Miner miner;
+  tangle::Transaction tx;
+  tx.type = tangle::TxType::kMilestone;
+  tx.sender = manager_identity.public_identity().sign_key;  // even the manager
+  tx.parent1 = gateway.tangle().genesis_id();
+  tx.parent2 = gateway.tangle().genesis_id();
+  tx.difficulty = 3;
+  tx.signature = manager_identity.sign(tx.signing_bytes());
+  tx.nonce = miner.mine(tx.parent1, tx.parent2, 3)->nonce;
+  EXPECT_EQ(gateway.submit(tx).code(), ErrorCode::kUnauthorized);
+}
+
+TEST_F(TrackerTest, LastMilestoneTimeTracksArrival) {
+  const auto g = tangle_.genesis_id();
+  const auto a = attach(g, g);
+  EXPECT_EQ(tracker_.last_milestone_at(), 0.0);
+  // Attach with a later arrival time and observe it.
+  const auto tx = node_.make(a, a, 2, {}, 7.5);
+  ASSERT_TRUE(tangle_.add(tx, 7.5).is_ok());
+  tracker_.observe_milestone(tangle_, tx.id());
+  EXPECT_EQ(tracker_.last_milestone_at(), 7.5);
+}
+
+TEST(ConfirmationStatus, WeightThresholdBoundary) {
+  // confirmation_weight is inclusive: weight == threshold confirms.
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  node::GatewayConfig config;
+  config.confirmation_weight = 3;
+  config.credit.initial_difficulty = 2;
+  node::Gateway gateway(1, crypto::Identity::deterministic(2),
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), net, config);
+  node::Manager manager(2, manager_identity, gateway, net);
+  TxFactory device(100);
+  ASSERT_TRUE(manager.authorize({device.identity().public_identity()}).is_ok());
+
+  // Build a chain: target <- c1 <- c2 (weight of target reaches exactly 3).
+  const auto [t1, t2] = gateway.select_tips();
+  auto target = device.make(t1, t2, 2);
+  ASSERT_TRUE(gateway.submit(target).is_ok());
+  EXPECT_FALSE(gateway.confirmation_status(target.id()).weight_confirmed);
+  auto c1 = device.make(target.id(), target.id(), 2);
+  ASSERT_TRUE(gateway.submit(c1).is_ok());
+  EXPECT_FALSE(gateway.confirmation_status(target.id()).weight_confirmed);
+  auto c2 = device.make(c1.id(), c1.id(), 2);
+  ASSERT_TRUE(gateway.submit(c2).is_ok());
+  const auto info = gateway.confirmation_status(target.id());
+  EXPECT_TRUE(info.weight_confirmed);
+  EXPECT_EQ(info.cumulative_weight, 3u);
+  EXPECT_TRUE(info.known);
+  EXPECT_FALSE(info.milestone_confirmed);  // no coordinator configured
+}
+
+TEST(ConfirmationRpc, InfoRoundTrip) {
+  node::ConfirmationInfo info;
+  info.tx_id[0] = 7;
+  info.known = true;
+  info.milestone_confirmed = true;
+  info.weight_confirmed = false;
+  info.cumulative_weight = 12;
+  const auto back = node::ConfirmationInfo::decode(info.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value().tx_id, info.tx_id);
+  EXPECT_TRUE(back.value().known);
+  EXPECT_TRUE(back.value().milestone_confirmed);
+  EXPECT_FALSE(back.value().weight_confirmed);
+  EXPECT_EQ(back.value().cumulative_weight, 12u);
+}
+
+TEST(ConfirmationRpc, DeviceQueriesItsTransaction) {
+  factory::ScenarioConfig config;
+  config.num_devices = 2;
+  config.num_gateways = 1;
+  config.distribute_keys = false;
+  config.enable_coordinator = true;
+  config.milestone_interval = 2.0;
+  config.device.collect_interval = 0.5;
+  config.device.profile.hash_rate_hz = 1e6;
+  config.gateway.credit.initial_difficulty = 4;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(20.0);
+
+  // Pick an early data transaction of device 0 and query it.
+  const auto device_key = factory.device(0).public_identity().sign_key;
+  std::optional<tangle::TxId> early;
+  for (const auto& id : factory.gateway(0).tangle().arrival_order()) {
+    const auto* rec = factory.gateway(0).tangle().find(id);
+    if (rec->tx.sender == device_key && rec->arrival < 5.0) {
+      early = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(early.has_value());
+
+  factory.device(0).query_confirmation(*early);
+  factory.run_until(21.0);
+
+  const auto& answer = factory.device(0).last_confirmation();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->tx_id, *early);
+  EXPECT_TRUE(answer->known);
+  EXPECT_TRUE(answer->milestone_confirmed);
+  EXPECT_GT(answer->cumulative_weight, 1u);
+}
+
+TEST(ConfirmationRpc, UnknownTransactionReportedUnknown) {
+  factory::ScenarioConfig config;
+  config.num_devices = 1;
+  config.num_gateways = 1;
+  config.distribute_keys = false;
+  config.device.profile.hash_rate_hz = 1e6;
+  config.gateway.credit.initial_difficulty = 4;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(2.0);
+
+  tangle::TxId bogus{};
+  bogus[0] = 0xee;
+  factory.device(0).query_confirmation(bogus);
+  factory.run_until(3.0);
+
+  const auto& answer = factory.device(0).last_confirmation();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_FALSE(answer->known);
+  EXPECT_FALSE(answer->milestone_confirmed);
+}
+
+}  // namespace
+}  // namespace biot

@@ -1,0 +1,345 @@
+// Node layer tests: RPC codec, gateway admission pipeline, manager
+// authorization flow, light-node submission cycles over the simulated net.
+#include <gtest/gtest.h>
+
+#include "node/gateway.h"
+#include "node/light_node.h"
+#include "node/manager.h"
+#include "test_util.h"
+
+namespace biot::node {
+namespace {
+
+using testutil::TxFactory;
+
+GatewayConfig test_gateway_config() {
+  GatewayConfig c;
+  // Low difficulties keep host-side mining instant in tests.
+  c.credit.initial_difficulty = 4;
+  c.credit.max_difficulty = 8;
+  c.credit.min_difficulty = 1;
+  return c;
+}
+
+// ---- RPC codec ----------------------------------------------------------------
+
+TEST(Rpc, MessageRoundTrip) {
+  RpcMessage msg;
+  msg.type = MsgType::kSubmitTx;
+  msg.request_id = 77;
+  msg.sender_key[0] = 0xaa;
+  msg.body = to_bytes("body");
+  const auto decoded = RpcMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value().type, MsgType::kSubmitTx);
+  EXPECT_EQ(decoded.value().request_id, 77u);
+  EXPECT_EQ(decoded.value().sender_key, msg.sender_key);
+  EXPECT_EQ(decoded.value().body, msg.body);
+}
+
+TEST(Rpc, RejectsBadType) {
+  RpcMessage msg;
+  Bytes wire = msg.encode();
+  wire[0] = 0;
+  EXPECT_FALSE(RpcMessage::decode(wire));
+  wire[0] = 99;
+  EXPECT_FALSE(RpcMessage::decode(wire));
+}
+
+TEST(Rpc, RejectsTruncation) {
+  RpcMessage msg;
+  msg.body = to_bytes("abc");
+  Bytes wire = msg.encode();
+  EXPECT_FALSE(RpcMessage::decode(ByteView{wire.data(), wire.size() - 1}));
+}
+
+TEST(Rpc, TipsResponseRoundTrip) {
+  TipsResponse resp;
+  resp.status = ErrorCode::kUnauthorized;
+  resp.message = "nope";
+  resp.tip1[0] = 1;
+  resp.tip2[0] = 2;
+  resp.required_difficulty = 11;
+  const auto decoded = TipsResponse::decode(resp.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value().status, ErrorCode::kUnauthorized);
+  EXPECT_EQ(decoded.value().message, "nope");
+  EXPECT_EQ(decoded.value().tip1, resp.tip1);
+  EXPECT_EQ(decoded.value().required_difficulty, 11);
+}
+
+TEST(Rpc, SubmitResultRoundTrip) {
+  SubmitResult r;
+  r.status = ErrorCode::kConflict;
+  r.message = "double spend";
+  r.tx_id[5] = 9;
+  const auto decoded = SubmitResult::decode(r.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value().status, ErrorCode::kConflict);
+  EXPECT_EQ(decoded.value().tx_id, r.tx_id);
+}
+
+// ---- Gateway admission pipeline -------------------------------------------------
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest()
+      : manager_identity_(crypto::Identity::deterministic(1)),
+        gateway_identity_(crypto::Identity::deterministic(2)),
+        network_(sched_, std::make_unique<sim::FixedLatency>(0.001), Rng(1)),
+        gateway_(1, gateway_identity_,
+                 manager_identity_.public_identity().sign_key,
+                 tangle::Tangle::make_genesis(), network_, test_gateway_config()),
+        manager_(2, manager_identity_, gateway_, network_),
+        device_(100) {
+    gateway_.attach();
+    manager_.attach();
+  }
+
+  void authorize_device() {
+    ASSERT_TRUE(
+        manager_.authorize({device_.identity().public_identity()}).is_ok());
+  }
+
+  tangle::Transaction device_tx(int difficulty = -1) {
+    const auto [t1, t2] = gateway_.select_tips();
+    const int d = difficulty < 0 ? gateway_.required_difficulty(device_.key())
+                                 : difficulty;
+    return device_.make(t1, t2, d, to_bytes("reading"), sched_.now());
+  }
+
+  sim::Scheduler sched_;
+  crypto::Identity manager_identity_;
+  crypto::Identity gateway_identity_;
+  sim::Network network_;
+  Gateway gateway_;
+  Manager manager_;
+  TxFactory device_;
+};
+
+TEST_F(GatewayTest, ManagerAuthorizationTxAccepted) {
+  authorize_device();
+  EXPECT_EQ(gateway_.stats().accepted, 1u);
+  EXPECT_TRUE(gateway_.auth_registry().is_authorized(device_.key()));
+  EXPECT_EQ(gateway_.tangle().size(), 2u);  // genesis + auth tx
+}
+
+TEST_F(GatewayTest, UnauthorizedSenderRejected) {
+  const auto tx = device_tx();
+  const auto status = gateway_.submit(tx);
+  EXPECT_EQ(status.code(), ErrorCode::kUnauthorized);
+  EXPECT_EQ(gateway_.stats().rejected_unauthorized, 1u);
+}
+
+TEST_F(GatewayTest, AuthorizedSenderAccepted) {
+  authorize_device();
+  EXPECT_TRUE(gateway_.submit(device_tx()).is_ok());
+  EXPECT_EQ(gateway_.stats().accepted, 2u);
+}
+
+TEST_F(GatewayTest, DeauthorizedDeviceBlockedAgain) {
+  authorize_device();
+  ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());
+  ASSERT_TRUE(manager_.authorize({}).is_ok());  // empty list: deauthorize all
+  EXPECT_EQ(gateway_.submit(device_tx()).code(), ErrorCode::kUnauthorized);
+}
+
+TEST_F(GatewayTest, BelowRequiredDifficultyRejected) {
+  authorize_device();
+  const auto tx = device_tx(2);  // required is 4 for a fresh account
+  EXPECT_EQ(gateway_.submit(tx).code(), ErrorCode::kPowInvalid);
+  EXPECT_EQ(gateway_.stats().rejected_difficulty, 1u);
+}
+
+TEST_F(GatewayTest, DoubleSpendPunished) {
+  authorize_device();
+  auto tx1 = device_tx();
+  auto tx2 = tx1;
+  tx2.payload = to_bytes("other");
+  device_.finalize(tx2);
+
+  ASSERT_TRUE(gateway_.submit(tx1).is_ok());
+  EXPECT_EQ(gateway_.submit(tx2).code(), ErrorCode::kConflict);
+  EXPECT_EQ(gateway_.stats().rejected_conflict, 1u);
+
+  // Credit registry recorded the offence: difficulty jumps to max.
+  EXPECT_EQ(gateway_.required_difficulty(device_.key()),
+            test_gateway_config().credit.max_difficulty);
+}
+
+TEST_F(GatewayTest, LazyApprovalAttachedButPunished) {
+  authorize_device();
+  const auto old_pair = gateway_.select_tips();
+  ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());  // consume the old tips
+  ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());
+
+  sched_.run_until(100.0);  // let the old parents age past the lazy threshold
+
+  auto lazy = device_.make(old_pair.first, old_pair.second,
+                           gateway_.required_difficulty(device_.key()), {},
+                           sched_.now());
+  EXPECT_TRUE(gateway_.submit(lazy).is_ok());  // attaches...
+  EXPECT_EQ(gateway_.stats().lazy_detected, 1u);  // ...but is punished
+  EXPECT_EQ(gateway_.required_difficulty(device_.key()),
+            test_gateway_config().credit.max_difficulty);
+}
+
+TEST_F(GatewayTest, HonestActivityLowersDifficulty) {
+  authorize_device();
+  const int initial = gateway_.required_difficulty(device_.key());
+  for (int i = 0; i < 20; ++i) {
+    sched_.run_until(sched_.now() + 1.0);
+    ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());
+  }
+  EXPECT_LT(gateway_.required_difficulty(device_.key()), initial);
+}
+
+TEST_F(GatewayTest, FixedPolicyIgnoresCredit) {
+  GatewayConfig c = test_gateway_config();
+  c.policy = GatewayConfig::Policy::kFixed;
+  c.fixed_difficulty = 5;
+  Gateway fixed_gw(7, gateway_identity_,
+                   manager_identity_.public_identity().sign_key,
+                   tangle::Tangle::make_genesis(), network_, c);
+  EXPECT_EQ(fixed_gw.required_difficulty(device_.key()), 5);
+}
+
+TEST_F(GatewayTest, GossipReplicatesAcceptedTx) {
+  Gateway peer(3, gateway_identity_,
+               manager_identity_.public_identity().sign_key,
+               tangle::Tangle::make_genesis(), network_, test_gateway_config());
+  peer.attach();
+  gateway_.add_peer(3);
+
+  authorize_device();
+  ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());
+  sched_.run();
+
+  EXPECT_EQ(peer.tangle().size(), gateway_.tangle().size());
+  EXPECT_GE(peer.stats().gossip_received, 2u);  // auth tx + data tx
+  EXPECT_TRUE(peer.auth_registry().is_authorized(device_.key()));
+}
+
+// ---- Light node over the network -------------------------------------------------
+
+class LightNodeSimTest : public ::testing::Test {
+ protected:
+  LightNodeSimTest()
+      : manager_identity_(crypto::Identity::deterministic(1)),
+        gateway_identity_(crypto::Identity::deterministic(2)),
+        network_(sched_, std::make_unique<sim::FixedLatency>(0.002), Rng(3)),
+        gateway_(1, gateway_identity_,
+                 manager_identity_.public_identity().sign_key,
+                 tangle::Tangle::make_genesis(), network_,
+                 test_gateway_config()),
+        manager_(2, manager_identity_, gateway_, network_) {
+    gateway_.attach();
+    manager_.attach();
+  }
+
+  LightNodeConfig fast_device_config() {
+    LightNodeConfig c;
+    c.profile.hash_rate_hz = 1e6;  // keep simulated PoW sub-millisecond
+    c.collect_interval = 0.5;
+    c.start_time = 0.1;
+    return c;
+  }
+
+  sim::Scheduler sched_;
+  crypto::Identity manager_identity_;
+  crypto::Identity gateway_identity_;
+  sim::Network network_;
+  Gateway gateway_;
+  Manager manager_;
+};
+
+TEST_F(LightNodeSimTest, DeviceSubmitsSensorData) {
+  LightNode device(10, crypto::Identity::deterministic(100), 1, network_,
+                   fast_device_config());
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.start();
+  sched_.run_until(10.0);
+
+  EXPECT_GT(device.stats().accepted, 10u);
+  EXPECT_EQ(device.stats().rejected, 0u);
+  EXPECT_EQ(gateway_.tangle().size(), 2 + device.stats().accepted);
+}
+
+TEST_F(LightNodeSimTest, UnauthorizedDeviceNeverAttaches) {
+  LightNode sybil(11, crypto::Identity::deterministic(666), 1, network_,
+                  fast_device_config());
+  sybil.start();
+  sched_.run_until(5.0);
+
+  EXPECT_EQ(sybil.stats().accepted, 0u);
+  EXPECT_GT(sybil.stats().unauthorized, 3u);
+  EXPECT_EQ(gateway_.tangle().size(), 1u);  // genesis only
+}
+
+TEST_F(LightNodeSimTest, DoubleSpendAttackDetectedAndPunished) {
+  LightNode device(12, crypto::Identity::deterministic(101), 1, network_,
+                   fast_device_config());
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.start();
+  device.schedule_attack(2.0, AttackKind::kDoubleSpend);
+  sched_.run_until(8.0);
+
+  EXPECT_EQ(device.stats().attacks_launched, 1u);
+  EXPECT_EQ(gateway_.stats().rejected_conflict, 1u);
+  EXPECT_GE(device.stats().rejected, 1u);
+}
+
+TEST_F(LightNodeSimTest, LazyAttackDetected) {
+  LightNode device(13, crypto::Identity::deterministic(102), 1, network_,
+                   fast_device_config());
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.start();
+  // Attack at t=30: the parents remembered at t~0.1 are stale by then.
+  device.schedule_attack(30.0, AttackKind::kLazyTips);
+  sched_.run_until(40.0);
+
+  EXPECT_EQ(device.stats().attacks_launched, 1u);
+  EXPECT_EQ(gateway_.stats().lazy_detected, 1u);
+}
+
+TEST_F(LightNodeSimTest, KeyDistributionOverNetworkInstallsKey) {
+  LightNode device(14, crypto::Identity::deterministic(103), 1, network_,
+                   fast_device_config());
+  ASSERT_TRUE(manager_.authorize({device.public_identity()}).is_ok());
+  device.enable_keydist(manager_identity_.public_identity().sign_key);
+  device.start();
+
+  sched_.run_until(1.0);
+  ASSERT_TRUE(
+      manager_.distribute_key(device.public_identity(), device.node_id()).is_ok());
+  sched_.run_until(2.0);
+
+  EXPECT_TRUE(device.has_symmetric_key());
+  EXPECT_TRUE(manager_.session_established(device.public_identity()));
+
+  // Subsequent transactions carry encrypted payloads the manager can read.
+  sched_.run_until(5.0);
+  const auto& tangle = gateway_.tangle();
+  bool found_encrypted = false;
+  for (const auto& id : tangle.arrival_order()) {
+    const auto* rec = tangle.find(id);
+    if (rec->tx.payload_encrypted) {
+      found_encrypted = true;
+      const auto& key = manager_.session_key(device.public_identity());
+      const auto plain = auth::envelope_open(key, rec->tx.payload);
+      EXPECT_TRUE(plain.is_ok());
+    }
+  }
+  EXPECT_TRUE(found_encrypted);
+}
+
+TEST_F(LightNodeSimTest, KeyDistributionToUnauthorizedDeviceRefused) {
+  LightNode device(15, crypto::Identity::deterministic(104), 1, network_,
+                   fast_device_config());
+  EXPECT_EQ(manager_.distribute_key(device.public_identity(), device.node_id())
+                .code(),
+            ErrorCode::kUnauthorized);
+}
+
+}  // namespace
+}  // namespace biot::node

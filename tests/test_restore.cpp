@@ -1,0 +1,259 @@
+// Gateway cold-start: a restarted full node rebuilds ALL derived state —
+// ledger, authorization list, milestone confirmations and credit histories —
+// purely from the persisted chain (the paper's "credit value ... can be
+// reflected from blockchain records" made operational).
+#include <gtest/gtest.h>
+
+#include "factory/scenario.h"
+#include "storage/archive.h"
+#include "storage/tangle_io.h"
+
+namespace biot {
+namespace {
+
+factory::ScenarioConfig restore_config() {
+  factory::ScenarioConfig config;
+  config.num_devices = 4;
+  config.num_gateways = 2;
+  config.distribute_keys = false;
+  config.enable_coordinator = true;
+  config.milestone_interval = 3.0;
+  config.gateway.credit.initial_difficulty = 4;
+  config.gateway.credit.max_difficulty = 8;
+  config.device.collect_interval = 0.5;
+  config.device.profile.hash_rate_hz = 1e6;
+  return config;
+}
+
+class RestoreTest : public ::testing::Test {
+ protected:
+  RestoreTest() : factory_(restore_config()) {
+    factory_.bootstrap();
+    factory_.device(1).schedule_attack(5.0, node::AttackKind::kDoubleSpend);
+    factory_.run_until(20.0);
+  }
+
+  /// Round-trips gateway 0's replica through serialization and rebuilds a
+  /// fresh gateway from it.
+  node::Gateway restore(sim::Network& network) {
+    const Bytes wire = storage::serialize_tangle(factory_.gateway(0).tangle());
+    auto reloaded = storage::deserialize_tangle(wire);
+    EXPECT_TRUE(reloaded.is_ok());
+    return node::Gateway(
+        99, gateway_identity_,
+        factory_.manager().public_identity().sign_key,
+        std::move(reloaded).take(), network, restore_config().gateway,
+        factory_.coordinator().public_identity().sign_key);
+  }
+
+  factory::SmartFactory factory_;
+  crypto::Identity gateway_identity_ = crypto::Identity::deterministic(77);
+};
+
+TEST_F(RestoreTest, TangleIdentical) {
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  EXPECT_EQ(restored.tangle().size(), factory_.gateway(0).tangle().size());
+  EXPECT_EQ(restored.tangle().tips(), factory_.gateway(0).tangle().tips());
+}
+
+TEST_F(RestoreTest, AuthorizationListRebuilt) {
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  EXPECT_EQ(restored.auth_registry().authorized_count(),
+            factory_.device_count());
+  for (std::size_t d = 0; d < factory_.device_count(); ++d) {
+    EXPECT_TRUE(restored.auth_registry().is_authorized(
+        factory_.device(d).public_identity().sign_key));
+  }
+}
+
+TEST_F(RestoreTest, LedgerSlotsRebuilt) {
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  for (std::size_t d = 0; d < factory_.device_count(); ++d) {
+    const auto key = factory_.device(d).public_identity().sign_key;
+    EXPECT_EQ(restored.ledger().next_sequence(key),
+              factory_.gateway(0).ledger().next_sequence(key))
+        << "device " << d;
+  }
+}
+
+TEST_F(RestoreTest, MilestoneConfirmationsRebuilt) {
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  EXPECT_EQ(restored.milestones().confirmed_count(),
+            factory_.gateway(0).milestones().confirmed_count());
+  EXPECT_EQ(restored.milestones().milestone_count(),
+            factory_.gateway(0).milestones().milestone_count());
+}
+
+TEST_F(RestoreTest, CreditHistoryRebuiltFromChain) {
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  // Credit is a function of wall time (the dT window); compare quotes at
+  // the same instant the live gateway is at.
+  sched.run_until(20.0);
+  // Honest devices' positive credit reproduces: same difficulty quotes.
+  // (Service-edge-rejected double-spends are NOT on chain — only the live
+  // gateway saw those — so the restored attacker may look cleaner; the
+  // on-chain evidence still yields consistent quotes for honest nodes.)
+  for (const std::size_t d : {0u, 2u, 3u}) {
+    const auto key = factory_.device(d).public_identity().sign_key;
+    EXPECT_EQ(restored.required_difficulty(key),
+              factory_.gateway(0).required_difficulty(key))
+        << "device " << d;
+  }
+}
+
+TEST_F(RestoreTest, RestoredGatewayServesTraffic) {
+  // Attach the restored gateway on a fresh network and run a device on it.
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(2));
+  auto restored = restore(net);
+  restored.attach();
+
+  node::LightNodeConfig dev_config;
+  dev_config.profile.hash_rate_hz = 1e6;
+  dev_config.collect_interval = 0.5;
+  // Device 0's identity is already authorized on the restored chain; it
+  // resumes its sequence counter from the rebuilt ledger, like a restarted
+  // physical device reading its persisted counter.
+  const auto identity =
+      crypto::Identity::deterministic(restore_config().seed * 5000 + 100);
+  node::LightNode device(100, identity, 99, net, dev_config);
+  device.resume_sequence(
+      restored.ledger().next_sequence(identity.public_identity().sign_key));
+  device.start();
+  sched.run_until(10.0);
+
+  EXPECT_GT(device.stats().accepted, 10u);
+}
+
+TEST(LivePrune, GatewayPrunesAndDevicesReanchor) {
+  // Single-gateway deployment (operational pruning in a multi-gateway net
+  // must be coordinated — see Gateway::snapshot_and_prune docs).
+  auto config = restore_config();
+  config.num_gateways = 1;
+  config.enable_coordinator = false;
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(20.0);
+
+  const auto before = factory.gateway(0).tangle().size();
+  ASSERT_GT(before, 50u);
+  const auto device0_key = factory.device(0).public_identity().sign_key;
+  const auto seq_before = factory.gateway(0).ledger().next_sequence(device0_key);
+  const int difficulty_before = factory.gateway(0).required_difficulty(device0_key);
+
+  std::vector<std::pair<tangle::Transaction, double>> archived;
+  const auto count = factory.gateway(0).snapshot_and_prune(
+      15.0, [&](const tangle::Transaction& tx, TimePoint arrival) {
+        archived.emplace_back(tx, arrival);
+      });
+
+  // Everything left the hot set into the archive; hot set is genesis-only.
+  EXPECT_EQ(count, before - 1);
+  EXPECT_EQ(archived.size(), before - 1);
+  EXPECT_EQ(factory.gateway(0).tangle().size(), 1u);
+
+  // Ledger and credit carried over: sequences keep counting. Difficulty may
+  // drift up slightly — archived transactions' validation counts are no
+  // longer resolvable, so their credit weight degrades to the base 1 — but
+  // an honest device never exceeds the initial difficulty.
+  EXPECT_EQ(factory.gateway(0).ledger().next_sequence(device0_key), seq_before);
+  EXPECT_GE(factory.gateway(0).required_difficulty(device0_key),
+            difficulty_before);
+  EXPECT_LE(factory.gateway(0).required_difficulty(device0_key),
+            config.gateway.credit.initial_difficulty);
+
+  // Devices keep running: their next tips request re-anchors on the
+  // snapshot genesis and traffic continues.
+  factory.run_until(40.0);
+  EXPECT_GT(factory.gateway(0).tangle().size(), 20u);
+  EXPECT_GT(factory.gateway(0).ledger().next_sequence(device0_key), seq_before);
+}
+
+TEST(Lifecycle, RunPruneArchiveRestoreContinue) {
+  // The whole operational story in one pass: run a factory, snapshot and
+  // prune the gateway, archive the history, cold-restore a fresh gateway
+  // from the pruned hot set, and keep serving devices — with the archive
+  // still accounting for every pre-prune transaction.
+  auto config = restore_config();
+  config.num_gateways = 1;
+  config.enable_coordinator = false;
+
+  const std::string archive_path = "/tmp/biot_lifecycle_archive.bin";
+  const std::string tangle_path = "/tmp/biot_lifecycle_tangle.bin";
+  std::remove(archive_path.c_str());
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(20.0);
+  const auto pre_prune = factory.gateway(0).tangle().size();
+
+  // Prune into a real archive file.
+  {
+    storage::ArchiveWriter archive(archive_path);
+    const auto archived = factory.gateway(0).snapshot_and_prune(
+        20.0, [&](const tangle::Transaction& tx, TimePoint arrival) {
+          ASSERT_TRUE(archive.append(tx, arrival).is_ok());
+        });
+    EXPECT_EQ(archived, pre_prune - 1);
+  }
+
+  // Keep running on the pruned hot set, then persist it.
+  factory.run_until(35.0);
+  const auto hot = factory.gateway(0).tangle().size();
+  EXPECT_GT(hot, 20u);
+  ASSERT_TRUE(storage::save_tangle(factory.gateway(0).tangle(), tangle_path)
+                  .is_ok());
+
+  // Cold-restore a fresh gateway from disk; note the authorization list
+  // lives in the ARCHIVED region (published at bootstrap), so the restored
+  // node re-learns it from the snapshot-state replay... it cannot — the
+  // snapshot genesis only commits to the hash. Re-authorize explicitly,
+  // as an operator redeploying against a pruned chain would.
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(9));
+  auto reloaded = storage::load_tangle(tangle_path);
+  ASSERT_TRUE(reloaded.is_ok());
+  const auto manager_identity = crypto::Identity::deterministic(config.seed);
+  node::Gateway restored(1, crypto::Identity::deterministic(42),
+                         manager_identity.public_identity().sign_key,
+                         std::move(reloaded).take(), net,
+                         restore_config().gateway);
+  restored.attach();
+  node::Manager manager(2, manager_identity, restored, net);
+  manager.attach();
+  EXPECT_EQ(restored.tangle().size(), hot);
+
+  const auto device_identity =
+      crypto::Identity::deterministic(config.seed * 5000 + 100);
+  ASSERT_TRUE(manager.authorize({device_identity.public_identity()}).is_ok());
+
+  node::LightNodeConfig dev_config;
+  dev_config.profile.hash_rate_hz = 1e6;
+  dev_config.collect_interval = 0.5;
+  node::LightNode device(100, device_identity, 1, net, dev_config);
+  device.resume_sequence(restored.ledger().next_sequence(
+      device_identity.public_identity().sign_key));
+  device.start();
+  sched.run_until(10.0);
+  EXPECT_GT(device.stats().accepted, 10u);
+
+  // The archive accounts for everything pruned, fully verified.
+  const auto archived = storage::read_archive(archive_path);
+  ASSERT_TRUE(archived.is_ok());
+  EXPECT_EQ(archived.value().size(), pre_prune - 1);
+  std::remove(archive_path.c_str());
+  std::remove(tangle_path.c_str());
+}
+
+}  // namespace
+}  // namespace biot

@@ -1,0 +1,295 @@
+// Discrete-event substrate tests: scheduler ordering, network delivery,
+// loss/partition handling, device compute profiles.
+#include <gtest/gtest.h>
+
+#include "sim/device_profile.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace biot::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(3.0, [&] { order.push_back(3); });
+  sched.at(1.0, [&] { order.push_back(1); });
+  sched.at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sched.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sched.at(1.0, [&order, i] { order.push_back(i); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(1.0, [&] {
+    ++fired;
+    sched.after(1.0, [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), 2.0);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(1.0, [&] { ++fired; });
+  sched.at(5.0, [&] { ++fired; });
+  sched.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 3.0);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventAtExactBoundaryRuns) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(3.0, [&] { ++fired; });
+  sched.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+  Scheduler sched;
+  sched.at(5.0, [] {});
+  sched.run();
+  EXPECT_THROW(sched.at(1.0, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.step());
+}
+
+// ---- Network ---------------------------------------------------------------
+
+struct Inbox {
+  std::vector<std::pair<NodeId, Bytes>> messages;
+  Network::Handler handler() {
+    return [this](NodeId from, const Bytes& b) { messages.emplace_back(from, b); };
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : network_(sched_, std::make_unique<FixedLatency>(0.01), Rng(1)) {}
+
+  Scheduler sched_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, DeliversAfterLatency) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.send(1, 2, to_bytes("hello"));
+  EXPECT_TRUE(inbox.messages.empty());
+  sched_.run();
+  ASSERT_EQ(inbox.messages.size(), 1u);
+  EXPECT_EQ(inbox.messages[0].first, 1u);
+  EXPECT_EQ(to_string(inbox.messages[0].second), "hello");
+  EXPECT_NEAR(sched_.now(), 0.01, 1e-12);
+}
+
+TEST_F(NetworkTest, DetachedReceiverDropsMessage) {
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(network_.stats().dropped_detached, 1u);
+  EXPECT_EQ(network_.stats().delivered, 0u);
+}
+
+TEST_F(NetworkTest, DetachMidFlightDrops) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.send(1, 2, to_bytes("x"));
+  network_.detach(2);  // crash before delivery
+  sched_.run();
+  EXPECT_TRUE(inbox.messages.empty());
+  EXPECT_EQ(network_.stats().dropped_detached, 1u);
+}
+
+TEST_F(NetworkTest, BroadcastSkipsSender) {
+  Inbox a, b, c;
+  network_.attach(1, a.handler());
+  network_.attach(2, b.handler());
+  network_.attach(3, c.handler());
+  network_.broadcast(1, to_bytes("all"));
+  sched_.run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(c.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, FullLossDropsEverything) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_loss_rate(1.0);
+  for (int i = 0; i < 10; ++i) network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_TRUE(inbox.messages.empty());
+  EXPECT_EQ(network_.stats().dropped_loss, 10u);
+}
+
+TEST_F(NetworkTest, PartialLossDropsSomeStatistically) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_loss_rate(0.5);
+  for (int i = 0; i < 500; ++i) network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_GT(inbox.messages.size(), 150u);
+  EXPECT_LT(inbox.messages.size(), 350u);
+}
+
+TEST_F(NetworkTest, LinkDownBlocksBothDirections) {
+  Inbox a, b;
+  network_.attach(1, a.handler());
+  network_.attach(2, b.handler());
+  network_.set_link_down(1, 2, true);
+  network_.send(1, 2, to_bytes("x"));
+  network_.send(2, 1, to_bytes("y"));
+  sched_.run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(network_.stats().dropped_link, 2u);
+
+  network_.set_link_down(1, 2, false);
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionSplitsGroups) {
+  Inbox a, b, c;
+  network_.attach(1, a.handler());
+  network_.attach(2, b.handler());
+  network_.attach(3, c.handler());
+  network_.partition({1}, true);  // {1} vs {2,3}
+  network_.send(1, 2, to_bytes("cross"));
+  network_.send(2, 3, to_bytes("inside"));
+  sched_.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(c.messages.size(), 1u);
+
+  network_.partition({}, false);
+  network_.send(1, 2, to_bytes("healed"));
+  sched_.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, BandwidthAddsTransmissionDelay) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_bandwidth(1000.0);  // 1 KB/s
+  network_.send(1, 2, Bytes(500, 0));
+  sched_.run();
+  // 0.01 s latency + 500/1000 s transmission.
+  EXPECT_NEAR(sched_.now(), 0.51, 1e-9);
+  ASSERT_EQ(inbox.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, ZeroBandwidthMeansUnconstrained) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_bandwidth(0.0);
+  network_.send(1, 2, Bytes(100000, 0));
+  sched_.run();
+  EXPECT_NEAR(sched_.now(), 0.01, 1e-9);  // latency only
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.send(1, 2, Bytes(100, 0));
+  sched_.run();
+  EXPECT_EQ(network_.stats().bytes_sent, 100u);
+  EXPECT_EQ(network_.stats().sent, 1u);
+  EXPECT_EQ(network_.stats().delivered, 1u);
+}
+
+// ---- Latency models ----------------------------------------------------------
+
+TEST(Latency, FixedIsConstant) {
+  FixedLatency model(0.25);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(rng), 0.25);
+}
+
+TEST(Latency, UniformStaysInRange) {
+  UniformLatency model(0.1, 0.2);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double s = model.sample(rng);
+    EXPECT_GE(s, 0.1);
+    EXPECT_LT(s, 0.2);
+  }
+}
+
+TEST(Latency, ExponentialTailExceedsBase) {
+  ExponentialTailLatency model(0.05, 0.01);
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double s = model.sample(rng);
+    EXPECT_GE(s, 0.05);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / 2000, 0.06, 0.002);
+}
+
+// ---- Device profiles -----------------------------------------------------------
+
+TEST(DeviceProfile, ExpectedPowTimeIsExponentialInDifficulty) {
+  const auto p = DeviceProfile::pi3b_fig9();
+  // Doubling difficulty by 1 bit roughly doubles expected time (minus the
+  // constant overhead, which is zero for this profile).
+  EXPECT_NEAR(p.expected_pow_time(12) / p.expected_pow_time(11), 2.0, 1e-9);
+}
+
+TEST(DeviceProfile, Fig9CalibrationReproducesBaseline) {
+  const auto p = DeviceProfile::pi3b_fig9();
+  EXPECT_NEAR(p.expected_pow_time(11), 0.7, 1e-9);  // the paper's D=11 average
+}
+
+TEST(DeviceProfile, Fig7CalibrationReproducesD14Point) {
+  const auto p = DeviceProfile::pi3b_fig7();
+  EXPECT_NEAR(p.expected_pow_time(14), 245.3, 1e-6);
+}
+
+TEST(DeviceProfile, SampledPowTimeMatchesExpectationOnAverage) {
+  const auto p = DeviceProfile::pi3b_fig9();
+  Rng rng(4);
+  double sum = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) sum += p.sample_pow_time(8, rng);
+  EXPECT_NEAR(sum / n, p.expected_pow_time(8), p.expected_pow_time(8) * 0.1);
+}
+
+TEST(DeviceProfile, AesTimeLinearInLength) {
+  const auto p = DeviceProfile::pi3b_fig7();
+  const double t1 = p.aes_time(1 << 18);  // 256 KiB
+  const double t2 = p.aes_time(1 << 19);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+  // Paper's Fig 10 anchor: 256 KiB around 0.373 s on the Pi.
+  EXPECT_NEAR(t1, 0.373, 0.06);
+}
+
+TEST(DeviceProfile, ServerFasterThanPi) {
+  const auto pi = DeviceProfile::pi3b_fig9();
+  const auto server = DeviceProfile::server();
+  EXPECT_LT(server.expected_pow_time(11), pi.expected_pow_time(11));
+}
+
+}  // namespace
+}  // namespace biot::sim

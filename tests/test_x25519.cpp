@@ -1,0 +1,124 @@
+// X25519 against RFC 7748 vectors and ECIES envelope behaviour.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/csprng.h"
+#include "crypto/x25519.h"
+
+namespace biot::crypto {
+namespace {
+
+// RFC 7748 section 5.2, vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = FixedBytes<32>::parse_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = FixedBytes<32>::parse_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(x25519(scalar, point).hex(),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 section 5.2, vector 2.
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = FixedBytes<32>::parse_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = FixedBytes<32>::parse_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(x25519(scalar, point).hex(),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 section 6.1 Diffie–Hellman vector.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_sk = FixedBytes<32>::parse_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_sk = FixedBytes<32>::parse_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pk = x25519_public(alice_sk);
+  const auto bob_pk = x25519_public(bob_sk);
+  EXPECT_EQ(alice_pk.hex(),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(bob_pk.hex(),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto k1 = x25519(alice_sk, bob_pk);
+  const auto k2 = x25519(bob_sk, alice_pk);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.hex(),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreesForRandomPairs) {
+  Csprng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    const auto a = X25519KeyPair::generate(rng);
+    const auto b = X25519KeyPair::generate(rng);
+    EXPECT_EQ(x25519(a.secret, b.public_key), x25519(b.secret, a.public_key));
+  }
+}
+
+TEST(Ecies, SealOpenRoundTrip) {
+  Csprng rng(100);
+  const auto recipient = X25519KeyPair::generate(rng);
+  for (std::size_t n : {0u, 1u, 16u, 100u, 5000u}) {
+    const Bytes pt = rng.bytes(n);
+    const Bytes env = ecies_seal(recipient.public_key, pt, rng);
+    const auto back = ecies_open(recipient, env);
+    ASSERT_TRUE(back) << back.status().to_string();
+    EXPECT_EQ(back.value(), pt);
+  }
+}
+
+TEST(Ecies, WrongRecipientFails) {
+  Csprng rng(101);
+  const auto alice = X25519KeyPair::generate(rng);
+  const auto mallory = X25519KeyPair::generate(rng);
+  const Bytes env = ecies_seal(alice.public_key, to_bytes("secret key SKS"), rng);
+  const auto r = ecies_open(mallory, env);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.code(), ErrorCode::kDecryptFailed);
+}
+
+TEST(Ecies, TamperedCiphertextFails) {
+  Csprng rng(102);
+  const auto recipient = X25519KeyPair::generate(rng);
+  Bytes env = ecies_seal(recipient.public_key, to_bytes("payload"), rng);
+  env[40] ^= 0x01;
+  EXPECT_FALSE(ecies_open(recipient, env));
+}
+
+TEST(Ecies, TamperedEphemeralKeyFails) {
+  Csprng rng(103);
+  const auto recipient = X25519KeyPair::generate(rng);
+  Bytes env = ecies_seal(recipient.public_key, to_bytes("payload"), rng);
+  env[0] ^= 0x01;
+  EXPECT_FALSE(ecies_open(recipient, env));
+}
+
+TEST(Ecies, TamperedTagFails) {
+  Csprng rng(104);
+  const auto recipient = X25519KeyPair::generate(rng);
+  Bytes env = ecies_seal(recipient.public_key, to_bytes("payload"), rng);
+  env.back() ^= 0x01;
+  EXPECT_FALSE(ecies_open(recipient, env));
+}
+
+TEST(Ecies, TruncatedEnvelopeFails) {
+  Csprng rng(105);
+  const auto recipient = X25519KeyPair::generate(rng);
+  const Bytes env = ecies_seal(recipient.public_key, to_bytes("p"), rng);
+  EXPECT_FALSE(ecies_open(recipient, ByteView{env.data(), 63}));
+  EXPECT_FALSE(ecies_open(recipient, ByteView{}));
+}
+
+TEST(Ecies, FreshEphemeralPerSeal) {
+  Csprng rng(106);
+  const auto recipient = X25519KeyPair::generate(rng);
+  const Bytes a = ecies_seal(recipient.public_key, to_bytes("m"), rng);
+  const Bytes b = ecies_seal(recipient.public_key, to_bytes("m"), rng);
+  EXPECT_NE(a, b);  // randomized encryption
+}
+
+}  // namespace
+}  // namespace biot::crypto

@@ -1,0 +1,186 @@
+// biot-simulate: run a configurable B-IoT smart-factory simulation from the
+// command line and report metrics; optionally persist the resulting tangle
+// or export it to Graphviz.
+//
+// Examples:
+//   biot_simulate --devices 8 --gateways 2 --seconds 120
+//   biot_simulate --devices 4 --attack-double 30 --attack-lazy 60 --sybils 5
+//   biot_simulate --coordinator --milestone-interval 5 --save /tmp/t.bin
+//   biot_simulate --devices 16 --fixed-pow --seconds 60   (original PoW)
+#include <cstdio>
+
+#include "cli_args.h"
+#include "factory/metrics.h"
+#include "factory/scenario.h"
+#include "factory/trace.h"
+#include "storage/tangle_io.h"
+
+using namespace biot;
+
+namespace {
+void usage() {
+  std::puts(
+      "biot-simulate — run a B-IoT smart-factory simulation\n"
+      "\n"
+      "  --devices N            light nodes (default 4)\n"
+      "  --gateways N           full nodes (default 2)\n"
+      "  --seconds T            simulated horizon (default 60)\n"
+      "  --interval S           sensor cadence seconds (default 0.5)\n"
+      "  --seed S               deterministic seed (default 1)\n"
+      "  --fixed-pow            original PoW baseline instead of credit PoW\n"
+      "  --difficulty D         initial/fixed difficulty (default 11)\n"
+      "  --coordinator          run a milestone coordinator\n"
+      "  --milestone-interval S milestone cadence (default 5)\n"
+      "  --offload              devices offload PoW to gateways\n"
+      "  --sybils N             unauthorized flooders (default 0)\n"
+      "  --attack-double T      device 1 double-spends at time T\n"
+      "  --attack-lazy T        device 1 goes lazy at time T\n"
+      "  --loss P               network loss probability (default 0)\n"
+      "  --trace FILE.csv       replay a recorded workload trace (see\n"
+      "                         docs/PROTOCOL.md for the CSV format); one\n"
+      "                         device per sensor in the trace\n"
+      "  --save PATH            persist gateway 0's tangle\n"
+      "  --dot PATH             export gateway 0's DAG to Graphviz\n"
+      "  --help                 this text");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+
+  factory::ScenarioConfig config;
+  config.num_devices = static_cast<int>(args.get_int("devices", 4));
+  config.num_gateways = static_cast<int>(args.get_int("gateways", 2));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.device.collect_interval = args.get_double("interval", 0.5);
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+  config.device.offload_pow = args.has("offload");
+  config.enable_coordinator = args.has("coordinator");
+  config.milestone_interval = args.get_double("milestone-interval", 5.0);
+  if (args.has("fixed-pow"))
+    config.gateway.policy = node::GatewayConfig::Policy::kFixed;
+  config.gateway.fixed_difficulty =
+      static_cast<int>(args.get_int("difficulty", 11));
+  config.gateway.credit.initial_difficulty = config.gateway.fixed_difficulty;
+
+  const double horizon = args.get_double("seconds", 60.0);
+
+  // Trace replay: one device per recorded sensor stream.
+  std::optional<factory::WorkloadTrace> trace;
+  std::vector<std::shared_ptr<factory::TraceSensor>> trace_sensors;
+  if (args.has("trace")) {
+    auto loaded = factory::WorkloadTrace::load(args.get("trace", ""));
+    if (!loaded) {
+      std::printf("cannot load trace: %s\n",
+                  loaded.status().to_string().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).take();
+    config.num_devices = static_cast<int>(trace->sensors().size());
+    std::printf("trace: %zu events over %.1f s across %d sensors\n",
+                trace->events().size(), trace->duration(), config.num_devices);
+  }
+
+  factory::SmartFactory factory(config);
+  if (trace) {
+    const auto names = trace->sensors();
+    for (std::size_t d = 0; d < names.size(); ++d) {
+      auto sensor = std::make_shared<factory::TraceSensor>(
+          names[d], trace->for_sensor(names[d]));
+      trace_sensors.push_back(sensor);
+      auto* sched_ptr = &factory.scheduler();
+      factory.device(d).set_data_source([sensor, sched_ptr]() mutable {
+        Rng rng(0);
+        return sensor->sample(sched_ptr->now(), rng).encode();
+      });
+    }
+  }
+  factory.bootstrap();
+  if (const double p = args.get_double("loss", 0.0); p > 0.0)
+    factory.network().set_loss_rate(p);
+
+  for (long i = 0; i < args.get_int("sybils", 0); ++i) {
+    auto sybil = config.device;
+    sybil.collect_interval = 0.1;
+    factory.add_unauthorized_device(sybil);
+  }
+  if (args.has("attack-double") && config.num_devices > 1)
+    factory.device(1).schedule_attack(args.get_double("attack-double", 30.0),
+                                      node::AttackKind::kDoubleSpend);
+  if (args.has("attack-lazy") && config.num_devices > 1)
+    factory.device(1).schedule_attack(args.get_double("attack-lazy", 45.0),
+                                      node::AttackKind::kLazyTips);
+
+  std::printf("running %d devices / %d gateways for %.0f simulated seconds"
+              "%s%s...\n",
+              config.num_devices, config.num_gateways, horizon,
+              config.enable_coordinator ? ", coordinator on" : "",
+              config.device.offload_pow ? ", PoW offloaded" : "");
+  factory.run_until(horizon);
+
+  // ---- Report -------------------------------------------------------------
+  std::printf("\n== results ==\n");
+  std::printf("throughput: %.2f tx/s (accepted total %llu)\n",
+              factory.throughput(horizon * 0.1, horizon),
+              static_cast<unsigned long long>(factory.total_accepted()));
+
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto& s = factory.device(d).stats();
+    const auto key = factory.device(d).public_identity().sign_key;
+    double pow_energy = 0.0;
+    for (const auto t : s.pow_durations)
+      pow_energy += t * config.device.profile.pow_power_w;
+    std::printf("device %zu: accepted=%-5llu rejected=%-3llu difficulty=%-2d "
+                "pow_energy=%.1fJ\n",
+                d, static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.rejected),
+                factory.gateway(0).required_difficulty(key), pow_energy);
+  }
+
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    const auto& s = factory.gateway(g).stats();
+    std::printf("gateway %zu: tangle=%zu accepted=%llu conflicts=%llu "
+                "lazy=%llu unauthorized=%llu gossip=%llu\n",
+                g, factory.gateway(g).tangle().size(),
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.rejected_conflict),
+                static_cast<unsigned long long>(s.lazy_detected),
+                static_cast<unsigned long long>(s.rejected_unauthorized),
+                static_cast<unsigned long long>(s.gossip_received));
+  }
+  if (config.enable_coordinator) {
+    std::printf("coordinator: %llu milestones, %zu txs milestone-confirmed\n",
+                static_cast<unsigned long long>(
+                    factory.coordinator().milestones_issued()),
+                factory.gateway(0).milestones().confirmed_count());
+  }
+  const auto& net = factory.network().stats();
+  std::printf("network: %llu msgs sent, %llu delivered, %llu lost, %.1f KB\n",
+              static_cast<unsigned long long>(net.sent),
+              static_cast<unsigned long long>(net.delivered),
+              static_cast<unsigned long long>(net.dropped_loss),
+              static_cast<double>(net.bytes_sent) / 1000.0);
+
+  // ---- Optional exports ------------------------------------------------------
+  if (args.has("save")) {
+    const auto path = args.get("save", "");
+    const auto status = storage::save_tangle(factory.gateway(0).tangle(), path);
+    std::printf("tangle saved to %s: %s\n", path.c_str(),
+                status.to_string().c_str());
+  }
+  if (args.has("dot")) {
+    const auto path = args.get("dot", "");
+    const auto dot = storage::to_dot(factory.gateway(0).tangle());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(dot.data(), 1, dot.size(), f);
+      std::fclose(f);
+      std::printf("DAG exported to %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Tiny dependency-free flag parser shared by the CLI tools.
+// Supports --flag value, --flag=value and boolean --flag forms.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace biot::tools {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return flags_.contains(name); }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& name, long fallback) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace biot::tools
