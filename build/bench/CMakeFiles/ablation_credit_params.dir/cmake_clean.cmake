@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_credit_params.dir/ablation_credit_params.cpp.o"
+  "CMakeFiles/ablation_credit_params.dir/ablation_credit_params.cpp.o.d"
+  "ablation_credit_params"
+  "ablation_credit_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_credit_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

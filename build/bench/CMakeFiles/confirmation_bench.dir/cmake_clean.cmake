@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confirmation_bench.dir/confirmation_bench.cpp.o"
+  "CMakeFiles/confirmation_bench.dir/confirmation_bench.cpp.o.d"
+  "confirmation_bench"
+  "confirmation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confirmation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

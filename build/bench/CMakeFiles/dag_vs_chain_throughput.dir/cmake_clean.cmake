@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_vs_chain_throughput.dir/dag_vs_chain_throughput.cpp.o"
+  "CMakeFiles/dag_vs_chain_throughput.dir/dag_vs_chain_throughput.cpp.o.d"
+  "dag_vs_chain_throughput"
+  "dag_vs_chain_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_vs_chain_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

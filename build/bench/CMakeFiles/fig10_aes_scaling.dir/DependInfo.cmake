@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_aes_scaling.cpp" "bench/CMakeFiles/fig10_aes_scaling.dir/fig10_aes_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig10_aes_scaling.dir/fig10_aes_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/biot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/biot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

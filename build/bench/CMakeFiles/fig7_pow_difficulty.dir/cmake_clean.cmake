@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pow_difficulty.dir/fig7_pow_difficulty.cpp.o"
+  "CMakeFiles/fig7_pow_difficulty.dir/fig7_pow_difficulty.cpp.o.d"
+  "fig7_pow_difficulty"
+  "fig7_pow_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pow_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

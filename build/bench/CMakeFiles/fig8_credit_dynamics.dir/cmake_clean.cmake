@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_credit_dynamics.dir/fig8_credit_dynamics.cpp.o"
+  "CMakeFiles/fig8_credit_dynamics.dir/fig8_credit_dynamics.cpp.o.d"
+  "fig8_credit_dynamics"
+  "fig8_credit_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_credit_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

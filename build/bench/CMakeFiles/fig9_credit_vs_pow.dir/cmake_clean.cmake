@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_credit_vs_pow.dir/fig9_credit_vs_pow.cpp.o"
+  "CMakeFiles/fig9_credit_vs_pow.dir/fig9_credit_vs_pow.cpp.o.d"
+  "fig9_credit_vs_pow"
+  "fig9_credit_vs_pow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_credit_vs_pow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

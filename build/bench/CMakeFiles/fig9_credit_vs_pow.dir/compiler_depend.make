@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_credit_vs_pow.
+# This may be replaced when dependencies are built.

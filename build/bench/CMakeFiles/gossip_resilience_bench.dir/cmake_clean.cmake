@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_resilience_bench.dir/gossip_resilience_bench.cpp.o"
+  "CMakeFiles/gossip_resilience_bench.dir/gossip_resilience_bench.cpp.o.d"
+  "gossip_resilience_bench"
+  "gossip_resilience_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_resilience_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

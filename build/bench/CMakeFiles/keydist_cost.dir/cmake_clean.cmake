@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keydist_cost.dir/keydist_cost.cpp.o"
+  "CMakeFiles/keydist_cost.dir/keydist_cost.cpp.o.d"
+  "keydist_cost"
+  "keydist_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keydist_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

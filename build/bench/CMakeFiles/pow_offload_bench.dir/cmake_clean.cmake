@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pow_offload_bench.dir/pow_offload_bench.cpp.o"
+  "CMakeFiles/pow_offload_bench.dir/pow_offload_bench.cpp.o.d"
+  "pow_offload_bench"
+  "pow_offload_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pow_offload_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_control_bench.dir/quality_control_bench.cpp.o"
+  "CMakeFiles/quality_control_bench.dir/quality_control_bench.cpp.o.d"
+  "quality_control_bench"
+  "quality_control_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_control_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_bench.dir/scalability_bench.cpp.o"
+  "CMakeFiles/scalability_bench.dir/scalability_bench.cpp.o.d"
+  "scalability_bench"
+  "scalability_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_selection_bench.dir/tip_selection_bench.cpp.o"
+  "CMakeFiles/tip_selection_bench.dir/tip_selection_bench.cpp.o.d"
+  "tip_selection_bench"
+  "tip_selection_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_selection_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

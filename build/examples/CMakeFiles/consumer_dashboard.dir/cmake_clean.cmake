@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumer_dashboard.dir/consumer_dashboard.cpp.o"
+  "CMakeFiles/consumer_dashboard.dir/consumer_dashboard.cpp.o.d"
+  "consumer_dashboard"
+  "consumer_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumer_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_factory.dir/cross_factory.cpp.o"
+  "CMakeFiles/cross_factory.dir/cross_factory.cpp.o.d"
+  "cross_factory"
+  "cross_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_distribution.dir/key_distribution.cpp.o"
+  "CMakeFiles/key_distribution.dir/key_distribution.cpp.o.d"
+  "key_distribution"
+  "key_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/node_maintenance.cpp" "examples/CMakeFiles/node_maintenance.dir/node_maintenance.cpp.o" "gcc" "examples/CMakeFiles/node_maintenance.dir/node_maintenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/factory/CMakeFiles/biot_factory.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/biot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/biot_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/biot_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/biot_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/tangle/CMakeFiles/biot_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/biot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/biot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_maintenance.dir/node_maintenance.cpp.o"
+  "CMakeFiles/node_maintenance.dir/node_maintenance.cpp.o.d"
+  "node_maintenance"
+  "node_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_transfers.dir/token_transfers.cpp.o"
+  "CMakeFiles/token_transfers.dir/token_transfers.cpp.o.d"
+  "token_transfers"
+  "token_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_auth.dir/authorization.cpp.o"
+  "CMakeFiles/biot_auth.dir/authorization.cpp.o.d"
+  "CMakeFiles/biot_auth.dir/envelope.cpp.o"
+  "CMakeFiles/biot_auth.dir/envelope.cpp.o.d"
+  "CMakeFiles/biot_auth.dir/keydist.cpp.o"
+  "CMakeFiles/biot_auth.dir/keydist.cpp.o.d"
+  "libbiot_auth.a"
+  "libbiot_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

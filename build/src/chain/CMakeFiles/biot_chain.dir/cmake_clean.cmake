@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_chain.dir/block.cpp.o"
+  "CMakeFiles/biot_chain.dir/block.cpp.o.d"
+  "CMakeFiles/biot_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/biot_chain.dir/blockchain.cpp.o.d"
+  "libbiot_chain.a"
+  "libbiot_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

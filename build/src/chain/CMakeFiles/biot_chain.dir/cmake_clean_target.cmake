@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiot_chain.a"
+)

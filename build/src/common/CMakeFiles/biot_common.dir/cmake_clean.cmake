@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_common.dir/bytes.cpp.o"
+  "CMakeFiles/biot_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/biot_common.dir/clock.cpp.o"
+  "CMakeFiles/biot_common.dir/clock.cpp.o.d"
+  "CMakeFiles/biot_common.dir/codec.cpp.o"
+  "CMakeFiles/biot_common.dir/codec.cpp.o.d"
+  "CMakeFiles/biot_common.dir/log.cpp.o"
+  "CMakeFiles/biot_common.dir/log.cpp.o.d"
+  "CMakeFiles/biot_common.dir/rng.cpp.o"
+  "CMakeFiles/biot_common.dir/rng.cpp.o.d"
+  "CMakeFiles/biot_common.dir/status.cpp.o"
+  "CMakeFiles/biot_common.dir/status.cpp.o.d"
+  "libbiot_common.a"
+  "libbiot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

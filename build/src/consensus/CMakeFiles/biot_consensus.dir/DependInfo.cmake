@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/credit.cpp" "src/consensus/CMakeFiles/biot_consensus.dir/credit.cpp.o" "gcc" "src/consensus/CMakeFiles/biot_consensus.dir/credit.cpp.o.d"
+  "/root/repo/src/consensus/detectors.cpp" "src/consensus/CMakeFiles/biot_consensus.dir/detectors.cpp.o" "gcc" "src/consensus/CMakeFiles/biot_consensus.dir/detectors.cpp.o.d"
+  "/root/repo/src/consensus/pow.cpp" "src/consensus/CMakeFiles/biot_consensus.dir/pow.cpp.o" "gcc" "src/consensus/CMakeFiles/biot_consensus.dir/pow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tangle/CMakeFiles/biot_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/biot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_consensus.dir/credit.cpp.o"
+  "CMakeFiles/biot_consensus.dir/credit.cpp.o.d"
+  "CMakeFiles/biot_consensus.dir/detectors.cpp.o"
+  "CMakeFiles/biot_consensus.dir/detectors.cpp.o.d"
+  "CMakeFiles/biot_consensus.dir/pow.cpp.o"
+  "CMakeFiles/biot_consensus.dir/pow.cpp.o.d"
+  "libbiot_consensus.a"
+  "libbiot_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_crypto.dir/aes.cpp.o"
+  "CMakeFiles/biot_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/aes_modes.cpp.o"
+  "CMakeFiles/biot_crypto.dir/aes_modes.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/csprng.cpp.o"
+  "CMakeFiles/biot_crypto.dir/csprng.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/biot_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/field25519.cpp.o"
+  "CMakeFiles/biot_crypto.dir/field25519.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/biot_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/biot_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/biot_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/biot_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/biot_crypto.dir/x25519.cpp.o.d"
+  "libbiot_crypto.a"
+  "libbiot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_factory.dir/quality.cpp.o"
+  "CMakeFiles/biot_factory.dir/quality.cpp.o.d"
+  "CMakeFiles/biot_factory.dir/scenario.cpp.o"
+  "CMakeFiles/biot_factory.dir/scenario.cpp.o.d"
+  "CMakeFiles/biot_factory.dir/sensors.cpp.o"
+  "CMakeFiles/biot_factory.dir/sensors.cpp.o.d"
+  "CMakeFiles/biot_factory.dir/trace.cpp.o"
+  "CMakeFiles/biot_factory.dir/trace.cpp.o.d"
+  "libbiot_factory.a"
+  "libbiot_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_node.dir/consumer.cpp.o"
+  "CMakeFiles/biot_node.dir/consumer.cpp.o.d"
+  "CMakeFiles/biot_node.dir/coordinator.cpp.o"
+  "CMakeFiles/biot_node.dir/coordinator.cpp.o.d"
+  "CMakeFiles/biot_node.dir/gateway.cpp.o"
+  "CMakeFiles/biot_node.dir/gateway.cpp.o.d"
+  "CMakeFiles/biot_node.dir/light_node.cpp.o"
+  "CMakeFiles/biot_node.dir/light_node.cpp.o.d"
+  "CMakeFiles/biot_node.dir/manager.cpp.o"
+  "CMakeFiles/biot_node.dir/manager.cpp.o.d"
+  "CMakeFiles/biot_node.dir/rpc.cpp.o"
+  "CMakeFiles/biot_node.dir/rpc.cpp.o.d"
+  "libbiot_node.a"
+  "libbiot_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_sim.dir/network.cpp.o"
+  "CMakeFiles/biot_sim.dir/network.cpp.o.d"
+  "CMakeFiles/biot_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/biot_sim.dir/scheduler.cpp.o.d"
+  "libbiot_sim.a"
+  "libbiot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_storage.dir/archive.cpp.o"
+  "CMakeFiles/biot_storage.dir/archive.cpp.o.d"
+  "CMakeFiles/biot_storage.dir/snapshot.cpp.o"
+  "CMakeFiles/biot_storage.dir/snapshot.cpp.o.d"
+  "CMakeFiles/biot_storage.dir/tangle_io.cpp.o"
+  "CMakeFiles/biot_storage.dir/tangle_io.cpp.o.d"
+  "libbiot_storage.a"
+  "libbiot_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tangle/ledger.cpp" "src/tangle/CMakeFiles/biot_tangle.dir/ledger.cpp.o" "gcc" "src/tangle/CMakeFiles/biot_tangle.dir/ledger.cpp.o.d"
+  "/root/repo/src/tangle/milestones.cpp" "src/tangle/CMakeFiles/biot_tangle.dir/milestones.cpp.o" "gcc" "src/tangle/CMakeFiles/biot_tangle.dir/milestones.cpp.o.d"
+  "/root/repo/src/tangle/tangle.cpp" "src/tangle/CMakeFiles/biot_tangle.dir/tangle.cpp.o" "gcc" "src/tangle/CMakeFiles/biot_tangle.dir/tangle.cpp.o.d"
+  "/root/repo/src/tangle/tip_selection.cpp" "src/tangle/CMakeFiles/biot_tangle.dir/tip_selection.cpp.o" "gcc" "src/tangle/CMakeFiles/biot_tangle.dir/tip_selection.cpp.o.d"
+  "/root/repo/src/tangle/transaction.cpp" "src/tangle/CMakeFiles/biot_tangle.dir/transaction.cpp.o" "gcc" "src/tangle/CMakeFiles/biot_tangle.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/biot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

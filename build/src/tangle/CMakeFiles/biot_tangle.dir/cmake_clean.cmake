@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_tangle.dir/ledger.cpp.o"
+  "CMakeFiles/biot_tangle.dir/ledger.cpp.o.d"
+  "CMakeFiles/biot_tangle.dir/milestones.cpp.o"
+  "CMakeFiles/biot_tangle.dir/milestones.cpp.o.d"
+  "CMakeFiles/biot_tangle.dir/tangle.cpp.o"
+  "CMakeFiles/biot_tangle.dir/tangle.cpp.o.d"
+  "CMakeFiles/biot_tangle.dir/tip_selection.cpp.o"
+  "CMakeFiles/biot_tangle.dir/tip_selection.cpp.o.d"
+  "CMakeFiles/biot_tangle.dir/transaction.cpp.o"
+  "CMakeFiles/biot_tangle.dir/transaction.cpp.o.d"
+  "libbiot_tangle.a"
+  "libbiot_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_properties.dir/test_crypto_properties.cpp.o"
+  "CMakeFiles/test_crypto_properties.dir/test_crypto_properties.cpp.o.d"
+  "test_crypto_properties"
+  "test_crypto_properties.pdb"
+  "test_crypto_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ed25519.dir/test_ed25519.cpp.o"
+  "CMakeFiles/test_ed25519.dir/test_ed25519.cpp.o.d"
+  "test_ed25519"
+  "test_ed25519.pdb"
+  "test_ed25519[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ed25519.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

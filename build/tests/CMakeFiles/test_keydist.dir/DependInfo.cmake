@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_keydist.cpp" "tests/CMakeFiles/test_keydist.dir/test_keydist.cpp.o" "gcc" "tests/CMakeFiles/test_keydist.dir/test_keydist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auth/CMakeFiles/biot_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/tangle/CMakeFiles/biot_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/biot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keydist.dir/test_keydist.cpp.o"
+  "CMakeFiles/test_keydist.dir/test_keydist.cpp.o.d"
+  "test_keydist"
+  "test_keydist.pdb"
+  "test_keydist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keydist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milestones.dir/test_milestones.cpp.o"
+  "CMakeFiles/test_milestones.dir/test_milestones.cpp.o.d"
+  "test_milestones"
+  "test_milestones.pdb"
+  "test_milestones[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milestones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

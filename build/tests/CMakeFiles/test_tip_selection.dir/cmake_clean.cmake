@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tip_selection.dir/test_tip_selection.cpp.o"
+  "CMakeFiles/test_tip_selection.dir/test_tip_selection.cpp.o.d"
+  "test_tip_selection"
+  "test_tip_selection.pdb"
+  "test_tip_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tip_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_aes[1]_include.cmake")
+include("/root/repo/build/tests/test_ed25519[1]_include.cmake")
+include("/root/repo/build/tests/test_x25519[1]_include.cmake")
+include("/root/repo/build/tests/test_tangle[1]_include.cmake")
+include("/root/repo/build/tests/test_ledger[1]_include.cmake")
+include("/root/repo/build/tests/test_tip_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_auth[1]_include.cmake")
+include("/root/repo/build/tests/test_keydist[1]_include.cmake")
+include("/root/repo/build/tests/test_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_milestones[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_restore[1]_include.cmake")
+include("/root/repo/build/tests/test_consumer[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cli_args[1]_include.cmake")

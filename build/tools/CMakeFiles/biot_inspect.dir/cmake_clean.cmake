@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_inspect.dir/biot_inspect.cpp.o"
+  "CMakeFiles/biot_inspect.dir/biot_inspect.cpp.o.d"
+  "biot_inspect"
+  "biot_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biot_simulate.dir/biot_simulate.cpp.o"
+  "CMakeFiles/biot_simulate.dir/biot_simulate.cpp.o.d"
+  "biot_simulate"
+  "biot_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biot_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
