@@ -132,8 +132,10 @@ void selection_cost() {
     std::printf("%-10d %14.2f %14.2f\n", n, time_us(uniform, 200),
                 time_us(walk, 20));
   }
-  std::printf("# uniform is O(tips); the walk pays O(n) per selection for the "
-              "weight pass — the price of lazy-tip resistance\n");
+  std::printf("# uniform is O(tips); the walk's weight map is generation-"
+              "cached, so on a quiescent tangle repeated selections cost "
+              "O(walk length) — only the first selection after an attach "
+              "pays the O(n) weight pass (see weight_cache_bench)\n");
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Incremental weight engine vs brute-force sweeps.
+//
+// The consensus loop leans entirely on cumulative weight: tip selection
+// walks the DAG by weight and confirmation is a weight threshold. The seed
+// implementation re-swept the whole DAG on every query (O(n) per call,
+// O(n^2) across a run); the tangle now maintains weights/depths
+// incrementally on add and memoizes the approximate-weight map behind a
+// generation stamp. This bench quantifies the win on the two hot read
+// paths at growing tangle sizes — the acceptance bar is >= 10x at 10k txs.
+#include <chrono>
+#include <cstdio>
+
+#include "consensus/pow.h"
+#include "crypto/identity.h"
+#include "tangle/tip_selection.h"
+
+namespace {
+using namespace biot;
+
+volatile std::size_t benchmark_sink = 0;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Bed {
+  tangle::Tangle tangle{tangle::Tangle::make_genesis()};
+  crypto::Identity identity = crypto::Identity::deterministic(1);
+  consensus::Miner miner;
+  std::uint64_t seq = 0;
+  double build_seconds = 0.0;
+
+  void grow_uniform(int txs, Rng& rng) {
+    tangle::UniformRandomTipSelector uniform;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < txs; ++i) {
+      const auto [p1, p2] = uniform.select(tangle, rng);
+      tangle::Transaction tx;
+      tx.type = tangle::TxType::kData;
+      tx.sender = identity.public_identity().sign_key;
+      tx.parent1 = p1;
+      tx.parent2 = p2;
+      tx.sequence = seq++;
+      tx.timestamp = 0.1 * i;
+      tx.difficulty = 1;
+      tx.nonce = miner.mine(p1, p2, 1)->nonce;
+      tx.signature = identity.sign(tx.signing_bytes());
+      if (!tangle.add(tx, 0.1 * i).is_ok()) std::abort();
+    }
+    build_seconds = seconds_since(start);
+  }
+};
+
+void confirmation_path(const Bed& bed, double* brute_us, double* incr_us) {
+  // Confirmation queries over a spread of transactions (old and new alike),
+  // exactly what Gateway::confirmation_status serves per kConfirmQuery.
+  const auto& order = bed.tangle.arrival_order();
+  const int queries = 200;
+
+  auto run = [&](auto&& weight_fn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int q = 0; q < queries; ++q) {
+      const auto& id = order[(q * 7919) % order.size()];
+      benchmark_sink = benchmark_sink + weight_fn(id);
+    }
+    return seconds_since(start) * 1e6 / queries;
+  };
+
+  *brute_us = run([&](const tangle::TxId& id) {
+    return bed.tangle.cumulative_weight_brute_force(id);
+  });
+  *incr_us =
+      run([&](const tangle::TxId& id) { return bed.tangle.cumulative_weight(id); });
+}
+
+void tip_selection_path(const Bed& bed, double* brute_us, double* cached_us,
+                        double* windowed_us) {
+  const int selections = 50;
+
+  {  // Brute force: a cold selector per call recomputes the weight map.
+    Rng rng(11);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < selections; ++i) {
+      const tangle::WeightedWalkTipSelector cold(0.5);
+      benchmark_sink = benchmark_sink + cold.select(bed.tangle, rng).first[0];
+    }
+    *brute_us = seconds_since(start) * 1e6 / selections;
+  }
+  {  // Cached: one selector, generation cache hits on the quiescent tangle.
+    Rng rng(11);
+    const tangle::WeightedWalkTipSelector warm(0.5);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < selections; ++i)
+      benchmark_sink = benchmark_sink + warm.select(bed.tangle, rng).first[0];
+    *cached_us = seconds_since(start) * 1e6 / selections;
+  }
+  {  // Windowed: cached map + depth-bounded anchored walk (O(64) per walk).
+    Rng rng(11);
+    const tangle::WeightedWalkTipSelector windowed(0.5, 64);
+    benchmark_sink = benchmark_sink +
+                     windowed.select(bed.tangle, rng).first[0];  // warm cache
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < selections; ++i)
+      benchmark_sink =
+          benchmark_sink + windowed.select(bed.tangle, rng).first[0];
+    *windowed_us = seconds_since(start) * 1e6 / selections;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Incremental weight engine vs brute-force DAG sweeps\n");
+  std::printf("%-8s %9s | %12s %12s %9s | %12s %12s %12s %9s\n", "txs",
+              "build_s", "confirm_bf", "confirm_inc", "speedup", "select_bf",
+              "select_cache", "select_win", "speedup");
+  std::printf("#        (us/query unless noted)\n");
+
+  for (const int n : {1000, 5000, 10000}) {
+    Bed bed;
+    Rng rng(42);
+    bed.grow_uniform(n, rng);
+
+    double confirm_bf = 0, confirm_inc = 0, select_bf = 0, select_cached = 0,
+           select_win = 0;
+    confirmation_path(bed, &confirm_bf, &confirm_inc);
+    tip_selection_path(bed, &select_bf, &select_cached, &select_win);
+
+    std::printf(
+        "%-8d %9.2f | %12.3f %12.3f %8.0fx | %12.1f %12.1f %12.1f %8.0fx\n", n,
+        bed.build_seconds, confirm_bf, confirm_inc,
+        confirm_inc > 0 ? confirm_bf / confirm_inc : 0.0, select_bf,
+        select_cached, select_win,
+        select_win > 0 ? select_bf / select_win : 0.0);
+  }
+
+  std::printf(
+      "\n# confirm_inc is an O(1) record lookup (the add path already paid "
+      "the +1 cone propagation); select_cache recomputes the weight map only "
+      "when the tangle's generation stamp moves; select_win additionally "
+      "bounds each walk to a 64-deep anchored window, so walk cost stops "
+      "scaling with tangle size. Acceptance: confirm and windowed-select "
+      "speedups >= 10x at 10000 txs.\n");
+  return 0;
+}

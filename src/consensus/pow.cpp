@@ -1,5 +1,10 @@
 #include "consensus/pow.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace biot::consensus {
 
 std::optional<MineResult> Miner::mine(const tangle::TxId& parent1,
@@ -15,6 +20,67 @@ std::optional<MineResult> Miner::mine(const tangle::TxId& parent1,
       return MineResult{nonce, attempts};
     if (max_attempts_ != 0 && attempts >= max_attempts_) return std::nullopt;
   }
+}
+
+ParallelMiner::ParallelMiner(unsigned threads, std::uint64_t start_nonce,
+                             std::uint64_t max_attempts)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())),
+      start_nonce_(start_nonce),
+      max_attempts_(max_attempts) {}
+
+std::optional<MineResult> ParallelMiner::mine(const tangle::TxId& parent1,
+                                              const tangle::TxId& parent2,
+                                              int difficulty) {
+  const unsigned n = threads_;
+  // Per-thread attempt budget; round up so the combined bound is >= the
+  // requested one (a bounded search must not give up early).
+  const std::uint64_t per_thread_budget =
+      max_attempts_ == 0 ? 0 : (max_attempts_ + n - 1) / n;
+
+  std::atomic<bool> found{false};
+  std::atomic<std::uint64_t> winner{0};
+  std::vector<std::uint64_t> attempts(n, 0);
+
+  auto worker = [&](unsigned t) {
+    std::uint64_t nonce = start_nonce_ + t;
+    std::uint64_t local = 0;
+    while (!found.load(std::memory_order_relaxed)) {
+      if (per_thread_budget != 0 && local >= per_thread_budget) break;
+      ++local;
+      const auto out = tangle::pow_output(parent1, parent2, nonce);
+      if (tangle::leading_zero_bits(out) >= difficulty) {
+        // First thread to find a nonce wins; losers that found one in the
+        // same instant simply discard theirs.
+        bool expected = false;
+        if (found.compare_exchange_strong(expected, true))
+          winner.store(nonce, std::memory_order_relaxed);
+        break;
+      }
+      nonce += n;  // stay inside this thread's interleaved shard
+    }
+    attempts[t] = local;
+  };
+
+  if (n == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  std::uint64_t combined = 0;
+  for (const auto a : attempts) combined += a;
+  total_attempts_ += combined;
+  // Advance the search origin so back-to-back searches over the same parents
+  // do not re-grind identical prefixes.
+  start_nonce_ += static_cast<std::uint64_t>(n) *
+                  (combined / n + (combined % n != 0));
+
+  if (!found.load(std::memory_order_relaxed)) return std::nullopt;
+  return MineResult{winner.load(std::memory_order_relaxed), combined};
 }
 
 }  // namespace biot::consensus

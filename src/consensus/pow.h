@@ -6,6 +6,8 @@
 // bits. The Miner really grinds nonces (used by tests, examples and
 // host-scale benches); the simulator's DeviceProfile models the same search
 // analytically at calibrated device speeds (see sim/device_profile.h).
+// ParallelMiner shards the nonce space across threads (first-found-wins) for
+// server-class gateways serving offloaded-PoW attach requests.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +38,34 @@ class Miner {
 
  private:
   std::uint64_t next_nonce_;
+  std::uint64_t max_attempts_;
+  std::uint64_t total_attempts_ = 0;
+};
+
+/// Multi-threaded nonce search: thread t grinds the interleaved shard
+/// {start + t, start + t + T, ...} and the first thread to meet the target
+/// stops the others. Any returned nonce is valid; WHICH valid nonce wins a
+/// given search may differ across thread counts and runs (see DESIGN.md
+/// "ParallelMiner determinism"). Attempts accounting stays exact: the
+/// result's `attempts` (and `total_attempts`) sum every hash evaluated by
+/// every thread, so energy/work proxies remain comparable with Miner.
+class ParallelMiner {
+ public:
+  /// `threads` = 0 picks the hardware concurrency. `max_attempts` (0 =
+  /// unbounded) bounds the *combined* attempts of one `mine` call; like
+  /// Miner, the search gives up only once the bound is exhausted.
+  explicit ParallelMiner(unsigned threads = 0, std::uint64_t start_nonce = 0,
+                         std::uint64_t max_attempts = 0);
+
+  std::optional<MineResult> mine(const tangle::TxId& parent1,
+                                 const tangle::TxId& parent2, int difficulty);
+
+  unsigned thread_count() const { return threads_; }
+  std::uint64_t total_attempts() const { return total_attempts_; }
+
+ private:
+  unsigned threads_;
+  std::uint64_t start_nonce_;
   std::uint64_t max_attempts_;
   std::uint64_t total_attempts_ = 0;
 };

@@ -38,6 +38,10 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
         std::make_unique<tangle::WeightedWalkTipSelector>(config_.walk_alpha);
   else
     tip_selector_ = std::make_unique<tangle::UniformRandomTipSelector>();
+
+  if (config_.pow_threads != 1)
+    parallel_miner_ = std::make_unique<consensus::ParallelMiner>(
+        config_.pow_threads, (std::uint64_t{id} << 48) | 0xa77ull);
 }
 
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
@@ -271,6 +275,8 @@ ConfirmationInfo Gateway::confirmation_status(const tangle::TxId& id) const {
   info.known = tangle_.contains(id);
   if (!info.known) return info;
   info.milestone_confirmed = milestones_.is_confirmed(id);
+  // O(1): the tangle maintains cumulative weight incrementally, so serving
+  // confirmation queries never re-sweeps the DAG (bench/weight_cache_bench).
   info.cumulative_weight = tangle_.cumulative_weight(id);
   info.weight_confirmed = info.cumulative_weight >= config_.confirmation_weight;
   return info;
@@ -522,7 +528,10 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
       result.status = ErrorCode::kPowInvalid;
       result.message = "declared difficulty below required";
     } else {
-      const auto mined = miner_.mine(t.parent1, t.parent2, t.difficulty);
+      const auto mined =
+          parallel_miner_
+              ? parallel_miner_->mine(t.parent1, t.parent2, t.difficulty)
+              : miner_.mine(t.parent1, t.parent2, t.difficulty);
       t.nonce = mined->nonce;
       const auto status = submit(t);
       result.status = status.code();

@@ -31,10 +31,16 @@ struct GatewayConfig {
   /// Cumulative-weight threshold for confirmation queries.
   std::size_t confirmation_weight = 5;
   /// Tip selection handed to light nodes: uniform random over tips, or the
-  /// IOTA-style alpha-weighted MCMC walk (lazy-tip resistant but O(n) per
-  /// selection — see bench/tip_selection_bench).
+  /// IOTA-style alpha-weighted MCMC walk (lazy-tip resistant; its weight map
+  /// is generation-cached, so a selection costs O(walk) unless the tangle
+  /// changed — see bench/weight_cache_bench).
   enum class TipStrategy { kUniform, kWeightedWalk } tips = TipStrategy::kUniform;
   double walk_alpha = 0.5;  // used when tips == kWeightedWalk
+  /// Worker threads for offloaded-PoW attach requests (sharded nonce ranges,
+  /// first-found-wins). 1 = serial mining with a deterministic nonce; >1
+  /// trades nonce determinism for wall-clock speed (attempt accounting stays
+  /// exact either way); 0 = hardware concurrency.
+  unsigned pow_threads = 1;
   /// Anti-entropy: every `sync_interval` seconds each gateway sends its
   /// transaction-id inventory to one peer (round-robin); the peer answers
   /// with whatever the sender is missing. Heals partitions completely where
@@ -192,6 +198,8 @@ class Gateway {
   std::unique_ptr<consensus::DifficultyPolicy> policy_;
   std::unique_ptr<tangle::TipSelector> tip_selector_;
   consensus::Miner miner_;  // serves offloaded-PoW attach requests
+  // Threaded variant, engaged when config.pow_threads != 1.
+  std::unique_ptr<consensus::ParallelMiner> parallel_miner_;
   Rng rng_;
 
   struct TokenBucket {

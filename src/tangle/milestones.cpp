@@ -8,6 +8,9 @@ std::size_t MilestoneTracker::observe_milestone(const Tangle& tangle,
                                                 const TxId& milestone_id) {
   const auto* rec = tangle.find(milestone_id);
   if (rec == nullptr) return 0;
+  // A replayed milestone (gossip echo, restore replay) confirms nothing new
+  // and must not inflate the milestone count or regress liveness tracking.
+  if (confirmed_.contains(milestone_id)) return 0;
 
   ++milestones_;
   last_milestone_at_ = rec->arrival;

@@ -21,7 +21,8 @@ class MilestoneTracker {
  public:
   /// Marks `milestone_id`'s whole past cone (including itself) confirmed.
   /// The id must already be attached to `tangle`. Returns the number of
-  /// transactions newly confirmed by this milestone.
+  /// transactions newly confirmed by this milestone. Re-observing an
+  /// already-confirmed milestone is a no-op (returns 0, counts nothing).
   std::size_t observe_milestone(const Tangle& tangle, const TxId& milestone_id);
 
   bool is_confirmed(const TxId& id) const { return confirmed_.contains(id); }

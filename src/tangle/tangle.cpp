@@ -1,10 +1,19 @@
 #include "tangle/tangle.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <unordered_set>
 
 namespace biot::tangle {
+
+namespace {
+// Process-wide generation source: every mutation of every tangle gets a
+// unique stamp, so caches keyed on (tangle, generation) can never be fooled
+// by a different tangle reusing the same address and count (see
+// Tangle::generation()).
+std::atomic<std::uint64_t> g_generation{0};
+}  // namespace
 
 Transaction Tangle::make_genesis(TimePoint timestamp) {
   Transaction g;
@@ -21,6 +30,11 @@ Tangle::Tangle(const Transaction& genesis) {
   records_.emplace(genesis_id_, TxRecord{genesis, genesis.timestamp, {}});
   tips_.insert(genesis_id_);
   order_.push_back(genesis_id_);
+  bump_generation();
+}
+
+void Tangle::bump_generation() {
+  generation_ = ++g_generation;
 }
 
 Status Tangle::add(const Transaction& tx, TimePoint arrival) {
@@ -42,14 +56,63 @@ Status Tangle::add(const Transaction& tx, TimePoint arrival) {
   if (tx.difficulty == 0 || !pow_valid(tx))
     return Status::error(ErrorCode::kPowInvalid, "tangle: PoW does not meet difficulty");
 
-  records_.emplace(id, TxRecord{tx, arrival, {}});
+  TxRecord& new_rec =
+      records_.emplace(id, TxRecord{tx, arrival, {}}).first->second;
+  new_rec.parent1_rec = &p1->second;
+  new_rec.parent2_rec = tx.parent2 != tx.parent1 ? &p2->second : nullptr;
   p1->second.approvers.push_back(id);
   if (tx.parent2 != tx.parent1) p2->second.approvers.push_back(id);
+
+  // Incremental cumulative weight: the new transaction indirectly approves
+  // exactly its ancestor cone, so each distinct ancestor gains +1. One BFS
+  // over the cone, deduplicated by visit stamps (what keeps diamonds from
+  // double-counting), following the cached parent pointers — no hashing, no
+  // allocation in steady state.
+  {
+    ++visit_epoch_;
+    cone_scratch_.clear();
+    auto visit = [&](TxRecord* p) {
+      if (p == nullptr || p->visit_mark == visit_epoch_) return;
+      p->visit_mark = visit_epoch_;
+      p->weight += 1;
+      cone_scratch_.push_back(p);
+    };
+    visit(new_rec.parent1_rec);
+    visit(new_rec.parent2_rec);
+    for (std::size_t i = 0; i < cone_scratch_.size(); ++i) {
+      TxRecord* cur = cone_scratch_[i];
+      visit(cur->parent1_rec);
+      visit(cur->parent2_rec);
+    }
+  }
+
+  // Incremental depth: the new tx is a fresh tip (depth 0); ancestors whose
+  // longest tip-path now runs through it relax upward. Propagation stops as
+  // soon as a longer path already dominates, so typical cost is the length
+  // of the newly-extended path, not the cone.
+  {
+    cone_scratch_.clear();
+    auto relax = [&](TxRecord* p, std::size_t candidate) {
+      if (p == nullptr || p->depth >= candidate) return;
+      p->depth = candidate;
+      cone_scratch_.push_back(p);
+    };
+    relax(new_rec.parent1_rec, 1);
+    relax(new_rec.parent2_rec, 1);
+    for (std::size_t i = 0; i < cone_scratch_.size(); ++i) {
+      TxRecord* cur = cone_scratch_[i];
+      // cur->depth may have been raised again since it was queued; relaxing
+      // from the live value keeps the propagation monotone and minimal.
+      relax(cur->parent1_rec, cur->depth + 1);
+      relax(cur->parent2_rec, cur->depth + 1);
+    }
+  }
 
   tips_.erase(tx.parent1);
   tips_.erase(tx.parent2);
   tips_.insert(id);
   order_.push_back(id);
+  bump_generation();
   return Status::ok();
 }
 
@@ -64,6 +127,11 @@ std::size_t Tangle::approver_count(const TxId& id) const {
 }
 
 std::size_t Tangle::cumulative_weight(const TxId& id) const {
+  const auto* rec = find(id);
+  return rec == nullptr ? 0 : rec->weight;
+}
+
+std::size_t Tangle::cumulative_weight_brute_force(const TxId& id) const {
   const auto* rec = find(id);
   if (rec == nullptr) return 0;
 
@@ -86,6 +154,11 @@ bool Tangle::is_confirmed(const TxId& id, std::size_t weight_threshold) const {
 
 std::size_t Tangle::depth(const TxId& id) const {
   const auto* rec = find(id);
+  return rec == nullptr ? 0 : rec->depth;
+}
+
+std::size_t Tangle::depth_brute_force(const TxId& id) const {
+  const auto* rec = find(id);
   if (rec == nullptr) return 0;
   // Longest path over the approver DAG via memoized DFS in arrival order:
   // approvers always arrive later, so a reverse arrival-order sweep is a
@@ -100,9 +173,8 @@ std::size_t Tangle::depth(const TxId& id) const {
   return memo.at(id);
 }
 
-std::unordered_map<TxId, double, FixedBytesHash<32>> approximate_weights(
-    const Tangle& tangle) {
-  std::unordered_map<TxId, double, FixedBytesHash<32>> w;
+WeightMap approximate_weights(const Tangle& tangle) {
+  WeightMap w;
   const auto& order = tangle.arrival_order();
   w.reserve(order.size());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -112,6 +184,15 @@ std::unordered_map<TxId, double, FixedBytesHash<32>> approximate_weights(
     w[*it] = sum;
   }
   return w;
+}
+
+const WeightMap& ApproxWeightCache::get(const Tangle& tangle) {
+  if (tangle_ != &tangle || generation_ != tangle.generation()) {
+    weights_ = approximate_weights(tangle);
+    tangle_ = &tangle;
+    generation_ = tangle.generation();
+  }
+  return weights_;
 }
 
 }  // namespace biot::tangle

@@ -2,6 +2,13 @@
 // former ones. Maintains the approval graph, the tip set, per-transaction
 // weights (number of direct + indirect validations, paper Section II-B) and
 // confirmation state.
+//
+// Weight/depth bookkeeping is *incremental*: every `add` propagates +1
+// cumulative weight through the new transaction's ancestor cone and relaxes
+// the longest-path depth upward, so `cumulative_weight`, `is_confirmed` and
+// `depth` are O(1) lookups instead of O(n) sweeps per call. The brute-force
+// sweeps are kept (suffixed `_brute_force`) as the reference implementation
+// for property tests and for the before/after bench.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,16 @@ struct TxRecord {
   Transaction tx;
   TimePoint arrival = 0.0;             // local time the tangle accepted it
   std::vector<TxId> approvers;         // transactions that directly approve it
+  // Incrementally maintained consensus bookkeeping (see Tangle::add):
+  std::size_t weight = 1;              // 1 + distinct indirect approvers
+  std::size_t depth = 0;               // longest approval path from any tip
+  // Resolved parent records (nullptr for genesis' zero-id sentinel parents).
+  // unordered_map element addresses are stable across insert and move, and
+  // Tangle is move-only, so these never dangle. They let the add-path cone
+  // walk follow pointers instead of re-hashing 32-byte ids.
+  TxRecord* parent1_rec = nullptr;
+  TxRecord* parent2_rec = nullptr;
+  std::uint64_t visit_mark = 0;        // add-path BFS stamp (internal)
 };
 
 class Tangle {
@@ -29,6 +46,13 @@ class Tangle {
   static Transaction make_genesis(TimePoint timestamp = 0.0);
 
   explicit Tangle(const Transaction& genesis);
+
+  // Move-only: TxRecord caches pointers into the record map, which stay
+  // valid across moves (node ownership transfers) but not across copies.
+  Tangle(const Tangle&) = delete;
+  Tangle& operator=(const Tangle&) = delete;
+  Tangle(Tangle&&) = default;
+  Tangle& operator=(Tangle&&) = default;
 
   /// Validates structure (duplicate, parents known, signature, PoW) and
   /// attaches the transaction. Does NOT check credit-difficulty policy or
@@ -48,11 +72,22 @@ class Tangle {
   /// Ids in arrival order (stable iteration for benches/metrics).
   const std::vector<TxId>& arrival_order() const { return order_; }
 
+  /// Mutation stamp for generation-based cache invalidation. Stamps are
+  /// drawn from a process-wide monotone counter, so two *different* tangle
+  /// states never share a generation — even across move-assignment (e.g. a
+  /// gateway swapping in a pruned replica at the same address). Equal
+  /// generation therefore guarantees an identical DAG.
+  std::uint64_t generation() const { return generation_; }
+
   std::size_t approver_count(const TxId& id) const;
 
   /// Exact cumulative weight: 1 + number of distinct transactions that
-  /// directly or indirectly approve `id` (BFS over the approver graph).
+  /// directly or indirectly approve `id`. O(1) — maintained by `add`.
   std::size_t cumulative_weight(const TxId& id) const;
+
+  /// Reference implementation of `cumulative_weight`: full BFS over the
+  /// approver graph. Kept for property tests and benches only.
+  std::size_t cumulative_weight_brute_force(const TxId& id) const;
 
   /// A transaction is confirmed once its cumulative weight reaches the
   /// threshold (the paper's analogue of bitcoin's six-block security).
@@ -60,19 +95,44 @@ class Tangle {
 
   /// Depth of `id`: longest approval path from any tip down to it. Genesis
   /// has the largest depth. Used by lazy-tip detection heuristics.
+  /// O(1) — maintained by `add`.
   std::size_t depth(const TxId& id) const;
 
+  /// Reference implementation of `depth`: full reverse-topological sweep.
+  /// Kept for property tests and benches only.
+  std::size_t depth_brute_force(const TxId& id) const;
+
  private:
+  void bump_generation();
+
   std::unordered_map<TxId, TxRecord, FixedBytesHash<32>> records_;
   std::set<TxId> tips_;
   std::vector<TxId> order_;
   TxId genesis_id_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t visit_epoch_ = 0;       // stamps one add-path BFS
+  std::vector<TxRecord*> cone_scratch_;  // reused BFS frontier (no allocs)
 };
+
+using WeightMap = std::unordered_map<TxId, double, FixedBytesHash<32>>;
 
 /// Approximate weights for every transaction (see Tangle::cumulative_weight
 /// for the exact version): one reverse-topological pass, additive children
 /// rule. Returned map is keyed by TxId.
-std::unordered_map<TxId, double, FixedBytesHash<32>> approximate_weights(
-    const Tangle& tangle);
+WeightMap approximate_weights(const Tangle& tangle);
+
+/// Memoizes `approximate_weights` keyed on the tangle's generation stamp:
+/// `get` recomputes only when the tangle mutated (or a different tangle is
+/// passed) since the last call. See DESIGN.md "Incremental weight engine"
+/// for the invalidation contract.
+class ApproxWeightCache {
+ public:
+  const WeightMap& get(const Tangle& tangle);
+
+ private:
+  const Tangle* tangle_ = nullptr;
+  std::uint64_t generation_ = 0;
+  WeightMap weights_;
+};
 
 }  // namespace biot::tangle

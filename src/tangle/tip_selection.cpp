@@ -1,6 +1,7 @@
 #include "tangle/tip_selection.h"
 
 #include <cmath>
+#include <iterator>
 #include <vector>
 
 namespace biot::tangle {
@@ -13,31 +14,43 @@ TipPair UniformRandomTipSelector::select(const Tangle& tangle, Rng& rng) const {
   pool.reserve(tips.size());
   for (const auto& t : tips) pool.push_back(&t);
 
-  const TxId& a = *pool[rng.index(pool.size())];
-  const TxId& b = *pool[rng.index(pool.size())];
-  return {a, b};
+  const std::size_t i = rng.index(pool.size());
+  if (pool.size() == 1) return {*pool[i], *pool[i]};
+  // Two distinct validations whenever the pool allows it: draw the second
+  // index without replacement by skipping over the first.
+  const std::size_t j = (i + 1 + rng.index(pool.size() - 1)) % pool.size();
+  return {*pool[i], *pool[j]};
 }
 
-TxId WeightedWalkTipSelector::walk(
-    const Tangle& tangle,
-    const std::unordered_map<TxId, double, FixedBytesHash<32>>& weights,
-    Rng& rng) const {
-  TxId current = tangle.genesis_id();
+TxId WeightedWalkTipSelector::walk(const Tangle& tangle, const TxId& start,
+                                   const WeightMap& weights, Rng& rng) const {
+  const auto weight_of = [&weights](const TxId& id) {
+    const auto it = weights.find(id);
+    return it == weights.end() ? 0.0 : it->second;
+  };
+
+  TxId current = start;
   for (;;) {
     const auto* rec = tangle.find(current);
+    if (rec == nullptr) {
+      // Unknown id (foreign/pruned start, or a corrupted approver edge):
+      // degrade to an arbitrary current tip rather than dereferencing null.
+      const auto& tips = tangle.tips();
+      return tips.empty() ? current : *tips.begin();
+    }
     if (rec->approvers.empty()) return current;  // reached a tip
 
     // Transition probabilities proportional to exp(alpha * w); normalize by
     // the max exponent for numerical stability.
     double max_w = 0.0;
     for (const auto& ap : rec->approvers)
-      max_w = std::max(max_w, weights.at(ap));
+      max_w = std::max(max_w, weight_of(ap));
 
     std::vector<double> cumulative;
     cumulative.reserve(rec->approvers.size());
     double total = 0.0;
     for (const auto& ap : rec->approvers) {
-      total += std::exp(alpha_ * (weights.at(ap) - max_w));
+      total += std::exp(alpha_ * (weight_of(ap) - max_w));
       cumulative.push_back(total);
     }
 
@@ -48,9 +61,34 @@ TxId WeightedWalkTipSelector::walk(
   }
 }
 
+TxId WeightedWalkTipSelector::anchor(const Tangle& tangle, Rng& rng) const {
+  const auto& tips = tangle.tips();
+  if (tips.empty()) return tangle.genesis_id();
+
+  auto it = tips.begin();
+  std::advance(it, rng.index(tips.size()));
+  const TxRecord* rec = tangle.find(*it);
+  TxId current = *it;
+  for (std::size_t step = 0;
+       rec != nullptr && rec->parent1_rec != nullptr && step < max_walk_depth_;
+       ++step) {
+    current = rec->tx.parent1;
+    rec = rec->parent1_rec;
+  }
+  return current;
+}
+
 TipPair WeightedWalkTipSelector::select(const Tangle& tangle, Rng& rng) const {
-  const auto weights = approximate_weights(tangle);
-  return {walk(tangle, weights, rng), walk(tangle, weights, rng)};
+  const auto& weights = cache_.get(tangle);
+  if (max_walk_depth_ == 0) {
+    const auto& start = tangle.genesis_id();
+    return {walk(tangle, start, weights, rng),
+            walk(tangle, start, weights, rng)};
+  }
+  // Depth-windowed mode: independent anchors for the two walks so the pair
+  // is not forced through one shared subtangle.
+  return {walk(tangle, anchor(tangle, rng), weights, rng),
+          walk(tangle, anchor(tangle, rng), weights, rng)};
 }
 
 }  // namespace biot::tangle

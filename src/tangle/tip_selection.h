@@ -23,8 +23,10 @@ class TipSelector {
   virtual TipPair select(const Tangle& tangle, Rng& rng) const = 0;
 };
 
-/// Uniform random choice among current tips (two independent draws, so the
-/// pair may repeat a tip — allowed, as in IOTA trunk == branch).
+/// Uniform random choice among current tips. The paper's two-tip approval
+/// model wants two *distinct* validations, so when the pool has at least two
+/// tips the pair is drawn without replacement; with a single tip both slots
+/// return it (as in IOTA trunk == branch).
 class UniformRandomTipSelector final : public TipSelector {
  public:
   TipPair select(const Tangle& tangle, Rng& rng) const override;
@@ -35,16 +37,38 @@ class UniformRandomTipSelector final : public TipSelector {
 /// proportional to exp(alpha * w(a)), where w is the fast approximate
 /// cumulative weight. alpha = 0 degenerates to an unweighted walk; larger
 /// alpha concentrates on the main tangle and abandons lazy side-branches.
+///
+/// The weight map is cached across calls and recomputed only when the
+/// tangle's generation stamp moves, so repeated selections on a quiescent
+/// tangle are O(walk length), not O(n).
+///
+/// `max_walk_depth` bounds the walk length IOTA-style: when nonzero, each
+/// walk starts from an *anchor* found by following parent1 links
+/// `max_walk_depth` steps down from a random tip, instead of from genesis.
+/// That caps a selection at O(max_walk_depth) regardless of tangle size,
+/// while still biasing among the recent subtangle where tip competition
+/// actually happens. 0 (the default) keeps the full genesis walk.
 class WeightedWalkTipSelector final : public TipSelector {
  public:
-  explicit WeightedWalkTipSelector(double alpha) : alpha_(alpha) {}
+  explicit WeightedWalkTipSelector(double alpha, std::size_t max_walk_depth = 0)
+      : alpha_(alpha), max_walk_depth_(max_walk_depth) {}
   TipPair select(const Tangle& tangle, Rng& rng) const override;
 
- private:
-  TxId walk(const Tangle& tangle,
-            const std::unordered_map<TxId, double, FixedBytesHash<32>>& weights,
+  /// One walk from `start` toward the tips. Defensive against bad inputs:
+  /// an id unknown to `tangle` (or a walk stepping onto one) falls back to
+  /// an arbitrary current tip, and a transaction missing from `weights`
+  /// counts as weight 0 instead of throwing.
+  TxId walk(const Tangle& tangle, const TxId& start, const WeightMap& weights,
             Rng& rng) const;
+
+ private:
+  /// Walk start for the depth-windowed mode: a random tip, then parent1
+  /// links down up to `max_walk_depth_` steps (stopping early at genesis).
+  TxId anchor(const Tangle& tangle, Rng& rng) const;
+
   double alpha_;
+  std::size_t max_walk_depth_;
+  mutable ApproxWeightCache cache_;
 };
 
 /// Malicious: always approves the same fixed (old) pair of transactions.

@@ -68,6 +68,66 @@ TEST(Miner, DifferentStartNoncesFindValidSolutions) {
   EXPECT_TRUE(tangle::leading_zero_bits(tangle::pow_output(p, p, rb->nonce)) >= 6);
 }
 
+// ---- ParallelMiner ----------------------------------------------------------
+
+TEST(ParallelMiner, FindsValidNonceAcrossThreadCounts) {
+  TxId p1{}, p2{};
+  p1[0] = 7;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ParallelMiner miner(threads);
+    EXPECT_EQ(miner.thread_count(), threads);
+    const auto result = miner.mine(p1, p2, 10);
+    ASSERT_TRUE(result);
+    EXPECT_GE(
+        tangle::leading_zero_bits(tangle::pow_output(p1, p2, result->nonce)),
+        10);
+    EXPECT_GE(result->attempts, 1u);
+  }
+}
+
+TEST(ParallelMiner, AttemptsAccountingStaysExact) {
+  ParallelMiner miner(4);
+  TxId p{};
+  const auto r1 = miner.mine(p, p, 6);
+  const auto r2 = miner.mine(p, p, 6);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(miner.total_attempts(), r1->attempts + r2->attempts);
+}
+
+TEST(ParallelMiner, RespectsMaxAttempts) {
+  // Difficulty 255 is unattainable; the bounded search must give up after
+  // roughly the combined budget (rounded up to the thread count).
+  ParallelMiner miner(4, 0, 64);
+  TxId p{};
+  const auto result = miner.mine(p, p, 255);
+  EXPECT_FALSE(result);
+  EXPECT_GE(miner.total_attempts(), 64u);
+  EXPECT_LE(miner.total_attempts(), 64u + 4u);
+}
+
+TEST(ParallelMiner, ZeroThreadsPicksHardwareConcurrency) {
+  ParallelMiner miner(0);
+  EXPECT_GE(miner.thread_count(), 1u);
+}
+
+TEST(ParallelMiner, MatchesSerialMinerWorkDistribution) {
+  // Parallel search at difficulty D should need attempts of the same order
+  // as the serial miner (mean 2^D); verify the proxy stays comparable.
+  TxId p1{}, p2{};
+  p1[0] = 3;
+  Miner serial;
+  ParallelMiner parallel(4);
+  std::uint64_t serial_attempts = 0, parallel_attempts = 0;
+  for (int i = 0; i < 8; ++i) {
+    p2[1] = static_cast<std::uint8_t>(i);
+    serial_attempts += serial.mine(p1, p2, 8)->attempts;
+    parallel_attempts += parallel.mine(p1, p2, 8)->attempts;
+  }
+  // Very loose factor-8 band: both are geometric with mean 2^8 per search.
+  EXPECT_GT(parallel_attempts, serial_attempts / 8);
+  EXPECT_LT(parallel_attempts, serial_attempts * 8);
+}
+
 // ---- Credit model --------------------------------------------------------------
 
 WeightOracle unit_weights() {

@@ -1,0 +1,279 @@
+// Incremental weight engine: property tests proving the incrementally
+// maintained cumulative weights and depths agree with the brute-force
+// reference sweeps on randomized DAGs, generation-cache invalidation, and
+// regression tests for the tip-selection correctness fixes (duplicate tip
+// draw, null/missing-weight walk).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "tangle/milestones.h"
+#include "tangle/tip_selection.h"
+#include "test_util.h"
+
+namespace biot::tangle {
+namespace {
+
+using testutil::TxFactory;
+
+// ---- Incremental vs brute force ---------------------------------------------
+
+TEST(WeightEngineProperty, IncrementalMatchesBruteForceOnRandomTangles) {
+  // 500+ randomized tangles, each grown by a mix of arbitrary-DAG parent
+  // picks (diamonds included) and uniform tip selection at difficulty 1;
+  // every transaction's incremental weight and depth must equal the
+  // reference sweep exactly.
+  for (std::uint64_t seed = 1; seed <= 510; ++seed) {
+    Tangle tangle(Tangle::make_genesis());
+    TxFactory node(seed);
+    Rng rng(seed * 0x9e3779b9ull + 1);
+    UniformRandomTipSelector tips;
+    const int txs = 5 + static_cast<int>(seed % 28);
+    for (int i = 0; i < txs; ++i) {
+      TxId p1, p2;
+      if (rng.bernoulli(0.5)) {
+        const auto& order = tangle.arrival_order();
+        p1 = order[rng.index(order.size())];
+        p2 = order[rng.index(order.size())];
+      } else {
+        std::tie(p1, p2) = tips.select(tangle, rng);
+      }
+      const auto tx = node.make(p1, p2, 1, {}, 0.1 * i);
+      ASSERT_TRUE(tangle.add(tx, 0.1 * i).is_ok());
+    }
+    for (const auto& id : tangle.arrival_order()) {
+      ASSERT_EQ(tangle.cumulative_weight(id),
+                tangle.cumulative_weight_brute_force(id))
+          << "weight mismatch, seed " << seed;
+      ASSERT_EQ(tangle.depth(id), tangle.depth_brute_force(id))
+          << "depth mismatch, seed " << seed;
+    }
+  }
+}
+
+TEST(WeightEngineProperty, AgreementHoldsAfterEveryAdd) {
+  // Stronger (but smaller) sweep: check agreement after each individual add,
+  // not just at the end — catches ordering bugs in the propagation.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Tangle tangle(Tangle::make_genesis());
+    TxFactory node(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 25; ++i) {
+      const auto& order = tangle.arrival_order();
+      const auto& p1 = order[rng.index(order.size())];
+      const auto& p2 = order[rng.index(order.size())];
+      const auto tx = node.make(p1, p2, 1, {}, 0.1 * i);
+      ASSERT_TRUE(tangle.add(tx, 0.1 * i).is_ok());
+      for (const auto& id : tangle.arrival_order()) {
+        ASSERT_EQ(tangle.cumulative_weight(id),
+                  tangle.cumulative_weight_brute_force(id));
+        ASSERT_EQ(tangle.depth(id), tangle.depth_brute_force(id));
+      }
+    }
+  }
+}
+
+TEST(WeightEngine, UnknownIdIsZeroForBothImplementations) {
+  Tangle tangle(Tangle::make_genesis());
+  TxId bogus{};
+  bogus[5] = 0xaa;
+  EXPECT_EQ(tangle.cumulative_weight(bogus), 0u);
+  EXPECT_EQ(tangle.cumulative_weight_brute_force(bogus), 0u);
+  EXPECT_EQ(tangle.depth(bogus), 0u);
+  EXPECT_EQ(tangle.depth_brute_force(bogus), 0u);
+}
+
+// ---- Generation stamps / weight cache ---------------------------------------
+
+TEST(WeightEngine, GenerationMovesOnlyOnSuccessfulAdd) {
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  const auto g0 = tangle.generation();
+
+  auto tx = node.make(tangle.genesis_id(), tangle.genesis_id(), 1);
+  ASSERT_TRUE(tangle.add(tx, 0.0).is_ok());
+  const auto g1 = tangle.generation();
+  EXPECT_NE(g1, g0);
+
+  // Rejected adds (duplicate) leave the generation untouched.
+  EXPECT_FALSE(tangle.add(tx, 0.0).is_ok());
+  EXPECT_EQ(tangle.generation(), g1);
+}
+
+TEST(WeightEngine, DistinctTanglesNeverShareAGeneration) {
+  // The stamp is process-wide: two tangles built the same way still get
+  // distinct generations, so a cache can never confuse them.
+  Tangle a(Tangle::make_genesis());
+  Tangle b(Tangle::make_genesis());
+  EXPECT_NE(a.generation(), b.generation());
+}
+
+TEST(WeightEngine, ApproxWeightCacheRecomputesOnlyWhenStale) {
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  auto tx = node.make(tangle.genesis_id(), tangle.genesis_id(), 1);
+  ASSERT_TRUE(tangle.add(tx, 0.0).is_ok());
+
+  ApproxWeightCache cache;
+  const auto& w1 = cache.get(tangle);
+  EXPECT_EQ(w1.size(), 2u);
+  // Quiescent tangle: same map object, unchanged contents.
+  EXPECT_EQ(&cache.get(tangle), &w1);
+  EXPECT_EQ(cache.get(tangle).size(), 2u);
+
+  auto tx2 = node.make(tx.id(), tx.id(), 1);
+  ASSERT_TRUE(tangle.add(tx2, 0.1).is_ok());
+  const auto& w2 = cache.get(tangle);
+  EXPECT_EQ(w2.size(), 3u);
+  EXPECT_DOUBLE_EQ(w2.at(tangle.genesis_id()), 3.0);
+}
+
+TEST(WeightEngine, CachedWalkMatchesUncachedDistribution) {
+  // The cached selector must agree with a fresh per-call computation: same
+  // seed, same tangle, same picks.
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(3);
+  Rng grow(3);
+  UniformRandomTipSelector uniform;
+  for (int i = 0; i < 40; ++i) {
+    const auto [p1, p2] = uniform.select(tangle, grow);
+    const auto tx = node.make(p1, p2, 1, {}, 0.1 * i);
+    ASSERT_TRUE(tangle.add(tx, 0.1 * i).is_ok());
+  }
+  WeightedWalkTipSelector cached(0.5);
+  Rng r1(9), r2(9);
+  for (int i = 0; i < 20; ++i) {
+    WeightedWalkTipSelector fresh(0.5);  // cold cache: recomputes per call
+    const auto a = cached.select(tangle, r1);
+    const auto b = fresh.select(tangle, r2);
+    EXPECT_EQ(a, b);
+  }
+}
+
+// ---- Regression: duplicate-tip fix ------------------------------------------
+
+TEST(TipSelectionRegression, UniformNeverRepeatsWhenTwoTipsExist) {
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  const auto g = tangle.genesis_id();
+  for (int i = 0; i < 5; ++i) {
+    const auto tx = node.make(g, g, 1);
+    ASSERT_TRUE(tangle.add(tx, 0.0).is_ok());
+  }
+  ASSERT_GE(tangle.tips().size(), 2u);
+
+  UniformRandomTipSelector selector;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto [t1, t2] = selector.select(tangle, rng);
+    EXPECT_NE(t1, t2) << "duplicate tip drawn with a multi-tip pool";
+    EXPECT_TRUE(tangle.is_tip(t1));
+    EXPECT_TRUE(tangle.is_tip(t2));
+  }
+}
+
+TEST(TipSelectionRegression, UniformStillCoversEveryTipPair) {
+  // Without-replacement sampling must stay uniform over ordered pairs.
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(2);
+  const auto g = tangle.genesis_id();
+  std::set<TxId> tip_set;
+  for (int i = 0; i < 4; ++i) {
+    const auto tx = node.make(g, g, 1);
+    ASSERT_TRUE(tangle.add(tx, 0.0).is_ok());
+    tip_set.insert(tx.id());
+  }
+  UniformRandomTipSelector selector;
+  Rng rng(5);
+  std::set<std::pair<TxId, TxId>> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(selector.select(tangle, rng));
+  // 4 tips -> 12 ordered distinct pairs, all reachable.
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+// ---- Regression: null-walk / missing-weight fix -----------------------------
+
+TEST(TipSelectionRegression, WalkFromUnknownIdFallsBackToATip) {
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  const auto g = tangle.genesis_id();
+  const auto tx = node.make(g, g, 1);
+  ASSERT_TRUE(tangle.add(tx, 0.0).is_ok());
+
+  WeightedWalkTipSelector selector(0.5);
+  Rng rng(1);
+  TxId foreign{};
+  foreign[0] = 0xde;
+  foreign[1] = 0xad;
+  const auto weights = approximate_weights(tangle);
+  const auto landed = selector.walk(tangle, foreign, weights, rng);
+  EXPECT_TRUE(tangle.is_tip(landed));
+}
+
+TEST(TipSelectionRegression, WalkToleratesMissingWeightEntries) {
+  // A stale/partial weight map (e.g. computed before the latest attach) must
+  // not throw out of std::unordered_map::at; missing entries count as 0.
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  const auto g = tangle.genesis_id();
+  const auto stale_weights = approximate_weights(tangle);  // genesis only
+  auto prev = g;
+  for (int i = 0; i < 6; ++i) {
+    const auto tx = node.make(prev, prev, 1, {}, 0.1 * i);
+    ASSERT_TRUE(tangle.add(tx, 0.1 * i).is_ok());
+    prev = tx.id();
+  }
+
+  WeightedWalkTipSelector selector(2.0);
+  Rng rng(2);
+  const auto landed = selector.walk(tangle, g, stale_weights, rng);
+  EXPECT_TRUE(tangle.is_tip(landed));
+}
+
+TEST(TipSelectionRegression, WindowedWalkSelectsValidTips) {
+  // The depth-windowed mode anchors each walk a bounded number of parent
+  // steps behind a random tip; it must still land on real tips, for windows
+  // both smaller and larger than the tangle's depth.
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  UniformRandomTipSelector uniform;
+  Rng grow_rng(31);
+  for (int i = 0; i < 60; ++i) {
+    const auto [p1, p2] = uniform.select(tangle, grow_rng);
+    const auto tx = node.make(p1, p2, 1, {}, 0.1 * i);
+    ASSERT_TRUE(tangle.add(tx, 0.1 * i).is_ok());
+  }
+
+  for (const std::size_t window : {std::size_t{1}, std::size_t{8},
+                                   std::size_t{10000}}) {
+    WeightedWalkTipSelector windowed(0.5, window);
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+      const auto [t1, t2] = windowed.select(tangle, rng);
+      EXPECT_TRUE(tangle.is_tip(t1)) << "window=" << window;
+      EXPECT_TRUE(tangle.is_tip(t2)) << "window=" << window;
+    }
+  }
+}
+
+// ---- Regression: milestone replay -------------------------------------------
+
+TEST(MilestoneRegression, ReplayedMilestoneCountsNothing) {
+  Tangle tangle(Tangle::make_genesis());
+  TxFactory node(1);
+  const auto g = tangle.genesis_id();
+  const auto a = node.make(g, g, 1);
+  ASSERT_TRUE(tangle.add(a, 0.0).is_ok());
+
+  MilestoneTracker tracker;
+  EXPECT_EQ(tracker.observe_milestone(tangle, a.id()), 2u);
+  EXPECT_EQ(tracker.milestone_count(), 1u);
+  // Gossip echo / restore replay of the same milestone: no-op.
+  EXPECT_EQ(tracker.observe_milestone(tangle, a.id()), 0u);
+  EXPECT_EQ(tracker.milestone_count(), 1u);
+  EXPECT_EQ(tracker.confirmed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace biot::tangle
