@@ -1,0 +1,186 @@
+#include "node/admission.h"
+
+#include "common/log.h"
+
+namespace biot::node {
+
+namespace {
+Logger logger("admission");
+}
+
+std::string_view ingress_name(Ingress ingress) noexcept {
+  switch (ingress) {
+    case Ingress::kService: return "service";
+    case Ingress::kGossip: return "gossip";
+    case Ingress::kSync: return "sync";
+    case Ingress::kOrphanRetry: return "orphan-retry";
+    case Ingress::kReplay: return "replay";
+  }
+  return "unknown";
+}
+
+// ---- Observers -------------------------------------------------------------
+
+void LedgerObserver::on_attach(AttachEvent& event) {
+  if (ingress_traits(event.ingress).strict_conflict) {
+    (void)ledger_.apply(event.tx);  // cannot fail: conflict-check stage passed
+    event.ledger_outcome = tangle::Ledger::ApplyOutcome::kApplied;
+    return;
+  }
+  // Replicas may legitimately see conflicting transactions in different
+  // orders (the attacker hit two gateways before gossip met); the ledger
+  // resolves the slot with a replica-consistent rule after attachment.
+  event.ledger_outcome = ledger_.apply_resolving(event.tx);
+  event.conflicted =
+      event.ledger_outcome ==
+          tangle::Ledger::ApplyOutcome::kConflictKeptExisting ||
+      event.ledger_outcome == tangle::Ledger::ApplyOutcome::kConflictDisplaced;
+}
+
+void QualityObserver::on_attach(AttachEvent& event) {
+  if (!inspector_ || event.tx.type != tangle::TxType::kData) return;
+  const auto score = inspector_(event.tx);
+  if (score.has_value() && *score <= 0.0) event.poor_quality = true;
+}
+
+void CreditObserver::on_attach(AttachEvent& event) {
+  const auto& sender = event.tx.sender;
+  if (event.conflicted)
+    credit_.record_malicious(sender, consensus::Behaviour::kDoubleSpend,
+                             event.arrival);
+  if (event.poor_quality)
+    credit_.record_malicious(sender, consensus::Behaviour::kPoorQuality,
+                             event.arrival);
+  if (event.lazy)
+    credit_.record_malicious(sender, consensus::Behaviour::kLazyTips,
+                             event.arrival);
+  else if (!event.conflicted)
+    credit_.record_valid_tx(sender, event.id, event.arrival);
+}
+
+void CreditObserver::on_reject(const RejectEvent& event) {
+  // A double-spend caught at the service edge is punished (alpha_d) even
+  // though the transaction never attached.
+  if (event.stage == AdmissionStage::kConflictCheck &&
+      event.code == ErrorCode::kConflict)
+    credit_.record_malicious(event.tx.sender,
+                             consensus::Behaviour::kDoubleSpend,
+                             event.arrival);
+}
+
+void MilestoneObserver::on_attach(AttachEvent& event) {
+  if (event.tx.type != tangle::TxType::kMilestone) return;
+  if (!coordinator_.has_value() || event.tx.sender != *coordinator_) return;
+  milestones_.observe_milestone(tangle_, event.id);
+}
+
+void AuthObserver::on_attach(AttachEvent& event) {
+  if (event.tx.type != tangle::TxType::kAuthorization) return;
+  if (auto s = auth_.apply(event.tx); !s) {
+    // Another factory's manager publishing its own list arrives via
+    // gossip and is expected to be ignored here — only log real failures.
+    if (s.code() == ErrorCode::kUnauthorized)
+      logger.info() << "ignoring foreign authorization list";
+    else
+      logger.warn() << "authorization tx attached but not applied: "
+                    << s.to_string();
+  }
+}
+
+void StatsObserver::on_attach(AttachEvent& event) {
+  ++stats_.accepted;
+  if (event.lazy) ++stats_.lazy_detected;
+  if (event.poor_quality) ++stats_.poor_quality_detected;
+  if (event.conflicted) ++stats_.rejected_conflict;
+}
+
+void StatsObserver::on_reject(const RejectEvent& event) {
+  switch (event.stage) {
+    case AdmissionStage::kAuthorize:
+      ++stats_.rejected_unauthorized;
+      break;
+    case AdmissionStage::kDifficulty:
+      ++stats_.rejected_difficulty;
+      break;
+    case AdmissionStage::kConflictCheck:
+      if (event.code == ErrorCode::kConflict)
+        ++stats_.rejected_conflict;
+      else
+        ++stats_.rejected_other;
+      break;
+    case AdmissionStage::kAttach:
+      if (event.code == ErrorCode::kPowInvalid)
+        ++stats_.rejected_pow;
+      else
+        ++stats_.rejected_other;
+      break;
+  }
+}
+
+// ---- Pipeline --------------------------------------------------------------
+
+Status AdmissionPipeline::reject(const tangle::Transaction& tx,
+                                 TimePoint arrival, Ingress ingress,
+                                 AdmissionStage stage, Status status) {
+  const RejectEvent event{tx, arrival, ingress, stage, status.code()};
+  for (const auto& observer : observers_) observer->on_reject(event);
+  return status;
+}
+
+Status AdmissionPipeline::admit(const tangle::Transaction& tx,
+                                TimePoint arrival, Ingress ingress) {
+  const auto traits = ingress_traits(ingress);
+  const auto& sender = tx.sender;
+  const bool is_coordinator =
+      coordinator_.has_value() && sender == *coordinator_;
+
+  // Stage 1: authorize. Milestones are only ever acceptable from the
+  // registered Coordinator — a forged checkpoint would confirm arbitrary
+  // history, so this holds for gossip too. The authorization list guards
+  // the *service* edge only: gossip relays the public tangle, which may
+  // carry transactions admitted by other factories' gateways under their
+  // own lists (Section IV-A).
+  if (traits.gate_milestone_issuer &&
+      tx.type == tangle::TxType::kMilestone && !is_coordinator)
+    return reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
+                  Status::error(ErrorCode::kUnauthorized,
+                                "milestone not issued by the coordinator"));
+  if (traits.authorize && !auth_.is_manager(sender) && !is_coordinator &&
+      !auth_.is_authorized(sender))
+    return reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
+                  Status::error(ErrorCode::kUnauthorized,
+                                "sender not in authorization list"));
+
+  // Stage 2: difficulty policy.
+  if (traits.enforce_difficulty &&
+      tx.difficulty < required_difficulty_(sender))
+    return reject(tx, arrival, ingress, AdmissionStage::kDifficulty,
+                  Status::error(ErrorCode::kPowInvalid,
+                                "declared difficulty below required"));
+
+  // Stage 3: strict conflict check. At the service edge a double-spend is
+  // rejected outright (and the credit observer punishes it).
+  if (traits.strict_conflict) {
+    if (auto s = ledger_.check(tx); !s)
+      return reject(tx, arrival, ingress, AdmissionStage::kConflictCheck,
+                    std::move(s));
+  }
+
+  // Stage 4: lazy-tip detection, BEFORE attaching (the parents' tip and
+  // approval state changes once the transaction attaches). Lazy
+  // transactions are structurally valid — they attach, but the credit
+  // observer prices the behaviour (alpha_l).
+  AttachEvent event{tx, tx.id(), arrival, ingress};
+  event.lazy = consensus::is_lazy_approval(tangle_, tx, arrival, lazy_policy_);
+
+  // Stage 5: attach (structural validation lives in Tangle::add).
+  if (auto s = tangle_.add(tx, arrival); !s)
+    return reject(tx, arrival, ingress, AdmissionStage::kAttach,
+                  std::move(s));
+
+  // Stage 6: derived state, via the ordered observer list.
+  for (const auto& observer : observers_) observer->on_attach(event);
+  return Status::ok();
+}
+
+}  // namespace biot::node

@@ -1,0 +1,283 @@
+// Staged transaction admission — the single entry point through which EVERY
+// transaction reaches a gateway's tangle replica.
+//
+// The paper's gateway (Section IV-A) is one admission point enforcing
+// authorization, credit-difficulty, conflict and lazy-tip rules. Our node
+// layer reaches that logic from five directions: live device service,
+// peer gossip, anti-entropy sync backfill, orphan-buffer retries and
+// cold-start replay of a persisted chain. Each direction is an `Ingress`
+// class declaring which pipeline stages apply to it; the stages themselves
+// are shared, so the paths cannot drift apart — in particular, cold-start
+// replay is literally "run the pipeline over the restored arrival order",
+// which is what makes the paper's "credit is re-derivable from chain
+// records" property hold by construction (see tests/test_admission.cpp,
+// ReplayEqualsLive).
+//
+// Stages (in order): authorize → difficulty-policy → conflict-check →
+// lazy-detect → attach → derived-state. The derived-state stage does not
+// mutate subsystems inline; it emits one typed AttachEvent to an ordered
+// observer list (ledger, quality, credit, milestones, authorization,
+// stats). Rejections emit a RejectEvent naming the failing stage. New
+// derived state (metrics, tracing, detectors) plugs in as another observer
+// without touching admission logic. Ordering/annotation contract:
+// DESIGN.md section 9.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "auth/authorization.h"
+#include "consensus/credit.h"
+#include "consensus/detectors.h"
+#include "tangle/ledger.h"
+#include "tangle/milestones.h"
+#include "tangle/tangle.h"
+
+namespace biot::node {
+
+/// Where a transaction entered the gateway.
+enum class Ingress : std::uint8_t {
+  kService = 0,      // live device submission (submit / offloaded attach)
+  kGossip = 1,       // peer gateway broadcast
+  kSync = 2,         // anti-entropy backfill from a peer
+  kOrphanRetry = 3,  // re-admission of a buffered out-of-order transaction
+  kReplay = 4,       // cold-start replay of a persisted chain
+};
+
+std::string_view ingress_name(Ingress ingress) noexcept;
+
+/// Which stages apply to an ingress class. Gossip/sync/orphan transactions
+/// were already authorized and policy-checked by the accepting gateway
+/// (re-checking would race with credit drift between replicas — Section
+/// IV-A: the tangle itself is public); replay additionally trusts the
+/// persisted chain outright, since everything on it passed a live pipeline
+/// before being persisted.
+struct IngressTraits {
+  bool authorize = false;          // service-edge authorization-list gate
+  bool enforce_difficulty = false; // credit/fixed difficulty floor
+  bool strict_conflict = false;    // pre-check ledger; reject + punish
+  bool gate_milestone_issuer = false;  // reject milestones not from the
+                                       // coordinator (holds for gossip too —
+                                       // a forged checkpoint would confirm
+                                       // arbitrary history)
+};
+
+constexpr IngressTraits ingress_traits(Ingress ingress) {
+  switch (ingress) {
+    case Ingress::kService:
+      return {.authorize = true, .enforce_difficulty = true,
+              .strict_conflict = true, .gate_milestone_issuer = true};
+    case Ingress::kGossip:
+    case Ingress::kSync:
+    case Ingress::kOrphanRetry:
+      return {.gate_milestone_issuer = true};
+    case Ingress::kReplay:
+      // The milestone observer still verifies the issuer before confirming,
+      // so a tampered chain file cannot smuggle confirmations in.
+      return {};
+  }
+  return {};
+}
+
+/// The pipeline stage that rejected a transaction.
+enum class AdmissionStage : std::uint8_t {
+  kAuthorize = 0,
+  kDifficulty = 1,
+  kConflictCheck = 2,
+  kAttach = 3,
+};
+
+/// Emitted once per successful attach, after the transaction is in the
+/// tangle. Observers run in registration order; the annotation fields are
+/// written by earlier observers for later ones (ledger outcome before
+/// credit, quality before credit) — see DESIGN.md section 9.
+struct AttachEvent {
+  const tangle::Transaction& tx;
+  tangle::TxId id;
+  TimePoint arrival = 0.0;
+  Ingress ingress = Ingress::kService;
+  bool lazy = false;  // set by the pipeline's lazy-detect stage
+
+  // Annotations:
+  tangle::Ledger::ApplyOutcome ledger_outcome =
+      tangle::Ledger::ApplyOutcome::kApplied;  // LedgerObserver
+  bool conflicted = false;                     // LedgerObserver
+  bool poor_quality = false;                   // QualityObserver
+};
+
+/// Emitted when a stage rejects the transaction (it never attached).
+struct RejectEvent {
+  const tangle::Transaction& tx;
+  TimePoint arrival = 0.0;
+  Ingress ingress = Ingress::kService;
+  AdmissionStage stage = AdmissionStage::kAuthorize;
+  ErrorCode code = ErrorCode::kRejected;
+};
+
+class AttachObserver {
+ public:
+  virtual ~AttachObserver() = default;
+  virtual void on_attach(AttachEvent& event) { (void)event; }
+  virtual void on_reject(const RejectEvent& event) { (void)event; }
+};
+
+/// Sensor-data quality inspector (future-work extension, Section VIII).
+/// Returns a quality score in [0, 1] for a transaction's payload, or
+/// nullopt when the payload cannot be judged (e.g. encrypted).
+using QualityInspector =
+    std::function<std::optional<double>(const tangle::Transaction&)>;
+
+/// Gateway operation counters. Mutated only by StatsObserver and the
+/// gateway's transport edge (rate limiter, gossip/sync/orphan plumbing).
+struct GatewayStats {
+  std::uint64_t tips_served = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_unauthorized = 0;
+  std::uint64_t rejected_difficulty = 0;
+  std::uint64_t rejected_pow = 0;
+  std::uint64_t rejected_conflict = 0;   // double-spends caught
+  std::uint64_t rejected_other = 0;
+  std::uint64_t lazy_detected = 0;
+  std::uint64_t poor_quality_detected = 0;
+  std::uint64_t gossip_received = 0;
+  std::uint64_t syncs_sent = 0;
+  std::uint64_t sync_txs_served = 0;    // txs shipped to lagging peers
+  std::uint64_t sync_txs_applied = 0;   // txs backfilled from peers
+  std::uint64_t sync_fallbacks = 0;     // sketch undecodable -> full inventory
+  std::uint64_t rate_limited = 0;       // service requests shed at the edge
+  std::uint64_t rate_buckets_evicted = 0;  // idle token buckets reclaimed
+  std::uint64_t orphans_buffered = 0;   // out-of-order gossip held back
+  std::uint64_t orphans_adopted = 0;    // later attached successfully
+  std::uint64_t orphans_dropped = 0;    // shed because the buffer was full
+};
+
+// ---- Built-in derived-state observers (registration order matters) --------
+
+/// Applies the transaction to the account ledger and annotates the event
+/// with the outcome. Service-edge transactions passed the strict
+/// conflict-check stage, so plain apply cannot fail; every other ingress
+/// uses the replica-consistent resolving rule (Ledger::apply_resolving).
+class LedgerObserver : public AttachObserver {
+ public:
+  explicit LedgerObserver(tangle::Ledger& ledger) : ledger_(ledger) {}
+  void on_attach(AttachEvent& event) override;
+
+ private:
+  tangle::Ledger& ledger_;
+};
+
+/// Scores data payloads through the installed inspector; a zero score marks
+/// the event poor-quality (the transaction still attaches — bad data is not
+/// a protocol violation; the credit observer prices it).
+class QualityObserver : public AttachObserver {
+ public:
+  explicit QualityObserver(const QualityInspector& inspector)
+      : inspector_(inspector) {}
+  void on_attach(AttachEvent& event) override;
+
+ private:
+  const QualityInspector& inspector_;  // gateway-owned; may be re-installed
+};
+
+/// Feeds the credit model (Eqns 3-5): valid activity, lazy tips, conflicts
+/// and poor quality — including strict-stage conflict rejections, which are
+/// punished even though nothing attached.
+class CreditObserver : public AttachObserver {
+ public:
+  explicit CreditObserver(consensus::CreditRegistry& credit)
+      : credit_(credit) {}
+  void on_attach(AttachEvent& event) override;
+  void on_reject(const RejectEvent& event) override;
+
+ private:
+  consensus::CreditRegistry& credit_;
+};
+
+/// Confirms the past cone of coordinator-signed milestones. Verifies the
+/// issuer itself so replay (which skips the authorize stage) cannot honour
+/// a forged checkpoint.
+class MilestoneObserver : public AttachObserver {
+ public:
+  MilestoneObserver(tangle::MilestoneTracker& milestones,
+                    const tangle::Tangle& tangle,
+                    const std::optional<crypto::Ed25519PublicKey>& coordinator)
+      : milestones_(milestones), tangle_(tangle), coordinator_(coordinator) {}
+  void on_attach(AttachEvent& event) override;
+
+ private:
+  tangle::MilestoneTracker& milestones_;
+  const tangle::Tangle& tangle_;
+  const std::optional<crypto::Ed25519PublicKey>& coordinator_;
+};
+
+/// Applies on-chain authorization-list updates (Eqn 1).
+class AuthObserver : public AttachObserver {
+ public:
+  explicit AuthObserver(auth::AuthRegistry& auth) : auth_(auth) {}
+  void on_attach(AttachEvent& event) override;
+
+ private:
+  auth::AuthRegistry& auth_;
+};
+
+/// Translates events into GatewayStats counters. Registered last so it sees
+/// every annotation.
+class StatsObserver : public AttachObserver {
+ public:
+  explicit StatsObserver(GatewayStats& stats) : stats_(stats) {}
+  void on_attach(AttachEvent& event) override;
+  void on_reject(const RejectEvent& event) override;
+
+ private:
+  GatewayStats& stats_;
+};
+
+// ---- The pipeline ----------------------------------------------------------
+
+class AdmissionPipeline {
+ public:
+  /// Difficulty the active policy currently requires of a sender (the
+  /// gateway binds its policy + weight oracle + clock here).
+  using DifficultyFn = std::function<int(const tangle::AccountKey&)>;
+
+  AdmissionPipeline(tangle::Tangle& tangle, const auth::AuthRegistry& auth,
+                    const tangle::Ledger& ledger,
+                    const std::optional<crypto::Ed25519PublicKey>& coordinator,
+                    consensus::LazyTipPolicy lazy_policy,
+                    DifficultyFn required_difficulty)
+      : tangle_(tangle),
+        auth_(auth),
+        ledger_(ledger),
+        coordinator_(coordinator),
+        lazy_policy_(lazy_policy),
+        required_difficulty_(std::move(required_difficulty)) {}
+
+  /// Observers run in registration order on every event.
+  void add_observer(std::unique_ptr<AttachObserver> observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Runs the staged admission of one transaction. `arrival` is the
+  /// gateway's current time for live ingresses and the recorded arrival
+  /// for replay — it is the timestamp every stage and observer sees, which
+  /// is exactly why replay reproduces live derived state.
+  Status admit(const tangle::Transaction& tx, TimePoint arrival,
+               Ingress ingress);
+
+ private:
+  Status reject(const tangle::Transaction& tx, TimePoint arrival,
+                Ingress ingress, AdmissionStage stage, Status status);
+
+  tangle::Tangle& tangle_;
+  const auth::AuthRegistry& auth_;
+  const tangle::Ledger& ledger_;  // strict pre-check only; writes go through
+                                  // LedgerObserver
+  const std::optional<crypto::Ed25519PublicKey>& coordinator_;
+  consensus::LazyTipPolicy lazy_policy_;
+  DifficultyFn required_difficulty_;
+  std::vector<std::unique_ptr<AttachObserver>> observers_;
+};
+
+}  // namespace biot::node

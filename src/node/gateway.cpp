@@ -12,7 +12,12 @@ namespace biot::node {
 
 namespace {
 Logger logger("gateway");
-}
+
+// Anti-entropy summary wire format version (see tangle/reconcile.h). v2 is
+// the constant-size digest + sketch summary; the full-inventory exchange
+// survives as the kSyncInventory fallback for oversized differences.
+constexpr std::uint8_t kSyncSummaryV2 = 2;
+}  // namespace
 
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
                  const crypto::Ed25519PublicKey& manager_key,
@@ -21,12 +26,13 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
     : id_(id),
       identity_(identity),
       network_(network),
-      config_(config),
+      config_(std::move(config)),
       tangle_(genesis),
       auth_(manager_key),
-      credit_(config.credit),
+      credit_(config_.credit),
       miner_((std::uint64_t{id} << 48) | 0xa77ull),
-      rng_(0x6a77ull ^ id) {
+      rng_(0x6a77ull ^ id),
+      quality_inspector_(config_.quality_inspector) {
   if (config_.policy == GatewayConfig::Policy::kCredit)
     policy_ = std::make_unique<consensus::CreditDifficultyPolicy>(credit_);
   else
@@ -42,6 +48,27 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
   if (config_.pow_threads != 1)
     parallel_miner_ = std::make_unique<consensus::ParallelMiner>(
         config_.pow_threads, (std::uint64_t{id} << 48) | 0xa77ull);
+
+  build_pipeline();
+}
+
+void Gateway::build_pipeline() {
+  pipeline_ = std::make_unique<AdmissionPipeline>(
+      tangle_, auth_, ledger_, coordinator_key_, config_.lazy,
+      [this](const tangle::AccountKey& sender) {
+        return required_difficulty(sender);
+      });
+  // Registration order is the annotation contract (DESIGN.md section 9):
+  // ledger resolves the slot, quality scores the payload, credit prices
+  // both plus laziness, then confirmations/authorization, stats last.
+  pipeline_->add_observer(std::make_unique<LedgerObserver>(ledger_));
+  pipeline_->add_observer(
+      std::make_unique<QualityObserver>(quality_inspector_));
+  pipeline_->add_observer(std::make_unique<CreditObserver>(credit_));
+  pipeline_->add_observer(std::make_unique<MilestoneObserver>(
+      milestones_, tangle_, coordinator_key_));
+  pipeline_->add_observer(std::make_unique<AuthObserver>(auth_));
+  pipeline_->add_observer(std::make_unique<StatsObserver>(stats_));
 }
 
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
@@ -50,41 +77,20 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
                  GatewayConfig config,
                  const std::optional<crypto::Ed25519PublicKey>& coordinator)
     : Gateway(id, identity, manager_key,
-              restored.find(restored.genesis_id())->tx, network, config) {
+              restored.find(restored.genesis_id())->tx, network,
+              std::move(config)) {
   coordinator_key_ = coordinator;
 
-  // Replay history in arrival order; structural validity was already
-  // re-checked when the tangle loaded (deserialize_tangle runs every
-  // signature and PoW through Tangle::add).
-  const auto restored_order = restored.arrival_order();
-  for (const auto& id_in_order : restored_order) {
+  // Cold start = the SAME pipeline over the restored arrival order
+  // (Ingress::kReplay) — every derived-state observer, stats included,
+  // re-runs exactly as it did live, so live/restore divergence is
+  // impossible by construction. Structural validity was already re-checked
+  // when the tangle loaded (deserialize_tangle runs every signature and
+  // PoW through Tangle::add).
+  for (const auto& id_in_order : restored.arrival_order()) {
     const auto* rec = restored.find(id_in_order);
-    const auto& tx = rec->tx;
-    if (tx.type == tangle::TxType::kGenesis) continue;
-
-    // Lazy detection against the partially-rebuilt tangle, exactly as the
-    // original admission did.
-    const bool lazy =
-        consensus::is_lazy_approval(tangle_, tx, rec->arrival, config_.lazy);
-    if (!tangle_.add(tx, rec->arrival).is_ok()) continue;  // defensive
-
-    const auto outcome = ledger_.apply_resolving(tx);
-    const bool conflicted =
-        outcome == tangle::Ledger::ApplyOutcome::kConflictKeptExisting ||
-        outcome == tangle::Ledger::ApplyOutcome::kConflictDisplaced;
-    if (conflicted)
-      credit_.record_malicious(tx.sender, consensus::Behaviour::kDoubleSpend,
-                               rec->arrival);
-    if (lazy)
-      credit_.record_malicious(tx.sender, consensus::Behaviour::kLazyTips,
-                               rec->arrival);
-    else if (!conflicted)
-      credit_.record_valid_tx(tx.sender, tx.id(), rec->arrival);
-
-    if (tx.type == tangle::TxType::kMilestone && coordinator_key_ &&
-        tx.sender == *coordinator_key_)
-      milestones_.observe_milestone(tangle_, tx.id());
-    if (tx.type == tangle::TxType::kAuthorization) (void)auth_.apply(tx);
+    if (rec->tx.type == tangle::TxType::kGenesis) continue;
+    (void)pipeline_->admit(rec->tx, rec->arrival, Ingress::kReplay);
   }
 }
 
@@ -98,15 +104,15 @@ void Gateway::attach() {
 
 void Gateway::sync_tick() {
   if (!peers_.empty()) {
-    // Round-robin one peer per tick; ship our whole id inventory. For the
-    // factory-scale tangles of this system an explicit inventory is small
-    // (32 B per tx); larger deployments would swap in a Merkle summary
-    // without changing the protocol shape.
+    // Round-robin one peer per tick; ship a constant-size summary (count +
+    // XOR digest + invertible sketch) instead of the full id inventory —
+    // the peer decodes the exact difference locally (tangle/reconcile.h).
     const auto peer = peers_[next_sync_peer_++ % peers_.size()];
     Writer w;
-    const auto& order = tangle_.arrival_order();
-    w.u32(static_cast<std::uint32_t>(order.size()));
-    for (const auto& id : order) w.raw(id.view());
+    w.u8(kSyncSummaryV2);
+    w.u64(tangle_.size());
+    w.raw(tangle_.id_digest().value.view());
+    w.blob(tangle_.id_sketch().encode());
 
     RpcMessage msg;
     msg.type = MsgType::kSyncSummary;
@@ -121,6 +127,49 @@ void Gateway::sync_tick() {
 
 void Gateway::handle_sync_summary(sim::NodeId from, const RpcMessage& msg) {
   Reader r(msg.body);
+  const auto version = r.u8();
+  if (!version || version.value() != kSyncSummaryV2) return;
+  const auto count = r.u64();
+  const auto digest_raw = r.raw(32);
+  const auto sketch_wire = r.blob();
+  if (!count || !digest_raw || !sketch_wire) return;
+
+  // O(1) fast path: identical digest + identical size means identical id
+  // sets (w.h.p.) — converged replicas exchange 23 KB and do no work.
+  const tangle::IdDigest peer_digest{
+      tangle::TxId::from_view(digest_raw.value())};
+  if (peer_digest == tangle_.id_digest() && count.value() == tangle_.size())
+    return;
+
+  auto peer_sketch = tangle::SetSketch::decode(sketch_wire.value());
+  if (!peer_sketch) return;
+  auto diff = tangle_.id_sketch().subtract_and_decode(peer_sketch.value());
+  if (!diff.decoded) {
+    // Difference exceeded the sketch capacity (fresh peer, long partition):
+    // fall back to the full-inventory exchange.
+    ++stats_.sync_fallbacks;
+    reply(from, MsgType::kSyncInventoryRequest, msg.request_id, {});
+    return;
+  }
+  // diff.only_local = ids we hold that the peer lacks; diff.only_remote is
+  // the converse and will be backfilled when OUR next tick reaches them.
+  ship_missing(from, msg.request_id, std::move(diff.only_local));
+}
+
+void Gateway::handle_sync_inventory_request(sim::NodeId from,
+                                            const RpcMessage& msg) {
+  Writer w;
+  const auto& order = tangle_.arrival_order();
+  w.u32(static_cast<std::uint32_t>(order.size()));
+  for (const auto& id : order) w.raw(id.view());
+  reply(from, MsgType::kSyncInventory, msg.request_id, std::move(w).take());
+}
+
+void Gateway::handle_sync_inventory(sim::NodeId from, const RpcMessage& msg) {
+  // Reference/fallback diff path: explicit inventory, full scan. The sketch
+  // path must produce exactly this result whenever it decodes (property-
+  // tested in tests/test_indexes.cpp).
+  Reader r(msg.body);
   const auto count = r.u32();
   if (!count) return;
   std::unordered_set<tangle::TxId, FixedBytesHash<32>> peer_has;
@@ -130,29 +179,42 @@ void Gateway::handle_sync_summary(sim::NodeId from, const RpcMessage& msg) {
     peer_has.insert(tangle::TxId::from_view(id.value()));
   }
 
-  // Ship everything the peer lacks, in arrival order so parents precede
-  // children and the peer can attach in one pass.
-  Writer w;
-  std::uint32_t missing = 0;
-  Writer txs;
+  std::vector<tangle::TxId> missing;
   for (const auto& id : tangle_.arrival_order()) {
-    if (peer_has.contains(id)) continue;
-    const auto* rec = tangle_.find(id);
-    if (rec->tx.type == tangle::TxType::kGenesis) continue;
-    txs.blob(rec->tx.encode());
-    ++missing;
+    if (!peer_has.contains(id)) missing.push_back(id);
   }
-  if (missing == 0) return;
-  w.u32(missing);
-  w.raw(std::move(txs).take());
-  stats_.sync_txs_served += missing;
+  ship_missing(from, msg.request_id, std::move(missing));
+}
+
+void Gateway::ship_missing(sim::NodeId to, std::uint64_t request_id,
+                           std::vector<tangle::TxId> ids) {
+  // Ship in arrival order so parents precede children and the peer can
+  // attach in one pass (order_pos is the arrival_order position).
+  std::vector<const tangle::TxRecord*> recs;
+  recs.reserve(ids.size());
+  for (const auto& id : ids) {
+    const auto* rec = tangle_.find(id);  // sketch decode is probabilistic —
+    if (rec == nullptr) continue;        // drop anything we don't truly hold
+    if (rec->tx.type == tangle::TxType::kGenesis) continue;
+    recs.push_back(rec);
+  }
+  if (recs.empty()) return;
+  std::sort(recs.begin(), recs.end(),
+            [](const tangle::TxRecord* a, const tangle::TxRecord* b) {
+              return a->order_pos < b->order_pos;
+            });
+
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(recs.size()));
+  for (const auto* rec : recs) w.blob(rec->tx.encode());
+  stats_.sync_txs_served += recs.size();
 
   RpcMessage out;
   out.type = MsgType::kSyncMissing;
-  out.request_id = msg.request_id;
+  out.request_id = request_id;
   out.sender_key = identity_.public_identity().sign_key;
   out.body = std::move(w).take();
-  network_.send(id_, from, out.encode());
+  network_.send(id_, to, out.encode());
 }
 
 void Gateway::handle_sync_missing(const RpcMessage& msg) {
@@ -164,14 +226,14 @@ void Gateway::handle_sync_missing(const RpcMessage& msg) {
     if (!wire) return;
     const auto tx = tangle::Transaction::decode(wire.value());
     if (!tx) continue;
-    if (admit(tx.value(), /*from_gossip=*/true).is_ok())
-      ++stats_.sync_txs_applied;
+    if (admit(tx.value(), Ingress::kSync).is_ok()) ++stats_.sync_txs_applied;
   }
 }
 
 bool Gateway::rate_limit_allows(const crypto::Ed25519PublicKey& sender) {
   if (config_.rate_limit_per_sender <= 0.0) return true;
   const TimePoint t = now();
+  evict_idle_buckets(t);
   auto [it, inserted] = buckets_.try_emplace(
       sender, TokenBucket{config_.rate_limit_burst, t});  // start full
   auto& bucket = it->second;
@@ -185,6 +247,26 @@ bool Gateway::rate_limit_allows(const crypto::Ed25519PublicKey& sender) {
   }
   bucket.tokens -= 1.0;
   return true;
+}
+
+void Gateway::evict_idle_buckets(TimePoint t) {
+  // A bucket untouched for burst/rate seconds has fully refilled, so
+  // evicting it is indistinguishable from keeping it (try_emplace recreates
+  // it full). Sweeping once per horizon bounds the map by the senders seen
+  // in the last two horizons — an unauthorized-sender Sybil flood can no
+  // longer grow gateway memory without bound.
+  const Duration horizon =
+      config_.rate_limit_burst / config_.rate_limit_per_sender;
+  if (t - last_bucket_sweep_ < horizon) return;
+  last_bucket_sweep_ = t;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (t - it->second.last_refill >= horizon) {
+      it = buckets_.erase(it);
+      ++stats_.rate_buckets_evicted;
+    } else {
+      ++it;
+    }
+  }
 }
 
 consensus::WeightOracle Gateway::weight_oracle() const {
@@ -242,6 +324,12 @@ void Gateway::on_message(sim::NodeId from, const Bytes& wire) {
     case MsgType::kSyncSummary:
       handle_sync_summary(from, msg.value());
       break;
+    case MsgType::kSyncInventoryRequest:
+      handle_sync_inventory_request(from, msg.value());
+      break;
+    case MsgType::kSyncInventory:
+      handle_sync_inventory(from, msg.value());
+      break;
     case MsgType::kSyncMissing:
       handle_sync_missing(msg.value());
       break;
@@ -293,15 +381,11 @@ std::size_t Gateway::snapshot_and_prune(
     TimePoint cutoff,
     const std::function<void(const tangle::Transaction&, TimePoint)>&
         archive_tx) {
-  // Capture the derived state the snapshot genesis must commit to.
-  std::vector<tangle::AccountKey> accounts;
-  std::vector<crypto::PublicIdentity> authorized = auth_.authorized_devices();
-  std::unordered_set<tangle::AccountKey, FixedBytesHash<32>> seen;
-  for (const auto& id : tangle_.arrival_order()) {
-    const auto* rec = tangle_.find(id);
-    if (seen.insert(rec->tx.sender).second) accounts.push_back(rec->tx.sender);
-  }
-  const auto state = storage::capture_state(now(), ledger_, accounts, authorized);
+  // Capture the derived state the snapshot genesis must commit to. Account
+  // enumeration comes from the tangle's first-seen sender index — no DAG
+  // sweep.
+  const auto state = storage::capture_state(
+      now(), ledger_, tangle_.senders_first_seen(), auth_.authorized_devices());
   auto pruned = storage::prune(tangle_, state, cutoff);
 
   for (const auto& id : pruned.archived) {
@@ -310,11 +394,14 @@ std::size_t Gateway::snapshot_and_prune(
   }
   // Recent transactions reference pruned parents and cannot carry over
   // verbatim (parents are inside the signature); archive them too so no
-  // history is lost, then restart from the snapshot genesis.
-  for (const auto& id : tangle_.arrival_order()) {
-    const auto* rec = tangle_.find(id);
-    if (rec->tx.type == tangle::TxType::kGenesis) continue;
-    if (rec->arrival >= cutoff) archive_tx(rec->tx, rec->arrival);
+  // history is lost, then restart from the snapshot genesis. The arrival
+  // index hands us exactly the >= cutoff suffix.
+  const auto& by_arrival = tangle_.arrival_index();
+  for (std::size_t i = tangle::Tangle::first_at_or_after(by_arrival, cutoff);
+       i < by_arrival.size(); ++i) {
+    if (by_arrival[i].type == tangle::TxType::kGenesis) continue;
+    const auto* rec = tangle_.find(by_arrival[i].id);
+    archive_tx(rec->tx, rec->arrival);
   }
 
   const std::size_t archived = tangle_.size() - 1;
@@ -330,149 +417,28 @@ void Gateway::handle_data_query(sim::NodeId from, const RpcMessage& msg) {
   // Reading the ledger is open to any party — the tangle is a public
   // blockchain; confidentiality of sensitive payloads comes from the data
   // authority management method (AES envelopes), not from access control
-  // on reads (paper Section IV-C).
+  // on reads (paper Section IV-C). Served from the by-sender / by-type
+  // secondary indexes: O(log n + results), never a DAG sweep.
   const tangle::AccountKey zero{};
+  const bool any_sender = query.value().sender == zero;
   DataResponse response;
-  for (const auto& id : tangle_.arrival_order()) {
-    if (response.transactions.size() >= query.value().max_results) break;
-    const auto* rec = tangle_.find(id);
-    if (rec->tx.type != tangle::TxType::kData) continue;
-    if (rec->arrival < query.value().since) continue;
-    if (query.value().sender != zero && rec->tx.sender != query.value().sender)
-      continue;
+  for (const auto* rec :
+       tangle_.data_since(any_sender ? nullptr : &query.value().sender,
+                          query.value().since, query.value().max_results))
     response.transactions.push_back(rec->tx);
-  }
   reply(from, MsgType::kDataResponse, msg.request_id, response.encode());
 }
 
-Status Gateway::admit(const tangle::Transaction& tx, bool from_gossip) {
-  const auto sender = tx.sender;
-  const bool is_manager = auth_.is_manager(sender);
-  const bool is_coordinator =
-      coordinator_key_.has_value() && sender == *coordinator_key_;
-
-  // Milestones are only ever acceptable from the registered Coordinator —
-  // a forged checkpoint would confirm arbitrary history, so this holds for
-  // gossip too.
-  if (tx.type == tangle::TxType::kMilestone && !is_coordinator) {
-    ++stats_.rejected_unauthorized;
-    return Status::error(ErrorCode::kUnauthorized,
-                         "milestone not issued by the coordinator");
-  }
-
-  // Admission control guards the *service* edge: requests from devices.
-  // Gossip between full nodes relays the public tangle, which may carry
-  // transactions admitted by other factories' gateways under their own
-  // authorization lists (Section IV-A: "the tangle network ... is a public
-  // blockchain network, any party can access the network").
-  if (!from_gossip && !is_manager && !is_coordinator &&
-      !auth_.is_authorized(sender)) {
-    ++stats_.rejected_unauthorized;
-    return Status::error(ErrorCode::kUnauthorized,
-                         "sender not in authorization list");
-  }
-
-  // Difficulty policy enforcement. Gossiped transactions were already
-  // policy-checked by the accepting gateway; re-checking here would race
-  // with credit drift between replicas, so gossip only revalidates structure.
-  if (!from_gossip) {
-    const int required = required_difficulty(sender);
-    if (tx.difficulty < required) {
-      ++stats_.rejected_difficulty;
-      return Status::error(ErrorCode::kPowInvalid,
-                           "declared difficulty below required");
-    }
-  }
-
-  // Ledger conflict handling differs by path. At the service edge a
-  // double-spend is rejected outright and punished (alpha_d). Gossiped
-  // transactions may legitimately conflict with something this replica
-  // already applied (the attacker hit two gateways before gossip met);
-  // those attach structurally and the ledger resolves the slot with a
-  // replica-consistent rule after attachment — see Ledger::apply_resolving.
-  if (!from_gossip) {
-    if (auto s = ledger_.check(tx); !s) {
-      if (s.code() == ErrorCode::kConflict) {
-        ++stats_.rejected_conflict;
-        credit_.record_malicious(sender, consensus::Behaviour::kDoubleSpend,
-                                 now());
-      } else {
-        ++stats_.rejected_other;
-      }
-      return s;
-    }
-  }
-
-  // Lazy-tip detection BEFORE attaching (the parents' tip/approval state
-  // changes once the transaction attaches). Lazy transactions are still
-  // structurally valid — they attach, but the sender is punished (alpha_l).
-  const bool lazy = consensus::is_lazy_approval(tangle_, tx, now(), config_.lazy);
-
-  if (auto s = tangle_.add(tx, now()); !s) {
-    if (s.code() == ErrorCode::kPowInvalid)
-      ++stats_.rejected_pow;
-    else
-      ++stats_.rejected_other;
-    return s;
-  }
-
-  bool conflicted = false;
-  if (from_gossip) {
-    const auto outcome = ledger_.apply_resolving(tx);
-    if (outcome == tangle::Ledger::ApplyOutcome::kConflictKeptExisting ||
-        outcome == tangle::Ledger::ApplyOutcome::kConflictDisplaced) {
-      conflicted = true;
-      ++stats_.rejected_conflict;
-      credit_.record_malicious(sender, consensus::Behaviour::kDoubleSpend,
-                               now());
-    }
-  } else {
-    (void)ledger_.apply(tx);  // cannot fail: check() passed above
-  }
-
-  if (lazy) {
-    ++stats_.lazy_detected;
-    credit_.record_malicious(sender, consensus::Behaviour::kLazyTips, now());
-  } else if (!conflicted) {
-    credit_.record_valid_tx(sender, tx.id(), now());
-  }
-
-  // Quality control (future-work extension): judge the payload when an
-  // inspector is installed; a zero score is a poor-quality event.
-  if (quality_inspector_ && tx.type == tangle::TxType::kData) {
-    if (const auto score = quality_inspector_(tx);
-        score.has_value() && *score <= 0.0) {
-      ++stats_.poor_quality_detected;
-      credit_.record_malicious(sender, consensus::Behaviour::kPoorQuality,
-                               now());
-    }
-  }
-
-  if (tx.type == tangle::TxType::kMilestone)
-    milestones_.observe_milestone(tangle_, tx.id());
-
-  if (tx.type == tangle::TxType::kAuthorization) {
-    if (auto s = auth_.apply(tx); !s) {
-      // Another factory's manager publishing its own list arrives via
-      // gossip and is expected to be ignored here — only log real failures.
-      if (s.code() == ErrorCode::kUnauthorized)
-        logger.info() << "ignoring foreign authorization list";
-      else
-        logger.warn() << "authorization tx attached but not applied: "
-                      << s.to_string();
-    }
-  }
-
-  ++stats_.accepted;
-
+Status Gateway::admit(const tangle::Transaction& tx, Ingress ingress) {
+  const auto status = pipeline_->admit(tx, now(), ingress);
   // A newly attached transaction may be the parent some buffered
   // out-of-order gossip was waiting for.
-  adopt_orphans(tx.id());
-  return Status::ok();
+  if (status.is_ok()) adopt_orphans(tx.id());
+  return status;
 }
 
 Status Gateway::submit(const tangle::Transaction& tx) {
-  const auto status = admit(tx, /*from_gossip=*/false);
+  const auto status = admit(tx, Ingress::kService);
   if (status.is_ok()) {
     RpcMessage gossip;
     gossip.type = MsgType::kBroadcastTx;
@@ -544,7 +510,10 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
 
 void Gateway::buffer_orphan(const tangle::TxId& missing_parent,
                             tangle::Transaction tx) {
-  if (orphan_count_ >= config_.max_orphans) return;  // bounded under attack
+  if (orphan_count_ >= config_.max_orphans) {  // bounded under attack
+    ++stats_.orphans_dropped;
+    return;
+  }
   orphans_[missing_parent].push_back(std::move(tx));
   ++orphan_count_;
   ++stats_.orphans_buffered;
@@ -557,8 +526,16 @@ void Gateway::adopt_orphans(const tangle::TxId& arrived) {
   orphans_.erase(it);
   orphan_count_ -= waiting.size();
   for (auto& tx : waiting) {
-    // Re-admission may re-orphan on the OTHER parent; that re-buffers.
-    if (admit(tx, /*from_gossip=*/true).is_ok()) ++stats_.orphans_adopted;
+    const auto status = admit(tx, Ingress::kOrphanRetry);
+    if (status.is_ok()) {
+      ++stats_.orphans_adopted;
+    } else if (status.code() == ErrorCode::kNotFound) {
+      // The OTHER parent is still missing: re-buffer on it rather than
+      // dropping a transaction we already held.
+      const auto missing =
+          tangle_.contains(tx.parent1) ? tx.parent2 : tx.parent1;
+      buffer_orphan(missing, std::move(tx));
+    }
   }
 }
 
@@ -566,7 +543,7 @@ void Gateway::handle_gossip(const RpcMessage& msg) {
   ++stats_.gossip_received;
   const auto tx = tangle::Transaction::decode(msg.body);
   if (!tx) return;
-  const auto status = admit(tx.value(), /*from_gossip=*/true);
+  const auto status = admit(tx.value(), Ingress::kGossip);
   if (status.is_ok()) {
     // Relay onward so the tangle converges across >2 gateways; duplicates
     // are rejected by the tangle, which stops the flood.

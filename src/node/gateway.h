@@ -3,6 +3,12 @@
 // difficulty policy, detects malicious behaviours (feeding the credit
 // model), applies the ledger, answers light-node RPCs and gossips accepted
 // transactions to peer gateways (paper Section IV-A "Gateways").
+//
+// All five transaction ingress paths — service submission, offloaded
+// attach, gossip, anti-entropy sync and cold-start replay — run the SAME
+// staged AdmissionPipeline (node/admission.h); the gateway itself only owns
+// transport concerns: RPC framing, rate limiting, gossip relay, orphan
+// buffering and the sync protocol.
 #pragma once
 
 #include <memory>
@@ -13,6 +19,7 @@
 #include "consensus/detectors.h"
 #include "consensus/policy.h"
 #include "consensus/pow.h"
+#include "node/admission.h"
 #include "node/rpc.h"
 #include "sim/network.h"
 #include "tangle/ledger.h"
@@ -42,9 +49,12 @@ struct GatewayConfig {
   /// exact either way); 0 = hardware concurrency.
   unsigned pow_threads = 1;
   /// Anti-entropy: every `sync_interval` seconds each gateway sends its
-  /// transaction-id inventory to one peer (round-robin); the peer answers
-  /// with whatever the sender is missing. Heals partitions completely where
-  /// live gossip alone cannot backfill missed history. 0 disables.
+  /// constant-size inventory summary (count + XOR digest + invertible
+  /// sketch, tangle/reconcile.h) to one peer (round-robin); the peer decodes
+  /// the exact difference and ships whatever the sender is missing, falling
+  /// back to a full-inventory exchange when the difference exceeds the
+  /// sketch capacity. Heals partitions completely where live gossip alone
+  /// cannot backfill missed history. 0 disables.
   Duration sync_interval = 0.0;
   /// Per-sender request rate limit (token bucket, requests/second) applied
   /// to the service edge before any other processing — even replying
@@ -55,25 +65,14 @@ struct GatewayConfig {
   /// random); such orphans are buffered and retried when the parent lands
   /// instead of being dropped. Bounds memory under attack.
   std::size_t max_orphans = 256;
-};
-
-struct GatewayStats {
-  std::uint64_t tips_served = 0;
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected_unauthorized = 0;
-  std::uint64_t rejected_difficulty = 0;
-  std::uint64_t rejected_pow = 0;
-  std::uint64_t rejected_conflict = 0;   // double-spends caught
-  std::uint64_t rejected_other = 0;
-  std::uint64_t lazy_detected = 0;
-  std::uint64_t poor_quality_detected = 0;
-  std::uint64_t gossip_received = 0;
-  std::uint64_t syncs_sent = 0;
-  std::uint64_t sync_txs_served = 0;    // txs shipped to lagging peers
-  std::uint64_t sync_txs_applied = 0;   // txs backfilled from peers
-  std::uint64_t rate_limited = 0;       // service requests shed at the edge
-  std::uint64_t orphans_buffered = 0;   // out-of-order gossip held back
-  std::uint64_t orphans_adopted = 0;    // later attached successfully
+  /// Sensor-data quality inspector (future-work extension, Section VIII).
+  /// Configured here (not only via set_quality_inspector) so that a
+  /// cold-start replay judges historical payloads exactly as the live
+  /// gateway did — required for credit re-derivability. A zero score is
+  /// recorded as Behaviour::kPoorQuality against the sender; the
+  /// transaction still attaches (bad data is not a protocol violation),
+  /// but the sender's PoW gets harder.
+  QualityInspector quality_inspector;
 };
 
 class Gateway {
@@ -85,13 +84,15 @@ class Gateway {
 
   /// Cold start from a persisted replica (storage::load_tangle). All derived
   /// state — ledger slots and balances, the authorization list, milestone
-  /// confirmations and every node's credit history — is REBUILT by replaying
-  /// the restored history in arrival order. This is the paper's tamper-proof
-  /// credit property made operational: "the credit value is calculated based
-  /// on transaction weight and abnormal behaviours, which can be reflected
-  /// from blockchain records" — a restarted gateway derives it from chain.
-  /// The coordinator key (when used) must be set via set_coordinator before
-  /// restore so historical milestones are honoured.
+  /// confirmations, stats counters and every node's credit history — is
+  /// REBUILT by running the restored history through the same
+  /// AdmissionPipeline as live traffic (Ingress::kReplay), in arrival
+  /// order. This is the paper's tamper-proof credit property made
+  /// operational: "the credit value is calculated based on transaction
+  /// weight and abnormal behaviours, which can be reflected from blockchain
+  /// records" — a restarted gateway derives it from chain.
+  /// The coordinator key (when used) must be passed here so historical
+  /// milestones are honoured during the replay.
   Gateway(sim::NodeId id, const crypto::Identity& identity,
           const crypto::Ed25519PublicKey& manager_key,
           tangle::Tangle restored, sim::Network& network,
@@ -134,20 +135,27 @@ class Gateway {
   /// Performs the exact same admission pipeline as a kSubmitTx message.
   Status submit(const tangle::Transaction& tx);
 
-  /// Sensor-data quality inspector (future-work extension, Section VIII).
-  /// Returns a quality score in [0, 1] for a transaction's payload, or
-  /// nullopt when the payload cannot be judged (e.g. encrypted). Scores of
-  /// 0 are recorded as Behaviour::kPoorQuality against the sender — the
-  /// transaction still attaches (bad data is not a protocol violation), but
-  /// the sender's PoW gets harder.
-  using QualityInspector =
-      std::function<std::optional<double>(const tangle::Transaction&)>;
+  /// Installs (or replaces) the data-quality inspector post-construction.
+  /// Prefer GatewayConfig::quality_inspector so cold-start replay sees it.
   void set_quality_inspector(QualityInspector inspector) {
     quality_inspector_ = std::move(inspector);
   }
 
+  /// Registers an additional derived-state observer on the admission
+  /// pipeline (metrics, tracing, extra detectors). Runs after the built-in
+  /// observers, in registration order.
+  void add_attach_observer(std::unique_ptr<AttachObserver> observer) {
+    pipeline_->add_observer(std::move(observer));
+  }
+
   /// Tip pair this gateway would hand out right now.
   tangle::TipPair select_tips();
+
+  /// Live token buckets held by the rate limiter (bounded: idle buckets are
+  /// evicted once they would have refilled completely).
+  std::size_t rate_bucket_count() const { return buckets_.size(); }
+  /// Out-of-order transactions currently buffered awaiting a parent.
+  std::size_t orphan_count() const { return orphan_count_; }
 
   /// Operational local snapshot (the "storage limitations" future-work item,
   /// live): archives every transaction older than `cutoff` through
@@ -164,6 +172,7 @@ class Gateway {
           archive_tx);
 
  private:
+  void build_pipeline();
   void on_message(sim::NodeId from, const Bytes& wire);
   void handle_get_tips(sim::NodeId from, const RpcMessage& msg);
   void handle_submit(sim::NodeId from, const RpcMessage& msg);
@@ -172,16 +181,25 @@ class Gateway {
   void handle_data_query(sim::NodeId from, const RpcMessage& msg);
   void handle_gossip(const RpcMessage& msg);
   void handle_sync_summary(sim::NodeId from, const RpcMessage& msg);
+  void handle_sync_inventory_request(sim::NodeId from, const RpcMessage& msg);
+  void handle_sync_inventory(sim::NodeId from, const RpcMessage& msg);
   void handle_sync_missing(const RpcMessage& msg);
   void sync_tick();
+  /// Ships `ids` (which this replica holds and `to` lacks) in arrival order.
+  void ship_missing(sim::NodeId to, std::uint64_t request_id,
+                    std::vector<tangle::TxId> ids);
   /// Token-bucket check for a service request; false = shed.
   bool rate_limit_allows(const crypto::Ed25519PublicKey& sender);
+  /// Amortized sweep dropping buckets idle past the full-refill horizon.
+  void evict_idle_buckets(TimePoint now);
   /// Buffers an out-of-order gossiped transaction awaiting `missing_parent`.
   void buffer_orphan(const tangle::TxId& missing_parent,
                      tangle::Transaction tx);
   /// Retries orphans that were waiting for `arrived`.
   void adopt_orphans(const tangle::TxId& arrived);
-  Status admit(const tangle::Transaction& tx, bool from_gossip);
+  /// Runs the staged admission pipeline, then retries any orphans the new
+  /// transaction unblocks.
+  Status admit(const tangle::Transaction& tx, Ingress ingress);
   void reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
              const Bytes& body);
   TimePoint now() const { return network_.scheduler().now(); }
@@ -208,6 +226,7 @@ class Gateway {
   };
   std::unordered_map<crypto::Ed25519PublicKey, TokenBucket, FixedBytesHash<32>>
       buckets_;
+  TimePoint last_bucket_sweep_ = 0.0;
 
   std::vector<sim::NodeId> peers_;
   std::size_t next_sync_peer_ = 0;
@@ -220,6 +239,7 @@ class Gateway {
   std::optional<crypto::Ed25519PublicKey> coordinator_key_;
   tangle::MilestoneTracker milestones_;
   GatewayStats stats_;
+  std::unique_ptr<AdmissionPipeline> pipeline_;
 };
 
 }  // namespace biot::node

@@ -20,7 +20,7 @@ Result<RpcMessage> RpcMessage::decode(ByteView wire) {
   const auto type_byte = r.u8();
   if (!type_byte) return type_byte.status();
   if (type_byte.value() < 1 ||
-      type_byte.value() > static_cast<std::uint8_t>(MsgType::kDataResponse))
+      type_byte.value() > static_cast<std::uint8_t>(MsgType::kSyncInventory))
     return Status::error(ErrorCode::kInvalidArgument, "rpc: bad message type");
   msg.type = static_cast<MsgType>(type_byte.value());
 

@@ -28,10 +28,13 @@ enum class MsgType : std::uint8_t {
   kAttachResult = 10,    // gateway -> device (SubmitResult body)
   kConfirmQuery = 11,    // device -> gateway: is my transaction confirmed?
   kConfirmResponse = 12, // gateway -> device
-  kSyncSummary = 13,     // gateway -> gateway: anti-entropy id inventory
+  kSyncSummary = 13,     // gateway -> gateway: anti-entropy digest + sketch
   kSyncMissing = 14,     // gateway -> gateway: transactions the peer lacked
   kDataQuery = 15,       // consumer -> gateway: read sensor data off chain
   kDataResponse = 16,    // gateway -> consumer
+  kSyncInventoryRequest = 17,  // gateway -> gateway: sketch undecodable,
+                               // request the full id inventory (fallback)
+  kSyncInventory = 18,   // gateway -> gateway: full id inventory
 };
 
 /// Envelope for every message on the wire.

@@ -1,0 +1,126 @@
+#include "tangle/reconcile.h"
+
+#include <deque>
+
+#include "common/codec.h"
+
+namespace biot::tangle {
+
+namespace {
+
+// Ids are SHA-256 outputs: any fixed byte window is an independent uniform
+// value, so the three cell positions and the checksum come straight from
+// the id instead of re-hashing it.
+std::uint32_t chunk32(const TxId& id, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(id[offset + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t checksum(const TxId& id) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(id[16 + i]) << (8 * i);
+  return v;
+}
+
+std::size_t cell_position(const TxId& id, int hash_index) {
+  return chunk32(id, 4 * static_cast<std::size_t>(hash_index)) %
+         SetSketch::kCells;
+}
+
+}  // namespace
+
+bool SetSketch::Cell::pure() const {
+  return (count == 1 || count == -1) && check == checksum(id_xor);
+}
+
+bool SetSketch::Cell::empty() const {
+  return count == 0 && check == 0 && id_xor == TxId{};
+}
+
+void SetSketch::apply(std::vector<Cell>& cells, const TxId& id,
+                      int direction) const {
+  const std::uint64_t chk = checksum(id);
+  for (int h = 0; h < kHashes; ++h) {
+    Cell& cell = cells[cell_position(id, h)];
+    cell.count += direction;
+    for (std::size_t i = 0; i < id.size(); ++i) cell.id_xor[i] ^= id[i];
+    cell.check ^= chk;
+  }
+}
+
+void SetSketch::toggle(const TxId& id) { apply(cells_, id, 1); }
+
+SetSketch::Diff SetSketch::subtract_and_decode(const SetSketch& other) const {
+  std::vector<Cell> work(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    work[i].count = cells_[i].count - other.cells_[i].count;
+    for (std::size_t b = 0; b < 32; ++b)
+      work[i].id_xor[b] = cells_[i].id_xor[b] ^ other.cells_[i].id_xor[b];
+    work[i].check = cells_[i].check ^ other.cells_[i].check;
+  }
+
+  // Peel: a pure cell pins down one difference element; removing it may
+  // make its other cells pure in turn. Every removal strictly shrinks the
+  // table content, so the loop is O(kCells + diff).
+  Diff diff;
+  std::deque<std::size_t> candidates;
+  for (std::size_t i = 0; i < kCells; ++i)
+    if (work[i].pure()) candidates.push_back(i);
+
+  while (!candidates.empty()) {
+    const std::size_t at = candidates.front();
+    candidates.pop_front();
+    if (!work[at].pure()) continue;  // invalidated by an earlier peel
+    const TxId id = work[at].id_xor;
+    const int direction = work[at].count;
+    (direction > 0 ? diff.only_local : diff.only_remote).push_back(id);
+    apply(work, id, -direction);
+    for (int h = 0; h < kHashes; ++h) {
+      const std::size_t pos = cell_position(id, h);
+      if (work[pos].pure()) candidates.push_back(pos);
+    }
+  }
+
+  for (const auto& cell : work) {
+    if (!cell.empty()) return {};  // stuck: difference exceeded capacity
+  }
+  diff.decoded = true;
+  return diff;
+}
+
+Bytes SetSketch::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kCells));
+  for (const auto& cell : cells_) {
+    w.u32(static_cast<std::uint32_t>(cell.count));
+    w.raw(cell.id_xor.view());
+    w.u64(cell.check);
+  }
+  return std::move(w).take();
+}
+
+Result<SetSketch> SetSketch::decode(ByteView wire) {
+  Reader r(wire);
+  const auto cells = r.u32();
+  if (!cells || cells.value() != kCells)
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "set sketch: unexpected cell count");
+  SetSketch sketch;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const auto count = r.u32();
+    const auto id = r.raw(32);
+    const auto check = r.u64();
+    if (!count || !id || !check)
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "set sketch: truncated");
+    sketch.cells_[i].count = static_cast<std::int32_t>(count.value());
+    sketch.cells_[i].id_xor = TxId::from_view(id.value());
+    sketch.cells_[i].check = check.value();
+  }
+  return sketch;
+}
+
+}  // namespace biot::tangle

@@ -1,0 +1,93 @@
+// Anti-entropy set reconciliation for transaction-id inventories.
+//
+// The original sync protocol shipped a gateway's FULL id inventory every
+// tick (32 B per transaction), and the receiver scanned its whole replica
+// to compute the difference — O(n) wire and O(n) work per sync even when
+// the replicas were already converged. At the ROADMAP's target scale that
+// read amplification dominates the sync path.
+//
+// This header replaces the inventory with two constant-size summaries the
+// tangle maintains incrementally (O(1) per add):
+//
+//  - an order-independent XOR fold of all transaction ids (`IdDigest`):
+//    equal digests + equal counts ⇒ equal sets (w.h.p.), giving an O(1)
+//    "already converged" fast path;
+//  - an invertible Bloom lookup table (`SetSketch`, Eppstein et al.,
+//    "What's the Difference?"): subtracting a peer's sketch from ours and
+//    peeling recovers the EXACT symmetric difference in O(diff) time as
+//    long as the difference fits the sketch capacity (~kCells / 1.3 ids).
+//    Larger differences fail decodably and the caller falls back to the
+//    full-inventory exchange, which is kept as the reference path.
+//
+// Transaction ids are SHA-256 digests, i.e. already uniformly random, so
+// the sketch derives its cell positions and per-cell checksum directly
+// from id bytes — no extra hashing on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tangle/transaction.h"
+
+namespace biot::tangle {
+
+/// Order-independent set digest: XOR fold of every member id.
+struct IdDigest {
+  TxId value{};
+
+  void toggle(const TxId& id) {
+    for (std::size_t i = 0; i < value.size(); ++i) value[i] ^= id[i];
+  }
+  friend bool operator==(const IdDigest&, const IdDigest&) = default;
+};
+
+/// Invertible Bloom lookup table over 32-byte transaction ids.
+class SetSketch {
+ public:
+  /// Cells in the table. 512 cells decode symmetric differences up to
+  /// roughly 400 ids with high probability (k=3 needs ~1.3 cells per
+  /// difference element); the wire cost is kCells * 44 B ~= 22 KiB per
+  /// summary — constant in the tangle size.
+  static constexpr std::size_t kCells = 512;
+  static constexpr int kHashes = 3;
+
+  SetSketch() : cells_(kCells) {}
+
+  /// Adds `id` to the summarized set. Tangles are append-only, so the
+  /// sketch never needs removal; `toggle` is its own inverse regardless.
+  void toggle(const TxId& id);
+
+  /// Result of decoding `this - other`.
+  struct Diff {
+    bool decoded = false;            // false: difference exceeded capacity
+    std::vector<TxId> only_local;    // in this sketch's set, not the other's
+    std::vector<TxId> only_remote;   // in the other's set, not this one's
+  };
+
+  /// Cell-wise subtraction followed by peeling. O(kCells + diff). When the
+  /// symmetric difference is too large to peel, returns decoded = false and
+  /// no ids (partial peels are discarded — the caller must fall back).
+  Diff subtract_and_decode(const SetSketch& other) const;
+
+  Bytes encode() const;
+  static Result<SetSketch> decode(ByteView wire);
+
+  friend bool operator==(const SetSketch&, const SetSketch&) = default;
+
+ private:
+  struct Cell {
+    std::int32_t count = 0;  // insertions minus deletions hashed here
+    TxId id_xor{};           // XOR of those ids
+    std::uint64_t check = 0; // XOR of their checksums (detects mixed cells)
+
+    bool pure() const;       // exactly one id, in a known direction
+    bool empty() const;
+  };
+
+  void apply(std::vector<Cell>& cells, const TxId& id, int direction) const;
+
+  std::vector<Cell> cells_;
+};
+
+}  // namespace biot::tangle

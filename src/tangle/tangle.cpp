@@ -30,6 +30,7 @@ Tangle::Tangle(const Transaction& genesis) {
   records_.emplace(genesis_id_, TxRecord{genesis, genesis.timestamp, {}});
   tips_.insert(genesis_id_);
   order_.push_back(genesis_id_);
+  index_tx(genesis, genesis_id_, genesis.timestamp);
   bump_generation();
 }
 
@@ -58,6 +59,7 @@ Status Tangle::add(const Transaction& tx, TimePoint arrival) {
 
   TxRecord& new_rec =
       records_.emplace(id, TxRecord{tx, arrival, {}}).first->second;
+  new_rec.order_pos = order_.size();
   new_rec.parent1_rec = &p1->second;
   new_rec.parent2_rec = tx.parent2 != tx.parent1 ? &p2->second : nullptr;
   p1->second.approvers.push_back(id);
@@ -112,8 +114,92 @@ Status Tangle::add(const Transaction& tx, TimePoint arrival) {
   tips_.erase(tx.parent2);
   tips_.insert(id);
   order_.push_back(id);
+  index_tx(tx, id, arrival);
   bump_generation();
   return Status::ok();
+}
+
+void Tangle::insert_sorted(std::vector<IndexEntry>& index, IndexEntry entry) {
+  // Arrivals are monotone in normal operation (gateway clock / replay
+  // order), so this is an O(1) append; an out-of-order arrival falls back
+  // to a positioned insert to keep the sorted-by-arrival invariant.
+  if (index.empty() || index.back().arrival <= entry.arrival) {
+    index.push_back(entry);
+    return;
+  }
+  const auto at = std::upper_bound(
+      index.begin(), index.end(), entry.arrival,
+      [](TimePoint t, const IndexEntry& e) { return t < e.arrival; });
+  index.insert(at, entry);
+}
+
+void Tangle::index_tx(const Transaction& tx, const TxId& id,
+                      TimePoint arrival) {
+  const IndexEntry entry{id, arrival, tx.type};
+  auto [sender_it, first_seen] = by_sender_.try_emplace(tx.sender);
+  if (first_seen) senders_first_seen_.push_back(tx.sender);
+  insert_sorted(sender_it->second, entry);
+  insert_sorted(by_type_[static_cast<std::uint8_t>(tx.type)], entry);
+  insert_sorted(by_arrival_, entry);
+  id_digest_.toggle(id);
+  id_sketch_.toggle(id);
+}
+
+const std::vector<IndexEntry>& Tangle::sender_index(
+    const AccountKey& sender) const {
+  static const std::vector<IndexEntry> kEmpty;
+  const auto it = by_sender_.find(sender);
+  return it == by_sender_.end() ? kEmpty : it->second;
+}
+
+const std::vector<IndexEntry>& Tangle::type_index(TxType type) const {
+  static const std::vector<IndexEntry> kEmpty;
+  const auto it = by_type_.find(static_cast<std::uint8_t>(type));
+  return it == by_type_.end() ? kEmpty : it->second;
+}
+
+std::size_t Tangle::first_at_or_after(const std::vector<IndexEntry>& index,
+                                      TimePoint since) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), since,
+      [](const IndexEntry& e, TimePoint t) { return e.arrival < t; });
+  return static_cast<std::size_t>(it - index.begin());
+}
+
+std::vector<const TxRecord*> Tangle::data_since(
+    const AccountKey* sender, TimePoint since,
+    std::size_t max_results) const {
+  const auto& index =
+      sender != nullptr ? sender_index(*sender) : type_index(TxType::kData);
+  std::vector<const TxRecord*> out;
+  for (std::size_t i = first_at_or_after(index, since);
+       i < index.size() && out.size() < max_results; ++i) {
+    if (index[i].type != TxType::kData) continue;  // sender-index skip
+    out.push_back(&records_.at(index[i].id));
+  }
+  return out;
+}
+
+std::vector<const TxRecord*> Tangle::data_since_brute_force(
+    const AccountKey* sender, TimePoint since,
+    std::size_t max_results) const {
+  std::vector<const TxRecord*> out;
+  for (const auto& id : order_) {
+    const auto& rec = records_.at(id);
+    if (rec.tx.type != TxType::kData) continue;
+    if (rec.arrival < since) continue;
+    if (sender != nullptr && rec.tx.sender != *sender) continue;
+    out.push_back(&rec);
+  }
+  // Insertion order and arrival order agree except for out-of-order adds;
+  // a stable sort reconciles them (ties keep insertion order, matching the
+  // index maintenance rule).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TxRecord* a, const TxRecord* b) {
+                     return a->arrival < b->arrival;
+                   });
+  if (out.size() > max_results) out.resize(max_results);
+  return out;
 }
 
 const TxRecord* Tangle::find(const TxId& id) const {

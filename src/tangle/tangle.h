@@ -9,6 +9,12 @@
 // `depth` are O(1) lookups instead of O(n) sweeps per call. The brute-force
 // sweeps are kept (suffixed `_brute_force`) as the reference implementation
 // for property tests and for the before/after bench.
+//
+// `add` additionally maintains secondary indexes (by sender, by type, by
+// arrival time — see DESIGN.md section 9 for the atomicity invariants) plus
+// the anti-entropy set summaries from reconcile.h, so data queries, sync
+// diffing and snapshot account capture are O(results + log n) instead of
+// full-DAG scans. Brute-force counterparts are kept here too.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "tangle/reconcile.h"
 #include "tangle/transaction.h"
 
 namespace biot::tangle {
@@ -37,6 +44,17 @@ struct TxRecord {
   TxRecord* parent1_rec = nullptr;
   TxRecord* parent2_rec = nullptr;
   std::uint64_t visit_mark = 0;        // add-path BFS stamp (internal)
+  // Position in arrival_order(). Sorting any id subset by this ships
+  // parents before children (a parent always attaches first).
+  std::size_t order_pos = 0;
+};
+
+/// One secondary-index entry. Index vectors are sorted by arrival (ties keep
+/// insertion order), so time-bounded queries binary-search their start.
+struct IndexEntry {
+  TxId id;
+  TimePoint arrival = 0.0;
+  TxType type = TxType::kData;
 };
 
 class Tangle {
@@ -102,8 +120,50 @@ class Tangle {
   /// Kept for property tests and benches only.
   std::size_t depth_brute_force(const TxId& id) const;
 
+  // ---- Secondary indexes (maintained by `add`, O(1) amortized each) ------
+
+  /// All transactions from `sender`, arrival order. Empty for unknown senders.
+  const std::vector<IndexEntry>& sender_index(const AccountKey& sender) const;
+  /// All transactions of `type`, arrival order.
+  const std::vector<IndexEntry>& type_index(TxType type) const;
+  /// Every transaction, sorted by arrival time.
+  const std::vector<IndexEntry>& arrival_index() const { return by_arrival_; }
+  /// Distinct senders in first-seen order (includes the genesis sender) —
+  /// what snapshot capture enumerates instead of sweeping the DAG.
+  const std::vector<AccountKey>& senders_first_seen() const {
+    return senders_first_seen_;
+  }
+
+  /// Index of the first entry in `index` with arrival >= since (binary
+  /// search — entries are arrival-sorted).
+  static std::size_t first_at_or_after(const std::vector<IndexEntry>& index,
+                                       TimePoint since);
+
+  /// Data transactions with arrival >= `since`, optionally restricted to one
+  /// sender (nullptr = any), arrival order, at most `max_results`. Served
+  /// from the secondary indexes: O(log n + results), plus a skip per
+  /// non-data transaction the sender interleaved in the range.
+  std::vector<const TxRecord*> data_since(const AccountKey* sender,
+                                          TimePoint since,
+                                          std::size_t max_results) const;
+  /// Reference implementation of `data_since`: full arrival-order scan.
+  std::vector<const TxRecord*> data_since_brute_force(
+      const AccountKey* sender, TimePoint since,
+      std::size_t max_results) const;
+
+  // ---- Anti-entropy summaries (maintained by `add`, O(1) each) -----------
+
+  /// Order-independent XOR fold of every id: equal digest + equal size is
+  /// the O(1) "replicas already converged" sync fast path.
+  const IdDigest& id_digest() const { return id_digest_; }
+  /// Constant-size invertible sketch of the id set; subtracting a peer's
+  /// sketch recovers the exact inventory difference in O(diff).
+  const SetSketch& id_sketch() const { return id_sketch_; }
+
  private:
   void bump_generation();
+  void index_tx(const Transaction& tx, const TxId& id, TimePoint arrival);
+  static void insert_sorted(std::vector<IndexEntry>& index, IndexEntry entry);
 
   std::unordered_map<TxId, TxRecord, FixedBytesHash<32>> records_;
   std::set<TxId> tips_;
@@ -112,6 +172,14 @@ class Tangle {
   std::uint64_t generation_ = 0;
   std::uint64_t visit_epoch_ = 0;       // stamps one add-path BFS
   std::vector<TxRecord*> cone_scratch_;  // reused BFS frontier (no allocs)
+
+  std::unordered_map<AccountKey, std::vector<IndexEntry>, FixedBytesHash<32>>
+      by_sender_;
+  std::vector<AccountKey> senders_first_seen_;
+  std::unordered_map<std::uint8_t, std::vector<IndexEntry>> by_type_;
+  std::vector<IndexEntry> by_arrival_;
+  IdDigest id_digest_;
+  SetSketch id_sketch_;
 };
 
 using WeightMap = std::unordered_map<TxId, double, FixedBytesHash<32>>;

@@ -1,0 +1,308 @@
+// Admission-pipeline regression tests: cold-start replay reproduces live
+// derived state exactly (the unified Ingress::kReplay path), the orphan
+// buffer honours its cap and re-buffers on the second missing parent, and
+// the rate limiter's bucket map stays bounded under a Sybil request flood.
+#include <gtest/gtest.h>
+
+#include "node/gateway.h"
+#include "node/manager.h"
+#include "storage/tangle_io.h"
+#include "test_util.h"
+
+namespace biot::node {
+namespace {
+
+using testutil::TxFactory;
+
+/// Deterministic payload judge: only the literal payload "bad" scores zero.
+/// Pure function of the transaction, so replay judges history identically.
+std::optional<double> judge_payload(const tangle::Transaction& tx) {
+  return tx.payload == to_bytes("bad") ? 0.0 : 1.0;
+}
+
+GatewayConfig admission_config() {
+  GatewayConfig c;
+  c.credit.initial_difficulty = 4;
+  c.credit.max_difficulty = 8;
+  c.credit.min_difficulty = 1;
+  c.quality_inspector = judge_payload;
+  return c;
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest()
+      : manager_identity_(crypto::Identity::deterministic(1)),
+        gateway_identity_(crypto::Identity::deterministic(2)),
+        coordinator_identity_(crypto::Identity::deterministic(3)),
+        network_(sched_, std::make_unique<sim::FixedLatency>(0.001), Rng(1)),
+        gateway_(1, gateway_identity_,
+                 manager_identity_.public_identity().sign_key,
+                 tangle::Tangle::make_genesis(), network_,
+                 admission_config()),
+        manager_(2, manager_identity_, gateway_, network_),
+        device_(100) {
+    gateway_.attach();
+    manager_.attach();
+    gateway_.set_coordinator(coordinator_identity_.public_identity().sign_key);
+  }
+
+  void authorize_device() {
+    ASSERT_TRUE(
+        manager_.authorize({device_.identity().public_identity()}).is_ok());
+    run_a_little();
+  }
+
+  /// Delivers `tx` to the gateway over the wire as peer gossip — the same
+  /// non-strict ingress a second gateway's broadcast would use.
+  void gossip(const tangle::Transaction& tx) {
+    RpcMessage msg;
+    msg.type = MsgType::kBroadcastTx;
+    msg.sender_key = tx.sender;
+    msg.body = tx.encode();
+    network_.send(200, 1, msg.encode());
+    run_a_little();
+  }
+
+  void run_a_little() { sched_.run_until(sched_.now() + 0.01); }
+
+  tangle::Transaction device_tx(Bytes payload = {}) {
+    const auto [t1, t2] = gateway_.select_tips();
+    return device_.make(t1, t2, gateway_.required_difficulty(device_.key()),
+                        std::move(payload), sched_.now());
+  }
+
+  tangle::Transaction coordinator_milestone() {
+    const auto [t1, t2] = gateway_.select_tips();
+    consensus::Miner miner;
+    tangle::Transaction tx;
+    tx.type = tangle::TxType::kMilestone;
+    tx.sender = coordinator_identity_.public_identity().sign_key;
+    tx.parent1 = t1;
+    tx.parent2 = t2;
+    tx.timestamp = sched_.now();
+    tx.difficulty = static_cast<std::uint8_t>(
+        gateway_.required_difficulty(tx.sender));
+    tx.nonce = miner.mine(tx.parent1, tx.parent2, tx.difficulty)->nonce;
+    tx.signature = coordinator_identity_.sign(tx.signing_bytes());
+    return tx;
+  }
+
+  sim::Scheduler sched_;
+  crypto::Identity manager_identity_;
+  crypto::Identity gateway_identity_;
+  crypto::Identity coordinator_identity_;
+  sim::Network network_;
+  Gateway gateway_;
+  Manager manager_;
+  TxFactory device_;
+};
+
+// ---- Replay == live ---------------------------------------------------------
+
+TEST_F(AdmissionTest, ReplayReproducesLiveDerivedStateExactly) {
+  authorize_device();
+
+  // Live history covering every derived-state observer: ordinary data, a
+  // quality-zero payload, a transfer, an on-chain double-spend of that
+  // transfer (via gossip, as a conflicting replica would deliver it) and a
+  // coordinator milestone confirming the lot.
+  ASSERT_TRUE(gateway_.submit(device_tx(to_bytes("ok"))).is_ok());
+  run_a_little();
+  ASSERT_TRUE(gateway_.submit(device_tx(to_bytes("bad"))).is_ok());
+  run_a_little();
+
+  const auto original = device_tx(to_bytes("v1"));
+  ASSERT_TRUE(gateway_.submit(original).is_ok());
+  run_a_little();
+
+  // Same (sender, sequence) slot, different content: a true double-spend,
+  // delivered the way a conflicting replica would deliver it.
+  auto conflicting = original;
+  conflicting.payload = to_bytes("v2");
+  device_.finalize(conflicting);
+  gossip(conflicting);
+  ASSERT_TRUE(gateway_.tangle().contains(conflicting.id()));
+
+  ASSERT_TRUE(gateway_.submit(coordinator_milestone()).is_ok());
+  run_a_little();
+
+  const TimePoint live_now = sched_.now();
+  ASSERT_EQ(gateway_.stats().poor_quality_detected, 1u);
+  ASSERT_EQ(gateway_.stats().rejected_conflict, 1u);
+  ASSERT_GE(gateway_.milestones().milestone_count(), 1u);
+
+  // Cold start: same config (inspector included) + coordinator key.
+  const Bytes wire = storage::serialize_tangle(gateway_.tangle());
+  auto reloaded = storage::deserialize_tangle(wire);
+  ASSERT_TRUE(reloaded.is_ok());
+  sim::Scheduler sched2;
+  sim::Network net2(sched2, std::make_unique<sim::FixedLatency>(0.001),
+                    Rng(2));
+  Gateway restored(99, gateway_identity_,
+                   manager_identity_.public_identity().sign_key,
+                   std::move(reloaded).take(), net2, admission_config(),
+                   coordinator_identity_.public_identity().sign_key);
+  sched2.run_until(live_now);  // credit is a function of wall time
+
+  // Stats-derived counters: the replay ran the SAME pipeline over the same
+  // history, so the attach-side counters agree exactly.
+  EXPECT_EQ(restored.stats().accepted, gateway_.stats().accepted);
+  EXPECT_EQ(restored.stats().lazy_detected, gateway_.stats().lazy_detected);
+  EXPECT_EQ(restored.stats().poor_quality_detected,
+            gateway_.stats().poor_quality_detected);
+  EXPECT_EQ(restored.stats().rejected_conflict,
+            gateway_.stats().rejected_conflict);
+
+  // Milestone confirmations.
+  EXPECT_EQ(restored.milestones().milestone_count(),
+            gateway_.milestones().milestone_count());
+  EXPECT_EQ(restored.milestones().confirmed_count(),
+            gateway_.milestones().confirmed_count());
+
+  // Credit: exact value (not just the difficulty quote) at the same
+  // instant, for the punished device, the coordinator and the manager.
+  for (const auto& key : {device_.key(),
+                          coordinator_identity_.public_identity().sign_key,
+                          manager_identity_.public_identity().sign_key}) {
+    EXPECT_DOUBLE_EQ(
+        restored.credit_registry().credit(key, live_now,
+                                          restored.weight_oracle()),
+        gateway_.credit_registry().credit(key, live_now,
+                                          gateway_.weight_oracle()));
+    EXPECT_EQ(restored.required_difficulty(key),
+              gateway_.required_difficulty(key));
+  }
+
+  // Ledger slots (the double-spend resolution carried over).
+  EXPECT_EQ(restored.ledger().next_sequence(device_.key()),
+            gateway_.ledger().next_sequence(device_.key()));
+
+  // And the sync summaries agree, so two such replicas converge in O(1).
+  EXPECT_EQ(restored.tangle().id_digest(), gateway_.tangle().id_digest());
+}
+
+TEST_F(AdmissionTest, ReplayStillRejectsForgedMilestones) {
+  authorize_device();
+  ASSERT_TRUE(gateway_.submit(device_tx()).is_ok());
+  run_a_little();
+  ASSERT_TRUE(gateway_.submit(coordinator_milestone()).is_ok());
+  run_a_little();
+  ASSERT_GE(gateway_.milestones().milestone_count(), 1u);
+
+  const Bytes wire = storage::serialize_tangle(gateway_.tangle());
+  auto reloaded = storage::deserialize_tangle(wire);
+  ASSERT_TRUE(reloaded.is_ok());
+  sim::Scheduler sched2;
+  sim::Network net2(sched2, std::make_unique<sim::FixedLatency>(0.001),
+                    Rng(2));
+  // Restore WITHOUT the coordinator key: replay skips the authorize stage,
+  // but the milestone observer re-checks the issuer, so a chain file
+  // containing milestones yields zero confirmations here (rather than
+  // honouring a checkpoint this operator never trusted).
+  Gateway restored(99, gateway_identity_,
+                   manager_identity_.public_identity().sign_key,
+                   std::move(reloaded).take(), net2, admission_config());
+  EXPECT_EQ(restored.milestones().milestone_count(), 0u);
+  EXPECT_EQ(restored.tangle().size(), gateway_.tangle().size());
+}
+
+// ---- Orphan buffer edge cases ----------------------------------------------
+
+TEST_F(AdmissionTest, OrphanBufferCapSaturationShedsAndCounts) {
+  GatewayConfig config = admission_config();
+  config.max_orphans = 2;
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(3));
+  Gateway tiny(7, gateway_identity_,
+               manager_identity_.public_identity().sign_key,
+               tangle::Tangle::make_genesis(), net, config);
+  tiny.attach();
+
+  TxFactory stranger(500);
+  for (int i = 0; i < 3; ++i) {
+    // Parents the gateway has never seen -> kNotFound -> buffer.
+    tangle::TxId fake1, fake2;
+    fake1[0] = static_cast<std::uint8_t>(0xf0 + i);
+    fake2[0] = static_cast<std::uint8_t>(0xe0 + i);
+    const auto orphan = stranger.make(fake1, fake2, 4, {}, sched.now());
+    RpcMessage msg;
+    msg.type = MsgType::kBroadcastTx;
+    msg.sender_key = orphan.sender;
+    msg.body = orphan.encode();
+    net.send(200, 7, msg.encode());
+    sched.run_until(sched.now() + 0.01);
+  }
+
+  EXPECT_EQ(tiny.orphan_count(), 2u);
+  EXPECT_EQ(tiny.stats().orphans_buffered, 2u);
+  EXPECT_EQ(tiny.stats().orphans_dropped, 1u);
+}
+
+TEST_F(AdmissionTest, OrphanWithBothParentsMissingRebuffersThenAdopts) {
+  // Build a child whose two parents are both unknown to the gateway, then
+  // deliver child, parent1, parent2 in that (worst) order.
+  TxFactory stranger(501);
+  const auto genesis = gateway_.tangle().genesis_id();
+  const auto parent_a = stranger.make(genesis, genesis, 4, {}, 0.0);
+  const auto parent_b = stranger.make(genesis, genesis, 4, {}, 0.0);
+  const auto child =
+      stranger.make(parent_a.id(), parent_b.id(), 4, {}, 0.0);
+
+  gossip(child);
+  EXPECT_EQ(gateway_.orphan_count(), 1u);  // waiting on parent_a
+  EXPECT_FALSE(gateway_.tangle().contains(child.id()));
+
+  gossip(parent_a);
+  // Retry found parent_b still missing: the child re-buffered, not lost.
+  EXPECT_EQ(gateway_.orphan_count(), 1u);
+  EXPECT_EQ(gateway_.stats().orphans_buffered, 2u);
+  EXPECT_FALSE(gateway_.tangle().contains(child.id()));
+
+  gossip(parent_b);
+  EXPECT_TRUE(gateway_.tangle().contains(child.id()));
+  EXPECT_EQ(gateway_.orphan_count(), 0u);
+  EXPECT_EQ(gateway_.stats().orphans_adopted, 1u);
+}
+
+// ---- Rate-limiter bucket bounding -------------------------------------------
+
+TEST_F(AdmissionTest, IdleRateBucketsAreEvicted) {
+  GatewayConfig config = admission_config();
+  config.rate_limit_per_sender = 1.0;
+  config.rate_limit_burst = 2.0;  // full-refill horizon: 2 seconds
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(4));
+  Gateway limited(7, gateway_identity_,
+                  manager_identity_.public_identity().sign_key,
+                  tangle::Tangle::make_genesis(), net, config);
+  limited.attach();
+
+  auto probe_from = [&](std::uint32_t sender_tag) {
+    RpcMessage msg;
+    msg.type = MsgType::kGetTipsRequest;
+    msg.sender_key[0] = static_cast<std::uint8_t>(sender_tag);
+    msg.sender_key[1] = static_cast<std::uint8_t>(sender_tag >> 8);
+    msg.sender_key[31] = 0x5a;  // never the all-zero key
+    net.send(200, 7, msg.encode());
+    sched.run_until(sched.now() + 0.01);
+  };
+
+  // A Sybil flood: 50 distinct (unauthorized) senders each probe once.
+  for (std::uint32_t i = 0; i < 50; ++i) probe_from(i);
+  EXPECT_EQ(limited.rate_bucket_count(), 50u);
+
+  // Past the refill horizon every one of those buckets is indistinguishable
+  // from a fresh one; the next request's amortized sweep reclaims them all.
+  sched.run_until(10.0);
+  probe_from(9999);
+  EXPECT_EQ(limited.rate_bucket_count(), 1u);
+  EXPECT_EQ(limited.stats().rate_buckets_evicted, 50u);
+
+  // Limiting behaviour itself is unchanged: a burst from one sender is shed.
+  for (int i = 0; i < 5; ++i) probe_from(9999);
+  EXPECT_GT(limited.stats().rate_limited, 0u);
+}
+
+}  // namespace
+}  // namespace biot::node
