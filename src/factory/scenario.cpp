@@ -97,11 +97,11 @@ void SmartFactory::bootstrap() {
     scheduler_.after(0.05, [this] {
       for (std::size_t d = 0; d < devices_.size(); ++d) {
         if (!sensors_[d]->sensitive()) continue;
-        const auto status = manager_->distribute_key(
+        const auto dist_status = manager_->distribute_key(
             devices_[d]->public_identity(), devices_[d]->node_id());
-        if (!status.is_ok())
+        if (!dist_status.is_ok())
           throw std::runtime_error("bootstrap: key distribution failed: " +
-                                   status.to_string());
+                                   dist_status.to_string());
       }
     });
   }
