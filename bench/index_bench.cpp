@@ -87,7 +87,7 @@ void data_query_path(const Bed& bed, double* brute_us, double* indexed_us) {
                            : bed.ahead.data_since(&sender, since, 64);
       results += out.size();
     }
-    benchmark_sink += results;
+    benchmark_sink = benchmark_sink + results;
     const double us = seconds_since(start) * 1e6 / queries;
     *(pass == 0 ? brute_us : indexed_us) = us;
   }
@@ -111,7 +111,7 @@ void sync_diff_path(const Bed& bed, double* brute_us, double* indexed_us) {
       for (const auto& id : bed.ahead.arrival_order())
         if (!peer_has.contains(id)) ++shipped;
     }
-    benchmark_sink += shipped;
+    benchmark_sink = benchmark_sink + shipped;
     *brute_us = seconds_since(start) * 1e6 / rounds;
   }
   {
@@ -125,7 +125,7 @@ void sync_diff_path(const Bed& bed, double* brute_us, double* indexed_us) {
       if (!diff.decoded) std::abort();
       shipped += diff.only_local.size();
     }
-    benchmark_sink += shipped;
+    benchmark_sink = benchmark_sink + shipped;
     *indexed_us = seconds_since(start) * 1e6 / rounds;
   }
 }

@@ -121,7 +121,7 @@ void selection_cost() {
       Rng rng(3);
       const auto start = std::chrono::steady_clock::now();
       for (int i = 0; i < reps; ++i)
-        benchmark_dummy += selector.select(bed.tangle, rng).first[0];
+        benchmark_dummy = benchmark_dummy + selector.select(bed.tangle, rng).first[0];
       const auto stop = std::chrono::steady_clock::now();
       return std::chrono::duration<double, std::micro>(stop - start).count() /
              reps;
