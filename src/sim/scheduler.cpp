@@ -12,10 +12,7 @@ void Scheduler::at(TimePoint t, Action action) {
 
 bool Scheduler::step() {
   if (queue_.empty()) return false;
-  // The underlying element is non-const; casting away the const that top()
-  // adds and moving out before pop() avoids copying the std::function.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event ev = queue_.pop_top();
   clock_.advance_to(ev.time);
   ++executed_;
   ev.action();

@@ -3,6 +3,7 @@
 // (time, insertion-sequence) order, so every simulation is deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -48,8 +49,22 @@ class Scheduler {
     }
   };
 
+  // std::priority_queue::top() is const even though the queue owns the
+  // element outright, so the standard interface forces a copy of the
+  // std::function on every pop. This wrapper reaches the protected
+  // container/comparator and re-heaps with std::pop_heap so the top
+  // element can be moved out — no const_cast, no copy.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
+    Event pop_top() {
+      std::pop_heap(c.begin(), c.end(), comp);
+      Event top = std::move(c.back());
+      c.pop_back();
+      return top;
+    }
+  };
+
   SimClock clock_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
