@@ -48,7 +48,7 @@ class AuthRegistry {
   /// sent and signed by a registered manager, with a decodable list payload.
   /// Each successful apply REPLACES that manager's list ("publish or
   /// update"); different managers' lists are independent.
-  Status apply(const tangle::Transaction& tx);
+  [[nodiscard]] Status apply(const tangle::Transaction& tx);
 
   bool is_authorized(const crypto::Ed25519PublicKey& device_sign_key) const {
     return devices_.contains(device_sign_key);

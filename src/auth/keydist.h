@@ -77,7 +77,7 @@ class DeviceKeyDist {
 
   /// Final step: verifies M3 (nonce_b echo, manager signature, timestamp);
   /// on success the key is confirmed established.
-  Status handle_m3(ByteView m3);
+  [[nodiscard]] Status handle_m3(ByteView m3);
 
   bool established() const { return established_; }
   const SymmetricKey& key() const;

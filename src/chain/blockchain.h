@@ -21,7 +21,7 @@ class Blockchain {
   ///  - PoW must meet the declared difficulty and the chain's minimum
   ///  - transactions must carry valid signatures
   /// The longest chain (by height, first-seen tie-break) becomes the head.
-  Status add(const Block& block);
+  [[nodiscard]] Status add(const Block& block);
 
   const Block* find(const BlockId& id) const;
   bool contains(const BlockId& id) const { return blocks_.contains(id); }

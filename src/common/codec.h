@@ -56,7 +56,7 @@ class Reader {
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
 
  private:
-  Status need(std::size_t n);
+  [[nodiscard]] Status need(std::size_t n);
   ByteView data_;
   std::size_t pos_ = 0;
 };

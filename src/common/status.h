@@ -29,8 +29,11 @@ enum class ErrorCode {
 /// Human-readable name of an error code ("unauthorized", "conflict", ...).
 std::string_view error_code_name(ErrorCode code) noexcept;
 
-/// A success-or-error outcome without a payload.
-class Status {
+/// A success-or-error outcome without a payload. Marked [[nodiscard]]: a
+/// dropped Status is exactly how a kConflict/kUnauthorized rejection turns
+/// into a silent accept, so every producer must be checked (or explicitly
+/// discarded with a void cast naming why).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(ErrorCode code, std::string message)
@@ -56,7 +59,7 @@ class Status {
 
 /// A value-or-error outcome. Accessing value() on an error throws.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT

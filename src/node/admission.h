@@ -263,8 +263,8 @@ class AdmissionPipeline {
   /// gateway's current time for live ingresses and the recorded arrival
   /// for replay — it is the timestamp every stage and observer sees, which
   /// is exactly why replay reproduces live derived state.
-  Status admit(const tangle::Transaction& tx, TimePoint arrival,
-               Ingress ingress);
+  [[nodiscard]] Status admit(const tangle::Transaction& tx, TimePoint arrival,
+                             Ingress ingress);
 
  private:
   Status reject(const tangle::Transaction& tx, TimePoint arrival,

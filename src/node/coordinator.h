@@ -23,7 +23,7 @@ class Coordinator {
   void start();
 
   /// Issues one milestone immediately; returns the admission status.
-  Status issue_milestone();
+  [[nodiscard]] Status issue_milestone();
 
   crypto::PublicIdentity public_identity() const {
     return identity_.public_identity();

@@ -133,7 +133,7 @@ class Gateway {
 
   /// Local (non-RPC) submission path used by in-process callers and tests.
   /// Performs the exact same admission pipeline as a kSubmitTx message.
-  Status submit(const tangle::Transaction& tx);
+  [[nodiscard]] Status submit(const tangle::Transaction& tx);
 
   /// Installs (or replaces) the data-quality inspector post-construction.
   /// Prefer GatewayConfig::quality_inspector so cold-start replay sees it.
@@ -199,7 +199,7 @@ class Gateway {
   void adopt_orphans(const tangle::TxId& arrived);
   /// Runs the staged admission pipeline, then retries any orphans the new
   /// transaction unblocks.
-  Status admit(const tangle::Transaction& tx, Ingress ingress);
+  [[nodiscard]] Status admit(const tangle::Transaction& tx, Ingress ingress);
   void reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
              const Bytes& body);
   TimePoint now() const { return network_.scheduler().now(); }

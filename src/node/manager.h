@@ -28,12 +28,12 @@ class Manager {
   /// Publishes `devices` as the new authorization list: builds the Eqn 1
   /// transaction, fetches tips, mines at the required difficulty and submits
   /// through the co-located gateway.
-  Status authorize(const std::vector<crypto::PublicIdentity>& devices);
+  [[nodiscard]] Status authorize(const std::vector<crypto::PublicIdentity>& devices);
 
   /// Starts the Fig 4 handshake with an authorized device. The device must
   /// have called LightNode::enable_keydist.
-  Status distribute_key(const crypto::PublicIdentity& device,
-                        sim::NodeId device_node);
+  [[nodiscard]] Status distribute_key(const crypto::PublicIdentity& device,
+                                      sim::NodeId device_node);
 
   bool session_established(const crypto::PublicIdentity& device) const {
     return keydist_.session_established(device);

@@ -38,7 +38,7 @@ class ArchiveWriter {
   ArchiveWriter(const ArchiveWriter&) = delete;
   ArchiveWriter& operator=(const ArchiveWriter&) = delete;
 
-  Status append(const tangle::Transaction& tx, TimePoint arrival);
+  [[nodiscard]] Status append(const tangle::Transaction& tx, TimePoint arrival);
   std::uint64_t records_written() const { return records_; }
 
  private:

@@ -23,7 +23,7 @@ Bytes serialize_tangle(const tangle::Tangle& tangle);
 Result<tangle::Tangle> deserialize_tangle(ByteView wire);
 
 /// File convenience wrappers.
-Status save_tangle(const tangle::Tangle& tangle, const std::string& path);
+[[nodiscard]] Status save_tangle(const tangle::Tangle& tangle, const std::string& path);
 Result<tangle::Tangle> load_tangle(const std::string& path);
 
 /// Graphviz DOT rendering of the DAG (tips highlighted), for debugging and

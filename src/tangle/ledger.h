@@ -25,10 +25,10 @@ class Ledger {
   ///  - kConflict          a different tx already holds (sender, sequence)
   ///  - kRejected          sequence already applied by this very tx (replay)
   ///  - kInvalidArgument   transfer with insufficient balance
-  Status check(const Transaction& tx) const;
+  [[nodiscard]] Status check(const Transaction& tx) const;
 
   /// check() then record the (sender, sequence) slot and move funds.
-  Status apply(const Transaction& tx);
+  [[nodiscard]] Status apply(const Transaction& tx);
 
   /// Replica-consistent application for gossiped/synced transactions.
   /// Two gateways may each accept one side of a double-spend before their
@@ -45,9 +45,13 @@ class Ledger {
     kConflictKeptExisting,   // conflict; incumbent wins (or unsafe to revert)
     kConflictDisplaced,      // conflict; newcomer won, incumbent reverted
   };
-  ApplyOutcome apply_resolving(const Transaction& tx);
+  [[nodiscard]] ApplyOutcome apply_resolving(const Transaction& tx);
 
   std::uint64_t balance(const AccountKey& account) const;
+  /// Sum of all account balances. Transfers move tokens without minting or
+  /// burning, so this must always equal the total seeded via credit() —
+  /// the conservation invariant tangle/audit.h checks.
+  std::uint64_t total_balance() const;
   /// Next unused sequence number for an account (0 for unseen accounts).
   std::uint64_t next_sequence(const AccountKey& account) const;
   /// Number of conflicts detected so far (double-spend attempts observed).

@@ -75,7 +75,7 @@ class Tangle {
   /// Validates structure (duplicate, parents known, signature, PoW) and
   /// attaches the transaction. Does NOT check credit-difficulty policy or
   /// ledger conflicts — those belong to the gateway (node layer).
-  Status add(const Transaction& tx, TimePoint arrival);
+  [[nodiscard]] Status add(const Transaction& tx, TimePoint arrival);
 
   bool contains(const TxId& id) const { return records_.contains(id); }
   /// Record access; nullptr when unknown.
@@ -161,6 +161,11 @@ class Tangle {
   const SetSketch& id_sketch() const { return id_sketch_; }
 
  private:
+  // Lets the auditor's negative tests corrupt internal state (weights,
+  // index entries, digests) on a rebuilt tangle to prove tangle/audit.h
+  // detects the damage. Defined only in tests — never in product code.
+  friend struct TangleTestAccess;
+
   void bump_generation();
   void index_tx(const Transaction& tx, const TxId& id, TimePoint arrival);
   static void insert_sorted(std::vector<IndexEntry>& index, IndexEntry entry);
