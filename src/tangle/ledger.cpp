@@ -94,4 +94,10 @@ std::uint64_t Ledger::next_sequence(const AccountKey& account) const {
   return it->second.used_sequences.rbegin()->first + 1;
 }
 
+std::uint64_t Ledger::total_balance() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, account] : accounts_) total += account.balance;
+  return total;
+}
+
 }  // namespace biot::tangle

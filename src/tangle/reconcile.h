@@ -83,6 +83,7 @@ class SetSketch {
 
     bool pure() const;       // exactly one id, in a known direction
     bool empty() const;
+    friend bool operator==(const Cell&, const Cell&) = default;
   };
 
   void apply(std::vector<Cell>& cells, const TxId& id, int direction) const;

@@ -47,6 +47,10 @@ class AdmissionTest : public ::testing::Test {
     gateway_.set_coordinator(coordinator_identity_.public_identity().sign_key);
   }
 
+  // Under BIOT_AUDIT=1 (sanitizer CI) every admission test ends with a full
+  // invariant audit of the replica it drove through the pipeline.
+  void TearDown() override { testutil::audit_if_enabled(gateway_.tangle()); }
+
   void authorize_device() {
     ASSERT_TRUE(
         manager_.authorize({device_.identity().public_identity()}).is_ok());

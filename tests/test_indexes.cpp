@@ -65,6 +65,7 @@ class RandomTangleTest : public ::testing::Test {
       EXPECT_TRUE(t.add(tx, arrival).is_ok());
       ids.push_back(tx.id());
     }
+    testutil::audit_if_enabled(t);  // BIOT_AUDIT=1: full invariant sweep
     return t;
   }
 };

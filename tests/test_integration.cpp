@@ -5,6 +5,7 @@
 
 #include "factory/metrics.h"
 #include "factory/scenario.h"
+#include "test_util.h"
 
 namespace biot::factory {
 namespace {
@@ -17,6 +18,24 @@ ScenarioConfig fast_config() {
   c.device.profile.hash_rate_hz = 1e6;
   c.device.collect_interval = 0.5;
   return c;
+}
+
+/// Runs the invariant auditor over every gateway replica the scenario
+/// built, with ledger conservation (scenarios seed no balances, so the
+/// total must be zero) and credit-activity cross-checks bound in.
+void audit_factory(SmartFactory& factory) {
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    const auto& gateway = factory.gateway(g);
+    tangle::AuditInputs inputs;
+    inputs.ledger = &gateway.ledger();
+    inputs.expected_supply = 0;
+    inputs.credit_valid_tx_count =
+        [&gateway](const tangle::AccountKey& key) -> std::size_t {
+      const auto* model = gateway.credit_registry().find(key);
+      return model == nullptr ? 0 : model->valid_tx_count();
+    };
+    testutil::expect_audit_clean(gateway.tangle(), inputs);
+  }
 }
 
 TEST(SmartFactory, BootstrapAuthorizesAllDevices) {
@@ -39,6 +58,7 @@ TEST(SmartFactory, DevicesProduceAcceptedTransactions) {
   for (std::size_t d = 0; d < factory.device_count(); ++d) {
     EXPECT_GT(factory.device(d).stats().accepted, 0u) << "device " << d;
   }
+  audit_factory(factory);
 }
 
 TEST(SmartFactory, GatewayReplicasConverge) {
@@ -51,6 +71,7 @@ TEST(SmartFactory, GatewayReplicasConverge) {
   for (std::size_t g = 1; g < factory.gateway_count(); ++g) {
     EXPECT_EQ(factory.gateway(g).tangle().size(), size0);
   }
+  audit_factory(factory);
 }
 
 TEST(SmartFactory, SensitiveDeviceEncryptsAfterKeyDistribution) {
@@ -230,6 +251,7 @@ TEST(SmartFactory, OutOfOrderGossipIsAdoptedNotDropped) {
   const auto s0 = factory.gateway(0).tangle().size();
   const auto s1 = factory.gateway(1).tangle().size();
   EXPECT_LE(std::max(s0, s1) - std::min(s0, s1), 8u);
+  audit_factory(factory);
 }
 
 TEST(SmartFactory, AntiEntropyFullyHealsPartition) {
@@ -261,6 +283,9 @@ TEST(SmartFactory, AntiEntropyFullyHealsPartition) {
   EXPECT_GT(factory.gateway(0).stats().sync_txs_applied +
                 factory.gateway(1).stats().sync_txs_applied,
             0u);
+  // The sync path rebuilt gateway 1's history out of arrival order — the
+  // hardest case for the incremental indexes; audit both replicas.
+  audit_factory(factory);
 }
 
 TEST(SmartFactory, SyncIdleWhenReplicasAgree) {
@@ -382,6 +407,9 @@ TEST(SmartFactory, CrossGatewayDoubleSpendConvergesOnOneWinner) {
             config.gateway.credit.max_difficulty);
   EXPECT_EQ(factory.gateway(1).required_difficulty(rogue_key),
             config.gateway.credit.max_difficulty);
+  // Conflicting history attached on both replicas — the ledger resolved the
+  // slot; the tangle's incremental state must still audit clean.
+  audit_factory(factory);
 }
 
 TEST(SmartFactory, ThroughputScalesWithDeviceCount) {

@@ -7,6 +7,7 @@
 #include "factory/scenario.h"
 #include "storage/archive.h"
 #include "storage/tangle_io.h"
+#include "test_util.h"
 
 namespace biot {
 namespace {
@@ -34,7 +35,9 @@ class RestoreTest : public ::testing::Test {
   }
 
   /// Round-trips gateway 0's replica through serialization and rebuilds a
-  /// fresh gateway from it.
+  /// fresh gateway from it. Both the live source replica and the restored
+  /// one (whose incremental state was rebuilt by deserialize + replay) must
+  /// pass the invariant audit.
   node::Gateway restore(sim::Network& network) {
     const Bytes wire = storage::serialize_tangle(factory_.gateway(0).tangle());
     auto reloaded = storage::deserialize_tangle(wire);
@@ -49,6 +52,25 @@ class RestoreTest : public ::testing::Test {
   factory::SmartFactory factory_;
   crypto::Identity gateway_identity_ = crypto::Identity::deterministic(77);
 };
+
+TEST_F(RestoreTest, LiveAndRestoredReplicasAuditClean) {
+  // The restored replica's incremental state (weights, depths, indexes,
+  // anti-entropy summaries) was rebuilt by deserialize + pipeline replay;
+  // both it and the live source must satisfy every tangle invariant.
+  sim::Scheduler sched;
+  sim::Network net(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1));
+  auto restored = restore(net);
+  testutil::expect_audit_clean(factory_.gateway(0).tangle());
+  tangle::AuditInputs inputs;
+  inputs.ledger = &restored.ledger();
+  inputs.expected_supply = 0;  // scenarios seed no balances
+  inputs.credit_valid_tx_count =
+      [&restored](const tangle::AccountKey& key) -> std::size_t {
+    const auto* model = restored.credit_registry().find(key);
+    return model == nullptr ? 0 : model->valid_tx_count();
+  };
+  testutil::expect_audit_clean(restored.tangle(), inputs);
+}
 
 TEST_F(RestoreTest, TangleIdentical) {
   sim::Scheduler sched;
@@ -177,6 +199,9 @@ TEST(LivePrune, GatewayPrunesAndDevicesReanchor) {
   factory.run_until(40.0);
   EXPECT_GT(factory.gateway(0).tangle().size(), 20u);
   EXPECT_GT(factory.gateway(0).ledger().next_sequence(device0_key), seq_before);
+  // The pruned hot set was rebuilt around a fresh snapshot genesis; its
+  // incremental state must audit clean too.
+  testutil::expect_audit_clean(factory.gateway(0).tangle());
 }
 
 TEST(Lifecycle, RunPruneArchiveRestoreContinue) {
@@ -251,6 +276,7 @@ TEST(Lifecycle, RunPruneArchiveRestoreContinue) {
   const auto archived = storage::read_archive(archive_path);
   ASSERT_TRUE(archived.is_ok());
   EXPECT_EQ(archived.value().size(), pre_prune - 1);
+  testutil::expect_audit_clean(restored.tangle());
   std::remove(archive_path.c_str());
   std::remove(tangle_path.c_str());
 }

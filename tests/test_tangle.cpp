@@ -15,6 +15,10 @@ class TangleTest : public ::testing::Test {
  protected:
   TangleTest() : tangle_(Tangle::make_genesis()), alice_(1), bob_(2) {}
 
+  // Under BIOT_AUDIT=1 (sanitizer CI) every test ends with a full
+  // invariant audit of whatever DAG it built.
+  void TearDown() override { testutil::audit_if_enabled(tangle_); }
+
   Transaction attach(TxFactory& who, const TxId& p1, const TxId& p2,
                      TimePoint t = 0.0) {
     auto tx = who.make(p1, p2, 4, {}, t);

@@ -1,11 +1,41 @@
-// Shared helpers for building valid (signed + mined) transactions in tests.
+// Shared helpers for building valid (signed + mined) transactions in tests,
+// plus the invariant-audit hooks (tangle/audit.h) the suites call at the end
+// of scenario-building tests.
 #pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "consensus/pow.h"
 #include "crypto/identity.h"
+#include "tangle/audit.h"
 #include "tangle/transaction.h"
 
 namespace biot::testutil {
+
+/// Runs the invariant auditor and fails the calling test on any violation.
+/// Integration/restore suites call this unconditionally on every tangle
+/// they build — an admission-path regression that corrupts incremental
+/// state surfaces here even if no assertion looked at the damaged field.
+inline void expect_audit_clean(const tangle::Tangle& tangle,
+                               const tangle::AuditInputs& inputs = {}) {
+  const auto report = tangle::audit(tangle, inputs);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+/// True when BIOT_AUDIT=1 (exported by the sanitizer CI jobs).
+inline bool audit_env_enabled() {
+  const char* value = std::getenv("BIOT_AUDIT");
+  return value != nullptr && value[0] == '1';
+}
+
+/// Opt-in audit for the broader suites: the O(n * E) sweep only runs when
+/// BIOT_AUDIT=1, so routine local runs stay fast while the sanitizer CI
+/// jobs audit every tangle these call sites build.
+inline void audit_if_enabled(const tangle::Tangle& tangle) {
+  if (audit_env_enabled()) expect_audit_clean(tangle);
+}
 
 /// Builds correctly signed and mined transactions for one sender.
 class TxFactory {

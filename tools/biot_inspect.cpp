@@ -4,6 +4,8 @@
 //   biot_inspect tangle.bin            summarize a tangle file
 //   biot_inspect --archive txs.arc     summarize an archive
 //   biot_inspect tangle.bin --dot out.dot    also export Graphviz
+//   biot_inspect tangle.bin --audit    run the invariant auditor (exit 2
+//                                      when any invariant is violated)
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -11,6 +13,7 @@
 #include "cli_args.h"
 #include "storage/archive.h"
 #include "storage/tangle_io.h"
+#include "tangle/audit.h"
 
 using namespace biot;
 
@@ -78,6 +81,12 @@ int inspect_tangle(const std::string& path, const tools::CliArgs& args) {
       std::printf("DAG exported to %s\n", out_path.c_str());
     }
   }
+
+  if (args.has("audit")) {
+    const auto report = tangle::audit(tangle.value());
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.ok()) return 2;
+  }
   return 0;
 }
 
@@ -100,7 +109,7 @@ int inspect_archive(const std::string& path) {
 int main(int argc, char** argv) {
   const tools::CliArgs args(argc, argv);
   if (args.positional().empty() || args.has("help")) {
-    std::puts("usage: biot_inspect [--archive] FILE [--dot OUT.dot]");
+    std::puts("usage: biot_inspect [--archive] FILE [--dot OUT.dot] [--audit]");
     return args.has("help") ? 0 : 1;
   }
   const auto& path = args.positional().front();
