@@ -1,0 +1,25 @@
+#include "common/status.h"
+
+namespace biot {
+const char* name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kBad:
+      return "bad";
+  }
+  return "?";
+}
+
+// Suppressed non-exhaustive switch: the allow() carries a rationale and
+// sits directly above the switch statement.
+const char* coarse(ErrorCode code) {
+  // biot-lint: allow(enum-switch) fixture: demonstrates a justified default
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    default:
+      return "error";
+  }
+}
+}  // namespace biot

@@ -1,0 +1,10 @@
+// Fixture: minimal guarded-enum header. biot_lint parses ErrorCode from
+// this path, so the fixture tree exercises the real lookup logic.
+#pragma once
+
+namespace biot {
+enum class ErrorCode {
+  kOk = 0,
+  kBad,
+};
+}  // namespace biot

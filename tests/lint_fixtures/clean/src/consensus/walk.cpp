@@ -1,0 +1,10 @@
+#include <map>
+
+namespace biot::consensus {
+int lookup(const std::map<int, int>& m, int id) {
+  auto it = m.find(id);
+  if (it == m.end()) return -1;
+  // Parent ids are attach-checked before insertion, so presence holds.
+  return m.at(id);  // biot-lint: allow(checked-at) attach-checked above
+}
+}  // namespace biot::consensus

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <cstddef>
+
+namespace biot::tangle {
+class Tangle {
+ public:
+  std::size_t weight(int id) const;
+  // Reference twin, cross-checked in tests/.
+  std::size_t weight_brute_force(int id) const;
+};
+}  // namespace biot::tangle

@@ -1,0 +1,2 @@
+// Fixture test: mentions weight_brute_force so the twin rule is satisfied.
+// EXPECT_EQ(t.weight(id), t.weight_brute_force(id));

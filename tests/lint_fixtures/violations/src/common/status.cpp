@@ -1,0 +1,13 @@
+#include "node/helper.h"
+#include "common/status.h"
+
+namespace biot {
+const char* name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    default:
+      return "error";
+  }
+}
+}  // namespace biot

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace biot {
+enum class ErrorCode {
+  kOk = 0,
+  kBad,
+  kUgly,
+};
+}  // namespace biot

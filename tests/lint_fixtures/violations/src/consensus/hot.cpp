@@ -1,0 +1,10 @@
+#include <map>
+
+namespace biot::consensus {
+int lookup(const std::map<int, int>& m, int id) {
+  return m.at(id);
+}
+int lookup2(const std::map<int, int>& m, int id) {
+  return m.at(id);  // biot-lint: allow(checked-at)
+}
+}  // namespace biot::consensus

@@ -1,0 +1,6 @@
+#include "../common/status.h"
+
+namespace biot::node {
+// Orphan reference implementation: no incremental twin, never tested.
+int score_brute_force(int id);
+}  // namespace biot::node

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/biot_lint.py.
+
+Runs the linter over the fixture trees in tests/lint_fixtures/: the `clean`
+tree must pass (including the suppression paths — a justified allow() on an
+enum switch and on a hot-path .at()), and the `violations` tree must trip
+every rule with a finding at the seeded location. These negative cases are
+what prove the gate gates: a linter that never fires passes CI vacuously.
+"""
+
+import pathlib
+import subprocess
+import sys
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "biot_lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+
+def run_lint(root: pathlib.Path):
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root)],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout
+
+
+class CleanTree(unittest.TestCase):
+    def test_passes(self):
+        code, out = run_lint(FIXTURES / "clean")
+        self.assertEqual(code, 0, out)
+        self.assertIn("biot-lint: clean", out)
+
+
+class ViolationsTree(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.out = run_lint(FIXTURES / "violations")
+
+    def assert_finding(self, location: str, rule: str):
+        needle = f"{location}: [{rule}]"
+        self.assertIn(needle, self.out, f"expected {needle!r} in:\n{self.out}")
+
+    def test_exit_code(self):
+        self.assertEqual(self.code, 1, self.out)
+
+    def test_enum_switch_default_arm(self):
+        self.assert_finding("src/common/status.cpp:6", "enum-switch")
+        self.assertIn("`default:` arm", self.out)
+
+    def test_enum_switch_missing_enumerators(self):
+        self.assertIn("does not handle: kBad, kUgly", self.out)
+
+    def test_include_first_include_is_own_header(self):
+        self.assert_finding("src/common/status.cpp:1", "include-hygiene")
+        self.assertIn("include your own header first", self.out)
+
+    def test_include_parent_escape(self):
+        self.assert_finding("src/node/helper.h:1", "include-hygiene")
+        self.assertIn("escapes the include root", self.out)
+
+    def test_include_missing_pragma_once(self):
+        self.assertIn("src/node/helper.h: [include-hygiene] src/ header is "
+                      "missing `#pragma once`", self.out)
+
+    def test_checked_at_unchecked(self):
+        self.assert_finding("src/consensus/hot.cpp:5", "checked-at")
+
+    def test_checked_at_allow_requires_rationale(self):
+        self.assert_finding("src/consensus/hot.cpp:8", "checked-at")
+        self.assertIn("without a rationale", self.out)
+
+    def test_brute_force_twin_missing(self):
+        self.assert_finding("src/node/helper.h:5", "brute-force-twin")
+        self.assertIn("has no incremental twin", self.out)
+
+    def test_brute_force_never_tested(self):
+        self.assertIn("never cross-checked under tests/", self.out)
+
+
+class RealTree(unittest.TestCase):
+    def test_repository_is_clean(self):
+        # The gate over the real tree must hold; if this fails, a rule fired
+        # on production code and either the code or an allow() needs fixing.
+        code, out = run_lint(REPO)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""biot-lint: project-specific correctness rules clang-tidy cannot express.
+
+Rules (each can be suppressed on a line with `// biot-lint: allow(<rule>)`,
+optionally followed by a rationale — suppressions without one are rejected):
+
+  enum-switch      Every `switch` whose cases name a guarded enum
+                   (ErrorCode, Ingress, AdmissionStage, Behaviour, TxType)
+                   must list every enumerator and must not contain a
+                   `default:` label. A default arm is how a newly added
+                   ingress class or error code silently falls into
+                   somebody else's handling instead of failing to compile.
+
+  brute-force-twin Every `*_brute_force` reference implementation declared
+                   in a src/ header must sit next to its incremental twin
+                   (same header, same name minus the suffix) and must be
+                   exercised somewhere under tests/ — a reference path
+                   nobody cross-checks against is dead weight that rots.
+
+  checked-at       No unchecked `.at(` on the consensus / tip-selection
+                   hot paths (src/consensus/*.cpp, src/tangle/
+                   tip_selection.cpp). These paths walk ids received from
+                   peers; an `.at()` that can throw on an unknown id is a
+                   remote crash. Lookups there must go through find() /
+                   contains() or carry an allow() with the invariant that
+                   guarantees presence.
+
+  include-hygiene  src/ headers start with `#pragma once`; no include path
+                   contains `../`; the first project include of every
+                   src/ .cpp is its own header (proves the header is
+                   self-contained).
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+# Enums whose switches must be exhaustive. Maps enum name -> header that
+# defines it (relative to the scan root). The enumerator list is parsed
+# from the header, so adding an enumerator automatically tightens the lint.
+GUARDED_ENUMS = {
+    "ErrorCode": "src/common/status.h",
+    "Ingress": "src/node/admission.h",
+    "AdmissionStage": "src/node/admission.h",
+    "Behaviour": "src/consensus/credit.h",
+    "TxType": "src/tangle/transaction.h",
+}
+
+# Hot paths where a throwing map lookup on a peer-supplied id is a crash.
+CHECKED_AT_PATHS = [
+    re.compile(r"^src/consensus/[^/]+\.cpp$"),
+    re.compile(r"^src/tangle/tip_selection\.cpp$"),
+]
+
+ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: pathlib.Path
+    line: int  # 1-based; 0 when the finding is file-scoped
+    message: str
+
+    def render(self, root: pathlib.Path) -> str:
+        rel = self.path.relative_to(root)
+        loc = f"{rel}:{self.line}" if self.line else str(rel)
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure,
+    so structural regexes (case labels, `.at(`) cannot match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append(" ")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], line_idx: int) -> dict[str, bool]:
+    """Suppressions on the given 0-based line or the line above it.
+    Maps rule name -> whether a rationale was given."""
+    rules: dict[str, bool] = {}
+    for idx in (line_idx - 1, line_idx):
+        if 0 <= idx < len(lines):
+            m = ALLOW_RE.search(lines[idx])
+            if m:
+                rules[m.group(1)] = bool(m.group(2))
+    return rules
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[Violation] = []
+        self.enums = self._parse_guarded_enums()
+
+    def add(self, rule: str, path: pathlib.Path, line: int, message: str,
+            lines: list[str] | None = None) -> None:
+        if lines is not None and line:
+            allows = allowed_rules(lines, line - 1)
+            if rule in allows:
+                if not allows[rule]:
+                    self.violations.append(Violation(
+                        rule, path, line,
+                        f"allow({rule}) without a rationale — state the "
+                        "invariant that makes this safe"))
+                return
+        self.violations.append(Violation(rule, path, line, message))
+
+    # -- enum parsing --------------------------------------------------------
+
+    def _parse_guarded_enums(self) -> dict[str, set[str]]:
+        enums: dict[str, set[str]] = {}
+        for name, rel in GUARDED_ENUMS.items():
+            header = self.root / rel
+            if not header.exists():
+                continue  # layout changed; enum-switch degrades gracefully
+            text = strip_comments_and_strings(header.read_text())
+            m = re.search(
+                rf"enum\s+class\s+{name}\b[^{{]*\{{(.*?)\}}", text, re.S)
+            if not m:
+                continue
+            body = m.group(1)
+            members = set(re.findall(r"\b(k[A-Za-z0-9_]+)\b", body))
+            if members:
+                enums[name] = members
+        return enums
+
+    # -- rules ---------------------------------------------------------------
+
+    def check_enum_switch(self, path: pathlib.Path, text: str,
+                          lines: list[str]) -> None:
+        for m in re.finditer(r"\bswitch\s*\(", text):
+            start_line = text.count("\n", 0, m.start()) + 1
+            body, body_start = self._switch_body(text, m.end() - 1)
+            if body is None:
+                continue
+            used = {name for name in self.enums
+                    if re.search(rf"\bcase\s+(?:\w+::)*{name}::", body)}
+            if not used:
+                continue
+            allows = allowed_rules(lines, start_line - 1)
+            if "enum-switch" in allows:
+                if not allows["enum-switch"]:
+                    self.add("enum-switch", path, start_line,
+                             "allow(enum-switch) without a rationale")
+                continue
+            if re.search(r"\bdefault\s*:", body):
+                self.add("enum-switch", path, start_line,
+                         f"switch over {'/'.join(sorted(used))} has a "
+                         "`default:` arm — it would silently swallow newly "
+                         "added enumerators; enumerate every case instead")
+            for name in used:
+                cased = set(re.findall(
+                    rf"\bcase\s+(?:\w+::)*{name}::(k[A-Za-z0-9_]+)", body))
+                missing = self.enums[name] - cased
+                if missing:
+                    self.add("enum-switch", path, start_line,
+                             f"switch over {name} does not handle: "
+                             + ", ".join(sorted(missing)))
+
+    @staticmethod
+    def _switch_body(text: str, paren_open: int):
+        """Returns the brace-delimited body following switch's condition."""
+        depth = 0
+        i = paren_open
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        brace = text.find("{", i)
+        if brace < 0:
+            return None, 0
+        depth = 0
+        for j in range(brace, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return text[brace + 1:j], brace
+        return None, 0
+
+    def check_brute_force_twins(self) -> None:
+        decl_re = re.compile(r"\b(\w+)_brute_force\s*\(")
+        test_text = "".join(
+            p.read_text() for p in sorted((self.root / "tests").glob("*.cpp")))
+        for header in sorted((self.root / "src").rglob("*.h")):
+            text = strip_comments_and_strings(header.read_text())
+            for m in decl_re.finditer(text):
+                base = m.group(1)
+                line = text.count("\n", 0, m.start()) + 1
+                if not re.search(rf"\b{base}\s*\(", text.replace(
+                        f"{base}_brute_force", "")):
+                    self.add("brute-force-twin", header, line,
+                             f"{base}_brute_force has no incremental twin "
+                             f"`{base}(...)` in the same header")
+                if f"{base}_brute_force" not in test_text:
+                    self.add("brute-force-twin", header, line,
+                             f"{base}_brute_force is never cross-checked "
+                             "under tests/ — add a test comparing it against "
+                             f"{base}()")
+
+    def check_checked_at(self, rel: str, path: pathlib.Path, text: str,
+                         lines: list[str]) -> None:
+        if not any(p.match(rel) for p in CHECKED_AT_PATHS):
+            return
+        for i, line in enumerate(strip_comments_and_strings(text).split("\n")):
+            if re.search(r"\.\s*at\s*\(", line):
+                self.add("checked-at", path, i + 1,
+                         "`.at()` on a consensus/tip-selection hot path can "
+                         "throw on a peer-supplied id — use find()/contains() "
+                         "or allow() with the invariant guaranteeing presence",
+                         lines)
+
+    def check_include_hygiene(self, rel: str, path: pathlib.Path,
+                              text: str, lines: list[str]) -> None:
+        includes = [(i + 1, m.group(1))
+                    for i, line in enumerate(lines)
+                    for m in [re.match(r'\s*#include\s+"([^"]+)"', line)]
+                    if m]
+        for line_no, inc in includes:
+            if "../" in inc:
+                self.add("include-hygiene", path, line_no,
+                         f'include path "{inc}" escapes the include root — '
+                         "include project headers relative to src/", lines)
+        if path.suffix == ".h":
+            if "#pragma once" not in text:
+                self.add("include-hygiene", path, 0,
+                         "src/ header is missing `#pragma once`")
+        elif path.suffix == ".cpp":
+            own = path.with_suffix(".h")
+            if own.exists() and includes:
+                expected = own.relative_to(self.root / "src").as_posix()
+                line_no, first = includes[0]
+                if first != expected:
+                    self.add("include-hygiene", path, line_no,
+                             f'first project include is "{first}" but this '
+                             f'file implements "{expected}" — include your '
+                             "own header first to prove it is self-contained",
+                             lines)
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> list[Violation]:
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            raw = path.read_text()
+            lines = raw.split("\n")
+            stripped = strip_comments_and_strings(raw)
+            rel = path.relative_to(self.root).as_posix()
+            self.check_enum_switch(path, stripped, lines)
+            self.check_checked_at(rel, path, raw, lines)
+            self.check_include_hygiene(rel, path, raw, lines)
+        if (self.root / "tests").is_dir():
+            self.check_brute_force_twins()
+        return self.violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/ and tests/)")
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"biot-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    violations = Linter(root).run()
+    for v in violations:
+        print(v.render(root))
+    if violations:
+        print(f"biot-lint: {len(violations)} violation(s)")
+        return 1
+    print("biot-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
