@@ -1,0 +1,159 @@
+// Chaos soak: randomized (but seeded) fault plans — crash/restart cycles,
+// a partition window, sustained loss + duplication + reordering + payload
+// corruption — against a live smart factory, reporting adversarial-fault
+// stats and how long the fleet takes to re-converge after the final heal.
+// The ConvergenceChecker verdict is the headline: replicas that survived a
+// soak must be audit-clean and digest-identical, or the run is a failure.
+#include <cstdio>
+
+#include "factory/scenario.h"
+#include "node/convergence.h"
+#include "sim/chaos.h"
+
+namespace {
+using namespace biot;
+
+struct Preset {
+  const char* name;
+  sim::FaultPlan::SoakOptions soak;
+};
+
+struct Row {
+  double tps = 0.0;
+  sim::NetworkStats net;
+  sim::ChaosStats chaos;
+  std::uint64_t sync_fallbacks = 0;
+  double convergence_s = -1.0;  // post-heal seconds until digest equality
+  bool converged = false;       // full ConvergenceChecker verdict
+};
+
+bool digests_equal(factory::SmartFactory& factory) {
+  const auto& ref = factory.gateway(0).tangle();
+  for (std::size_t g = 1; g < factory.gateway_count(); ++g) {
+    const auto& t = factory.gateway(g).tangle();
+    if (t.size() != ref.size() || !(t.id_digest() == ref.id_digest()))
+      return false;
+  }
+  return true;
+}
+
+Row run(const Preset& preset, std::uint64_t seed) {
+  factory::ScenarioConfig config;
+  config.num_devices = 6;
+  config.num_gateways = 3;
+  config.distribute_keys = false;
+  config.seed = seed;
+  config.device.collect_interval = 0.5;
+  config.device.profile = sim::DeviceProfile::pi3b_fig9();
+  config.gateway.sync_interval = 1.0;
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  std::vector<sim::NodeId> gateways;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    gateways.push_back(factory.gateway(g).node_id());
+
+  Rng rng(seed * 0xc4a05ull + 7);
+  const auto plan =
+      sim::FaultPlan::random_soak(gateways, rng, preset.soak);
+
+  std::unordered_map<sim::NodeId, std::size_t> index_of;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    index_of[factory.gateway(g).node_id()] = g;
+  sim::ChaosEngine engine(
+      factory.network(),
+      [&](sim::NodeId id) { factory.crash_gateway(index_of.at(id)); },
+      [&](sim::NodeId id) { factory.restart_gateway(index_of.at(id)); });
+  engine.schedule(plan);
+
+  const double horizon = preset.soak.horizon;
+  engine.schedule_finale(horizon);
+  factory.run_until(horizon);
+  factory.stop_devices();
+
+  Row row;
+  row.tps = factory.throughput(horizon * 0.1, horizon);
+
+  // Post-heal convergence time: step the clock until every replica carries
+  // the same id set (digest + size), in 0.25 s increments.
+  const double step = 0.25, cap = 60.0;
+  for (double t = 0.0; t <= cap; t += step) {
+    factory.run_until(horizon + t);
+    if (digests_equal(factory)) {
+      row.convergence_s = t;
+      break;
+    }
+  }
+
+  node::ConvergenceChecker checker;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    checker.add_replica(&factory.gateway(g));
+  const auto report = checker.check();
+  row.converged = report.ok();
+  if (!row.converged)
+    std::printf("-- %s seed=%llu:\n%s\n", preset.name,
+                static_cast<unsigned long long>(seed),
+                report.to_string().c_str());
+
+  row.net = factory.network().stats();
+  row.chaos = engine.stats();
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    row.sync_fallbacks += factory.gateway(g).stats().sync_fallbacks;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Preset mild{"mild", {}};
+  mild.soak.partition_at = 20.0;
+
+  Preset harsh{"harsh", {}};
+  harsh.soak.loss = 0.15;
+  harsh.soak.duplication = 0.10;
+  harsh.soak.reorder = 0.40;
+  harsh.soak.corruption = 0.05;
+  harsh.soak.crash_cycles = 3;
+  harsh.soak.max_downtime = 8.0;
+  // Partition persists into the finale, so the post-heal convergence time
+  // actually measures anti-entropy repairing a freshly healed split.
+  harsh.soak.partition_at = 45.0;
+  harsh.soak.partition_for = 30.0;
+
+  std::printf("# Randomized chaos soak (60 s horizon, 3 gateways, "
+              "6 devices, sync every 1 s; convergence measured after the "
+              "final heal)\n");
+  std::printf("%-7s %-5s | %7s %9s %6s %8s %8s %7s %9s %10s %s\n", "preset",
+              "seed", "tps", "delivered", "dup", "reorder", "corrupt",
+              "crashes", "fallbacks", "conv_time", "verdict");
+
+  bool all_ok = true;
+  for (const auto& preset : {mild, harsh}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const auto row = run(preset, seed);
+      all_ok = all_ok && row.converged;
+      char conv[32];
+      if (row.convergence_s >= 0.0)
+        std::snprintf(conv, sizeof conv, "%.2fs", row.convergence_s);
+      else
+        std::snprintf(conv, sizeof conv, ">60s");
+      std::printf("%-7s %-5llu | %7.2f %9llu %6llu %8llu %8llu %7llu %9llu "
+                  "%10s %s\n",
+                  preset.name, static_cast<unsigned long long>(seed), row.tps,
+                  static_cast<unsigned long long>(row.net.delivered),
+                  static_cast<unsigned long long>(row.net.duplicated),
+                  static_cast<unsigned long long>(row.net.reordered),
+                  static_cast<unsigned long long>(row.net.corrupted),
+                  static_cast<unsigned long long>(row.chaos.crashes),
+                  static_cast<unsigned long long>(row.sync_fallbacks), conv,
+                  row.converged ? "CONVERGED" : "FAILED");
+    }
+  }
+
+  std::printf("\n# expected: every row CONVERGED — corruption is rejected at "
+              "decode/signature/PoW, duplicates are idempotent, and "
+              "anti-entropy heals crash gaps and partitions within a few "
+              "sync rounds of the final heal.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "factory/scenario.h"
 
+#include "storage/tangle_io.h"
+
 namespace biot::factory {
 
 SmartFactory::SmartFactory(ScenarioConfig config)
@@ -105,6 +107,32 @@ void SmartFactory::bootstrap() {
       }
     });
   }
+}
+
+void SmartFactory::crash_gateway(std::size_t i) {
+  auto& g = gateway(i);
+  if (!g.running()) return;
+  if (persisted_.size() < gateways_.size()) persisted_.resize(gateways_.size());
+  // Persist first (the crashing process's disk survives), then kill it.
+  persisted_[i] = storage::serialize_tangle(g.tangle());
+  g.stop();
+}
+
+void SmartFactory::restart_gateway(std::size_t i) {
+  auto& g = gateway(i);
+  if (g.running()) return;
+  if (i >= persisted_.size() || persisted_[i].empty())
+    throw std::runtime_error("restart_gateway: no persisted replica");
+  auto restored = storage::deserialize_tangle(persisted_[i]);
+  if (!restored)
+    throw std::runtime_error("restart_gateway: snapshot rejected: " +
+                             restored.status().to_string());
+  g.restart(restored.value());
+}
+
+void SmartFactory::stop_devices() {
+  for (auto& d : devices_) d->stop();
+  for (auto& d : unauthorized_) d->stop();
 }
 
 std::size_t SmartFactory::add_unauthorized_device(node::LightNodeConfig config) {

@@ -62,6 +62,25 @@ class SmartFactory {
   std::size_t device_count() const { return devices_.size(); }
   SensorModel& sensor(std::size_t i) { return *sensors_.at(i); }
 
+  /// Crash gateway `i` mid-simulation: persists its tangle replica (the
+  /// on-disk copy a real gateway maintains continuously), then stops it —
+  /// detach + drop of all in-flight state. Devices homed on it will time
+  /// out and fail over.
+  void crash_gateway(std::size_t i);
+
+  /// Restarts a crashed gateway from its persisted replica: deserializes
+  /// the snapshot (full structural re-validation), replays it through the
+  /// admission pipeline (cold-start path), re-attaches and resumes sync.
+  /// Throws if the snapshot fails validation — a corrupt snapshot must not
+  /// silently boot an empty gateway.
+  void restart_gateway(std::size_t i);
+
+  bool gateway_running(std::size_t i) { return gateway(i).running(); }
+
+  /// Quiesces all (authorized + unauthorized) devices — used before
+  /// convergence checking so replicas only exchange anti-entropy traffic.
+  void stop_devices();
+
   /// Adds an extra light node with a fresh identity that is NOT in the
   /// authorization list (Sybil / DDoS attacker). Returns its index in the
   /// unauthorized pool.
@@ -93,6 +112,10 @@ class SmartFactory {
   // deque: device lambdas capture pointers to elements; push_back must not
   // invalidate them.
   std::deque<Rng> sensor_rngs_;
+  /// Per-gateway persisted replica, written at crash time (stands in for the
+  /// continuous on-disk persistence of a real deployment). Empty = never
+  /// crashed.
+  std::vector<Bytes> persisted_;
   sim::NodeId next_node_id_ = 1;
 };
 

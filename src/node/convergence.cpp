@@ -1,0 +1,92 @@
+#include "node/convergence.h"
+
+#include "tangle/audit.h"
+
+namespace biot::node {
+
+namespace {
+
+std::string replica_tag(const Gateway& g) {
+  return "gateway " + std::to_string(g.node_id());
+}
+
+}  // namespace
+
+std::string ConvergenceReport::to_string() const {
+  std::string out;
+  if (ok()) {
+    out = "converged (" + std::to_string(replicas_checked) + " replicas";
+    if (replicas_skipped > 0)
+      out += ", " + std::to_string(replicas_skipped) + " stopped";
+    out += ")";
+    return out;
+  }
+  if (replicas_checked == 0) return "convergence: no running replica";
+  out = "convergence FAILED (" + std::to_string(violations.size()) +
+        " violations across " + std::to_string(replicas_checked) +
+        " replicas)";
+  for (const auto& v : violations) out += "\n  " + v;
+  return out;
+}
+
+ConvergenceReport ConvergenceChecker::check() const {
+  ConvergenceReport report;
+  std::vector<const Gateway*> running;
+  for (const auto* g : replicas_) {
+    if (g->running())
+      running.push_back(g);
+    else
+      ++report.replicas_skipped;
+  }
+  report.replicas_checked = running.size();
+  if (running.empty()) return report;
+
+  if (options_.audit_replicas) {
+    for (const auto* g : running) {
+      tangle::AuditInputs inputs;
+      inputs.ledger = &g->ledger();
+      inputs.expected_supply = options_.expected_supply;
+      inputs.credit_valid_tx_count = [g](const tangle::AccountKey& key) {
+        const auto* model = g->credit_registry().find(key);
+        return model ? model->valid_tx_count() : 0;
+      };
+      const auto audit = tangle::audit(g->tangle(), inputs);
+      for (const auto& v : audit.violations)
+        report.violations.push_back(replica_tag(*g) + ": " + v.check + ": " +
+                                    v.detail);
+    }
+  }
+
+  // Pairwise agreement against the first running replica. Digest + sketch
+  // + size agreeing pins the id *set*; ledger total and the milestone
+  // frontier pin the derived state the paper's consumers act on.
+  const auto& ref = *running.front();
+  for (std::size_t i = 1; i < running.size(); ++i) {
+    const auto& g = *running[i];
+    const auto mismatch = [&](const std::string& what, auto a, auto b) {
+      report.violations.push_back(
+          replica_tag(g) + ": " + what + " " + std::to_string(b) +
+          " != " + std::to_string(a) + " on " + replica_tag(ref));
+    };
+    if (g.tangle().size() != ref.tangle().size())
+      mismatch("tangle size", ref.tangle().size(), g.tangle().size());
+    if (!(g.tangle().id_digest() == ref.tangle().id_digest()))
+      report.violations.push_back(replica_tag(g) + ": id digest differs from " +
+                                  replica_tag(ref));
+    if (!(g.tangle().id_sketch() == ref.tangle().id_sketch()))
+      report.violations.push_back(replica_tag(g) + ": id sketch differs from " +
+                                  replica_tag(ref));
+    if (g.ledger().total_balance() != ref.ledger().total_balance())
+      mismatch("ledger total", ref.ledger().total_balance(),
+               g.ledger().total_balance());
+    if (g.milestones().milestone_count() != ref.milestones().milestone_count())
+      mismatch("milestone count", ref.milestones().milestone_count(),
+               g.milestones().milestone_count());
+    if (g.milestones().confirmed_count() != ref.milestones().confirmed_count())
+      mismatch("confirmed frontier", ref.milestones().confirmed_count(),
+               g.milestones().confirmed_count());
+  }
+  return report;
+}
+
+}  // namespace biot::node

@@ -1,0 +1,59 @@
+// Convergence checker: turns "the cluster survived the chaos run" into a
+// checkable invariant (DESIGN.md section 8).
+//
+// After a fault plan ends (partition healed, rates zeroed, crashed gateways
+// restarted) and the anti-entropy protocol has had time to quiesce, every
+// surviving replica must (a) individually pass the full tangle::audit —
+// its incremental state re-derivable from scratch, ledger supply conserved,
+// credit counts consistent — and (b) agree with every other replica on the
+// identity of the history: transaction count, XOR id-digest, reconciliation
+// sketch, ledger total and the confirmed-milestone frontier. Stopped
+// replicas are skipped (a plan may deliberately end with a node down); at
+// least one replica must be running.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "node/gateway.h"
+
+namespace biot::node {
+
+struct ConvergenceOptions {
+  /// Run tangle::audit on every running replica (O(n*E) each). Disable only
+  /// for very large soaks where pairwise digest agreement is enough.
+  bool audit_replicas = true;
+  /// When set, every replica's ledger must sum to exactly this supply.
+  std::optional<std::uint64_t> expected_supply;
+};
+
+struct ConvergenceReport {
+  std::size_t replicas_checked = 0;  // running replicas examined
+  std::size_t replicas_skipped = 0;  // stopped (crashed, never restarted)
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty() && replicas_checked > 0; }
+  /// One-line verdict plus one line per violation.
+  std::string to_string() const;
+};
+
+class ConvergenceChecker {
+ public:
+  explicit ConvergenceChecker(ConvergenceOptions options = {})
+      : options_(options) {}
+
+  /// Registers a replica; stopped gateways are recorded and skipped at
+  /// check() time, so registering the whole fleet up front is fine.
+  void add_replica(const Gateway* gateway) { replicas_.push_back(gateway); }
+
+  /// Audits every running replica and compares each against the first
+  /// running one. Cheap digest comparisons run even when audits are off.
+  ConvergenceReport check() const;
+
+ private:
+  ConvergenceOptions options_;
+  std::vector<const Gateway*> replicas_;
+};
+
+}  // namespace biot::node

@@ -27,6 +27,7 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
       identity_(identity),
       network_(network),
       config_(std::move(config)),
+      manager_key_(manager_key),
       tangle_(genesis),
       auth_(manager_key),
       credit_(config_.credit),
@@ -87,6 +88,10 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
   // impossible by construction. Structural validity was already re-checked
   // when the tangle loaded (deserialize_tangle runs every signature and
   // PoW through Tangle::add).
+  replay(restored);
+}
+
+void Gateway::replay(const tangle::Tangle& restored) {
   for (const auto& id_in_order : restored.arrival_order()) {
     const auto* rec = restored.find(id_in_order);
     if (rec->tx.type == tangle::TxType::kGenesis) continue;
@@ -94,12 +99,55 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
   }
 }
 
+void Gateway::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++lifecycle_epoch_;  // expire pending sync ticks from this life
+  network_.detach(id_);
+  // In-flight state dies with the process: buffered orphans, rate-limiter
+  // buckets. Only what the pipeline admitted (the tangle) survives a crash,
+  // via whatever snapshot the driver persisted.
+  orphans_.clear();
+  orphan_count_ = 0;
+  buckets_.clear();
+  last_bucket_sweep_ = 0.0;
+}
+
+void Gateway::restart(const tangle::Tangle& restored) {
+  stop();  // no-op if already stopped; guarantees a clean slate either way
+  // Reset every derived-state member in place (Manager/Coordinator hold
+  // references to this object, so no destroy-and-reconstruct), then rebuild
+  // the pipeline over the fresh members and re-derive everything from the
+  // restored history — the same tamper-proof-credit replay as the restore
+  // constructor.
+  tangle_ = tangle::Tangle(restored.find(restored.genesis_id())->tx);
+  ledger_ = tangle::Ledger{};
+  auth_ = auth::AuthRegistry(manager_key_);
+  credit_ = consensus::CreditRegistry(config_.credit);
+  milestones_ = tangle::MilestoneTracker{};
+  stats_ = GatewayStats{};
+  build_pipeline();
+  replay(restored);
+  attach();
+}
+
 void Gateway::attach() {
+  running_ = true;
   network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
     on_message(from, wire);
   });
-  if (config_.sync_interval > 0.0)
-    network_.scheduler().after(config_.sync_interval, [this] { sync_tick(); });
+  schedule_sync();
+}
+
+void Gateway::schedule_sync() {
+  if (config_.sync_interval <= 0.0) return;
+  network_.scheduler().after(
+      config_.sync_interval, [this, epoch = lifecycle_epoch_] {
+        // A tick scheduled before a stop() must not fire against the reborn
+        // gateway (it would double the tick cadence after every restart).
+        if (!running_ || epoch != lifecycle_epoch_) return;
+        sync_tick();
+      });
 }
 
 void Gateway::sync_tick() {
@@ -122,7 +170,7 @@ void Gateway::sync_tick() {
     network_.send(id_, peer, msg.encode());
     ++stats_.syncs_sent;
   }
-  network_.scheduler().after(config_.sync_interval, [this] { sync_tick(); });
+  schedule_sync();
 }
 
 void Gateway::handle_sync_summary(sim::NodeId from, const RpcMessage& msg) {
@@ -493,6 +541,12 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
       ++stats_.rejected_difficulty;
       result.status = ErrorCode::kPowInvalid;
       result.message = "declared difficulty below required";
+    } else if (t.difficulty > config_.credit.max_difficulty) {
+      // No honest device declares more than the policy ceiling; grinding a
+      // corrupted/hostile 2^200 request would wedge the gateway (DoS).
+      ++stats_.rejected_difficulty;
+      result.status = ErrorCode::kPowInvalid;
+      result.message = "declared difficulty above protocol maximum";
     } else {
       const auto mined =
           parallel_miner_

@@ -102,6 +102,24 @@ class Gateway {
   /// Registers the gateway's message handler with the network.
   void attach();
 
+  /// Crash: detaches from the network and drops all in-flight state
+  /// (orphan buffer, rate-limiter buckets, pending sync ticks). The tangle
+  /// replica itself is left in place only so the driver can serialize it —
+  /// a real crash persists exactly the admitted history, nothing else.
+  /// Idempotent; restart() or attach() brings the gateway back.
+  void stop();
+
+  /// Cold restart from a persisted replica, in place: every derived-state
+  /// member is reset and the restored history is re-run through a fresh
+  /// AdmissionPipeline (Ingress::kReplay), exactly like the restore
+  /// constructor — then the gateway re-attaches and resumes sync ticks.
+  /// In-place (rather than destroying the object) because Manager and
+  /// Coordinator hold references to this gateway across the outage.
+  void restart(const tangle::Tangle& restored);
+
+  /// False between stop() and the next restart()/attach().
+  bool running() const { return running_; }
+
   sim::NodeId node_id() const { return id_; }
   void add_peer(sim::NodeId peer) { peers_.push_back(peer); }
 
@@ -185,6 +203,13 @@ class Gateway {
   void handle_sync_inventory(sim::NodeId from, const RpcMessage& msg);
   void handle_sync_missing(const RpcMessage& msg);
   void sync_tick();
+  /// Schedules the next sync tick, tagged with the current lifecycle epoch
+  /// so ticks scheduled before a stop()/restart() die silently instead of
+  /// running against the reborn gateway.
+  void schedule_sync();
+  /// Re-admits `restored`'s history through the pipeline (Ingress::kReplay);
+  /// shared by the restore constructor and restart().
+  void replay(const tangle::Tangle& restored);
   /// Ships `ids` (which this replica holds and `to` lacks) in arrival order.
   void ship_missing(sim::NodeId to, std::uint64_t request_id,
                     std::vector<tangle::TxId> ids);
@@ -208,6 +233,11 @@ class Gateway {
   const crypto::Identity& identity_;
   sim::Network& network_;
   GatewayConfig config_;
+  crypto::Ed25519PublicKey manager_key_;  // kept for restart() auth rebuild
+  bool running_ = false;
+  // Bumped on every stop(); epoch-tagged sync lambdas from a previous life
+  // compare against it and expire.
+  std::uint64_t lifecycle_epoch_ = 0;
 
   tangle::Tangle tangle_;
   tangle::Ledger ledger_;

@@ -14,6 +14,7 @@ LightNode::LightNode(sim::NodeId id, crypto::Identity identity,
     : id_(id),
       identity_(std::move(identity)),
       gateway_(gateway),
+      home_gateway_(gateway),
       network_(network),
       config_(config),
       csprng_(0xb107ull * (id + 1)),
@@ -23,10 +24,41 @@ LightNode::LightNode(sim::NodeId id, crypto::Identity identity,
 }
 
 void LightNode::start() {
+  running_ = true;
   network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
     on_message(from, wire);
   });
   network_.scheduler().at(config_.start_time, [this] { begin_cycle(); });
+  schedule_failback_probe();
+}
+
+void LightNode::stop() {
+  if (!running_) return;
+  running_ = false;
+  network_.detach(id_);
+  cycle_in_flight_ = false;
+  awaiting_results_ = 0;
+  probe_request_id_ = 0;
+}
+
+void LightNode::schedule_failback_probe() {
+  if (config_.failback_probe_interval <= 0.0) return;
+  network_.scheduler().after(config_.failback_probe_interval, [this] {
+    if (!running_) return;
+    if (gateway_ != home_gateway_) {
+      // Probe the primary with a plain tips request; ANY answer (even
+      // "unauthorized" — the auth list may still be resyncing) proves it is
+      // back. Sent outside the submission cycle so a dead primary costs
+      // nothing but this message.
+      probe_request_id_ = next_request_id_++;
+      RpcMessage msg;
+      msg.type = MsgType::kGetTipsRequest;
+      msg.request_id = probe_request_id_;
+      msg.sender_key = identity_.public_identity().sign_key;
+      network_.send(id_, home_gateway_, msg.encode());
+    }
+    schedule_failback_probe();
+  });
 }
 
 void LightNode::schedule_attack(TimePoint at, AttackKind kind) {
@@ -51,7 +83,7 @@ void LightNode::send(MsgType type, const Bytes& body) {
 }
 
 void LightNode::begin_cycle() {
-  if (cycle_in_flight_) return;
+  if (!running_ || cycle_in_flight_) return;
   cycle_in_flight_ = true;
   ++stats_.cycles_started;
   ++cycle_serial_;
@@ -62,7 +94,7 @@ void LightNode::begin_cycle() {
   if (config_.request_timeout > 0.0) {
     network_.scheduler().after(
         config_.request_timeout, [this, serial = cycle_serial_] {
-          if (cycle_in_flight_ && cycle_serial_ == serial) {
+          if (running_ && cycle_in_flight_ && cycle_serial_ == serial) {
             ++stats_.timeouts;
             awaiting_results_ = 0;
             if (++consecutive_timeouts_ >= config_.failover_after_timeouts &&
@@ -97,8 +129,31 @@ void LightNode::on_message(sim::NodeId from, const Bytes& wire) {
   }
   switch (msg.value().type) {
     case MsgType::kGetTipsResponse: {
+      if (probe_request_id_ != 0 &&
+          msg.value().request_id == probe_request_id_) {
+        // Failback probe answered: the primary is back. Not fed to on_tips —
+        // probes must not start a submission outside the cycle.
+        probe_request_id_ = 0;
+        if (gateway_ != home_gateway_) {
+          gateway_ = home_gateway_;
+          consecutive_timeouts_ = 0;
+          ++stats_.failbacks;
+          logger.info() << "node " << id_ << " failing back to gateway "
+                        << gateway_;
+        }
+        break;
+      }
       const auto tips = TipsResponse::decode(msg.value().body);
-      if (tips) on_tips(tips.value());
+      if (!tips) break;
+      if (tips.value().required_difficulty > config_.max_difficulty) {
+        // Corrupted/forged difficulty: honouring it would wedge the device
+        // in an unbounded nonce grind. Drop it; the watchdog retries.
+        logger.warn() << "node " << id_ << ": implausible difficulty "
+                      << static_cast<int>(tips.value().required_difficulty)
+                      << " in tips response, dropping";
+        break;
+      }
+      on_tips(tips.value());
       break;
     }
     case MsgType::kSubmitResult:

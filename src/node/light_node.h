@@ -53,6 +53,19 @@ struct LightNodeConfig {
   /// After this many consecutive timeouts the device assumes its gateway is
   /// down and fails over to the next backup gateway (see add_backup_gateway).
   std::uint32_t failover_after_timeouts = 2;
+  /// Failback: with failover alone a device never returns to its primary
+  /// gateway even after it recovers, so restarts concentrate the whole fleet
+  /// on the surviving gateways forever. When > 0, a re-homed device probes
+  /// its primary every this many seconds (a plain tips request outside the
+  /// submission cycle) and fails back on the first answer. 0 disables.
+  Duration failback_probe_interval = 5.0;
+  /// Upper bound on the PoW difficulty the device will honour from a tips
+  /// response. The field arrives over an unauthenticated wire, so a
+  /// corrupted (or forged) response could otherwise demand an absurd
+  /// difficulty and wedge the device in a 2^255-hash grind; anything above
+  /// this bound is dropped as malformed and the cycle watchdog retries.
+  /// Default comfortably exceeds CreditConfig::max_difficulty (14).
+  int max_difficulty = 20;
 };
 
 struct LightNodeStats {
@@ -63,6 +76,7 @@ struct LightNodeStats {
   std::uint64_t attacks_launched = 0;
   std::uint64_t timeouts = 0;   // cycles abandoned waiting for the gateway
   std::uint64_t failovers = 0;  // times the device re-homed to a backup
+  std::uint64_t failbacks = 0;  // times it returned to its recovered primary
   /// Simulated PoW seconds spent, one entry per mined transaction.
   std::vector<Duration> pow_durations;
   /// Simulated times at which submissions were accepted.
@@ -76,6 +90,12 @@ class LightNode {
 
   /// Registers with the network and schedules the first cycle.
   void start();
+
+  /// Powers the device off: detaches from the network and cancels future
+  /// cycles/probes (pending scheduler lambdas become no-ops). Used by chaos
+  /// drivers to quiesce traffic before checking convergence.
+  void stop();
+  bool running() const { return running_; }
 
   /// Queues an attack to replace the next honest cycle at/after `at`.
   void schedule_attack(TimePoint at, AttackKind kind);
@@ -129,6 +149,8 @@ class LightNode {
   void on_message(sim::NodeId from, const Bytes& wire);
   void begin_cycle();
   void schedule_next_cycle();
+  /// Periodic primary-recovery probe loop (see failback_probe_interval).
+  void schedule_failback_probe();
   void on_tips(const TipsResponse& tips);
   void on_result(const SubmitResult& result);
   void handle_keydist(const RpcMessage& msg, sim::NodeId from);
@@ -143,8 +165,10 @@ class LightNode {
   sim::NodeId id_;
   crypto::Identity identity_;
   sim::NodeId gateway_;
+  sim::NodeId home_gateway_;  // primary; failback target after a failover
   sim::Network& network_;
   LightNodeConfig config_;
+  bool running_ = false;
 
   crypto::Csprng csprng_;
   Rng rng_;
@@ -171,6 +195,9 @@ class LightNode {
   std::vector<sim::NodeId> backup_gateways_;
   std::size_t next_backup_ = 0;
   std::uint32_t consecutive_timeouts_ = 0;
+  /// Request id of the in-flight failback probe (0 = none); its response
+  /// triggers the failback instead of feeding the submission cycle.
+  std::uint64_t probe_request_id_ = 0;
   LightNodeStats stats_;
 };
 

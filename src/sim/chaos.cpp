@@ -1,0 +1,361 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace biot::sim {
+
+namespace {
+
+Status parse_error(std::size_t index, const std::string& what) {
+  return Status::error(ErrorCode::kInvalidArgument,
+                       "chaos plan event " + std::to_string(index) + ": " +
+                           what);
+}
+
+bool parse_number(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool parse_node(const std::string& token, NodeId& out) {
+  double value = 0.0;
+  if (!parse_number(token, value)) return false;
+  if (value < 0.0 || value != static_cast<double>(static_cast<NodeId>(value)))
+    return false;
+  out = static_cast<NodeId>(value);
+  return true;
+}
+
+bool parse_nodes(const std::string& token, std::vector<NodeId>& out) {
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    const auto comma = token.find(',', start);
+    const auto part = token.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    NodeId id = 0;
+    if (!parse_node(part, id)) return false;
+    out.push_back(id);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+std::string format_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(sep, start);
+    const auto len = pos == std::string_view::npos ? text.size() - start
+                                                   : pos - start;
+    out.emplace_back(text.substr(start, len));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kDuplication: return "dup";
+    case FaultKind::kReordering: return "reorder";
+    case FaultKind::kCorruption: return "corrupt";
+    case FaultKind::kBandwidth: return "bandwidth";
+    case FaultKind::kLinkDown: return "linkdown";
+    case FaultKind::kLinkUp: return "linkup";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::to_string() const {
+  std::string out = format_number(at);
+  out += ':';
+  out += fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+    case FaultKind::kPartition:
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      char sep = ':';
+      for (const auto id : nodes) {
+        out += sep;
+        out += std::to_string(id);
+        sep = ',';
+      }
+      break;
+    }
+    case FaultKind::kHeal:
+      break;
+    case FaultKind::kLoss:
+    case FaultKind::kDuplication:
+    case FaultKind::kCorruption:
+    case FaultKind::kBandwidth:
+      out += ':';
+      out += format_number(value);
+      break;
+    case FaultKind::kReordering:
+      out += ':';
+      out += format_number(value);
+      out += ':';
+      out += format_number(value2);
+      break;
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t index = 0;
+  for (const auto& entry : split(spec, ';')) {
+    ++index;
+    if (entry.empty()) continue;  // tolerate trailing ';'
+    const auto fields = split(entry, ':');
+    if (fields.size() < 2)
+      return parse_error(index, "expected TIME:action[...], got '" + entry + "'");
+
+    FaultEvent event;
+    if (!parse_number(fields[0], event.at) || event.at < 0.0)
+      return parse_error(index, "bad time '" + fields[0] + "'");
+
+    const auto& action = fields[1];
+    const auto args = fields.size() - 2;
+    auto need = [&](std::size_t n) { return args == n; };
+    auto rate_arg = [&](FaultKind kind) -> Status {
+      if (!need(1) || !parse_number(fields[2], event.value))
+        return parse_error(index, std::string(fault_kind_name(kind)) +
+                                      " needs one numeric rate");
+      if (kind != FaultKind::kBandwidth &&
+          (event.value < 0.0 || event.value > 1.0))
+        return parse_error(index, "probability '" + fields[2] +
+                                      "' outside [0,1]");
+      if (kind == FaultKind::kBandwidth && event.value < 0.0)
+        return parse_error(index, "negative bandwidth");
+      event.kind = kind;
+      return Status::ok();
+    };
+
+    if (action == "crash" || action == "restart") {
+      NodeId id = 0;
+      if (!need(1) || !parse_node(fields[2], id))
+        return parse_error(index, action + " needs one node id");
+      event.kind = action == "crash" ? FaultKind::kCrash : FaultKind::kRestart;
+      event.nodes.push_back(id);
+    } else if (action == "partition") {
+      if (!need(1) || !parse_nodes(fields[2], event.nodes))
+        return parse_error(index, "partition needs a node-id group");
+      event.kind = FaultKind::kPartition;
+    } else if (action == "heal") {
+      if (!need(0)) return parse_error(index, "heal takes no arguments");
+      event.kind = FaultKind::kHeal;
+    } else if (action == "loss") {
+      if (auto s = rate_arg(FaultKind::kLoss); !s) return s;
+    } else if (action == "dup") {
+      if (auto s = rate_arg(FaultKind::kDuplication); !s) return s;
+    } else if (action == "corrupt") {
+      if (auto s = rate_arg(FaultKind::kCorruption); !s) return s;
+    } else if (action == "bandwidth") {
+      if (auto s = rate_arg(FaultKind::kBandwidth); !s) return s;
+    } else if (action == "reorder") {
+      if ((args != 1 && args != 2) || !parse_number(fields[2], event.value))
+        return parse_error(index, "reorder needs RATE[:JITTER]");
+      if (event.value < 0.0 || event.value > 1.0)
+        return parse_error(index, "probability '" + fields[2] +
+                                      "' outside [0,1]");
+      event.value2 = 0.05;  // default jitter: enough to overtake ~ms latency
+      if (args == 2 &&
+          (!parse_number(fields[3], event.value2) || event.value2 < 0.0))
+        return parse_error(index, "bad reorder jitter '" + fields[3] + "'");
+      event.kind = FaultKind::kReordering;
+    } else if (action == "linkdown" || action == "linkup") {
+      if (!need(1) || !parse_nodes(fields[2], event.nodes) ||
+          event.nodes.size() != 2)
+        return parse_error(index, action + " needs exactly two node ids");
+      event.kind =
+          action == "linkdown" ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+    } else {
+      return parse_error(index, "unknown action '" + action + "'");
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& event : events) {
+    if (!out.empty()) out += ';';
+    out += event.to_string();
+  }
+  return out;
+}
+
+void FaultPlan::map_ids(const std::function<NodeId(NodeId)>& fn) {
+  for (auto& event : events) {
+    for (auto& id : event.nodes) id = fn(id);
+  }
+}
+
+TimePoint FaultPlan::end() const {
+  TimePoint last = 0.0;
+  for (const auto& event : events) last = std::max(last, event.at);
+  return last;
+}
+
+FaultPlan FaultPlan::random_soak(const std::vector<NodeId>& nodes, Rng& rng,
+                                 const SoakOptions& options) {
+  FaultPlan plan;
+  auto rate = [&](FaultKind kind, double value) {
+    plan.events.push_back(FaultEvent{0.0, kind, {}, value, 0.0});
+  };
+  rate(FaultKind::kLoss, options.loss);
+  rate(FaultKind::kDuplication, options.duplication);
+  rate(FaultKind::kCorruption, options.corruption);
+  plan.events.push_back(FaultEvent{
+      0.0, FaultKind::kReordering, {}, options.reorder,
+      options.reorder_jitter});
+
+  if (options.partition_at > 0.0 && !nodes.empty()) {
+    const NodeId victim = nodes[rng.index(nodes.size())];
+    plan.events.push_back(FaultEvent{
+        options.partition_at, FaultKind::kPartition, {victim}, 0.0, 0.0});
+    plan.events.push_back(FaultEvent{options.partition_at +
+                                         options.partition_for,
+                                     FaultKind::kHeal,
+                                     {},
+                                     0.0,
+                                     0.0});
+  }
+
+  // Crash/restart cycles in disjoint time slots so a node is never crashed
+  // twice before its restart fires.
+  if (!nodes.empty() && options.crash_cycles > 0) {
+    const double usable = options.horizon * 0.8;
+    const double slot = usable / options.crash_cycles;
+    for (int c = 0; c < options.crash_cycles; ++c) {
+      const NodeId victim = nodes[rng.index(nodes.size())];
+      const double slot_start = options.horizon * 0.1 + c * slot;
+      const double headroom = std::max(slot - options.max_downtime, 0.0);
+      const double crash_at = slot_start + rng.uniform(0.0, headroom);
+      const double downtime =
+          rng.uniform(options.min_downtime, options.max_downtime);
+      plan.events.push_back(
+          FaultEvent{crash_at, FaultKind::kCrash, {victim}, 0.0, 0.0});
+      plan.events.push_back(FaultEvent{
+          crash_at + downtime, FaultKind::kRestart, {victim}, 0.0, 0.0});
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+void ChaosEngine::schedule(const FaultPlan& plan) {
+  auto& sched = network_.scheduler();
+  for (const auto& event : plan.events) {
+    sched.at(std::max(event.at, sched.now()),
+             [this, event] { apply(event); });
+  }
+}
+
+void ChaosEngine::schedule_finale(TimePoint at) {
+  auto& sched = network_.scheduler();
+  sched.at(std::max(at, sched.now()), [this] {
+    network_.partition({}, false);
+    network_.set_loss_rate(0.0);
+    network_.set_duplication_rate(0.0);
+    network_.set_reordering(0.0, 0.0);
+    network_.set_corruption_rate(0.0);
+    network_.set_bandwidth(0.0);
+    ++stats_.heals;
+    ++stats_.rate_changes;
+    // Restart leftovers (a plan may deliberately end with a node down).
+    const auto leftover = crashed_;
+    for (const auto id : leftover) {
+      crashed_.erase(id);
+      if (restart_) restart_(id);
+      ++stats_.restarts;
+    }
+  });
+}
+
+void ChaosEngine::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      const NodeId id = event.nodes.front();
+      if (!crashed_.insert(id).second) return;  // already down
+      if (crash_)
+        crash_(id);
+      else
+        network_.detach(id);
+      ++stats_.crashes;
+      return;
+    }
+    case FaultKind::kRestart: {
+      const NodeId id = event.nodes.front();
+      if (crashed_.erase(id) == 0) return;  // never crashed / already back
+      if (restart_) restart_(id);
+      ++stats_.restarts;
+      return;
+    }
+    case FaultKind::kPartition:
+      network_.partition(
+          std::set<NodeId>(event.nodes.begin(), event.nodes.end()), true);
+      ++stats_.partitions;
+      return;
+    case FaultKind::kHeal:
+      network_.partition({}, false);
+      ++stats_.heals;
+      return;
+    case FaultKind::kLoss:
+      network_.set_loss_rate(event.value);
+      ++stats_.rate_changes;
+      return;
+    case FaultKind::kDuplication:
+      network_.set_duplication_rate(event.value);
+      ++stats_.rate_changes;
+      return;
+    case FaultKind::kReordering:
+      network_.set_reordering(event.value, event.value2);
+      ++stats_.rate_changes;
+      return;
+    case FaultKind::kCorruption:
+      network_.set_corruption_rate(event.value);
+      ++stats_.rate_changes;
+      return;
+    case FaultKind::kBandwidth:
+      network_.set_bandwidth(event.value);
+      ++stats_.rate_changes;
+      return;
+    case FaultKind::kLinkDown:
+      network_.set_link_down(event.nodes[0], event.nodes[1], true);
+      ++stats_.link_changes;
+      return;
+    case FaultKind::kLinkUp:
+      network_.set_link_down(event.nodes[0], event.nodes[1], false);
+      ++stats_.link_changes;
+      return;
+  }
+}
+
+}  // namespace biot::sim

@@ -1,0 +1,169 @@
+// Chaos engine: deterministic, scripted fault injection for the simulated
+// B-IoT deployment.
+//
+// A FaultPlan is a list of timed FaultEvents — node crash/restart,
+// partition/heal, loss-rate and bandwidth windows, duplication/reordering/
+// corruption rates, individual link cuts — either parsed from a compact
+// textual spec (`biot_simulate --chaos`, grammar below) or generated from a
+// seeded Rng (FaultPlan::random_soak, used by bench/chaos_soak). The
+// ChaosEngine schedules every event on the discrete-event scheduler, so a
+// chaos run is exactly as reproducible as any other simulation: same seed,
+// same fault timeline, same outcome.
+//
+// Layering: the engine acts on sim::Network directly for network faults,
+// but node lifecycle (what it means for a gateway to crash and later
+// cold-restart from persisted state) belongs to the node/factory layers —
+// the driver registers crash/restart handlers for that (SmartFactory::
+// crash_gateway / restart_gateway are the canonical pair).
+//
+// Plan grammar (events joined by ';', fields by ':'):
+//
+//   TIME:crash:ID            crash node ID (driver-defined id space)
+//   TIME:restart:ID          restart a previously crashed node
+//   TIME:partition:ID[,ID]*  partition {IDs} from everyone else
+//   TIME:heal                dissolve the partition
+//   TIME:loss:P              set the loss probability to P
+//   TIME:dup:P               set the duplication probability to P
+//   TIME:reorder:P[:JITTER]  delay fraction P by uniform [0,JITTER) extra
+//   TIME:corrupt:P           set the payload-corruption probability to P
+//   TIME:bandwidth:BPS       set link bandwidth (0 = unconstrained)
+//   TIME:linkdown:ID,ID      sever one bidirectional link
+//   TIME:linkup:ID,ID        restore it
+//
+// Example: "0:loss:0.05;0:dup:0.05;2:partition:2;4:heal;5:crash:1;9:restart:1"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace biot::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kRestart,
+  kPartition,
+  kHeal,
+  kLoss,
+  kDuplication,
+  kReordering,
+  kCorruption,
+  kBandwidth,
+  kLinkDown,
+  kLinkUp,
+};
+
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  TimePoint at = 0.0;
+  FaultKind kind = FaultKind::kHeal;
+  /// crash/restart: [node]; partition: the isolated group; link*: [a, b].
+  std::vector<NodeId> nodes;
+  double value = 0.0;   // rate / bytes-per-second
+  double value2 = 0.0;  // reorder jitter seconds
+
+  /// Renders the event in the spec grammar ("5:crash:1").
+  std::string to_string() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Parses the spec grammar above. Rejects unknown actions, missing or
+  /// malformed fields, probabilities outside [0,1] and negative times —
+  /// a typo'd plan fails loudly instead of silently degrading (the network
+  /// setters clamp as a second line of defence).
+  static Result<FaultPlan> parse(std::string_view spec);
+
+  /// Re-parsable spec string; printed alongside the seed so any chaos run
+  /// can be reproduced verbatim.
+  std::string to_string() const;
+
+  /// Rewrites every node reference through `fn`. Specs use a driver-defined
+  /// id space (biot_simulate: gateway indexes); the driver maps them to
+  /// sim::NodeIds before scheduling.
+  void map_ids(const std::function<NodeId(NodeId)>& fn);
+
+  /// Time of the last scheduled event (0 for an empty plan).
+  TimePoint end() const;
+
+  struct SoakOptions {
+    double horizon = 60.0;        // crash/restart cycles spread over this
+    int crash_cycles = 2;         // crash→restart pairs across `nodes`
+    double min_downtime = 1.0;    // seconds a crashed node stays down
+    double max_downtime = 4.0;
+    double loss = 0.05;
+    double duplication = 0.02;
+    double reorder = 0.2;
+    double reorder_jitter = 0.05;
+    double corruption = 0.01;
+    double partition_at = 0.0;    // <= 0 disables the partition window
+    double partition_for = 5.0;
+  };
+
+  /// Seeded randomized soak plan over `nodes` (the crash/partition
+  /// candidates): constant adversarial rates from t=0, crash→restart
+  /// cycles at rng-sampled times, and an optional partition window
+  /// isolating a random single node. Same rng state, same plan.
+  static FaultPlan random_soak(const std::vector<NodeId>& nodes, Rng& rng,
+                               const SoakOptions& options);
+};
+
+struct ChaosStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t rate_changes = 0;  // loss/dup/reorder/corrupt/bandwidth
+  std::uint64_t link_changes = 0;
+};
+
+/// Executes FaultPlans against a Network and its Scheduler.
+class ChaosEngine {
+ public:
+  using LifecycleHandler = std::function<void(NodeId)>;
+
+  /// `crash` / `restart` implement node lifecycle for the driver's id space
+  /// (e.g. bound to SmartFactory::crash_gateway / restart_gateway). Either
+  /// may be empty when the plan contains no lifecycle events.
+  ChaosEngine(Network& network, LifecycleHandler crash = {},
+              LifecycleHandler restart = {})
+      : network_(network),
+        crash_(std::move(crash)),
+        restart_(std::move(restart)) {}
+
+  /// Schedules every event of `plan` on the scheduler (events in the past
+  /// relative to the scheduler clock fire immediately). May be called
+  /// repeatedly to layer plans.
+  void schedule(const FaultPlan& plan);
+
+  /// Schedules the recovery finale at `at`: dissolves the partition, zeroes
+  /// loss/duplication/reordering/corruption, lifts the bandwidth cap and
+  /// restarts every node still crashed. After the finale the network is
+  /// clean, which is the ConvergenceChecker's precondition — surviving
+  /// replicas get an honest chance to anti-entropy their way back together.
+  void schedule_finale(TimePoint at);
+
+  const ChaosStats& stats() const { return stats_; }
+  /// Nodes crashed by this engine and not yet restarted.
+  const std::set<NodeId>& crashed() const { return crashed_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  Network& network_;
+  LifecycleHandler crash_;
+  LifecycleHandler restart_;
+  std::set<NodeId> crashed_;
+  ChaosStats stats_;
+};
+
+}  // namespace biot::sim

@@ -1,6 +1,22 @@
 #include "sim/network.h"
 
+#include <cmath>
+
 namespace biot::sim {
+
+double Network::clamp_probability(double p) {
+  if (!std::isfinite(p) || p < 0.0) return 0.0;
+  return p > 1.0 ? 1.0 : p;
+}
+
+void Network::detach(NodeId id) {
+  handlers_.erase(id);
+  partitioned_.erase(id);
+  std::erase_if(down_links_, [id](std::uint64_t key) {
+    return static_cast<NodeId>(key >> 32) == id ||
+           static_cast<NodeId>(key & 0xffffffffu) == id;
+  });
+}
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   ++stats_.sent;
@@ -14,10 +30,31 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     ++stats_.dropped_loss;
     return;
   }
+  if (duplication_rate_ > 0.0 && rng_.bernoulli(duplication_rate_)) {
+    ++stats_.duplicated;
+    deliver(from, to, payload);  // extra copy, independent latency
+  }
+  deliver(from, to, std::move(payload));
+}
 
+void Network::deliver(NodeId from, NodeId to, Bytes payload) {
   Duration delay = latency_->sample(rng_);
   if (bandwidth_ > 0.0)
     delay += static_cast<double>(payload.size()) / bandwidth_;
+  if (reorder_rate_ > 0.0 && reorder_jitter_ > 0.0 &&
+      rng_.bernoulli(reorder_rate_)) {
+    ++stats_.reordered;
+    delay += rng_.uniform(0.0, reorder_jitter_);
+  }
+  if (corruption_rate_ > 0.0 && !payload.empty() &&
+      rng_.bernoulli(corruption_rate_)) {
+    ++stats_.corrupted;
+    const int flips = 1 + static_cast<int>(rng_.below(4));
+    for (int f = 0; f < flips; ++f) {
+      payload[rng_.index(payload.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.below(255));
+    }
+  }
   sched_.after(delay, [this, from, to, payload = std::move(payload)] {
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {

@@ -2,6 +2,14 @@
 // paper's RESTful HTTP RPC between light nodes (PyOTA) and full nodes (IRI):
 // unicast and broadcast of serialized messages with sampled latency, optional
 // loss, and link/partition control for failure-injection tests.
+//
+// Beyond loss and partitions, the network models three adversarial link
+// faults (driven by sim/chaos.h fault plans): probabilistic message
+// DUPLICATION (an extra copy delivered with its own latency), REORDERING
+// (extra sampled delay jitter on a fraction of messages, enough to overtake
+// later sends) and payload CORRUPTION (random bit flips before delivery).
+// Each has its own NetworkStats counter, and every probability setter is
+// clamped to [0,1] through clamp_probability.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,9 @@ struct NetworkStats {
   std::uint64_t dropped_link = 0;      // severed link / partition
   std::uint64_t dropped_detached = 0;  // receiver not attached
   std::uint64_t bytes_sent = 0;
+  std::uint64_t duplicated = 0;        // adversarial extra copies queued
+  std::uint64_t reordered = 0;         // messages given extra delay jitter
+  std::uint64_t corrupted = 0;         // payloads bit-flipped in transit
 };
 
 class Network {
@@ -41,7 +52,10 @@ class Network {
   /// Registers a node; replaces any previous handler for the id.
   void attach(NodeId id, Handler handler) { handlers_[id] = std::move(handler); }
   /// Removes a node (models crash / power-off; in-flight messages are lost).
-  void detach(NodeId id) { handlers_.erase(id); }
+  /// Per-node fault state (severed links, partition membership) is cleared
+  /// too: a node that later re-attaches under the same id is a fresh boot
+  /// and must not inherit ghost link failures from its previous life.
+  void detach(NodeId id);
   bool is_attached(NodeId id) const { return handlers_.contains(id); }
 
   /// Queues a message for delivery after a sampled latency.
@@ -50,8 +64,34 @@ class Network {
   /// Sends to every attached node except the sender.
   void broadcast(NodeId from, const Bytes& payload);
 
+  /// Clamps a fault probability to [0,1]; non-finite values clamp to 0.
+  /// Every probabilistic fault setter funnels through this, so a bad config
+  /// (loss of 1.5, corruption of -0.1, NaN from a division) degrades to the
+  /// nearest meaningful rate instead of skewing Bernoulli draws.
+  static double clamp_probability(double p);
+
   /// Probability in [0,1] that any given message is silently dropped.
-  void set_loss_rate(double p) { loss_rate_ = p; }
+  void set_loss_rate(double p) { loss_rate_ = clamp_probability(p); }
+  /// Probability in [0,1] that a message is delivered TWICE. The duplicate
+  /// samples its own latency, so it usually also arrives out of order —
+  /// exactly what an at-least-once wireless retransmit layer produces.
+  void set_duplication_rate(double p) {
+    duplication_rate_ = clamp_probability(p);
+  }
+  /// Fraction of messages in [0,1] delayed by an extra uniform jitter in
+  /// [0, jitter) seconds on top of the sampled latency. With jitter larger
+  /// than the typical latency, affected messages overtake later sends —
+  /// adversarial reordering without changing the mean load.
+  void set_reordering(double p, Duration jitter) {
+    reorder_rate_ = clamp_probability(p);
+    reorder_jitter_ = jitter > 0.0 ? jitter : 0.0;
+  }
+  /// Probability in [0,1] that a message's payload suffers 1-4 random bit
+  /// flips in transit. Receivers must treat the result as garbage: decoders
+  /// and signature/PoW checks are the only line of defence.
+  void set_corruption_rate(double p) {
+    corruption_rate_ = clamp_probability(p);
+  }
 
   /// Link bandwidth in bytes/second; adds a size/bandwidth transmission
   /// delay on top of the sampled latency (0 = infinite bandwidth, the
@@ -68,6 +108,9 @@ class Network {
 
  private:
   bool link_up(NodeId a, NodeId b) const;
+  /// Queues one delivery of `payload` (latency + bandwidth + reorder jitter
+  /// + corruption applied); send() calls this once, or twice on duplication.
+  void deliver(NodeId from, NodeId to, Bytes payload);
   static std::uint64_t link_key(NodeId a, NodeId b) {
     const auto lo = std::min(a, b), hi = std::max(a, b);
     return (std::uint64_t{hi} << 32) | lo;
@@ -77,6 +120,10 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   double loss_rate_ = 0.0;
+  double duplication_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  Duration reorder_jitter_ = 0.0;
+  double corruption_rate_ = 0.0;
   double bandwidth_ = 0.0;  // bytes/s; 0 = unconstrained
   std::unordered_map<NodeId, Handler> handlers_;
   std::set<std::uint64_t> down_links_;

@@ -156,6 +156,130 @@ TEST(Fuzz, GatewayShrugsOffGarbageTraffic) {
   EXPECT_EQ(gateway.stats().accepted, 0u);
 }
 
+// ---- Duplicate / out-of-order gossip ---------------------------------------
+
+TEST(GossipHammer, DuplicatedAndReversedGossipIsIdempotent) {
+  // Hammer the RPC dispatch + admission pipeline with every valid gossip
+  // message delivered three times and in child-before-parent order. The
+  // orphan buffer must resolve the reordering, and duplicates must be
+  // idempotent: each transaction counted exactly once in credit and weight.
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.001),
+                       Rng(5));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+  node::GatewayConfig config;
+  config.credit.initial_difficulty = 4;
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, config);
+  node::Manager manager(2, manager_identity, gateway, network);
+  gateway.attach();
+
+  TxFactory device(100);
+  ASSERT_TRUE(manager.authorize({device.identity().public_identity()}).is_ok());
+
+  // A 30-deep chain: tx[i] approves tx[i-1], so reversed delivery forces
+  // every transaction through the orphan buffer.
+  constexpr int kChain = 30;
+  std::vector<tangle::Transaction> txs;
+  tangle::TxId prev = gateway.tangle().genesis_id();
+  for (int i = 0; i < kChain; ++i) {
+    txs.push_back(device.make(prev, gateway.tangle().genesis_id(), 4));
+    prev = txs.back().id();
+  }
+
+  auto gossip_wire = [&](const tangle::Transaction& tx) {
+    node::RpcMessage msg;
+    msg.type = node::MsgType::kBroadcastTx;
+    msg.sender_key = gateway_identity.public_identity().sign_key;
+    msg.body = tx.encode();
+    return msg.encode();
+  };
+
+  // Children first, each twice (duplicate while still an orphan)...
+  for (auto it = txs.rbegin(); it != txs.rend(); ++it) {
+    network.send(7, 1, gossip_wire(*it));
+    network.send(7, 1, gossip_wire(*it));
+  }
+  // ... then the whole set again in forward order (duplicate after attach).
+  for (const auto& tx : txs) network.send(7, 1, gossip_wire(tx));
+  sched.run();
+
+  const auto& stats = gateway.stats();
+  EXPECT_EQ(stats.gossip_received, static_cast<std::uint64_t>(3 * kChain));
+  // Genesis + authorization tx + the chain, each exactly once.
+  EXPECT_EQ(gateway.tangle().size(), static_cast<std::size_t>(2 + kChain));
+  EXPECT_GT(stats.orphans_adopted, 0u);
+  EXPECT_EQ(gateway.orphan_count(), 0u);  // nothing left waiting
+
+  // No double credit: the credit model saw each valid tx exactly once.
+  const auto* model = gateway.credit_registry().find(device.key());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->valid_tx_count(), static_cast<std::size_t>(kChain));
+
+  // No double weight / index damage: the full auditor must be clean,
+  // including ledger conservation (no transfers => supply 0).
+  tangle::AuditInputs inputs;
+  inputs.ledger = &gateway.ledger();
+  inputs.expected_supply = 0;
+  inputs.credit_valid_tx_count = [&](const tangle::AccountKey& key) {
+    const auto* m = gateway.credit_registry().find(key);
+    return m ? m->valid_tx_count() : 0;
+  };
+  testutil::expect_audit_clean(gateway.tangle(), inputs);
+}
+
+TEST(GossipHammer, PowOffloadRejectsAbsurdDeclaredDifficulty) {
+  // An attach (PoW-offload) request declaring difficulty 255 must be
+  // rejected BEFORE the gateway grinds the nonce: honouring it would wedge
+  // the gateway in a ~2^255-hash search — a one-message denial of service
+  // any authorized (or corrupted-in-transit) sender could trigger.
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.001),
+                       Rng(6));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+  node::GatewayConfig config;
+  config.credit.initial_difficulty = 4;
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, config);
+  node::Manager manager(2, manager_identity, gateway, network);
+  gateway.attach();
+
+  TxFactory device(100);
+  ASSERT_TRUE(manager.authorize({device.identity().public_identity()}).is_ok());
+
+  auto tx = device.make(gateway.tangle().genesis_id(),
+                        gateway.tangle().genesis_id(), 4);
+  tx.difficulty = 255;  // signed by the device, so the gateway can't fix it
+  tx.signature = device.identity().sign(tx.signing_bytes());
+
+  node::RpcMessage attach;
+  attach.type = node::MsgType::kAttachRequest;
+  attach.request_id = 1;
+  attach.sender_key = device.key();
+  attach.body = tx.encode();
+
+  const auto accepted_before = gateway.stats().accepted;  // authorization tx
+  std::optional<ErrorCode> reply_status;
+  network.attach(50, [&](sim::NodeId, const Bytes& wire) {
+    const auto msg = node::RpcMessage::decode(wire);
+    ASSERT_TRUE(msg);
+    const auto result = node::SubmitResult::decode(msg.value().body);
+    ASSERT_TRUE(result);
+    reply_status = result.value().status;
+  });
+  network.send(50, 1, attach.encode());
+  sched.run();  // terminates: the nonce search must never start
+
+  ASSERT_TRUE(reply_status.has_value());
+  EXPECT_EQ(*reply_status, ErrorCode::kPowInvalid);
+  EXPECT_EQ(gateway.stats().rejected_difficulty, 1u);
+  EXPECT_EQ(gateway.stats().accepted, accepted_before);
+}
+
 // ---- Multi-manager --------------------------------------------------------------
 
 TEST(MultiManager, CoManagerListsMergeAndUpdateIndependently) {

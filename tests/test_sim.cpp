@@ -2,6 +2,8 @@
 // loss/partition handling, device compute profiles.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/device_profile.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
@@ -216,6 +218,117 @@ TEST_F(NetworkTest, StatsCountBytes) {
   EXPECT_EQ(network_.stats().bytes_sent, 100u);
   EXPECT_EQ(network_.stats().sent, 1u);
   EXPECT_EQ(network_.stats().delivered, 1u);
+}
+
+// ---- Adversarial link faults -------------------------------------------------
+
+TEST_F(NetworkTest, DetachClearsPerNodeFaultState) {
+  // Regression: a crashed node's severed links and partition membership must
+  // not survive into its next life under the same id.
+  Inbox a, b;
+  network_.attach(1, a.handler());
+  network_.attach(2, b.handler());
+  network_.set_link_down(1, 2, true);
+  network_.partition({2}, true);
+
+  network_.detach(2);          // crash
+  network_.attach(2, b.handler());  // fresh boot, same id
+
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(b.messages.size(), 1u);  // no ghost link-down / partition
+  EXPECT_EQ(network_.stats().dropped_link, 0u);
+}
+
+TEST_F(NetworkTest, DetachPreservesOtherNodesFaultState) {
+  Inbox a, c;
+  network_.attach(1, a.handler());
+  network_.attach(3, c.handler());
+  network_.set_link_down(1, 3, true);
+  network_.detach(2);  // unrelated node crashes
+  network_.send(1, 3, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(network_.stats().dropped_link, 1u);
+  EXPECT_TRUE(c.messages.empty());
+}
+
+TEST(NetworkValidation, ProbabilitiesClampToUnitInterval) {
+  EXPECT_EQ(Network::clamp_probability(1.5), 1.0);
+  EXPECT_EQ(Network::clamp_probability(-0.5), 0.0);
+  EXPECT_EQ(Network::clamp_probability(0.25), 0.25);
+  EXPECT_EQ(Network::clamp_probability(
+                std::numeric_limits<double>::quiet_NaN()),
+            0.0);
+  EXPECT_EQ(Network::clamp_probability(
+                std::numeric_limits<double>::infinity()),
+            0.0);
+}
+
+TEST_F(NetworkTest, OutOfRangeLossRateClampsInsteadOfSkewing) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_loss_rate(1.7);  // clamps to 1.0: everything drops
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(network_.stats().dropped_loss, 1u);
+
+  network_.set_loss_rate(-3.0);  // clamps to 0.0: everything delivers
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(inbox.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwiceAndCounts) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_duplication_rate(1.0);
+  network_.send(1, 2, to_bytes("x"));
+  sched_.run();
+  EXPECT_EQ(inbox.messages.size(), 2u);
+  EXPECT_EQ(network_.stats().duplicated, 1u);
+  EXPECT_EQ(network_.stats().delivered, 2u);
+  EXPECT_EQ(network_.stats().sent, 1u);  // one send, two deliveries
+}
+
+TEST_F(NetworkTest, ReorderingJitterOvertakesLaterSends) {
+  // First message gets up to 1 s extra jitter; second is jitter-free (rate
+  // toggled off) and must overtake it despite being sent later.
+  std::vector<std::string> order;
+  network_.attach(2, [&](NodeId, const Bytes& b) {
+    order.push_back(to_string(b));
+  });
+  network_.set_reordering(1.0, 1.0);
+  network_.send(1, 2, to_bytes("slow"));
+  network_.set_reordering(0.0, 0.0);
+  network_.send(1, 2, to_bytes("fast"));
+  sched_.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "slow");
+  EXPECT_EQ(network_.stats().reordered, 1u);
+}
+
+TEST_F(NetworkTest, CorruptionFlipsBitsAndCounts) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_corruption_rate(1.0);
+  const Bytes original(64, 0x5a);
+  network_.send(1, 2, original);
+  sched_.run();
+  ASSERT_EQ(inbox.messages.size(), 1u);
+  EXPECT_NE(inbox.messages[0].second, original);  // bits really flipped
+  EXPECT_EQ(inbox.messages[0].second.size(), original.size());
+  EXPECT_EQ(network_.stats().corrupted, 1u);
+}
+
+TEST_F(NetworkTest, CorruptionSkipsEmptyPayloads) {
+  Inbox inbox;
+  network_.attach(2, inbox.handler());
+  network_.set_corruption_rate(1.0);
+  network_.send(1, 2, Bytes{});
+  sched_.run();
+  ASSERT_EQ(inbox.messages.size(), 1u);  // no crash, delivered as-is
+  EXPECT_EQ(network_.stats().corrupted, 0u);
 }
 
 // ---- Latency models ----------------------------------------------------------

@@ -8,11 +8,14 @@
 //   biot_simulate --coordinator --milestone-interval 5 --save /tmp/t.bin
 //   biot_simulate --devices 16 --fixed-pow --seconds 60   (original PoW)
 #include <cstdio>
+#include <unordered_map>
 
 #include "cli_args.h"
 #include "factory/metrics.h"
 #include "factory/scenario.h"
 #include "factory/trace.h"
+#include "node/convergence.h"
+#include "sim/chaos.h"
 #include "storage/tangle_io.h"
 
 using namespace biot;
@@ -36,6 +39,15 @@ void usage() {
       "  --attack-double T      device 1 double-spends at time T\n"
       "  --attack-lazy T        device 1 goes lazy at time T\n"
       "  --loss P               network loss probability (default 0)\n"
+      "  --chaos SPEC           run a scripted fault plan (sim/chaos.h\n"
+      "                         grammar; node ids are gateway indexes), then\n"
+      "                         heal, quiesce and check convergence.\n"
+      "                         e.g. --chaos '0:loss:0.05;0:dup:0.05;\n"
+      "                         0:reorder:0.3:0.05;5:crash:1;12:restart:1'\n"
+      "  --sync-interval S      gateway anti-entropy cadence (default 2 when\n"
+      "                         --chaos is given, else 0 = off)\n"
+      "  --settle S             post-horizon quiescence before the\n"
+      "                         convergence check (default 10, chaos only)\n"
       "  --trace FILE.csv       replay a recorded workload trace (see\n"
       "                         docs/PROTOCOL.md for the CSV format); one\n"
       "                         device per sensor in the trace\n"
@@ -68,6 +80,12 @@ int main(int argc, char** argv) {
   config.gateway.credit.initial_difficulty = config.gateway.fixed_difficulty;
 
   const double horizon = args.get_double("seconds", 60.0);
+
+  const bool chaos_on = args.has("chaos");
+  // Chaos without anti-entropy cannot converge (live gossip alone never
+  // backfills a restarted gateway), so sync defaults on with the plan.
+  config.gateway.sync_interval =
+      args.get_double("sync-interval", chaos_on ? 2.0 : 0.0);
 
   // Trace replay: one device per recorded sensor stream.
   std::optional<factory::WorkloadTrace> trace;
@@ -103,6 +121,47 @@ int main(int argc, char** argv) {
   if (const double p = args.get_double("loss", 0.0); p > 0.0)
     factory.network().set_loss_rate(p);
 
+  std::optional<sim::FaultPlan> plan;
+  std::optional<sim::ChaosEngine> chaos;
+  if (chaos_on) {
+    auto parsed = sim::FaultPlan::parse(args.get("chaos", ""));
+    if (!parsed) {
+      std::printf("bad chaos plan: %s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    plan = std::move(parsed).take();
+    for (const auto& event : plan->events) {
+      for (const auto id : event.nodes) {
+        if (id >= factory.gateway_count()) {
+          std::printf("bad chaos plan: gateway index %u out of range "
+                      "(%zu gateways)\n",
+                      id, factory.gateway_count());
+          return 1;
+        }
+      }
+    }
+    // Echo seed + plan so any failing run reproduces verbatim.
+    std::printf("chaos: seed=%llu plan=%s\n",
+                static_cast<unsigned long long>(config.seed),
+                plan->to_string().c_str());
+    // Spec ids are gateway indexes; the engine works in sim::NodeIds.
+    std::unordered_map<sim::NodeId, std::size_t> index_of;
+    for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+      index_of[factory.gateway(g).node_id()] = g;
+    plan->map_ids(
+        [&](sim::NodeId g) { return factory.gateway(g).node_id(); });
+    chaos.emplace(
+        factory.network(),
+        [&factory, index_of](sim::NodeId id) {
+          factory.crash_gateway(index_of.at(id));
+        },
+        [&factory, index_of](sim::NodeId id) {
+          factory.restart_gateway(index_of.at(id));
+        });
+    chaos->schedule(*plan);
+    chaos->schedule_finale(horizon);
+  }
+
   for (long i = 0; i < args.get_int("sybils", 0); ++i) {
     auto sybil = config.device;
     sybil.collect_interval = 0.1;
@@ -121,6 +180,12 @@ int main(int argc, char** argv) {
               config.enable_coordinator ? ", coordinator on" : "",
               config.device.offload_pow ? ", PoW offloaded" : "");
   factory.run_until(horizon);
+  if (chaos_on) {
+    // Quiesce the devices, then let the healed fleet anti-entropy back
+    // together before checking convergence.
+    factory.stop_devices();
+    factory.run_until(horizon + args.get_double("settle", 10.0));
+  }
 
   // ---- Report -------------------------------------------------------------
   std::printf("\n== results ==\n");
@@ -165,6 +230,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.dropped_loss),
               static_cast<double>(net.bytes_sent) / 1000.0);
 
+  int exit_code = 0;
+  if (chaos_on) {
+    std::printf("faults: %llu duplicated, %llu reordered, %llu corrupted\n",
+                static_cast<unsigned long long>(net.duplicated),
+                static_cast<unsigned long long>(net.reordered),
+                static_cast<unsigned long long>(net.corrupted));
+    const auto& cs = chaos->stats();
+    std::printf("chaos: %llu crashes, %llu restarts, %llu partitions, "
+                "%llu heals, %llu rate changes\n",
+                static_cast<unsigned long long>(cs.crashes),
+                static_cast<unsigned long long>(cs.restarts),
+                static_cast<unsigned long long>(cs.partitions),
+                static_cast<unsigned long long>(cs.heals),
+                static_cast<unsigned long long>(cs.rate_changes));
+    node::ConvergenceChecker checker;
+    for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+      checker.add_replica(&factory.gateway(g));
+    const auto report = checker.check();
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.ok()) exit_code = 2;
+  }
+
   // ---- Optional exports ------------------------------------------------------
   if (args.has("save")) {
     const auto path = args.get("save", "");
@@ -182,5 +269,5 @@ int main(int argc, char** argv) {
       std::printf("DAG exported to %s\n", path.c_str());
     }
   }
-  return 0;
+  return exit_code;
 }
