@@ -11,7 +11,7 @@
 //   honest_avg    — same metric for an attack-free run (reward-side effect)
 #include <cstdio>
 
-#include "factory/metrics.h"
+#include "harness.h"
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
@@ -66,7 +66,7 @@ Outcome run(const consensus::CreditParams& params, bool attack) {
   sched.run_until(90.0);
 
   Outcome out;
-  out.avg_pow = factory::mean(device.stats().pow_durations);
+  out.avg_pow = obs::mean(device.stats().pow_durations);
   if (punished_from > 0 && recovered_at > 0)
     out.punished_span = recovered_at - punished_from;
   else if (punished_from > 0)
@@ -74,11 +74,13 @@ Outcome run(const consensus::CreditParams& params, bool attack) {
   return out;
 }
 
-void sweep_lambda2() {
+void sweep_lambda2(bench::Harness& h) {
   std::printf("\n## lambda2 sweep (punishment weight; paper default 0.5)\n");
   std::printf("%-10s %14s %12s %12s\n", "lambda2", "punished_s", "avg_pow_s",
               "honest_avg_s");
-  for (const double lambda2 : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+  for (const double lambda2 : h.quick() ? std::vector<double>{0.5}
+                                        : std::vector<double>{0.1, 0.25, 0.5,
+                                                              1.0, 2.0}) {
     consensus::CreditParams p;
     p.lambda2 = lambda2;
     const auto attacked = run(p, true);
@@ -89,13 +91,19 @@ void sweep_lambda2() {
     else
       std::printf("%-10.2f %14s %12.3f %12.3f\n", lambda2, ">horizon",
                   attacked.avg_pow, honest.avg_pow);
+    if (lambda2 == 0.5) {
+      h.record("punished_span_s.lambda2_default", attacked.punished_span, "s");
+      h.record("honest_avg_pow_s.lambda2_default", honest.avg_pow, "s");
+    }
   }
 }
 
-void sweep_alpha_double() {
+void sweep_alpha_double(bench::Harness& h) {
   std::printf("\n## alpha_d sweep (double-spend coefficient; paper default 1)\n");
   std::printf("%-10s %14s %12s\n", "alpha_d", "punished_s", "avg_pow_s");
-  for (const double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+  for (const double alpha : h.quick() ? std::vector<double>{1.0}
+                                      : std::vector<double>{0.25, 0.5, 1.0,
+                                                            2.0, 4.0}) {
     consensus::CreditParams p;
     p.alpha_double = alpha;
     const auto attacked = run(p, true);
@@ -104,14 +112,18 @@ void sweep_alpha_double() {
                   attacked.avg_pow);
     else
       std::printf("%-10.2f %14s %12.3f\n", alpha, ">horizon", attacked.avg_pow);
+    if (alpha == 1.0)
+      h.record("punished_span_s.alpha_d_default", attacked.punished_span, "s");
   }
 }
 
-void sweep_delta_t() {
+void sweep_delta_t(bench::Harness& h) {
   std::printf("\n## dT sweep (credit window; paper default 30 s)\n");
   std::printf("%-10s %14s %12s %12s\n", "dT_s", "punished_s", "avg_pow_s",
               "honest_avg_s");
-  for (const double dt : {10.0, 20.0, 30.0, 60.0}) {
+  for (const double dt : h.quick() ? std::vector<double>{30.0}
+                                   : std::vector<double>{10.0, 20.0, 30.0,
+                                                         60.0}) {
     consensus::CreditParams p;
     p.delta_t = dt;
     const auto attacked = run(p, true);
@@ -122,29 +134,34 @@ void sweep_delta_t() {
     else
       std::printf("%-10.0f %14s %12.3f %12.3f\n", dt, ">horizon",
                   attacked.avg_pow, honest.avg_pow);
+    if (dt == 30.0)
+      h.record("punished_span_s.dT_default", attacked.punished_span, "s");
   }
 }
 
-void sweep_slope() {
+void sweep_slope(bench::Harness& h) {
   std::printf("\n## difficulty_slope sweep (reward steepness; ours, not in "
               "the paper)\n");
   std::printf("%-10s %12s\n", "slope", "honest_avg_s");
-  for (const double s : {0.5, 1.0, 2.0, 3.0}) {
+  for (const double s : h.quick() ? std::vector<double>{2.0}
+                                  : std::vector<double>{0.5, 1.0, 2.0, 3.0}) {
     consensus::CreditParams p;
     p.difficulty_slope = s;
     const auto honest = run(p, false);
     std::printf("%-10.1f %12.3f\n", s, honest.avg_pow);
+    if (s == 2.0) h.record("honest_avg_pow_s.slope2", honest.avg_pow, "s");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("ablation_credit_params", argc, argv);
   std::printf("# Credit-mechanism parameter ablation (one double-spend at "
               "t=24 s, 90 s horizon, Pi 3B profile)\n");
-  sweep_lambda2();
-  sweep_alpha_double();
-  sweep_delta_t();
-  sweep_slope();
-  return 0;
+  sweep_lambda2(h);
+  sweep_alpha_double(h);
+  sweep_delta_t(h);
+  sweep_slope(h);
+  return h.finish();
 }

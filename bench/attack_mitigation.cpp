@@ -9,8 +9,8 @@
 //      gateways crashes.
 #include <cstdio>
 
-#include "factory/metrics.h"
 #include "factory/scenario.h"
+#include "harness.h"
 
 namespace {
 using namespace biot;
@@ -25,7 +25,7 @@ factory::ScenarioConfig base_config() {
   return config;
 }
 
-void sybil_experiment() {
+void sybil_experiment(bench::Harness& h) {
   std::printf("\n## 1. Sybil / DDoS admission control\n");
 
   auto run = [](int sybils) {
@@ -48,12 +48,13 @@ void sybil_experiment() {
   };
 
   const double clean = run(0);
-  const double under_attack = run(20);
-  std::printf("  honest throughput under 20-sybil flood: %.1f%% of baseline\n",
+  const double under_attack = run(h.scale(20, 8));
+  std::printf("  honest throughput under sybil flood: %.1f%% of baseline\n",
               100.0 * under_attack / clean);
+  h.record("sybil.honest_tps_ratio", under_attack / clean, "ratio");
 }
 
-void double_spend_experiment() {
+void double_spend_experiment(bench::Harness& h) {
   std::printf("\n## 2. Double-spend throttling (credit vs original PoW)\n");
 
   auto run = [](node::GatewayConfig::Policy policy) {
@@ -86,6 +87,10 @@ void double_spend_experiment() {
 
   const auto fixed_rate = run(node::GatewayConfig::Policy::kFixed);
   const auto credit_rate = run(node::GatewayConfig::Policy::kCredit);
+  h.record("double_spend.throttle_factor",
+           static_cast<double>(fixed_rate) /
+               static_cast<double>(std::max<std::uint64_t>(credit_rate, 1)),
+           "ratio");
   std::printf("  attacker transaction rate throttled %.1fx by credit PoW "
               "(%llu -> %llu accepted in 90 s) while the honest device "
               "got faster\n",
@@ -95,7 +100,7 @@ void double_spend_experiment() {
               static_cast<unsigned long long>(credit_rate));
 }
 
-void failover_experiment() {
+void failover_experiment(bench::Harness& h) {
   std::printf("\n## 3. Single point of failure (gateway crash at t=20 s)\n");
 
   auto config = base_config();
@@ -123,15 +128,20 @@ void failover_experiment() {
               factory.gateway(0).tangle().size());
   std::printf("  (a central-server design loses everything; B-IoT degrades "
               "for seconds and recovers to full throughput)\n");
+  h.record("failover.tps_before", before, "tx/s");
+  h.record("failover.tps_after", after, "tx/s");
+  h.record("failover.devices_failed_over", static_cast<double>(failovers),
+           "devices");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("attack_mitigation", argc, argv);
   std::printf("# Attack mitigation on a running smart factory "
               "(Section VI-C security analysis, quantified)\n");
-  sybil_experiment();
-  double_spend_experiment();
-  failover_experiment();
-  return 0;
+  sybil_experiment(h);
+  double_spend_experiment(h);
+  failover_experiment(h);
+  return h.finish();
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "factory/scenario.h"
+#include "harness.h"
 #include "node/convergence.h"
 #include "sim/chaos.h"
 
@@ -105,7 +106,8 @@ Row run(const Preset& preset, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("chaos_soak", argc, argv);
   Preset mild{"mild", {}};
   mild.soak.partition_at = 20.0;
 
@@ -129,10 +131,15 @@ int main() {
               "crashes", "fallbacks", "conv_time", "verdict");
 
   bool all_ok = true;
+  double worst_convergence = 0.0;
   for (const auto& preset : {mild, harsh}) {
-    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const std::uint64_t seed :
+         h.quick() ? std::vector<std::uint64_t>{1ull}
+                   : std::vector<std::uint64_t>{1ull, 2ull, 3ull}) {
       const auto row = run(preset, seed);
       all_ok = all_ok && row.converged;
+      if (row.convergence_s > worst_convergence)
+        worst_convergence = row.convergence_s;
       char conv[32];
       if (row.convergence_s >= 0.0)
         std::snprintf(conv, sizeof conv, "%.2fs", row.convergence_s);
@@ -155,5 +162,8 @@ int main() {
               "decode/signature/PoW, duplicates are idempotent, and "
               "anti-entropy heals crash gaps and partitions within a few "
               "sync rounds of the final heal.\n");
-  return all_ok ? 0 : 1;
+  h.record("all_converged", all_ok ? 1.0 : 0.0, "bool");
+  h.record("worst_convergence_s", worst_convergence, "s");
+  const int emit = h.finish();
+  return all_ok ? emit : 1;
 }

@@ -10,8 +10,8 @@
 #include <deque>
 #include <unordered_set>
 
-#include "factory/metrics.h"
 #include "factory/scenario.h"
+#include "harness.h"
 
 namespace {
 using namespace biot;
@@ -52,7 +52,7 @@ Coverage weight_rule(const tangle::Tangle& tangle, std::size_t threshold,
   (void)horizon;
   return Coverage{data_txs == 0 ? 0.0
                                 : static_cast<double>(confirmed) / data_txs,
-                  factory::mean(latencies)};
+                  obs::mean(latencies)};
 }
 
 // Milestone-rule latency: time from a data tx's arrival to the arrival of
@@ -87,18 +87,22 @@ Coverage milestone_rule(const tangle::Tangle& tangle) {
   }
   return Coverage{data_txs == 0 ? 0.0
                                 : static_cast<double>(confirmed) / data_txs,
-                  factory::mean(latencies)};
+                  obs::mean(latencies)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("confirmation", argc, argv);
   std::printf("# Confirmation rules on the same 60 s smart-factory workload "
               "(4 devices)\n");
   std::printf("%-22s | %12s %12s | %12s %12s\n", "setup", "w5_frac",
               "w5_lat_s", "ms_frac", "ms_lat_s");
 
-  for (const double interval : {2.0, 5.0, 10.0}) {
+  const double horizon = h.scale(60.0, 30.0);
+  for (const double interval : h.quick() ? std::vector<double>{5.0}
+                                         : std::vector<double>{2.0, 5.0,
+                                                               10.0}) {
     factory::ScenarioConfig config;
     config.num_devices = 4;
     config.num_gateways = 2;
@@ -110,19 +114,27 @@ int main() {
 
     factory::SmartFactory factory(config);
     factory.bootstrap();
-    factory.run_until(60.0);
+    factory.run_until(horizon);
 
     const auto& tangle = factory.gateway(0).tangle();
-    const auto weight = weight_rule(tangle, 5, 60.0);
+    const auto weight = weight_rule(tangle, 5, horizon);
     const auto milestone = milestone_rule(tangle);
     std::printf("milestones every %-4.0fs | %12.2f %12.2f | %12.2f %12.2f\n",
                 interval, weight.confirmed_fraction, weight.mean_latency,
                 milestone.confirmed_fraction, milestone.mean_latency);
+    if (interval == 5.0) {
+      h.record("weight5.confirmed_fraction", weight.confirmed_fraction,
+               "ratio");
+      h.record("weight5.mean_latency_s", weight.mean_latency, "s");
+      h.record("milestone5.confirmed_fraction", milestone.confirmed_fraction,
+               "ratio");
+      h.record("milestone5.mean_latency_s", milestone.mean_latency, "s");
+    }
   }
 
   std::printf("\n# weight-5 confirmation is workload-driven (latency falls "
               "with traffic); milestone confirmation is checkpoint-driven "
               "(latency ~ interval/2 + cone depth) but confirms the deep "
               "past deterministically.\n");
-  return 0;
+  return h.finish();
 }

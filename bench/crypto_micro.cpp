@@ -1,10 +1,10 @@
-// Crypto microbenchmarks (google-benchmark).
+// Crypto microbenchmarks.
 //
 // Backs the paper's Section IV-C design argument: "symmetric key encryption
 // is much faster (about 100~1000 times faster) than public key encryption,
-// which is beneficial for power-constrained devices" — compare the
-// AES-* benches against EciesSeal/EciesOpen at the same message size.
-#include <benchmark/benchmark.h>
+// which is beneficial for power-constrained devices" — compare the aes.*
+// results against ecies.* at the same message size.
+#include <cstdio>
 
 #include "auth/envelope.h"
 #include "crypto/aes.h"
@@ -15,144 +15,150 @@
 #include "crypto/sha256.h"
 #include "crypto/sha512.h"
 #include "crypto/x25519.h"
+#include "harness.h"
 #include "tangle/transaction.h"
 
 namespace {
 using namespace biot;
 using namespace biot::crypto;
 
-void BM_Sha256(benchmark::State& state) {
-  Csprng rng(1);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha256::hash(data));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+void report(const char* name, double s_per_op, std::size_t bytes) {
+  if (bytes > 0)
+    std::printf("%-28s %12.3f us/op %10.1f MB/s\n", name, s_per_op * 1e6,
+                static_cast<double>(bytes) / s_per_op / 1e6);
+  else
+    std::printf("%-28s %12.3f us/op\n", name, s_per_op * 1e6);
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
 
-void BM_Sha512(benchmark::State& state) {
-  Csprng rng(2);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha512::hash(data));
+void hash_benches(bench::Harness& h) {
+  for (const std::size_t n : {std::size_t{64}, std::size_t{1024},
+                              std::size_t{65536}}) {
+    Csprng rng(1);
+    const Bytes data = rng.bytes(n);
+    const auto name = "sha256." + std::to_string(n);
+    report(name.c_str(),
+           h.bench(name, [&] { bench::do_not_optimize(Sha256::hash(data)); }),
+           n);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Sha512)->Arg(64)->Arg(65536);
-
-void BM_HmacSha256(benchmark::State& state) {
-  Csprng rng(3);
-  const Bytes key = rng.bytes(32);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  for (const std::size_t n : {std::size_t{64}, std::size_t{65536}}) {
+    Csprng rng(2);
+    const Bytes data = rng.bytes(n);
+    const auto name = "sha512." + std::to_string(n);
+    report(name.c_str(),
+           h.bench(name, [&] { bench::do_not_optimize(Sha512::hash(data)); }),
+           n);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  for (const std::size_t n : {std::size_t{256}, std::size_t{65536}}) {
+    Csprng rng(3);
+    const Bytes key = rng.bytes(32);
+    const Bytes data = rng.bytes(n);
+    const auto name = "hmac_sha256." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(hmac_sha256(key, data));
+           }),
+           n);
+  }
 }
-BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(65536);
 
-void BM_AesCbcEncrypt(benchmark::State& state) {
+void aes_benches(bench::Harness& h) {
   Csprng rng(4);
   const Bytes key = rng.bytes(32);
   const Bytes iv = rng.bytes(16);
   const Aes aes(key);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(aes_cbc_encrypt(aes, iv, data));
+  for (const std::size_t n : {std::size_t{64}, std::size_t{4096},
+                              std::size_t{262144}}) {
+    const Bytes data = rng.bytes(n);
+    const auto name = "aes_cbc_encrypt." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(aes_cbc_encrypt(aes, iv, data));
+           }),
+           n);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  for (const std::size_t n : {std::size_t{64}, std::size_t{262144}}) {
+    const Bytes nonce = rng.bytes(16);
+    const Bytes data = rng.bytes(n);
+    const auto name = "aes_ctr." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(aes_ctr_xor(aes, nonce, data));
+           }),
+           n);
+  }
+  for (const std::size_t n : {std::size_t{64}, std::size_t{4096}}) {
+    Csprng env_rng(6);
+    const auto env_key = env_rng.fixed<32>();
+    const Bytes data = env_rng.bytes(n);
+    const auto name = "envelope_seal." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(auth::envelope_seal(env_key, data, env_rng));
+           }),
+           n);
+  }
 }
-BENCHMARK(BM_AesCbcEncrypt)->Arg(64)->Arg(4096)->Arg(262144);
 
-void BM_AesCtr(benchmark::State& state) {
-  Csprng rng(5);
-  const Bytes key = rng.bytes(32);
-  const Bytes nonce = rng.bytes(16);
-  const Aes aes(key);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(aes_ctr_xor(aes, nonce, data));
+void public_key_benches(bench::Harness& h) {
+  {
+    Csprng rng(7);
+    const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
+    const Bytes msg = rng.bytes(256);
+    report("ed25519_sign", h.bench("ed25519_sign", [&] {
+             bench::do_not_optimize(ed25519_sign(kp, msg));
+           }),
+           0);
+    const auto sig = ed25519_sign(kp, msg);
+    report("ed25519_verify", h.bench("ed25519_verify", [&] {
+             bench::do_not_optimize(ed25519_verify(kp.public_key, msg, sig));
+           }),
+           0);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_AesCtr)->Arg(64)->Arg(262144);
-
-void BM_EnvelopeSeal(benchmark::State& state) {
-  Csprng rng(6);
-  const auto key = rng.fixed<32>();
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(auth::envelope_seal(key, data, rng));
+  {
+    Csprng rng(9);
+    const auto a = X25519KeyPair::generate(rng);
+    const auto b = X25519KeyPair::generate(rng);
+    report("x25519_shared_secret", h.bench("x25519_shared_secret", [&] {
+             bench::do_not_optimize(x25519(a.secret, b.public_key));
+           }),
+           0);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_EnvelopeSeal)->Arg(64)->Arg(4096);
-
-void BM_Ed25519Sign(benchmark::State& state) {
-  Csprng rng(7);
-  const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
-  const Bytes msg = rng.bytes(256);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ed25519_sign(kp, msg));
+  // Public-key encryption of a sensor payload — compare against
+  // aes_cbc_encrypt.64 and .4096 for the paper's 100-1000x claim.
+  for (const std::size_t n : {std::size_t{64}, std::size_t{4096}}) {
+    Csprng rng(10);
+    const auto recipient = X25519KeyPair::generate(rng);
+    const Bytes data = rng.bytes(n);
+    const auto name = "ecies_seal." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(ecies_seal(recipient.public_key, data, rng));
+           }),
+           n);
   }
-}
-BENCHMARK(BM_Ed25519Sign);
-
-void BM_Ed25519Verify(benchmark::State& state) {
-  Csprng rng(8);
-  const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
-  const Bytes msg = rng.bytes(256);
-  const auto sig = ed25519_sign(kp, msg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ed25519_verify(kp.public_key, msg, sig));
+  {
+    Csprng rng(11);
+    const auto recipient = X25519KeyPair::generate(rng);
+    const Bytes env = ecies_seal(recipient.public_key, rng.bytes(64), rng);
+    report("ecies_open", h.bench("ecies_open", [&] {
+             bench::do_not_optimize(ecies_open(recipient, env));
+           }),
+           0);
   }
-}
-BENCHMARK(BM_Ed25519Verify);
-
-void BM_X25519SharedSecret(benchmark::State& state) {
-  Csprng rng(9);
-  const auto a = X25519KeyPair::generate(rng);
-  const auto b = X25519KeyPair::generate(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(x25519(a.secret, b.public_key));
-  }
-}
-BENCHMARK(BM_X25519SharedSecret);
-
-// Public-key encryption of a sensor payload — compare against
-// BM_AesCbcEncrypt/64 and /4096 for the paper's 100-1000x claim.
-void BM_EciesSeal(benchmark::State& state) {
-  Csprng rng(10);
-  const auto recipient = X25519KeyPair::generate(rng);
-  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ecies_seal(recipient.public_key, data, rng));
+  {
+    Csprng rng(12);
+    const tangle::TxId p1 = rng.fixed<32>();
+    const tangle::TxId p2 = rng.fixed<32>();
+    std::uint64_t nonce = 0;
+    report("tx_hash_eqn6", h.bench("tx_hash_eqn6", [&] {
+             bench::do_not_optimize(tangle::pow_output(p1, p2, nonce++));
+           }),
+           0);
   }
 }
-BENCHMARK(BM_EciesSeal)->Arg(64)->Arg(4096);
-
-void BM_EciesOpen(benchmark::State& state) {
-  Csprng rng(11);
-  const auto recipient = X25519KeyPair::generate(rng);
-  const Bytes env = ecies_seal(recipient.public_key, rng.bytes(64), rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ecies_open(recipient, env));
-  }
-}
-BENCHMARK(BM_EciesOpen);
-
-void BM_TransactionHashEqn6(benchmark::State& state) {
-  Csprng rng(12);
-  const tangle::TxId p1 = rng.fixed<32>();
-  const tangle::TxId p2 = rng.fixed<32>();
-  std::uint64_t nonce = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tangle::pow_output(p1, p2, nonce++));
-  }
-}
-BENCHMARK(BM_TransactionHashEqn6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("crypto_micro", argc, argv);
+  std::printf("# Crypto microbenchmarks (from-scratch primitives)\n");
+  hash_benches(h);
+  aes_benches(h);
+  public_key_benches(h);
+  return h.finish();
+}

@@ -23,8 +23,8 @@
 #include <vector>
 
 #include "chain/blockchain.h"
-#include "factory/metrics.h"
 #include "factory/scenario.h"
+#include "harness.h"
 
 namespace {
 using namespace biot;
@@ -84,7 +84,7 @@ TangleResult run_tangle(int num_devices, double horizon,
     ++confirmed;
   }
   result.confirm_tps = static_cast<double>(confirmed) / window;
-  result.mean_confirm_latency = factory::mean(latencies);
+  result.mean_confirm_latency = obs::mean(latencies);
   return result;
 }
 
@@ -175,14 +175,15 @@ ChainResult run_chain(int num_devices, double horizon, double block_interval,
   }
   result.tps = static_cast<double>(placed) / window;
   result.confirm_tps = static_cast<double>(confirmed) / window;
-  result.mean_confirm_latency = factory::mean(latencies);
+  result.mean_confirm_latency = obs::mean(latencies);
   result.mempool_backlog = mempool.size();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("dag_vs_chain", argc, argv);
   std::printf("# DAG (B-IoT tangle) vs chain-structured baseline under the "
               "same smart-factory workload\n");
   std::printf("# chain: 10 s expected block interval, 20 txs/block, 6-block "
@@ -191,19 +192,23 @@ int main() {
               "dag_tps", "dag_ctps", "dag_lat_s", "chain_tps", "chain_ctps",
               "chain_lat_s", "backlog");
 
-  const double horizon = 60.0;
-  for (const int devices : {2, 4, 8, 16, 32}) {
+  const double horizon = h.scale(60.0, 30.0);
+  for (const int devices : h.quick() ? std::vector<int>{2, 8}
+                                     : std::vector<int>{2, 4, 8, 16, 32}) {
     const auto dag = run_tangle(devices, horizon, 5);
     const auto chain = run_chain(devices, horizon, 10.0, 20, 6);
     std::printf("%-9d | %9.2f %12.2f %12.2f | %9.2f %12.2f %12.2f %9zu\n",
                 devices, dag.tps, dag.confirm_tps, dag.mean_confirm_latency,
                 chain.tps, chain.confirm_tps, chain.mean_confirm_latency,
                 chain.mempool_backlog);
+    const auto tag = ".d" + std::to_string(devices);
+    h.record("dag_tps" + tag, dag.tps, "tx/s");
+    h.record("chain_tps" + tag, chain.tps, "tx/s");
   }
 
   std::printf("\n# expected shape: dag_tps grows ~linearly with devices; "
               "chain_tps saturates at capacity/interval = 2.0 tps and the "
               "mempool backlog explodes; dag confirmation latency stays "
               "seconds-scale vs the chain's k*interval floor (60 s).\n");
-  return 0;
+  return h.finish();
 }

@@ -6,12 +6,12 @@
 //
 // Series: host (really encrypting with our from-scratch AES-256-CBC),
 // pi-model (linear cost model fit to the paper's points), paper anchors.
-#include <chrono>
 #include <cstdio>
 
 #include "crypto/aes.h"
 #include "crypto/aes_modes.h"
 #include "crypto/csprng.h"
+#include "harness.h"
 #include "sim/device_profile.h"
 
 namespace {
@@ -19,13 +19,10 @@ using namespace biot;
 
 double host_encrypt_seconds(const crypto::Aes& aes, const Bytes& iv,
                             const Bytes& message, int repetitions) {
-  const auto start = std::chrono::steady_clock::now();
-  for (int r = 0; r < repetitions; ++r) {
-    const auto ct = crypto::aes_cbc_encrypt(aes, iv, message);
-    if (ct.empty()) std::abort();  // keep the optimizer honest
-  }
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count() / repetitions;
+  const obs::WallTimer timer;
+  for (int r = 0; r < repetitions; ++r)
+    bench::do_not_optimize(crypto::aes_cbc_encrypt(aes, iv, message));
+  return timer.elapsed() / repetitions;
 }
 
 double paper_value(std::size_t log2n) {
@@ -39,7 +36,8 @@ double paper_value(std::size_t log2n) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig10_aes_scaling", argc, argv);
   std::printf("# Fig 10 — AES encryption time vs message length\n");
   std::printf("%-14s %14s %14s %14s\n", "bytes(log2)", "host_s", "pi_model_s",
               "paper_s");
@@ -50,10 +48,13 @@ int main() {
   const crypto::Aes aes(key);
   const auto pi = sim::DeviceProfile::pi3b_fig7();
 
-  for (std::size_t log2n = 6; log2n <= 20; ++log2n) {
+  const std::size_t max_log2n = h.scale<std::size_t>(20, 16);
+  const int scale_down = h.scale(1, 10);
+  for (std::size_t log2n = 6; log2n <= max_log2n; ++log2n) {
     const std::size_t n = std::size_t{1} << log2n;
     const Bytes message = rng.bytes(n);
-    const int reps = n <= (1u << 12) ? 400 : (n <= (1u << 16) ? 40 : 4);
+    const int reps = std::max(
+        1, (n <= (1u << 12) ? 400 : (n <= (1u << 16) ? 40 : 4)) / scale_down);
     const double host = host_encrypt_seconds(aes, iv, message, reps);
     const double model = pi.aes_time(n);
     const double paper = paper_value(log2n);
@@ -61,9 +62,11 @@ int main() {
       std::printf("2^%-12zu %14.6f %14.6f %14.6f\n", log2n, host, model, paper);
     else
       std::printf("2^%-12zu %14.6f %14.6f %14s\n", log2n, host, model, "-");
+    if (log2n == 6 || log2n == 16 || log2n == 20)
+      h.record("host_encrypt_s.2e" + std::to_string(log2n), host, "s");
   }
 
   std::printf("\n# linearity: host time per byte at 1 KiB vs 1 MiB should "
               "be within ~2x (paper: linear in message length)\n");
-  return 0;
+  return h.finish();
 }

@@ -11,12 +11,12 @@
 //   paper     — the paper's measured value where given
 // The absolute host numbers are orders of magnitude faster than the Pi; the
 // reproduction claim is the exponential *shape* (ratio ~2 per bit).
-#include <chrono>
 #include <cstdio>
 
 #include "common/rng.h"
 #include "consensus/pow.h"
 #include "crypto/sha256.h"
+#include "harness.h"
 #include "sim/device_profile.h"
 
 namespace {
@@ -26,14 +26,13 @@ using namespace biot;
 double host_mine_seconds(int difficulty, int repetitions) {
   consensus::Miner miner(0x5eedull * difficulty);
   tangle::TxId p1{}, p2{};
-  const auto start = std::chrono::steady_clock::now();
+  const obs::WallTimer timer;
   for (int r = 0; r < repetitions; ++r) {
     p1[0] = static_cast<std::uint8_t>(r);
     p1[1] = static_cast<std::uint8_t>(difficulty);
-    (void)miner.mine(p1, p2, difficulty);
+    bench::do_not_optimize(miner.mine(p1, p2, difficulty));
   }
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count() / repetitions;
+  return timer.elapsed() / repetitions;
 }
 
 double paper_value(int difficulty) {
@@ -47,17 +46,19 @@ double paper_value(int difficulty) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig7_pow_difficulty", argc, argv);
   std::printf("# Fig 7 — running time of PoW algorithm vs difficulty\n");
   std::printf("# host: measured on this machine; pi-model: calibrated Pi 3B "
               "profile; paper: Fig 7 data points\n");
   std::printf("%-6s %14s %14s %14s\n", "D", "host_s", "pi_model_s", "paper_s");
 
   const auto pi = sim::DeviceProfile::pi3b_fig7();
-  double prev_model = 0.0;
+  const int scale_down = h.scale(1, 10);
   for (int d = 1; d <= 14; ++d) {
     // More repetitions at low difficulty for stable averages.
-    const int reps = d <= 8 ? 2000 : (d <= 11 ? 200 : 30);
+    const int reps =
+        std::max(1, (d <= 8 ? 2000 : (d <= 11 ? 200 : 30)) / scale_down);
     const double host = host_mine_seconds(d, reps);
     const double model = pi.expected_pow_time(d);
     const double paper = paper_value(d);
@@ -65,9 +66,9 @@ int main() {
       std::printf("%-6d %14.6f %14.3f %14.3f\n", d, host, model, paper);
     else
       std::printf("%-6d %14.6f %14.3f %14s\n", d, host, model, "-");
-    prev_model = model;
+    if (d == 1 || d == 11 || d == 14)
+      h.record("host_mine_s.D" + std::to_string(d), host, "s");
   }
-  (void)prev_model;
 
   // Shape check: doubling per extra bit once past the fixed overhead.
   std::printf("\n# shape: pi-model ratio t(D)/t(D-1) for D in 12..14: ");
@@ -75,5 +76,7 @@ int main() {
     std::printf("%.2f ", pi.expected_pow_time(d) / pi.expected_pow_time(d - 1));
   }
   std::printf("(exponential regime, paper: 'increases exponentially when D > 11')\n");
-  return 0;
+  h.record("pi_model_ratio.D14_over_D13",
+           pi.expected_pow_time(14) / pi.expected_pow_time(13), "ratio");
+  return h.finish();
 }

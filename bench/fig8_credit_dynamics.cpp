@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <map>
 
+#include "harness.h"
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
@@ -19,7 +20,7 @@
 namespace {
 using namespace biot;
 
-void run_trace(const char* title, int num_attacks) {
+void run_trace(bench::Harness& h, const char* title, int num_attacks) {
   sim::Scheduler sched;
   sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.002), Rng(7));
 
@@ -106,12 +107,14 @@ void run_trace(const char* title, int num_attacks) {
         break;
       }
     }
-    if (punished_at > 0 && recovered_at > 0)
+    if (punished_at > 0 && recovered_at > 0) {
       std::printf("# recovery: D hit max at t=%d s, back to <= initial %d at "
                   "t=%d s (%d s punished span; paper Fig 8a: 37 s outage)\n",
                   punished_at, gw_config.credit.initial_difficulty,
                   recovered_at, recovered_at - punished_at);
-    else if (punished_at > 0)
+      h.record("punished_span_s." + std::to_string(num_attacks) + "attack",
+               static_cast<double>(recovered_at - punished_at), "s");
+    } else if (punished_at > 0)
       std::printf("# recovery: D hit max at t=%d s, not back to initial "
                   "within the 100 s horizon (still throttled)\n",
                   punished_at);
@@ -120,15 +123,18 @@ void run_trace(const char* title, int num_attacks) {
               static_cast<unsigned long long>(device.stats().accepted),
               static_cast<unsigned long long>(device.stats().rejected),
               static_cast<unsigned long long>(device.stats().attacks_launched));
+  h.record("accepted." + std::to_string(num_attacks) + "attack",
+           static_cast<double>(device.stats().accepted), "txs");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig8_credit_dynamics", argc, argv);
   std::printf("# Fig 8 — credit value changes based on node behaviour\n");
   std::printf("# params: lambda1=1 lambda2=0.5 dT=30s alpha_l=0.5 alpha_d=1, "
               "D in [1,14], initial 11, Pi 3B profile\n");
-  run_trace("Fig 8(a): one malicious attack at t=24s", 1);
-  run_trace("Fig 8(b): two malicious attacks (t=24s, t=40s)", 2);
-  return 0;
+  run_trace(h, "Fig 8(a): one malicious attack at t=24s", 1);
+  if (!h.quick()) run_trace(h, "Fig 8(b): two malicious attacks (t=24s, t=40s)", 2);
+  return h.finish();
 }

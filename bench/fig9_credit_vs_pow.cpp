@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "factory/metrics.h"
+#include "harness.h"
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
@@ -64,14 +64,15 @@ ExperimentResult run(node::GatewayConfig::Policy policy, int num_attacks) {
   ExperimentResult result;
   result.transactions = device.stats().pow_durations.size();
   result.rejected = device.stats().rejected;
-  result.avg_pow_s = factory::mean(device.stats().pow_durations);
+  result.avg_pow_s = obs::mean(device.stats().pow_durations);
   result.energy_per_tx_j = result.avg_pow_s * dev_config.profile.pow_power_w;
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig9_credit_vs_pow", argc, argv);
   std::printf("# Fig 9 — average PoW time per transaction, four control "
               "experiments (90 s window, initial difficulty 11, Pi 3B)\n");
   std::printf("%-34s %12s %12s %8s %8s %12s\n", "experiment", "avg_pow_s",
@@ -90,10 +91,14 @@ int main() {
       {"credit PoW, 2 attacks", node::GatewayConfig::Policy::kCredit, 2, 3.750},
   };
 
+  const char* tags[] = {"original", "credit_normal", "credit_1attack",
+                        "credit_2attack"};
   std::vector<double> measured;
   for (const auto& row : rows) {
     const auto r = run(row.policy, row.attacks);
     measured.push_back(r.avg_pow_s);
+    h.record(std::string("avg_pow_s.") + tags[measured.size() - 1],
+             r.avg_pow_s, "s");
     std::printf("%-34s %12.3f %12.2f %8llu %8llu %12.3f\n", row.name,
                 r.avg_pow_s, r.energy_per_tx_j,
                 static_cast<unsigned long long>(r.transactions),
@@ -111,5 +116,7 @@ int main() {
   const bool ordering = measured[1] < measured[0] && measured[0] < measured[2] &&
                         measured[2] < measured[3];
   std::printf("# ordering reproduced: %s\n", ordering ? "YES" : "NO");
-  return ordering ? 0 : 1;
+  h.record("ordering_reproduced", ordering ? 1.0 : 0.0, "bool");
+  const int emit = h.finish();
+  return ordering ? emit : 1;
 }

@@ -1,0 +1,249 @@
+// Shared bench harness: every binary under bench/ runs its workload through
+// this header instead of hand-rolling std::chrono loops and volatile sinks.
+//
+// What it provides:
+//   - flag parsing common to all benches:
+//       --quick        scaled-down workload for CI smoke runs (Harness::quick,
+//                      Harness::scale pick the sizes)
+//       --repeat N     timed samples per measurement (default 5; 2 in quick)
+//       --warmup N     untimed runs before sampling (default 1; 0 in quick)
+//       --out PATH     where to write the JSON trajectory
+//                      (default BENCH_<name>.json in the working directory)
+//   - timing built on obs::WallTimer, percentiles on obs::percentile
+//   - do_not_optimize / clobber_memory in place of volatile sinks
+//   - a persisted result trajectory: finish() writes one biot-bench-v1
+//     JSON document (tools/bench_schema.json) that tools/bench_diff.py
+//     validates and diffs across commits.
+//
+// Typical use:
+//   int main(int argc, char** argv) {
+//     biot::bench::Harness h("tip_selection", argc, argv);
+//     const int n = h.scale(8000, 500);
+//     h.measure("select.walk_s", [&] { ... one selection pass ... });
+//     h.record("lazy_fraction", fraction, "ratio");
+//     return h.finish();
+//   }
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stats.h"
+#include "obs/timer.h"
+
+namespace biot::bench {
+
+/// Keeps `value` alive in the eyes of the optimizer without the data-race
+/// and codegen baggage of a file-scope volatile sink.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Forces pending writes to be considered observed (pairs with
+/// do_not_optimize when the workload mutates memory instead of producing
+/// a value).
+inline void clobber_memory() { asm volatile("" : : : "memory"); }
+
+/// One named result in the bench trajectory: a value plus the sample
+/// distribution it was reduced from (samples == 1 for derived scalars).
+struct BenchResult {
+  std::string name;
+  std::string unit;
+  double value = 0.0;  // mean over samples
+  std::size_t samples = 1;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+class Harness {
+ public:
+  Harness(std::string name, int argc, char** argv)
+      : name_(std::move(name)), out_path_("BENCH_" + name_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : "";
+      };
+      if (arg == "--quick") {
+        quick_ = true;
+      } else if (arg == "--repeat") {
+        repeat_ = std::atoi(next());
+      } else if (arg.rfind("--repeat=", 0) == 0) {
+        repeat_ = std::atoi(arg.c_str() + 9);
+      } else if (arg == "--warmup") {
+        warmup_ = std::atoi(next());
+      } else if (arg.rfind("--warmup=", 0) == 0) {
+        warmup_ = std::atoi(arg.c_str() + 9);
+      } else if (arg == "--out") {
+        out_path_ = next();
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path_ = arg.substr(6);
+      } else if (arg == "--help") {
+        std::printf(
+            "usage: %s [--quick] [--repeat N] [--warmup N] [--out PATH]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    if (repeat_ < 0) repeat_ = quick_ ? 2 : 5;
+    if (warmup_ < 0) warmup_ = quick_ ? 0 : 1;
+    if (repeat_ < 1) repeat_ = 1;
+  }
+
+  const std::string& name() const { return name_; }
+  bool quick() const { return quick_; }
+  int repeat() const { return repeat_; }
+  int warmup() const { return warmup_; }
+
+  /// Workload size selector: the full value normally, the reduced one under
+  /// --quick.
+  template <typename T>
+  T scale(T full, T quick_value) const {
+    return quick_ ? quick_value : full;
+  }
+
+  /// Record a derived scalar (a throughput, a fraction, a count).
+  void record(const std::string& metric, double value,
+              const std::string& unit) {
+    BenchResult r;
+    r.name = metric;
+    r.unit = unit;
+    r.value = r.min = r.max = r.p50 = r.p90 = value;
+    r.samples = 1;
+    results_.push_back(std::move(r));
+  }
+
+  /// Record a pre-collected sample distribution (unit applies per sample).
+  void record_samples(const std::string& metric, std::vector<double> samples,
+                      const std::string& unit) {
+    if (samples.empty()) return;
+    BenchResult r;
+    r.name = metric;
+    r.unit = unit;
+    r.samples = samples.size();
+    r.value = obs::mean(samples);
+    r.min = *std::min_element(samples.begin(), samples.end());
+    r.max = *std::max_element(samples.begin(), samples.end());
+    r.p50 = obs::percentile(samples, 50.0);
+    r.p90 = obs::percentile(samples, 90.0);
+    results_.push_back(std::move(r));
+  }
+
+  /// Time `fn` (one full workload pass per call): warmup() untimed runs,
+  /// then repeat() timed samples. Records the distribution in seconds and
+  /// returns the mean.
+  template <typename Fn>
+  double measure(const std::string& metric, Fn&& fn) {
+    for (int w = 0; w < warmup_; ++w) fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repeat_));
+    obs::WallTimer timer;
+    for (int r = 0; r < repeat_; ++r) {
+      timer.reset();
+      fn();
+      samples.push_back(timer.elapsed());
+    }
+    const double avg = obs::mean(samples);
+    record_samples(metric, std::move(samples), "s");
+    return avg;
+  }
+
+  /// Microbenchmark: calibrates an inner iteration count until one batch
+  /// runs at least min_batch_seconds(), then takes repeat() batch samples.
+  /// Records and returns seconds per op.
+  template <typename Fn>
+  double bench(const std::string& metric, Fn&& fn) {
+    obs::WallTimer timer;
+    std::uint64_t iters = 1;
+    double batch_s = 0.0;
+    for (;;) {
+      timer.reset();
+      for (std::uint64_t i = 0; i < iters; ++i) fn();
+      batch_s = timer.elapsed();
+      if (batch_s >= min_batch_seconds() || iters >= (1ull << 30)) break;
+      // Aim past the threshold in one step once the timing is meaningful.
+      if (batch_s < min_batch_seconds() / 16.0) {
+        iters *= 16;
+      } else {
+        iters *= 2;
+      }
+    }
+    std::vector<double> per_op;
+    per_op.reserve(static_cast<std::size_t>(repeat_));
+    per_op.push_back(batch_s / static_cast<double>(iters));
+    for (int r = 1; r < repeat_; ++r) {
+      timer.reset();
+      for (std::uint64_t i = 0; i < iters; ++i) fn();
+      per_op.push_back(timer.elapsed() / static_cast<double>(iters));
+    }
+    const double avg = obs::mean(per_op);
+    record_samples(metric, std::move(per_op), "s/op");
+    return avg;
+  }
+
+  /// Write the biot-bench-v1 trajectory. Returns 0 on success — bench main()
+  /// should end with `return h.finish();` (or fold its own failure bit in).
+  int finish() {
+    if (results_.empty()) {
+      std::fprintf(stderr, "%s: no results recorded, refusing to emit %s\n",
+                   name_.c_str(), out_path_.c_str());
+      return 1;
+    }
+    std::string json = "{\n  \"schema\": \"biot-bench-v1\",\n  \"bench\": \"" +
+                       name_ + "\",\n  \"quick\": " +
+                       (quick_ ? "true" : "false") + ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const auto& r = results_[i];
+      json += "    {\"name\": \"" + r.name + "\", \"unit\": \"" + r.unit +
+              "\", \"value\": " + fmt(r.value) +
+              ", \"samples\": " + std::to_string(r.samples) +
+              ", \"min\": " + fmt(r.min) + ", \"max\": " + fmt(r.max) +
+              ", \"p50\": " + fmt(r.p50) + ", \"p90\": " + fmt(r.p90) + "}";
+      json += i + 1 < results_.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    std::FILE* f = std::fopen(out_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", name_.c_str(),
+                   out_path_.c_str());
+      return 1;
+    }
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok) return 1;
+    std::printf("\n# trajectory: %zu results -> %s%s\n", results_.size(),
+                out_path_.c_str(), quick_ ? " (quick)" : "");
+    return 0;
+  }
+
+ private:
+  double min_batch_seconds() const { return quick_ ? 0.002 : 0.02; }
+
+  static std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // JSON has no inf/nan literals; clamp to a sentinel instead.
+    if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr)
+      return "0";
+    return buf;
+  }
+
+  std::string name_;
+  std::string out_path_;
+  bool quick_ = false;
+  int repeat_ = -1;
+  int warmup_ = -1;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace biot::bench

@@ -7,25 +7,18 @@
 // constant-size invertible sketch incrementally on add. This bench measures
 // both paths at growing tangle sizes against the retained brute-force
 // reference implementations — the acceptance bar is >= 10x at 10k txs.
-#include <chrono>
 #include <cstdio>
 #include <unordered_set>
 #include <vector>
 
 #include "consensus/pow.h"
 #include "crypto/identity.h"
+#include "harness.h"
 #include "tangle/tangle.h"
 #include "tangle/tip_selection.h"
 
 namespace {
 using namespace biot;
-
-volatile std::size_t benchmark_sink = 0;
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 constexpr int kSenders = 16;
 constexpr int kSyncLag = 50;  // txs the lagging replica is missing
@@ -47,7 +40,7 @@ struct Bed {
       senders.push_back(identities.back().public_identity().sign_key);
     }
     tangle::UniformRandomTipSelector uniform;
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     for (int i = 0; i < txs; ++i) {
       const int d = static_cast<int>(rng.index(kSenders));
       const auto [p1, p2] = uniform.select(ahead, rng);
@@ -64,7 +57,7 @@ struct Bed {
       if (!ahead.add(tx, 0.1 * i).is_ok()) std::abort();
       if (i < txs - kSyncLag && !behind.add(tx, 0.1 * i).is_ok()) std::abort();
     }
-    build_seconds = seconds_since(start);
+    build_seconds = timer.elapsed();
   }
 };
 
@@ -77,7 +70,7 @@ void data_query_path(const Bed& bed, double* brute_us, double* indexed_us) {
 
   for (int pass = 0; pass < 2; ++pass) {
     Rng qrng(99);  // identical query mix for both implementations
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     std::size_t results = 0;
     for (int q = 0; q < queries; ++q) {
       const auto& sender = bed.senders[qrng.index(kSenders)];
@@ -87,8 +80,8 @@ void data_query_path(const Bed& bed, double* brute_us, double* indexed_us) {
                            : bed.ahead.data_since(&sender, since, 64);
       results += out.size();
     }
-    benchmark_sink = benchmark_sink + results;
-    const double us = seconds_since(start) * 1e6 / queries;
+    bench::do_not_optimize(results);
+    const double us = timer.elapsed() * 1e6 / queries;
     *(pass == 0 ? brute_us : indexed_us) = us;
   }
   (void)rng;
@@ -103,7 +96,7 @@ void sync_diff_path(const Bed& bed, double* brute_us, double* indexed_us) {
   const int rounds = 50;
 
   {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     std::size_t shipped = 0;
     for (int r = 0; r < rounds; ++r) {
       std::unordered_set<tangle::TxId, FixedBytesHash<32>> peer_has(
@@ -111,11 +104,11 @@ void sync_diff_path(const Bed& bed, double* brute_us, double* indexed_us) {
       for (const auto& id : bed.ahead.arrival_order())
         if (!peer_has.contains(id)) ++shipped;
     }
-    benchmark_sink = benchmark_sink + shipped;
-    *brute_us = seconds_since(start) * 1e6 / rounds;
+    bench::do_not_optimize(shipped);
+    *brute_us = timer.elapsed() * 1e6 / rounds;
   }
   {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     std::size_t shipped = 0;
     for (int r = 0; r < rounds; ++r) {
       // Wire-faithful: decode the peer's encoded sketch, then subtract.
@@ -125,14 +118,15 @@ void sync_diff_path(const Bed& bed, double* brute_us, double* indexed_us) {
       if (!diff.decoded) std::abort();
       shipped += diff.only_local.size();
     }
-    benchmark_sink = benchmark_sink + shipped;
-    *indexed_us = seconds_since(start) * 1e6 / rounds;
+    bench::do_not_optimize(shipped);
+    *indexed_us = timer.elapsed() * 1e6 / rounds;
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("index", argc, argv);
   std::printf("# Secondary-index + sketch reconciliation vs full scans\n");
   std::printf("# %d senders; sync lag %d txs; data query cap 64 results\n\n",
               kSenders, kSyncLag);
@@ -142,7 +136,8 @@ int main() {
   std::printf("%8s | %12s %12s %8s | %12s %12s %8s\n", "", "us/query",
               "us/query", "", "us/round", "us/round", "");
 
-  for (const int txs : {1000, 3000, 10000, 30000}) {
+  for (const int txs : h.quick() ? std::vector<int>{1000, 3000}
+                                  : std::vector<int>{1000, 3000, 10000, 30000}) {
     Bed bed;
     Rng rng(42);
     bed.grow(txs, rng);
@@ -154,7 +149,11 @@ int main() {
     std::printf("%8d | %12.2f %12.2f %7.1fx | %12.2f %12.2f %7.1fx\n", txs,
                 q_brute, q_index, q_brute / q_index, s_brute, s_index,
                 s_brute / s_index);
+    const auto tag = ".n" + std::to_string(txs);
+    h.record("query_us.brute" + tag, q_brute, "us/op");
+    h.record("query_us.indexed" + tag, q_index, "us/op");
+    h.record("sync_us.inventory" + tag, s_brute, "us/op");
+    h.record("sync_us.sketch" + tag, s_index, "us/op");
   }
-  std::printf("\n(sink %zu)\n", static_cast<std::size_t>(benchmark_sink));
-  return 0;
+  return h.finish();
 }

@@ -1,12 +1,13 @@
 // Fig 4 key-distribution cost. The paper argues the handshake's "impact on
 // transaction [efficiency] can be ignored" because it runs once (or rarely).
 // This bench measures the real cryptographic cost of each protocol message
-// and the whole three-message handshake on the host, plus the projected
-// Raspberry-Pi-scale cost from the measured public-key-operation counts.
-#include <benchmark/benchmark.h>
+// and the whole three-message handshake on the host, plus the symmetric-only
+// per-reading cost the device pays afterwards.
+#include <cstdio>
 
 #include "auth/keydist.h"
 #include "common/clock.h"
+#include "harness.h"
 
 namespace {
 using namespace biot;
@@ -24,53 +25,58 @@ struct Parties {
                        device_rng};
 };
 
-void BM_KeyDistM1_ManagerSide(benchmark::State& state) {
-  Parties p;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        p.manager.start_session(p.device_identity.public_identity()));
-  }
+void report(const char* name, double s_per_op) {
+  std::printf("%-34s %12.3f us/op\n", name, s_per_op * 1e6);
 }
-BENCHMARK(BM_KeyDistM1_ManagerSide);
 
-void BM_KeyDistM2_DeviceSide(benchmark::State& state) {
+void m1_manager_side(bench::Harness& h) {
   Parties p;
-  const Bytes m1 = p.manager.start_session(p.device_identity.public_identity());
-  for (auto _ : state) {
-    // Re-handle the same M1; replay protection is timestamp-based with a
-    // wall clock, and each benchmark iteration is "later", so reuse a fresh
-    // device each round instead.
-    state.PauseTiming();
+  report("m1.manager_start_session", h.bench("m1.manager_start_session", [&] {
+           bench::do_not_optimize(
+               p.manager.start_session(p.device_identity.public_identity()));
+         }));
+}
+
+void m2_device_side(bench::Harness& h) {
+  // Replay protection is timestamp-based, so each handled M1 must hit a
+  // fresh device. Setup is excluded from the timed span: per sample we
+  // build the device and M1 untimed, then time only handle_m1.
+  Parties p;
+  const int samples = h.scale(400, 50);
+  std::vector<double> per_op;
+  per_op.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
     crypto::Csprng rng(33);
     DeviceKeyDist device(p.device_identity,
                          p.manager_identity.public_identity().sign_key,
                          p.clock, rng);
-    const Bytes m1_fresh =
-        p.manager.start_session(p.device_identity.public_identity());
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(device.handle_m1(m1_fresh));
-  }
-}
-BENCHMARK(BM_KeyDistM2_DeviceSide);
-
-void BM_KeyDistFullHandshake(benchmark::State& state) {
-  for (auto _ : state) {
-    Parties p;
     const Bytes m1 =
         p.manager.start_session(p.device_identity.public_identity());
-    auto m2 = p.device.handle_m1(m1);
-    auto m3 = p.manager.handle_m2(p.device_identity.public_identity(),
-                                  m2.value());
-    const auto status = p.device.handle_m3(m3.value());
-    if (!status.is_ok()) state.SkipWithError(status.to_string().c_str());
-    benchmark::DoNotOptimize(p.device.established());
+    obs::WallTimer timer;
+    bench::do_not_optimize(device.handle_m1(m1));
+    per_op.push_back(timer.elapsed());
   }
+  const double avg = obs::mean(per_op);
+  h.record_samples("m2.device_handle_m1", std::move(per_op), "s/op");
+  report("m2.device_handle_m1", avg);
 }
-BENCHMARK(BM_KeyDistFullHandshake);
+
+void full_handshake(bench::Harness& h) {
+  report("handshake.full", h.bench("handshake.full", [&] {
+           Parties p;
+           const Bytes m1 =
+               p.manager.start_session(p.device_identity.public_identity());
+           auto m2 = p.device.handle_m1(m1);
+           auto m3 = p.manager.handle_m2(p.device_identity.public_identity(),
+                                         m2.value());
+           if (!p.device.handle_m3(m3.value()).is_ok()) std::abort();
+           bench::do_not_optimize(p.device.established());
+         }));
+}
 
 // Once the key is established, per-reading protection is symmetric-only —
 // the cost the device actually pays per transaction afterwards.
-void BM_PerReadingProtectionAfterHandshake(benchmark::State& state) {
+void per_reading_after_handshake(bench::Harness& h) {
   Parties p;
   const Bytes m1 = p.manager.start_session(p.device_identity.public_identity());
   auto m2 = p.device.handle_m1(m1);
@@ -78,14 +84,23 @@ void BM_PerReadingProtectionAfterHandshake(benchmark::State& state) {
   if (!p.device.handle_m3(m3.value()).is_ok()) std::abort();
 
   crypto::Csprng rng(44);
-  const Bytes reading = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(envelope_seal(p.device.key(), reading, rng));
+  for (const std::size_t n : {std::size_t{64}, std::size_t{4096}}) {
+    const Bytes reading = rng.bytes(n);
+    const auto name = "per_reading_seal." + std::to_string(n);
+    report(name.c_str(), h.bench(name, [&] {
+             bench::do_not_optimize(envelope_seal(p.device.key(), reading, rng));
+           }));
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_PerReadingProtectionAfterHandshake)->Arg(64)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("keydist_cost", argc, argv);
+  std::printf("# Key-distribution handshake cost (Fig 4 protocol)\n");
+  m1_manager_side(h);
+  m2_device_side(h);
+  full_handshake(h);
+  per_reading_after_handshake(h);
+  return h.finish();
+}

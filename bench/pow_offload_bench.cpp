@@ -6,11 +6,11 @@
 // Same Pi 3B device profile and workload; reported per initial difficulty:
 // accepted transactions in 60 s and the device-side PoW energy proxy
 // (total simulated seconds the device spent hashing).
-#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <thread>
 
+#include "harness.h"
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
@@ -27,23 +27,24 @@ struct Outcome {
 // ParallelMiner at various thread counts (sharded nonce ranges,
 // first-found-wins). This is the real CPU time a server-class gateway
 // spends per offloaded attach request.
-void parallel_grind_table() {
+void parallel_grind_table(bench::Harness& h) {
   std::printf(
       "\n# Gateway-side grind wall clock (ms/mine, 20 mines each, "
       "%u hardware threads on this host)\n",
       std::thread::hardware_concurrency());
   std::printf("%-6s | %10s %10s %10s %10s\n", "D", "serial", "2thr", "4thr",
               "8thr");
-  for (const int d : {14, 16, 18}) {
+  for (const int d : h.quick() ? std::vector<int>{14} :
+                                 std::vector<int>{14, 16, 18}) {
     std::printf("%-6d |", d);
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-      const int reps = 20;
+      const int reps = h.scale(20, 5);
       double total_ms = 0.0;
       for (int i = 0; i < reps; ++i) {
         tangle::TxId p1{}, p2{};
         p1[0] = static_cast<std::uint8_t>(i);
         p2[0] = static_cast<std::uint8_t>(d);
-        const auto start = std::chrono::steady_clock::now();
+        obs::WallTimer timer;
         if (threads == 1) {
           consensus::Miner miner(std::uint64_t{0xbe7ull} * (i + 1));
           if (!miner.mine(p1, p2, d)) std::abort();
@@ -52,11 +53,12 @@ void parallel_grind_table() {
                                          std::uint64_t{0xbe7ull} * (i + 1));
           if (!miner.mine(p1, p2, d)) std::abort();
         }
-        total_ms += std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+        total_ms += timer.elapsed() * 1e3;
       }
       std::printf(" %10.2f", total_ms / reps);
+      if (d == 14 && (threads == 1 || threads == 4))
+        h.record("grind_ms.D14." + std::to_string(threads) + "thr",
+                 total_ms / reps, "ms/op");
     }
     std::printf("\n");
   }
@@ -106,12 +108,14 @@ Outcome run(int initial_difficulty, bool offload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("pow_offload", argc, argv);
   std::printf("# Local vs offloaded PoW on a Pi 3B light node (60 s, fixed "
               "difficulty policy)\n");
   std::printf("%-6s | %12s %16s | %12s %16s\n", "D", "local_txs",
               "local_pow_s", "offload_txs", "offload_pow_s");
-  for (const int d : {8, 10, 11, 12, 13}) {
+  for (const int d : h.quick() ? std::vector<int>{11}
+                               : std::vector<int>{8, 10, 11, 12, 13}) {
     const auto local = run(d, false);
     const auto off = run(d, true);
     std::printf("%-6d | %12llu %16.2f | %12llu %16.2f\n", d,
@@ -119,11 +123,18 @@ int main() {
                 local.device_pow_seconds,
                 static_cast<unsigned long long>(off.accepted),
                 off.device_pow_seconds);
+    if (d == 11) {
+      h.record("accepted.local.D11", static_cast<double>(local.accepted),
+               "txs");
+      h.record("accepted.offload.D11", static_cast<double>(off.accepted),
+               "txs");
+      h.record("device_pow_s.local.D11", local.device_pow_seconds, "s");
+    }
   }
   std::printf("\n# offloading frees the device of all PoW energy and keeps "
               "the submission rate flat as difficulty rises; the price is "
               "trusting the gateway with attachment (content stays "
               "signature-protected either way).\n");
-  parallel_grind_table();
-  return 0;
+  parallel_grind_table(h);
+  return h.finish();
 }

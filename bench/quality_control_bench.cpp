@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "factory/quality.h"
+#include "harness.h"
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
@@ -110,15 +111,21 @@ double time_to_throttle() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("quality_control", argc, argv);
   std::printf("# Sensor data quality control (Section VIII future-work "
               "implementation)\n\n");
   std::printf("## detector characterization (2000 samples per stream)\n");
   std::printf("%-12s %16s %14s\n", "z_thresh", "false_pos_rate", "detect_rate");
-  for (const double z : {3.0, 4.5, 6.0, 9.0}) {
+  for (const double z : h.quick() ? std::vector<double>{4.5}
+                                  : std::vector<double>{3.0, 4.5, 6.0, 9.0}) {
     const auto rates = characterize(z);
     std::printf("%-12.1f %16.4f %14.3f\n", z, rates.false_positive,
                 rates.detection);
+    if (z == 4.5) {
+      h.record("false_positive_rate.z4.5", rates.false_positive, "ratio");
+      h.record("detection_rate.z4.5", rates.detection, "ratio");
+    }
   }
 
   const double latency = time_to_throttle();
@@ -127,5 +134,7 @@ int main() {
               latency);
   std::printf("# garbage data is punished through the exact Eqn 4/5 pipeline "
               "as protocol attacks (alpha_q = 0.25 by default)\n");
-  return latency >= 0 ? 0 : 1;
+  h.record("throttle_latency_s", latency, "s");
+  const int emit = h.finish();
+  return latency >= 0 ? emit : 1;
 }

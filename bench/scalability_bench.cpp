@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "factory/scenario.h"
+#include "harness.h"
 
 namespace {
 using namespace biot;
@@ -42,17 +43,25 @@ Cell run(int devices, int gateways, double horizon) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("scalability", argc, argv);
   std::printf("# Scalability: throughput and network overhead vs deployment "
               "size (45 s horizon, Pi 3B devices at 0.5 s cadence)\n");
   std::printf("%-9s %-9s | %9s %12s %10s\n", "devices", "gateways", "tps",
               "msgs/tx", "KB/tx");
 
-  for (const int gateways : {1, 2, 4}) {
-    for (const int devices : {4, 16, 64}) {
-      const auto cell = run(devices, gateways, 45.0);
+  const double horizon = h.scale(45.0, 20.0);
+  for (const int gateways : h.quick() ? std::vector<int>{1, 2}
+                                      : std::vector<int>{1, 2, 4}) {
+    for (const int devices : h.quick() ? std::vector<int>{4, 16}
+                                       : std::vector<int>{4, 16, 64}) {
+      const auto cell = run(devices, gateways, horizon);
       std::printf("%-9d %-9d | %9.2f %12.1f %10.2f\n", devices, gateways,
                   cell.tps, cell.msgs_per_tx, cell.kb_per_tx);
+      const auto tag =
+          ".d" + std::to_string(devices) + ".g" + std::to_string(gateways);
+      h.record("tps" + tag, cell.tps, "tx/s");
+      h.record("msgs_per_tx" + tag, cell.msgs_per_tx, "msgs");
     }
   }
 
@@ -60,5 +69,5 @@ int main() {
               "bottleneck); msgs/tx grows with the gossip fan-out "
               "(~gateways-1 relays per acceptance) — the replication cost "
               "of losing the single point of failure.\n");
-  return 0;
+  return h.finish();
 }

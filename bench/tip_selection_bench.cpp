@@ -6,17 +6,15 @@
 // side-branches; uniform selection falls for them in proportion to their
 // share of the tip pool. This bench quantifies both, plus the raw cost per
 // selection as the tangle grows.
-#include <chrono>
 #include <cstdio>
 
 #include "consensus/pow.h"
 #include "crypto/identity.h"
+#include "harness.h"
 #include "tangle/tip_selection.h"
 
 namespace {
 using namespace biot;
-
-volatile unsigned benchmark_dummy = 0;
 
 struct TestBed {
   tangle::Tangle tangle{tangle::Tangle::make_genesis()};
@@ -63,7 +61,7 @@ TestBed build_infested(int honest, int lazy, Rng& rng,
   return bed;
 }
 
-void lazy_resistance() {
+void lazy_resistance(bench::Harness& h) {
   std::printf("\n## lazy-tip resistance: fraction of selections landing on "
               "attacker tips\n");
   std::printf("# tangle: 200 honest txs + 100 lazy-attack tips off one stale pair\n");
@@ -71,7 +69,8 @@ void lazy_resistance() {
 
   Rng build_rng(1);
   tangle::TipPair stale;
-  TestBed bed = build_infested(200, 100, build_rng, &stale);
+  TestBed bed = build_infested(h.scale(200, 60), h.scale(100, 30), build_rng,
+                               &stale);
 
   // Attacker tips are exactly those approving the stale pair.
   std::set<tangle::TxId> lazy_tips;
@@ -85,7 +84,7 @@ void lazy_resistance() {
               static_cast<double>(lazy_tips.size()) /
                   static_cast<double>(bed.tangle.tips().size()));
 
-  const int trials = 1000;
+  const int trials = h.scale(1000, 200);
   auto measure = [&](const tangle::TipSelector& selector) {
     Rng rng(7);
     int hits = 0;
@@ -98,39 +97,45 @@ void lazy_resistance() {
   };
 
   const tangle::UniformRandomTipSelector uniform;
-  std::printf("%-26s %14.3f\n", "uniform", measure(uniform));
+  const double uniform_frac = measure(uniform);
+  std::printf("%-26s %14.3f\n", "uniform", uniform_frac);
+  h.record("lazy_fraction.uniform", uniform_frac, "ratio");
   for (const double alpha : {0.0, 0.1, 0.5, 2.0}) {
     const tangle::WeightedWalkTipSelector walk(alpha);
+    const double frac = measure(walk);
     char name[32];
     std::snprintf(name, sizeof name, "mcmc-walk alpha=%.1f", alpha);
-    std::printf("%-26s %14.3f\n", name, measure(walk));
+    std::printf("%-26s %14.3f\n", name, frac);
+    if (alpha == 0.5) h.record("lazy_fraction.walk_a0.5", frac, "ratio");
   }
   std::printf("# expected: uniform ~= lazy share of the tip pool; walk "
               "fraction drops toward 0 as alpha grows\n");
 }
 
-void selection_cost() {
+void selection_cost(bench::Harness& h) {
   std::printf("\n## selection cost vs tangle size (microseconds/selection)\n");
   std::printf("%-10s %14s %14s\n", "txs", "uniform_us", "walk_us");
 
-  for (const int n : {100, 500, 2000, 8000}) {
+  for (const int n : h.quick() ? std::vector<int>{100, 500}
+                                : std::vector<int>{100, 500, 2000, 8000}) {
     Rng build_rng(2);
     TestBed bed = build_infested(n, 0, build_rng);
 
     auto time_us = [&](const tangle::TipSelector& selector, int reps) {
       Rng rng(3);
-      const auto start = std::chrono::steady_clock::now();
+      const obs::WallTimer timer;
       for (int i = 0; i < reps; ++i)
-        benchmark_dummy = benchmark_dummy + selector.select(bed.tangle, rng).first[0];
-      const auto stop = std::chrono::steady_clock::now();
-      return std::chrono::duration<double, std::micro>(stop - start).count() /
-             reps;
+        bench::do_not_optimize(selector.select(bed.tangle, rng));
+      return timer.elapsed() * 1e6 / reps;
     };
 
     const tangle::UniformRandomTipSelector uniform;
     const tangle::WeightedWalkTipSelector walk(0.5);
-    std::printf("%-10d %14.2f %14.2f\n", n, time_us(uniform, 200),
-                time_us(walk, 20));
+    const double uniform_us = time_us(uniform, h.scale(200, 50));
+    const double walk_us = time_us(walk, h.scale(20, 5));
+    std::printf("%-10d %14.2f %14.2f\n", n, uniform_us, walk_us);
+    h.record("select_us.uniform.n" + std::to_string(n), uniform_us, "us/op");
+    h.record("select_us.walk.n" + std::to_string(n), walk_us, "us/op");
   }
   std::printf("# uniform is O(tips); the walk's weight map is generation-"
               "cached, so on a quiescent tangle repeated selections cost "
@@ -140,9 +145,10 @@ void selection_cost() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("tip_selection", argc, argv);
   std::printf("# Tip-selection strategies: lazy-tip resistance and cost\n");
-  lazy_resistance();
-  selection_cost();
-  return 0;
+  lazy_resistance(h);
+  selection_cost(h);
+  return h.finish();
 }

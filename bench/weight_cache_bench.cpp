@@ -7,22 +7,15 @@
 // incrementally on add and memoizes the approximate-weight map behind a
 // generation stamp. This bench quantifies the win on the two hot read
 // paths at growing tangle sizes — the acceptance bar is >= 10x at 10k txs.
-#include <chrono>
 #include <cstdio>
 
 #include "consensus/pow.h"
 #include "crypto/identity.h"
+#include "harness.h"
 #include "tangle/tip_selection.h"
 
 namespace {
 using namespace biot;
-
-volatile std::size_t benchmark_sink = 0;
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 struct Bed {
   tangle::Tangle tangle{tangle::Tangle::make_genesis()};
@@ -33,7 +26,7 @@ struct Bed {
 
   void grow_uniform(int txs, Rng& rng) {
     tangle::UniformRandomTipSelector uniform;
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     for (int i = 0; i < txs; ++i) {
       const auto [p1, p2] = uniform.select(tangle, rng);
       tangle::Transaction tx;
@@ -48,7 +41,7 @@ struct Bed {
       tx.signature = identity.sign(tx.signing_bytes());
       if (!tangle.add(tx, 0.1 * i).is_ok()) std::abort();
     }
-    build_seconds = seconds_since(start);
+    build_seconds = timer.elapsed();
   }
 };
 
@@ -59,12 +52,12 @@ void confirmation_path(const Bed& bed, double* brute_us, double* incr_us) {
   const int queries = 200;
 
   auto run = [&](auto&& weight_fn) {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     for (int q = 0; q < queries; ++q) {
       const auto& id = order[(q * 7919) % order.size()];
-      benchmark_sink = benchmark_sink + weight_fn(id);
+      bench::do_not_optimize(weight_fn(id));
     }
-    return seconds_since(start) * 1e6 / queries;
+    return timer.elapsed() * 1e6 / queries;
   };
 
   *brute_us = run([&](const tangle::TxId& id) {
@@ -80,44 +73,44 @@ void tip_selection_path(const Bed& bed, double* brute_us, double* cached_us,
 
   {  // Brute force: a cold selector per call recomputes the weight map.
     Rng rng(11);
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     for (int i = 0; i < selections; ++i) {
       const tangle::WeightedWalkTipSelector cold(0.5);
-      benchmark_sink = benchmark_sink + cold.select(bed.tangle, rng).first[0];
+      bench::do_not_optimize(cold.select(bed.tangle, rng));
     }
-    *brute_us = seconds_since(start) * 1e6 / selections;
+    *brute_us = timer.elapsed() * 1e6 / selections;
   }
   {  // Cached: one selector, generation cache hits on the quiescent tangle.
     Rng rng(11);
     const tangle::WeightedWalkTipSelector warm(0.5);
-    const auto start = std::chrono::steady_clock::now();
+    const obs::WallTimer timer;
     for (int i = 0; i < selections; ++i)
-      benchmark_sink = benchmark_sink + warm.select(bed.tangle, rng).first[0];
-    *cached_us = seconds_since(start) * 1e6 / selections;
+      bench::do_not_optimize(warm.select(bed.tangle, rng));
+    *cached_us = timer.elapsed() * 1e6 / selections;
   }
   {  // Windowed: cached map + depth-bounded anchored walk (O(64) per walk).
     Rng rng(11);
     const tangle::WeightedWalkTipSelector windowed(0.5, 64);
-    benchmark_sink = benchmark_sink +
-                     windowed.select(bed.tangle, rng).first[0];  // warm cache
-    const auto start = std::chrono::steady_clock::now();
+    bench::do_not_optimize(windowed.select(bed.tangle, rng));  // warm cache
+    const obs::WallTimer timer;
     for (int i = 0; i < selections; ++i)
-      benchmark_sink =
-          benchmark_sink + windowed.select(bed.tangle, rng).first[0];
-    *windowed_us = seconds_since(start) * 1e6 / selections;
+      bench::do_not_optimize(windowed.select(bed.tangle, rng));
+    *windowed_us = timer.elapsed() * 1e6 / selections;
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("weight_cache", argc, argv);
   std::printf("# Incremental weight engine vs brute-force DAG sweeps\n");
   std::printf("%-8s %9s | %12s %12s %9s | %12s %12s %12s %9s\n", "txs",
               "build_s", "confirm_bf", "confirm_inc", "speedup", "select_bf",
               "select_cache", "select_win", "speedup");
   std::printf("#        (us/query unless noted)\n");
 
-  for (const int n : {1000, 5000, 10000}) {
+  for (const int n : h.quick() ? std::vector<int>{500, 2000}
+                                : std::vector<int>{1000, 5000, 10000}) {
     Bed bed;
     Rng rng(42);
     bed.grow_uniform(n, rng);
@@ -133,6 +126,11 @@ int main() {
         confirm_inc > 0 ? confirm_bf / confirm_inc : 0.0, select_bf,
         select_cached, select_win,
         select_win > 0 ? select_bf / select_win : 0.0);
+    const auto tag = ".n" + std::to_string(n);
+    h.record("confirm_us.brute" + tag, confirm_bf, "us/op");
+    h.record("confirm_us.incremental" + tag, confirm_inc, "us/op");
+    h.record("select_us.brute" + tag, select_bf, "us/op");
+    h.record("select_us.windowed" + tag, select_win, "us/op");
   }
 
   std::printf(
@@ -142,5 +140,5 @@ int main() {
       "bounds each walk to a 64-deep anchored window, so walk cost stops "
       "scaling with tangle size. Acceptance: confirm and windowed-select "
       "speedups >= 10x at 10000 txs.\n");
-  return 0;
+  return h.finish();
 }

@@ -14,6 +14,7 @@ SmartFactory::SmartFactory(ScenarioConfig config)
       std::make_unique<sim::ExponentialTailLatency>(config_.latency_base,
                                                     config_.latency_tail),
       Rng(config_.seed ^ 0x4e54ull));
+  network_->stats().attach_to(metrics_.scope("net"));
 
   const auto genesis = tangle::Tangle::make_genesis();
   const auto manager_key = manager_identity_.public_identity().sign_key;
@@ -25,6 +26,8 @@ SmartFactory::SmartFactory(ScenarioConfig config)
     gateways_.push_back(std::make_unique<node::Gateway>(
         next_node_id_++, gateway_identities_.back(), manager_key, genesis,
         *network_, config_.gateway));
+    gateways_.back()->bind_metrics(
+        metrics_.scope("gateway.g" + std::to_string(g)));
   }
   for (auto& a : gateways_) {
     for (auto& b : gateways_) {
@@ -69,6 +72,7 @@ SmartFactory::SmartFactory(ScenarioConfig config)
     node->set_data_source([sensor, rng, sched] {
       return sensor->sample(sched->now(), *rng).encode();
     });
+    node->stats().attach_to(metrics_.scope("device.d" + std::to_string(d)));
     devices_.push_back(std::move(node));
   }
 }
@@ -142,6 +146,7 @@ std::size_t SmartFactory::add_unauthorized_device(node::LightNodeConfig config) 
       crypto::Identity::deterministic(config_.seed * 9000 + 777 + index),
       gateways_.front()->node_id(), *network_, config);
   node->start();
+  node->stats().attach_to(metrics_.scope("device.u" + std::to_string(index)));
   unauthorized_.push_back(std::move(node));
   return index;
 }

@@ -17,6 +17,7 @@
 #include "node/gateway.h"
 #include "node/light_node.h"
 #include "node/manager.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace biot::factory {
@@ -53,6 +54,11 @@ class SmartFactory {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   sim::Network& network() { return *network_; }
+  /// Fleet-wide metrics registry. Every component's stats are attached at
+  /// construction under gateway.g<i> / device.d<i> / net, so one
+  /// snapshot() (or obs::to_json) renders the whole deployment.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   node::Manager& manager() { return *manager_; }
   /// Valid only when config.enable_coordinator was set.
   node::Coordinator& coordinator() { return *coordinator_; }
@@ -97,6 +103,9 @@ class SmartFactory {
 
  private:
   ScenarioConfig config_;
+  // Declared before every component: attached instruments are referenced by
+  // address, so the registry must be destroyed last.
+  obs::MetricsRegistry metrics_;
   sim::Scheduler scheduler_;
   std::unique_ptr<sim::Network> network_;
 

@@ -8,6 +8,43 @@ namespace {
 Logger logger("admission");
 }
 
+void GatewayStats::attach_to(const obs::Scope& scope) const {
+  // Grouped by subsystem so the exported tree reads as
+  // gateway.g<i>.{admission,sync,edge}.<counter>.
+  const auto admission = scope.scope("admission");
+  admission.attach("accepted", &accepted);
+  admission.attach("rejected_unauthorized", &rejected_unauthorized);
+  admission.attach("rejected_difficulty", &rejected_difficulty);
+  admission.attach("rejected_pow", &rejected_pow);
+  admission.attach("rejected_conflict", &rejected_conflict);
+  admission.attach("rejected_other", &rejected_other);
+  admission.attach("lazy_detected", &lazy_detected);
+  admission.attach("poor_quality_detected", &poor_quality_detected);
+  const auto sync = scope.scope("sync");
+  sync.attach("summaries_sent", &syncs_sent);
+  sync.attach("txs_served", &sync_txs_served);
+  sync.attach("txs_applied", &sync_txs_applied);
+  sync.attach("fallbacks", &sync_fallbacks);
+  const auto edge = scope.scope("edge");
+  edge.attach("tips_served", &tips_served);
+  edge.attach("gossip_received", &gossip_received);
+  edge.attach("rate_limited", &rate_limited);
+  edge.attach("rate_buckets_evicted", &rate_buckets_evicted);
+  edge.attach("orphans_buffered", &orphans_buffered);
+  edge.attach("orphans_adopted", &orphans_adopted);
+  edge.attach("orphans_dropped", &orphans_dropped);
+}
+
+void AdmissionMetrics::attach_to(const obs::Scope& scope) const {
+  scope.attach("authorize_wall_s", &authorize_wall_s);
+  scope.attach("difficulty_wall_s", &difficulty_wall_s);
+  scope.attach("conflict_wall_s", &conflict_wall_s);
+  scope.attach("lazy_wall_s", &lazy_wall_s);
+  scope.attach("attach_wall_s", &attach_wall_s);
+  scope.attach("observers_wall_s", &observers_wall_s);
+  scope.attach("admit_wall_s", &admit_wall_s);
+}
+
 std::string_view ingress_name(Ingress ingress) noexcept {
   switch (ingress) {
     case Ingress::kService: return "service";
@@ -129,6 +166,20 @@ Status AdmissionPipeline::reject(const tangle::Transaction& tx,
 
 Status AdmissionPipeline::admit(const tangle::Transaction& tx,
                                 TimePoint arrival, Ingress ingress) {
+  // Stage latency instrumentation: one clock read per stage boundary
+  // (WallTimer::lap), all gated so an uninstrumented pipeline pays only
+  // the two reads of the idle timers.
+  obs::WallTimer total_timer;
+  obs::WallTimer stage_timer;
+  const auto lap = [&](obs::Histogram AdmissionMetrics::* hist) {
+    if (metrics_ != nullptr) (metrics_->*hist).observe(stage_timer.lap());
+  };
+  const auto done = [&](Status status) {
+    if (metrics_ != nullptr)
+      metrics_->admit_wall_s.observe(total_timer.elapsed());
+    return status;
+  };
+
   const auto traits = ingress_traits(ingress);
   const auto& sender = tx.sender;
   const bool is_coordinator =
@@ -142,29 +193,33 @@ Status AdmissionPipeline::admit(const tangle::Transaction& tx,
   // own lists (Section IV-A).
   if (traits.gate_milestone_issuer &&
       tx.type == tangle::TxType::kMilestone && !is_coordinator)
-    return reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
-                  Status::error(ErrorCode::kUnauthorized,
-                                "milestone not issued by the coordinator"));
+    return done(reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
+                       Status::error(
+                           ErrorCode::kUnauthorized,
+                           "milestone not issued by the coordinator")));
   if (traits.authorize && !auth_.is_manager(sender) && !is_coordinator &&
       !auth_.is_authorized(sender))
-    return reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
-                  Status::error(ErrorCode::kUnauthorized,
-                                "sender not in authorization list"));
+    return done(reject(tx, arrival, ingress, AdmissionStage::kAuthorize,
+                       Status::error(ErrorCode::kUnauthorized,
+                                     "sender not in authorization list")));
+  lap(&AdmissionMetrics::authorize_wall_s);
 
   // Stage 2: difficulty policy.
   if (traits.enforce_difficulty &&
       tx.difficulty < required_difficulty_(sender))
-    return reject(tx, arrival, ingress, AdmissionStage::kDifficulty,
-                  Status::error(ErrorCode::kPowInvalid,
-                                "declared difficulty below required"));
+    return done(reject(tx, arrival, ingress, AdmissionStage::kDifficulty,
+                       Status::error(ErrorCode::kPowInvalid,
+                                     "declared difficulty below required")));
+  lap(&AdmissionMetrics::difficulty_wall_s);
 
   // Stage 3: strict conflict check. At the service edge a double-spend is
   // rejected outright (and the credit observer punishes it).
   if (traits.strict_conflict) {
     if (auto s = ledger_.check(tx); !s)
-      return reject(tx, arrival, ingress, AdmissionStage::kConflictCheck,
-                    std::move(s));
+      return done(reject(tx, arrival, ingress,
+                         AdmissionStage::kConflictCheck, std::move(s)));
   }
+  lap(&AdmissionMetrics::conflict_wall_s);
 
   // Stage 4: lazy-tip detection, BEFORE attaching (the parents' tip and
   // approval state changes once the transaction attaches). Lazy
@@ -172,15 +227,18 @@ Status AdmissionPipeline::admit(const tangle::Transaction& tx,
   // observer prices the behaviour (alpha_l).
   AttachEvent event{tx, tx.id(), arrival, ingress};
   event.lazy = consensus::is_lazy_approval(tangle_, tx, arrival, lazy_policy_);
+  lap(&AdmissionMetrics::lazy_wall_s);
 
   // Stage 5: attach (structural validation lives in Tangle::add).
   if (auto s = tangle_.add(tx, arrival); !s)
-    return reject(tx, arrival, ingress, AdmissionStage::kAttach,
-                  std::move(s));
+    return done(reject(tx, arrival, ingress, AdmissionStage::kAttach,
+                       std::move(s)));
+  lap(&AdmissionMetrics::attach_wall_s);
 
   // Stage 6: derived state, via the ordered observer list.
   for (const auto& observer : observers_) observer->on_attach(event);
-  return Status::ok();
+  lap(&AdmissionMetrics::observers_wall_s);
+  return done(Status::ok());
 }
 
 }  // namespace biot::node

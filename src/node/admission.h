@@ -31,6 +31,8 @@
 #include "auth/authorization.h"
 #include "consensus/credit.h"
 #include "consensus/detectors.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "tangle/ledger.h"
 #include "tangle/milestones.h"
 #include "tangle/tangle.h"
@@ -131,26 +133,48 @@ using QualityInspector =
 
 /// Gateway operation counters. Mutated only by StatsObserver and the
 /// gateway's transport edge (rate limiter, gossip/sync/orphan plumbing).
+/// Fields are obs::Counter — value-identical to the raw integers they
+/// replaced for readers, and exportable through a MetricsRegistry scope
+/// via attach_to() (gateway.h binds "gateway.g<i>.admission").
 struct GatewayStats {
-  std::uint64_t tips_served = 0;
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected_unauthorized = 0;
-  std::uint64_t rejected_difficulty = 0;
-  std::uint64_t rejected_pow = 0;
-  std::uint64_t rejected_conflict = 0;   // double-spends caught
-  std::uint64_t rejected_other = 0;
-  std::uint64_t lazy_detected = 0;
-  std::uint64_t poor_quality_detected = 0;
-  std::uint64_t gossip_received = 0;
-  std::uint64_t syncs_sent = 0;
-  std::uint64_t sync_txs_served = 0;    // txs shipped to lagging peers
-  std::uint64_t sync_txs_applied = 0;   // txs backfilled from peers
-  std::uint64_t sync_fallbacks = 0;     // sketch undecodable -> full inventory
-  std::uint64_t rate_limited = 0;       // service requests shed at the edge
-  std::uint64_t rate_buckets_evicted = 0;  // idle token buckets reclaimed
-  std::uint64_t orphans_buffered = 0;   // out-of-order gossip held back
-  std::uint64_t orphans_adopted = 0;    // later attached successfully
-  std::uint64_t orphans_dropped = 0;    // shed because the buffer was full
+  obs::Counter tips_served;
+  obs::Counter accepted;
+  obs::Counter rejected_unauthorized;
+  obs::Counter rejected_difficulty;
+  obs::Counter rejected_pow;
+  obs::Counter rejected_conflict;   // double-spends caught
+  obs::Counter rejected_other;
+  obs::Counter lazy_detected;
+  obs::Counter poor_quality_detected;
+  obs::Counter gossip_received;
+  obs::Counter syncs_sent;
+  obs::Counter sync_txs_served;    // txs shipped to lagging peers
+  obs::Counter sync_txs_applied;   // txs backfilled from peers
+  obs::Counter sync_fallbacks;     // sketch undecodable -> full inventory
+  obs::Counter rate_limited;       // service requests shed at the edge
+  obs::Counter rate_buckets_evicted;  // idle token buckets reclaimed
+  obs::Counter orphans_buffered;   // out-of-order gossip held back
+  obs::Counter orphans_adopted;    // later attached successfully
+  obs::Counter orphans_dropped;    // shed because the buffer was full
+
+  /// Registers every counter under `scope` (e.g. "gateway.g0.admission").
+  void attach_to(const obs::Scope& scope) const;
+};
+
+/// Wall-clock latency of each admission stage plus the whole admit() call.
+/// Owned by the gateway next to its GatewayStats; the pipeline takes an
+/// optional pointer and skips all timing when none is installed.
+struct AdmissionMetrics {
+  obs::Histogram authorize_wall_s;
+  obs::Histogram difficulty_wall_s;
+  obs::Histogram conflict_wall_s;
+  obs::Histogram lazy_wall_s;
+  obs::Histogram attach_wall_s;
+  obs::Histogram observers_wall_s;
+  obs::Histogram admit_wall_s;  // end-to-end, accepted and rejected alike
+
+  /// Registers every histogram under `scope` (e.g. "gateway.g0.admission").
+  void attach_to(const obs::Scope& scope) const;
 };
 
 // ---- Built-in derived-state observers (registration order matters) --------
@@ -259,6 +283,9 @@ class AdmissionPipeline {
     observers_.push_back(std::move(observer));
   }
 
+  /// Installs per-stage latency histograms (nullptr disables timing).
+  void set_metrics(AdmissionMetrics* metrics) { metrics_ = metrics; }
+
   /// Runs the staged admission of one transaction. `arrival` is the
   /// gateway's current time for live ingresses and the recorded arrival
   /// for replay — it is the timestamp every stage and observer sees, which
@@ -278,6 +305,7 @@ class AdmissionPipeline {
   consensus::LazyTipPolicy lazy_policy_;
   DifficultyFn required_difficulty_;
   std::vector<std::unique_ptr<AttachObserver>> observers_;
+  AdmissionMetrics* metrics_ = nullptr;
 };
 
 }  // namespace biot::node

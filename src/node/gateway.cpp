@@ -19,6 +19,13 @@ Logger logger("gateway");
 constexpr std::uint8_t kSyncSummaryV2 = 2;
 }  // namespace
 
+void GatewayMetrics::attach_to(const obs::Scope& scope) const {
+  admission.attach_to(scope.scope("admission"));
+  scope.attach("pow.grind_wall_s", &pow_grind_wall_s);
+  scope.attach("sync.rtt_sim_s", &sync_rtt_sim_s);
+  scope.attach("tips.walk_steps", &tip_walk_steps);
+}
+
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
                  const crypto::Ed25519PublicKey& manager_key,
                  const tangle::Transaction& genesis, sim::Network& network,
@@ -70,6 +77,7 @@ void Gateway::build_pipeline() {
       milestones_, tangle_, coordinator_key_));
   pipeline_->add_observer(std::make_unique<AuthObserver>(auth_));
   pipeline_->add_observer(std::make_unique<StatsObserver>(stats_));
+  pipeline_->set_metrics(&metrics_.admission);
 }
 
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
@@ -111,6 +119,7 @@ void Gateway::stop() {
   orphan_count_ = 0;
   buckets_.clear();
   last_bucket_sweep_ = 0.0;
+  sync_sent_at_.clear();
 }
 
 void Gateway::restart(const tangle::Tangle& restored) {
@@ -164,11 +173,22 @@ void Gateway::sync_tick() {
 
     RpcMessage msg;
     msg.type = MsgType::kSyncSummary;
-    msg.request_id = 0;
+    // Fresh id per tick so the eventual kSyncMissing reply (which echoes it
+    // through both the sketch and inventory-fallback paths) can be matched
+    // to this send for the round-trip-time histogram.
+    msg.request_id = next_sync_request_id_++;
     msg.sender_key = identity_.public_identity().sign_key;
     msg.body = std::move(w).take();
+    sync_sent_at_[msg.request_id] = now();
     network_.send(id_, peer, msg.encode());
     ++stats_.syncs_sent;
+
+    // Converged peers answer a summary with silence, so stamps without a
+    // reply accumulate; drop anything older than a few intervals (a real
+    // straggler reply that late would be a stale RTT sample anyway).
+    const TimePoint cutoff = now() - 8.0 * config_.sync_interval;
+    std::erase_if(sync_sent_at_,
+                  [cutoff](const auto& kv) { return kv.second < cutoff; });
   }
   schedule_sync();
 }
@@ -266,6 +286,14 @@ void Gateway::ship_missing(sim::NodeId to, std::uint64_t request_id,
 }
 
 void Gateway::handle_sync_missing(const RpcMessage& msg) {
+  // RTT of the anti-entropy exchange this reply closes (sim time; covers
+  // both the sketch-decode path and the inventory fallback, which adds a
+  // full extra round trip).
+  if (const auto it = sync_sent_at_.find(msg.request_id);
+      it != sync_sent_at_.end()) {
+    metrics_.sync_rtt_sim_s.observe(now() - it->second);
+    sync_sent_at_.erase(it);
+  }
   Reader r(msg.body);
   const auto count = r.u32();
   if (!count) return;
@@ -334,7 +362,10 @@ int Gateway::required_difficulty(const tangle::AccountKey& sender) const {
 
 tangle::TipPair Gateway::select_tips() {
   ++stats_.tips_served;
-  return tip_selector_->select(tangle_, rng_);
+  const auto tips = tip_selector_->select(tangle_, rng_);
+  if (const auto steps = tip_selector_->last_walk_steps(); steps > 0)
+    metrics_.tip_walk_steps.observe(static_cast<double>(steps));
+  return tips;
 }
 
 void Gateway::on_message(sim::NodeId from, const Bytes& wire) {
@@ -548,10 +579,12 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
       result.status = ErrorCode::kPowInvalid;
       result.message = "declared difficulty above protocol maximum";
     } else {
+      const obs::WallTimer grind;
       const auto mined =
           parallel_miner_
               ? parallel_miner_->mine(t.parent1, t.parent2, t.difficulty)
               : miner_.mine(t.parent1, t.parent2, t.difficulty);
+      metrics_.pow_grind_wall_s.observe(grind.elapsed());
       t.nonce = mined->nonce;
       const auto status = submit(t);
       result.status = status.code();

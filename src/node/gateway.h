@@ -29,6 +29,20 @@
 
 namespace biot::node {
 
+/// Hot-path latency/size distributions owned by the gateway (the counter
+/// side lives in GatewayStats). The time domain is part of each name:
+/// _wall_s histograms measure real CPU cost, _sim_s ones measure protocol
+/// latency on the simulated clock.
+struct GatewayMetrics {
+  AdmissionMetrics admission;      // per-stage wall latencies
+  obs::Histogram pow_grind_wall_s; // offloaded-PoW grind (handle_attach)
+  obs::Histogram sync_rtt_sim_s;   // summary sent -> missing txs received
+  obs::Histogram tip_walk_steps{obs::HistogramSpec::size()};
+
+  /// Registers everything under `scope` (e.g. "gateway.g0").
+  void attach_to(const obs::Scope& scope) const;
+};
+
 struct GatewayConfig {
   /// Difficulty policy: kCredit (the paper's mechanism) or kFixed baseline.
   enum class Policy { kCredit, kFixed } policy = Policy::kCredit;
@@ -141,6 +155,15 @@ class Gateway {
   ConfirmationInfo confirmation_status(const tangle::TxId& id) const;
   const consensus::CreditRegistry& credit_registry() const { return credit_; }
   const GatewayStats& stats() const { return stats_; }
+  const GatewayMetrics& metrics() const { return metrics_; }
+
+  /// Exports this gateway's stats and metrics under `scope` (the
+  /// SmartFactory binds "gateway.g<i>"). Instruments are attached by
+  /// address, so one bind survives restart()'s in-place stats reset.
+  void bind_metrics(const obs::Scope& scope) const {
+    stats_.attach_to(scope);
+    metrics_.attach_to(scope);
+  }
 
   /// Weight oracle over this gateway's tangle replica: weight(tx) = 1 +
   /// direct approvals received so far.
@@ -260,6 +283,11 @@ class Gateway {
 
   std::vector<sim::NodeId> peers_;
   std::size_t next_sync_peer_ = 0;
+  // Sim-time send stamps of in-flight sync summaries, keyed by request id;
+  // matched (and erased) by the kSyncMissing reply for the RTT histogram.
+  // Converged peers never reply, so stale entries are pruned every tick.
+  std::unordered_map<std::uint64_t, TimePoint> sync_sent_at_;
+  std::uint64_t next_sync_request_id_ = 1;
   // missing parent id -> transactions waiting on it
   std::unordered_map<tangle::TxId, std::vector<tangle::Transaction>,
                      FixedBytesHash<32>>
@@ -269,6 +297,7 @@ class Gateway {
   std::optional<crypto::Ed25519PublicKey> coordinator_key_;
   tangle::MilestoneTracker milestones_;
   GatewayStats stats_;
+  GatewayMetrics metrics_;
   std::unique_ptr<AdmissionPipeline> pipeline_;
 };
 

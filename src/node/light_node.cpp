@@ -8,6 +8,18 @@ namespace {
 Logger logger("light_node");
 }
 
+void LightNodeStats::attach_to(const obs::Scope& scope) const {
+  scope.attach("cycles_started", &cycles_started);
+  scope.attach("accepted", &accepted);
+  scope.attach("rejected", &rejected);
+  scope.attach("unauthorized", &unauthorized);
+  scope.attach("attacks_launched", &attacks_launched);
+  scope.attach("timeouts", &timeouts);
+  scope.attach("failovers", &failovers);
+  scope.attach("failbacks", &failbacks);
+  scope.attach("pow_sim_s", &pow_sim_s);
+}
+
 LightNode::LightNode(sim::NodeId id, crypto::Identity identity,
                      sim::NodeId gateway, sim::Network& network,
                      LightNodeConfig config)
@@ -198,6 +210,7 @@ void LightNode::mine_and_submit(tangle::Transaction tx) {
     // device pays only the tip-validation time.
     tx.signature = identity_.sign(tx.signing_bytes());
     stats_.pow_durations.push_back(0.0);
+    stats_.pow_sim_s.observe(0.0);
     ++awaiting_results_;
     network_.scheduler().after(
         config_.tip_validation_s,
@@ -215,6 +228,7 @@ void LightNode::mine_and_submit(tangle::Transaction tx) {
   const Duration pow_time =
       config_.profile.sample_pow_time(tx.difficulty, rng_);
   stats_.pow_durations.push_back(pow_time);
+  stats_.pow_sim_s.observe(pow_time);
 
   ++awaiting_results_;
   network_.scheduler().after(

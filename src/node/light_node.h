@@ -21,6 +21,7 @@
 #include "consensus/pow.h"
 #include "crypto/identity.h"
 #include "node/rpc.h"
+#include "obs/metrics.h"
 #include "tangle/tip_selection.h"
 #include "sim/device_profile.h"
 #include "sim/network.h"
@@ -69,18 +70,26 @@ struct LightNodeConfig {
 };
 
 struct LightNodeStats {
-  std::uint64_t cycles_started = 0;
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t unauthorized = 0;
-  std::uint64_t attacks_launched = 0;
-  std::uint64_t timeouts = 0;   // cycles abandoned waiting for the gateway
-  std::uint64_t failovers = 0;  // times the device re-homed to a backup
-  std::uint64_t failbacks = 0;  // times it returned to its recovered primary
+  obs::Counter cycles_started;
+  obs::Counter accepted;
+  obs::Counter rejected;
+  obs::Counter unauthorized;
+  obs::Counter attacks_launched;
+  obs::Counter timeouts;   // cycles abandoned waiting for the gateway
+  obs::Counter failovers;  // times the device re-homed to a backup
+  obs::Counter failbacks;  // times it returned to its recovered primary
   /// Simulated PoW seconds spent, one entry per mined transaction.
   std::vector<Duration> pow_durations;
   /// Simulated times at which submissions were accepted.
   std::vector<TimePoint> accepted_times;
+  /// Distribution view of pow_durations (same observations, O(buckets)
+  /// memory) — what the registry exports; the vector stays for the energy
+  /// and Fig 9 per-sample computations.
+  obs::Histogram pow_sim_s;
+
+  /// Registers everything under `scope` (the SmartFactory binds
+  /// "device.d<i>").
+  void attach_to(const obs::Scope& scope) const;
 };
 
 class LightNode {

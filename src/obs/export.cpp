@@ -1,0 +1,185 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace biot::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_histogram_fields(std::string& out, const MetricSnapshot& m) {
+  out += "\"count\": ";
+  out += std::to_string(m.count);
+  out += ", \"sum\": " + fmt_double(m.sum);
+  out += ", \"min\": " + fmt_double(m.min);
+  out += ", \"max\": " + fmt_double(m.max);
+  out += ", \"mean\": " + fmt_double(m.value);
+  out += ", \"p50\": " + fmt_double(m.p50);
+  out += ", \"p90\": " + fmt_double(m.p90);
+  out += ", \"p99\": " + fmt_double(m.p99);
+}
+
+}  // namespace
+
+std::string to_text(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  std::size_t width = 0;
+  for (const auto& m : snapshot.metrics) width = std::max(width, m.name.size());
+  for (const auto& m : snapshot.metrics) {
+    out << m.name << std::string(width - m.name.size() + 2, ' ');
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << static_cast<std::uint64_t>(m.value);
+        break;
+      case MetricKind::kGauge:
+        out << m.value;
+        break;
+      case MetricKind::kHistogram:
+        out << "count=" << m.count << " mean=" << m.value << " p50=" << m.p50
+            << " p90=" << m.p90 << " p99=" << m.p99;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"biot-metrics-v1\",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& m : snapshot.metrics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + m.name + "\": {\"kind\": \"";
+    out += metric_kind_name(m.kind);
+    out += "\", ";
+    if (m.kind == MetricKind::kHistogram) {
+      append_histogram_fields(out, m);
+    } else {
+      out += "\"value\": " + fmt_double(m.value);
+    }
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status write_json(const RegistrySnapshot& snapshot, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::error(ErrorCode::kInternal, "cannot open " + path);
+  const std::string json = to_json(snapshot);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size())
+    return Status::error(ErrorCode::kInternal, "short write to " + path);
+  return Status::ok();
+}
+
+namespace {
+
+// Cursor over the known-shape JSON that to_json emits: objects, string
+// keys, string or numeric values. Whitespace-tolerant, nothing more.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool read_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i < s.size() && s[i] != '"') out += s[i++];
+    return eat('"');
+  }
+  bool read_number(double& out) {
+    skip_ws();
+    const char* begin = s.c_str() + i;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    i += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+};
+
+Status parse_error(const std::string& what) {
+  return Status::error(ErrorCode::kInvalidArgument,
+                       "biot-metrics-v1 parse: " + what);
+}
+
+}  // namespace
+
+Result<std::map<std::string, double>> parse_flat_json(const std::string& json) {
+  std::map<std::string, double> flat;
+  Cursor c{json};
+  if (!c.eat('{')) return parse_error("missing root object");
+  std::string key, value;
+  bool saw_schema = false;
+  while (!c.peek('}')) {
+    if (!c.read_string(key) || !c.eat(':'))
+      return parse_error("bad top-level key");
+    if (key == "schema") {
+      if (!c.read_string(value)) return parse_error("bad schema value");
+      if (value != "biot-metrics-v1")
+        return parse_error("unsupported schema '" + value + "'");
+      saw_schema = true;
+    } else if (key == "metrics") {
+      if (!c.eat('{')) return parse_error("metrics is not an object");
+      while (!c.peek('}')) {
+        std::string metric;
+        if (!c.read_string(metric) || !c.eat(':') || !c.eat('{'))
+          return parse_error("bad metric entry");
+        while (!c.peek('}')) {
+          std::string field;
+          if (!c.read_string(field) || !c.eat(':'))
+            return parse_error("bad field in " + metric);
+          if (field == "kind") {
+            if (!c.read_string(value))
+              return parse_error("bad kind in " + metric);
+          } else {
+            double number = 0.0;
+            if (!c.read_number(number))
+              return parse_error("bad number in " + metric + "/" + field);
+            flat[metric + "/" + field] = number;
+          }
+          if (!c.eat(',')) break;
+        }
+        if (!c.eat('}')) return parse_error("unterminated metric " + metric);
+        if (!c.eat(',')) break;
+      }
+      if (!c.eat('}')) return parse_error("unterminated metrics object");
+    } else {
+      return parse_error("unknown top-level key '" + key + "'");
+    }
+    if (!c.eat(',')) break;
+  }
+  if (!c.eat('}')) return parse_error("unterminated root object");
+  if (!saw_schema) return parse_error("missing schema tag");
+  return flat;
+}
+
+}  // namespace biot::obs

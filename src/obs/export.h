@@ -1,0 +1,41 @@
+// Renders a RegistrySnapshot as human-readable text or as the
+// "biot-metrics-v1" JSON document consumed by biot_simulate --metrics-out,
+// biot_inspect --metrics and tools/bench_diff.py. The JSON layout is flat:
+//
+//   {
+//     "schema": "biot-metrics-v1",
+//     "metrics": {
+//       "gateway.g0.admission.accepted": {"kind": "counter", "value": 412},
+//       "gateway.g0.pow.grind_wall_s":   {"kind": "histogram", "count": 412,
+//          "sum": 1.9, "min": ..., "max": ..., "mean": ...,
+//          "p50": ..., "p90": ..., "p99": ...},
+//       ...
+//     }
+//   }
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace biot::obs {
+
+/// One aligned line per metric; histograms render count/mean/p50/p90/p99.
+std::string to_text(const RegistrySnapshot& snapshot);
+
+/// biot-metrics-v1 JSON (see header comment). Deterministic: metrics appear
+/// in snapshot order (sorted by name), numbers via %.17g.
+std::string to_json(const RegistrySnapshot& snapshot);
+
+/// Serializes to_json(snapshot) to `path`.
+Status write_json(const RegistrySnapshot& snapshot, const std::string& path);
+
+/// Minimal reader for the exporters' own output (round-trip tests and
+/// bench_diff-style tooling): flattens every numeric field of a
+/// biot-metrics-v1 document to "metric.name/field" -> value. Not a general
+/// JSON parser — it understands exactly what to_json emits.
+Result<std::map<std::string, double>> parse_flat_json(const std::string& json);
+
+}  // namespace biot::obs

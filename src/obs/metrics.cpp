@@ -1,0 +1,338 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace biot::obs {
+
+namespace {
+Logger logger("obs");
+
+/// Relaxed fetch-min/fetch-max over an atomic double via CAS. The first
+/// observation always wins against the empty sentinel handled by the caller.
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---- HistogramSpec ---------------------------------------------------------
+
+HistogramSpec HistogramSpec::exponential(double first, double factor,
+                                         std::size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::linear(double first, double width,
+                                    std::size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    spec.bounds.push_back(first + width * static_cast<double>(i));
+  return spec;
+}
+
+const HistogramSpec& HistogramSpec::timer_seconds() {
+  static const HistogramSpec spec = exponential(1e-6, 2.0, 28);
+  return spec;
+}
+
+const HistogramSpec& HistogramSpec::size() {
+  static const HistogramSpec spec = exponential(1.0, 2.0, 24);
+  return spec;
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(HistogramSpec spec)
+    : bounds_(std::move(spec.bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const Histogram& other)
+    : bounds_(other.bounds_),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  copy_from(other);
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  if (bounds_ != other.bounds_) {
+    bounds_ = other.bounds_;
+    buckets_.reset(new std::atomic<std::uint64_t>[bounds_.size() + 1]);
+  }
+  copy_from(other);
+  return *this;
+}
+
+void Histogram::copy_from(const Histogram& other) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  min_.store(other.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  if (!std::isfinite(v)) return;  // a NaN would poison sum and quantiles
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  // The ±infinity sentinels mean the very first observation wins both CAS
+  // races; no seeding branch is needed.
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const auto n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, n-1], nearest-rank within the cumulative bucket counts,
+  // then linear interpolation across the winning bucket's value range.
+  const double rank = q * static_cast<double>(n - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      // Bucket i spans (lower, upper]; the overflow bucket is capped by the
+      // observed max, the first by the observed min.
+      const double lower = i == 0 ? min() : bounds_[i - 1];
+      const double upper = i == bounds_.size() ? max() : bounds_[i];
+      const double frac = in_bucket == 1
+                              ? 0.5
+                              : (rank - static_cast<double>(seen)) /
+                                    static_cast<double>(in_bucket - 1);
+      const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  const auto other_count = other.count();
+  if (other_count > 0) {
+    atomic_add(sum_, other.sum());
+    atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+    atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+    count_.fetch_add(other_count, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+std::string_view metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_or_warn(const std::string& name,
+                                                      MetricKind kind) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.kind != kind) {
+    logger.warn() << "metric '" << name << "' already registered as "
+                  << metric_kind_name(it->second.kind) << ", requested as "
+                  << metric_kind_name(kind);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  // Dummy sink for kind-mismatched lookups: the caller gets a functional
+  // instrument that is simply never exported, instead of aliasing another
+  // kind's storage.
+  static Counter dummy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* entry = find_or_warn(name, MetricKind::kCounter)) {
+    if (entry->owned_counter) return *entry->owned_counter;
+    return dummy;  // attached externally; owner holds the mutable handle
+  }
+  if (entries_.contains(name)) return dummy;  // kind mismatch, warned above
+  auto& entry = entries_[name];
+  entry.kind = MetricKind::kCounter;
+  entry.owned_counter = std::make_unique<Counter>();
+  return *entry.owned_counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  static Gauge dummy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* entry = find_or_warn(name, MetricKind::kGauge)) {
+    if (entry->owned_gauge) return *entry->owned_gauge;
+    return dummy;
+  }
+  if (entries_.contains(name)) return dummy;
+  auto& entry = entries_[name];
+  entry.kind = MetricKind::kGauge;
+  entry.owned_gauge = std::make_unique<Gauge>();
+  return *entry.owned_gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const HistogramSpec& spec) {
+  static Histogram dummy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* entry = find_or_warn(name, MetricKind::kHistogram)) {
+    if (entry->owned_histogram) return *entry->owned_histogram;
+    return dummy;
+  }
+  if (entries_.contains(name)) return dummy;
+  auto& entry = entries_[name];
+  entry.kind = MetricKind::kHistogram;
+  entry.owned_histogram = std::make_unique<Histogram>(spec);
+  return *entry.owned_histogram;
+}
+
+void MetricsRegistry::attach(const std::string& name, const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  entry = Entry{};  // re-attach replaces whatever held the name
+  entry.kind = MetricKind::kCounter;
+  entry.ext_counter = counter;
+}
+
+void MetricsRegistry::attach(const std::string& name, const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  entry = Entry{};
+  entry.kind = MetricKind::kGauge;
+  entry.ext_gauge = gauge;
+}
+
+void MetricsRegistry::attach(const std::string& name,
+                             const Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  entry = Entry{};
+  entry.kind = MetricKind::kHistogram;
+  entry.ext_histogram = histogram;
+}
+
+void MetricsRegistry::detach_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const bool exact = it->first.size() == prefix.size();
+    const bool child =
+        it->first.size() > prefix.size() && it->first[prefix.size()] == '.';
+    if ((exact || child) && it->second.external())
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+Scope MetricsRegistry::scope(std::string prefix) {
+  return Scope(*this, std::move(prefix));
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        const Counter* c =
+            entry.ext_counter ? entry.ext_counter : entry.owned_counter.get();
+        m.value = static_cast<double>(c->value());
+        break;
+      }
+      case MetricKind::kGauge: {
+        const Gauge* g =
+            entry.ext_gauge ? entry.ext_gauge : entry.owned_gauge.get();
+        m.value = g->value();
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const Histogram* h = entry.ext_histogram ? entry.ext_histogram
+                                                 : entry.owned_histogram.get();
+        m.count = h->count();
+        m.sum = h->sum();
+        m.min = h->min();
+        m.max = h->max();
+        m.value = h->mean();
+        m.p50 = h->quantile(0.50);
+        m.p90 = h->quantile(0.90);
+        m.p99 = h->quantile(0.99);
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+}  // namespace biot::obs

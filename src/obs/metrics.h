@@ -1,0 +1,287 @@
+// Observability subsystem: a unified registry of named counters, gauges and
+// fixed-bucket histograms.
+//
+// Design (the YTsaurus profiling/monitoring split, scaled to this repo):
+// instruments live WHERE THE DATA IS — components keep owning their stat
+// structs (node::GatewayStats, sim::NetworkStats, ...) whose fields are now
+// obs::Counter instead of raw integers — and the MetricsRegistry is the
+// NAMING AND EXPORT layer: components attach their instruments under
+// hierarchical dot-separated scopes ("gateway.g1.admission.accepted"), and
+// one snapshot/export call renders the whole fleet. The registry can also
+// own instruments outright (get-or-create by name) for callers without a
+// natural home struct.
+//
+// Instruments are thread-safe (relaxed atomics — counters are monotonic and
+// cross-thread ordering carries no meaning), cheap enough for hot paths
+// (counter add: one relaxed fetch_add; histogram observe: a bucket scan of
+// ~30 doubles plus three relaxed RMWs), and copyable with value-snapshot
+// semantics so existing `stats_ = GatewayStats{}` reset idioms keep working.
+//
+// Histograms are fixed-bucket: p50/p90/p99 come from bucket counts via
+// within-bucket linear interpolation, so no samples are ever stored and the
+// memory cost is O(buckets) regardless of observation count. Two histograms
+// with identical bounds merge by adding bucket counts — shard-local
+// histograms fold into a fleet-wide one losslessly (same quantile estimate
+// as observing every sample into one histogram).
+//
+// Naming convention: `<component>.<instance>.<subsystem>.<metric>`, with a
+// unit suffix on timed metrics (`_us`, `_ms`, `_s`). See DESIGN.md
+// section 9 for the full convention and the overhead budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace biot::obs {
+
+/// Monotonic event counter. Implicitly converts to its value so it is a
+/// drop-in replacement for the raw std::uint64_t fields the ad-hoc stat
+/// structs used to hold (`++stats.accepted`, `EXPECT_EQ(stats.accepted, 3u)`
+/// and `static_cast<unsigned long long>(stats.accepted)` all still compile).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  Counter& operator++() {
+    add(1);
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    add(n);
+    return *this;
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const { return value(); }  // NOLINT(google-explicit-constructor)
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, tangle size, credit).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  operator double() const { return value(); }  // NOLINT(google-explicit-constructor)
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a Histogram: strictly increasing upper bounds, plus an
+/// implicit final +inf bucket. Quantile resolution is the bucket width at
+/// the quantile's rank, so choose bounds that bracket the expected range.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// `count` bounds: first, first*factor, first*factor^2, ... — constant
+  /// RELATIVE resolution, the right shape for latencies spanning decades.
+  static HistogramSpec exponential(double first, double factor,
+                                   std::size_t count);
+  /// `count` bounds: first, first+width, first+2*width, ...
+  static HistogramSpec linear(double first, double width, std::size_t count);
+
+  /// Default for timers: 1 µs .. ~137 s in powers of two (28 buckets),
+  /// expressed in seconds. Covers every latency this repo measures.
+  static const HistogramSpec& timer_seconds();
+  /// Default for dimensionless sizes/lengths: 1 .. ~2^24 in powers of two.
+  static const HistogramSpec& size();
+};
+
+/// Fixed-bucket histogram: O(buckets) memory, quantiles without samples.
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = HistogramSpec::timer_seconds());
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  /// q in [0,1]. Estimated by locating the bucket holding the rank and
+  /// linearly interpolating within its bounds, clamped to [min, max] so the
+  /// estimate never leaves the observed range. 0 when empty.
+  double quantile(double q) const;
+
+  /// Folds `other`'s observations into this histogram. Returns false (and
+  /// merges nothing) when the bucket bounds differ — merging across layouts
+  /// would silently misattribute ranks.
+  bool merge(const Histogram& other);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket i (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void copy_from(const Histogram& other);
+
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; the last catches v > bounds_.back().
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Infinity sentinels make the lock-free CAS min/max correct for the very
+  // first observation; min()/max() report 0 while empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge, kHistogram };
+
+std::string_view metric_kind_name(MetricKind kind) noexcept;
+
+/// Point-in-time value of one named metric (see MetricsRegistry::snapshot).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        // counter / gauge value; histogram mean
+  std::uint64_t count = 0;   // histogram observation count
+  double sum = 0.0, min = 0.0, max = 0.0;  // histogram only
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;  // histogram only
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;  // sorted by name
+};
+
+class Scope;
+
+/// Get-or-create registry of named instruments plus an attachment table for
+/// component-owned ones. Attached instruments are referenced, not copied:
+/// the component must outlive the registry or detach_prefix first (the
+/// SmartFactory declares its registry before every component for exactly
+/// this reason). Thread-safe; instrument references returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Owned instruments, created on first use. Asking for an existing name
+  /// with a different kind is a naming bug: it logs a warning and returns a
+  /// process-wide dummy instrument so the caller cannot corrupt the real one.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(
+      const std::string& name,
+      const HistogramSpec& spec = HistogramSpec::timer_seconds());
+
+  /// Registers an externally-owned instrument under `name` (re-attaching the
+  /// same name replaces the previous pointer — a restarted component simply
+  /// re-binds).
+  void attach(const std::string& name, const Counter* counter);
+  void attach(const std::string& name, const Gauge* gauge);
+  void attach(const std::string& name, const Histogram* histogram);
+
+  /// Drops every attached instrument whose name is `prefix` or starts with
+  /// `prefix` + '.'. Owned instruments are never detached.
+  void detach_prefix(const std::string& prefix);
+
+  /// Handle that prefixes every name with `prefix` + '.'.
+  Scope scope(std::string prefix);
+
+  std::size_t size() const;
+
+  RegistrySnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    // Exactly one of the owned pointers, or exactly one external pointer.
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<Histogram> owned_histogram;
+    const Counter* ext_counter = nullptr;
+    const Gauge* ext_gauge = nullptr;
+    const Histogram* ext_histogram = nullptr;
+    bool external() const { return ext_counter || ext_gauge || ext_histogram; }
+  };
+
+  Entry* find_or_warn(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // ordered => sorted snapshots
+};
+
+/// Lightweight name-prefixing view of a registry. Copyable; scopes nest:
+/// registry.scope("gateway").scope("g1").counter("accepted") names
+/// "gateway.g1.accepted".
+class Scope {
+ public:
+  Scope(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  Scope scope(const std::string& sub) const {
+    return Scope(*registry_, qualify(sub));
+  }
+
+  Counter& counter(const std::string& name) const {
+    return registry_->counter(qualify(name));
+  }
+  Gauge& gauge(const std::string& name) const {
+    return registry_->gauge(qualify(name));
+  }
+  Histogram& histogram(
+      const std::string& name,
+      const HistogramSpec& spec = HistogramSpec::timer_seconds()) const {
+    return registry_->histogram(qualify(name), spec);
+  }
+
+  void attach(const std::string& name, const Counter* counter) const {
+    registry_->attach(qualify(name), counter);
+  }
+  void attach(const std::string& name, const Gauge* gauge) const {
+    registry_->attach(qualify(name), gauge);
+  }
+  void attach(const std::string& name, const Histogram* histogram) const {
+    registry_->attach(qualify(name), histogram);
+  }
+
+  void detach_all() const { registry_->detach_prefix(prefix_); }
+
+  const std::string& prefix() const { return prefix_; }
+  MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  std::string qualify(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+};
+
+}  // namespace biot::obs

@@ -1,4 +1,6 @@
-// Small statistics helpers shared by benches and EXPERIMENTS tables.
+// Small sample-statistics helpers shared by benches, the bench harness and
+// EXPERIMENTS tables. Moved here from factory/metrics.h when the obs
+// subsystem landed; factory code and benches include this directly.
 #pragma once
 
 #include <algorithm>
@@ -6,7 +8,7 @@
 #include <numeric>
 #include <vector>
 
-namespace biot::factory {
+namespace biot::obs {
 
 inline double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
@@ -14,6 +16,7 @@ inline double mean(const std::vector<double>& xs) {
          static_cast<double>(xs.size());
 }
 
+/// Sample (n-1) standard deviation; 0 for fewer than two samples.
 inline double stddev(const std::vector<double>& xs) {
   if (xs.size() < 2) return 0.0;
   const double m = mean(xs);
@@ -22,7 +25,11 @@ inline double stddev(const std::vector<double>& xs) {
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
-/// p in [0, 100]; nearest-rank on a sorted copy.
+/// p in [0, 100]; linear interpolation between closest ranks on a sorted
+/// copy (the "exclusive" textbook method: p maps to rank p/100 * (n-1), and
+/// fractional ranks blend the two neighbouring order statistics). Exact
+/// sample statistics — contrast with Histogram::quantile, which estimates
+/// from bucket counts without storing samples.
 inline double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
@@ -33,4 +40,4 @@ inline double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
-}  // namespace biot::factory
+}  // namespace biot::obs

@@ -1,0 +1,73 @@
+// Timers feeding obs::Histogram, in both time domains the repo runs in:
+// wall-clock (real CPU cost: PoW grinds, bench iterations) and sim-time
+// (protocol latency: sync round-trips, admission-to-confirmation). Mixing
+// the two is the classic instrumentation bug — a sim-time histogram fed
+// wall durations reads as microsecond network latency — so the domain is
+// part of the type.
+#pragma once
+
+#include <chrono>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace biot::obs {
+
+/// Stopwatch over std::chrono::steady_clock, reporting seconds as double.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Seconds since the last lap()/reset()/construction, restarting the
+  /// timer — one clock read, for timing consecutive stages back-to-back.
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return d;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Observes the wall-clock duration of its scope into a histogram.
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(Histogram& hist) : hist_(hist) {}
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+  ~ScopedWallTimer() { hist_.observe(timer_.elapsed()); }
+
+ private:
+  Histogram& hist_;
+  WallTimer timer_;
+};
+
+/// Observes the SIM-time duration of its scope into a histogram. Only
+/// meaningful when the scope spans scheduler activity (e.g. around a
+/// run_until); within one event handler sim time does not advance.
+class ScopedSimTimer {
+ public:
+  ScopedSimTimer(const Clock& clock, Histogram& hist)
+      : clock_(clock), hist_(hist), start_(clock.now()) {}
+  ScopedSimTimer(const ScopedSimTimer&) = delete;
+  ScopedSimTimer& operator=(const ScopedSimTimer&) = delete;
+  ~ScopedSimTimer() { hist_.observe(clock_.now() - start_); }
+
+ private:
+  const Clock& clock_;
+  Histogram& hist_;
+  TimePoint start_;
+};
+
+}  // namespace biot::obs

@@ -6,6 +6,15 @@
 
 namespace biot::sim {
 
+void ChaosStats::attach_to(const obs::Scope& scope) const {
+  scope.attach("crashes", &crashes);
+  scope.attach("restarts", &restarts);
+  scope.attach("partitions", &partitions);
+  scope.attach("heals", &heals);
+  scope.attach("rate_changes", &rate_changes);
+  scope.attach("link_changes", &link_changes);
+}
+
 namespace {
 
 Status parse_error(std::size_t index, const std::string& what) {

@@ -42,6 +42,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace biot::sim {
@@ -118,12 +119,15 @@ struct FaultPlan {
 };
 
 struct ChaosStats {
-  std::uint64_t crashes = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t partitions = 0;
-  std::uint64_t heals = 0;
-  std::uint64_t rate_changes = 0;  // loss/dup/reorder/corrupt/bandwidth
-  std::uint64_t link_changes = 0;
+  obs::Counter crashes;
+  obs::Counter restarts;
+  obs::Counter partitions;
+  obs::Counter heals;
+  obs::Counter rate_changes;  // loss/dup/reorder/corrupt/bandwidth
+  obs::Counter link_changes;
+
+  /// Registers every counter under `scope` (biot_simulate binds "chaos").
+  void attach_to(const obs::Scope& scope) const;
 };
 
 /// Executes FaultPlans against a Network and its Scheduler.

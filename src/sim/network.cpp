@@ -4,6 +4,18 @@
 
 namespace biot::sim {
 
+void NetworkStats::attach_to(const obs::Scope& scope) const {
+  scope.attach("sent", &sent);
+  scope.attach("delivered", &delivered);
+  scope.attach("dropped_loss", &dropped_loss);
+  scope.attach("dropped_link", &dropped_link);
+  scope.attach("dropped_detached", &dropped_detached);
+  scope.attach("bytes_sent", &bytes_sent);
+  scope.attach("duplicated", &duplicated);
+  scope.attach("reordered", &reordered);
+  scope.attach("corrupted", &corrupted);
+}
+
 double Network::clamp_probability(double p) {
   if (!std::isfinite(p) || p < 0.0) return 0.0;
   return p > 1.0 ? 1.0 : p;

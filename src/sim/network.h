@@ -22,6 +22,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/latency.h"
 #include "sim/scheduler.h"
 
@@ -30,15 +31,18 @@ namespace biot::sim {
 using NodeId = std::uint32_t;
 
 struct NetworkStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped_loss = 0;      // random loss
-  std::uint64_t dropped_link = 0;      // severed link / partition
-  std::uint64_t dropped_detached = 0;  // receiver not attached
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t duplicated = 0;        // adversarial extra copies queued
-  std::uint64_t reordered = 0;         // messages given extra delay jitter
-  std::uint64_t corrupted = 0;         // payloads bit-flipped in transit
+  obs::Counter sent;
+  obs::Counter delivered;
+  obs::Counter dropped_loss;      // random loss
+  obs::Counter dropped_link;      // severed link / partition
+  obs::Counter dropped_detached;  // receiver not attached
+  obs::Counter bytes_sent;
+  obs::Counter duplicated;        // adversarial extra copies queued
+  obs::Counter reordered;         // messages given extra delay jitter
+  obs::Counter corrupted;         // payloads bit-flipped in transit
+
+  /// Registers every counter under `scope` (the SmartFactory binds "net").
+  void attach_to(const obs::Scope& scope) const;
 };
 
 class Network {

@@ -58,6 +58,7 @@ TxId WeightedWalkTipSelector::walk(const Tangle& tangle, const TxId& start,
     std::size_t idx = 0;
     while (idx + 1 < cumulative.size() && cumulative[idx] <= pick) ++idx;
     current = rec->approvers[idx];
+    ++last_walk_steps_;
   }
 }
 
@@ -79,6 +80,7 @@ TxId WeightedWalkTipSelector::anchor(const Tangle& tangle, Rng& rng) const {
 }
 
 TipPair WeightedWalkTipSelector::select(const Tangle& tangle, Rng& rng) const {
+  last_walk_steps_ = 0;  // walk() accumulates across the two walks below
   const auto& weights = cache_.get(tangle);
   if (max_walk_depth_ == 0) {
     const auto& start = tangle.genesis_id();

@@ -21,6 +21,11 @@ class TipSelector {
  public:
   virtual ~TipSelector() = default;
   virtual TipPair select(const Tangle& tangle, Rng& rng) const = 0;
+
+  /// DAG edges traversed by the most recent select() call — the cost driver
+  /// of walk-based strategies, exported as gateway.g<i>.tips.walk_steps.
+  /// 0 for strategies that don't walk (uniform, lazy).
+  virtual std::size_t last_walk_steps() const { return 0; }
 };
 
 /// Uniform random choice among current tips. The paper's two-tip approval
@@ -54,6 +59,9 @@ class WeightedWalkTipSelector final : public TipSelector {
       : alpha_(alpha), max_walk_depth_(max_walk_depth) {}
   TipPair select(const Tangle& tangle, Rng& rng) const override;
 
+  /// Edges traversed by both walks of the last select().
+  std::size_t last_walk_steps() const override { return last_walk_steps_; }
+
   /// One walk from `start` toward the tips. Defensive against bad inputs:
   /// an id unknown to `tangle` (or a walk stepping onto one) falls back to
   /// an arbitrary current tip, and a transaction missing from `weights`
@@ -69,6 +77,7 @@ class WeightedWalkTipSelector final : public TipSelector {
   double alpha_;
   std::size_t max_walk_depth_;
   mutable ApproxWeightCache cache_;
+  mutable std::size_t last_walk_steps_ = 0;
 };
 
 /// Malicious: always approves the same fixed (old) pair of transactions.

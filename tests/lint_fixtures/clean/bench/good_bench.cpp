@@ -1,0 +1,13 @@
+// A synchronous harness-based bench. The word "synchronous" and this
+// comment's mention of std::chrono must NOT trip the bench-harness rule:
+// comments are stripped and only qualified uses match.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  biot::bench::Harness h("good", argc, argv);
+  h.record("throughput", 1.0, "tx/s");
+  // biot-lint: allow(bench-harness) adapting a callback API that hands us chrono durations; the measurement itself goes through the harness
+  const long long ticks = std::chrono::milliseconds(1).count();
+  h.record("ticks", static_cast<double>(ticks), "ms");
+  return h.finish();
+}

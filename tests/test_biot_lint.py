@@ -77,6 +77,17 @@ class ViolationsTree(unittest.TestCase):
     def test_brute_force_never_tested(self):
         self.assertIn("never cross-checked under tests/", self.out)
 
+    def test_bench_harness_missing_include(self):
+        self.assertIn("bench/bad_timing.cpp: [bench-harness]", self.out)
+        self.assertIn('does not include "harness.h"', self.out)
+
+    def test_bench_harness_chrono_include(self):
+        self.assert_finding("bench/bad_timing.cpp:2", "bench-harness")
+
+    def test_bench_harness_chrono_usage(self):
+        self.assert_finding("bench/bad_timing.cpp:5", "bench-harness")
+        self.assertIn("hand-rolled `std::chrono`", self.out)
+
 
 class RealTree(unittest.TestCase):
     def test_repository_is_clean(self):

@@ -65,5 +65,29 @@ TEST(CliArgs, LastOccurrenceWins) {
   EXPECT_EQ(args.get_int("seed", 0), 2);
 }
 
+TEST(CliArgs, MetricsOutTakesPath) {
+  // biot_simulate --metrics-out <path> as documented in its usage text.
+  const auto args = parse({"--chaos", "5:crash:1;9:restart:1", "--metrics-out",
+                           "/tmp/m.json"});
+  ASSERT_TRUE(args.has("metrics-out"));
+  EXPECT_EQ(args.get("metrics-out", ""), "/tmp/m.json");
+  EXPECT_EQ(args.get("chaos", ""), "5:crash:1;9:restart:1");
+}
+
+TEST(CliArgs, InspectMetricsFlagBooleanOrPath) {
+  // biot_inspect --metrics: bare flag dumps text...
+  const auto bare = parse({"tangle.bin", "--metrics"});
+  ASSERT_TRUE(bare.has("metrics"));
+  EXPECT_EQ(bare.get("metrics", "x"), "");
+  ASSERT_EQ(bare.positional().size(), 1u);
+  // ...and with a value it names the JSON output file.
+  const auto with_path = parse({"tangle.bin", "--metrics=out.json"});
+  EXPECT_EQ(with_path.get("metrics", ""), "out.json");
+  // A following flag must not be swallowed as the metrics path.
+  const auto followed = parse({"tangle.bin", "--metrics", "--audit"});
+  EXPECT_EQ(followed.get("metrics", "x"), "");
+  EXPECT_TRUE(followed.has("audit"));
+}
+
 }  // namespace
 }  // namespace biot::tools

@@ -3,8 +3,8 @@
 // sensor data pipeline.
 #include <gtest/gtest.h>
 
-#include "factory/metrics.h"
 #include "factory/scenario.h"
+#include "obs/stats.h"
 #include "test_util.h"
 
 namespace biot::factory {
@@ -495,12 +495,12 @@ TEST(Sensors, DoorSensorEmitsAllStates) {
 
 TEST(Metrics, BasicStatistics) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
-  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
-  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
-  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
-  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::mean(xs), 2.5);
+  EXPECT_NEAR(obs::stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(obs::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(obs::percentile(xs, 50), 2.5);
+  EXPECT_EQ(obs::mean({}), 0.0);
 }
 
 }  // namespace

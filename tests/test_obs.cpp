@@ -1,0 +1,313 @@
+// Observability subsystem tests: instrument semantics, fixed-bucket
+// histogram quantile/merge properties (cross-checked against the exact
+// sample statistics in obs/stats.h), registry naming, attach/detach, the
+// text/JSON exporters, and multi-threaded instrument updates (this binary
+// carries the `concurrency` ctest label, so these run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/timer.h"
+
+namespace biot::obs {
+namespace {
+
+TEST(Counter, ActsLikeUint64) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  ++c;
+  c += 4;
+  c.add();
+  EXPECT_EQ(c, 6u);  // implicit conversion keeps old EXPECT_EQ idioms alive
+
+  const Counter copy = c;
+  ++c;
+  EXPECT_EQ(copy.value(), 6u);  // value-snapshot copy, not aliasing
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramSpec, ExponentialAndLinearLayouts) {
+  const auto exp = HistogramSpec::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(exp.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp.bounds[3], 8.0);
+
+  const auto lin = HistogramSpec::linear(10.0, 5.0, 3);
+  ASSERT_EQ(lin.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin.bounds[2], 20.0);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+// Regression: min_/max_ start at +/-infinity so the lock-free CAS accepts
+// the very first observation. A zero-initialised min_ silently ate every
+// positive sample (gateway.g1.sync.rtt_sim_s reported min=0 with one
+// sample of 8.7 ms).
+TEST(Histogram, SingleObservationSetsMinMax) {
+  Histogram h;
+  h.observe(0.0087);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0087);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0087);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0087);  // clamped to [min, max]
+}
+
+TEST(Histogram, IgnoresNonFiniteObservations) {
+  Histogram h;
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+}
+
+// Property: for random samples, the bucketed quantile estimate must land
+// within one bucket width of the exact sample percentile, and inside the
+// observed [min, max] range.
+TEST(Histogram, QuantileTracksExactPercentileWithinBucketResolution) {
+  std::mt19937 rng(42);
+  std::lognormal_distribution<double> dist(-6.0, 1.5);  // latency-shaped
+  const auto& spec = HistogramSpec::timer_seconds();
+
+  Histogram h(spec);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.observe(v);
+  }
+
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = percentile(samples, q * 100.0);
+    const double est = h.quantile(q);
+    EXPECT_GE(est, h.min());
+    EXPECT_LE(est, h.max());
+    // The estimate's bucket must be the exact value's bucket or a
+    // neighbour: power-of-two bounds mean "within one bucket" is a 2x
+    // relative window around the exact percentile.
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+  EXPECT_NEAR(h.mean(), mean(samples), 1e-9);
+}
+
+// Property: sharded histograms merged together are indistinguishable from
+// one histogram that saw every sample (bucket counts add losslessly).
+TEST(Histogram, MergeEqualsObservingEverySample) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 10.0);
+
+  Histogram shard_a, shard_b, combined;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = dist(rng);
+    (i % 2 == 0 ? shard_a : shard_b).observe(v);
+    combined.observe(v);
+  }
+
+  Histogram merged(shard_a);
+  ASSERT_TRUE(merged.merge(shard_b));
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+  EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+  EXPECT_NEAR(merged.sum(), combined.sum(), 1e-9);
+  for (std::size_t i = 0; i <= merged.bounds().size(); ++i)
+    EXPECT_EQ(merged.bucket_count(i), combined.bucket_count(i)) << "bucket " << i;
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(merged.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a(HistogramSpec::exponential(1.0, 2.0, 8));
+  Histogram b(HistogramSpec::linear(1.0, 1.0, 8));
+  a.observe(3.0);
+  b.observe(3.0);
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_EQ(a.count(), 1u);  // nothing was folded in
+}
+
+TEST(Histogram, MergeOfEmptyIsNoOp) {
+  Histogram a, b;
+  a.observe(1.0);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1.0);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.events");
+  Counter& b = reg.counter("x.events");
+  EXPECT_EQ(&a, &b);
+  ++a;
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, KindMismatchReturnsDummyNotTheRealInstrument) {
+  MetricsRegistry reg;
+  Counter& real = reg.counter("x.events");
+  real += 5;
+  Gauge& dummy = reg.gauge("x.events");  // wrong kind for this name
+  dummy.set(99.0);
+  EXPECT_EQ(real.value(), 5u);  // the real counter is untouched
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.metrics[0].value, 5.0);
+}
+
+TEST(Registry, ScopesNestAndQualifyNames) {
+  MetricsRegistry reg;
+  const Scope gateway = reg.scope("gateway").scope("g1");
+  EXPECT_EQ(gateway.prefix(), "gateway.g1");
+  ++gateway.scope("admission").counter("accepted");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].name, "gateway.g1.admission.accepted");
+}
+
+TEST(Registry, AttachedInstrumentsSnapshotLiveAndDetachByPrefix) {
+  MetricsRegistry reg;
+  Counter owned_by_component;
+  Gauge depth;
+  reg.attach("net.delivered", &owned_by_component);
+  reg.attach("net.queue_depth", &depth);
+  ++reg.counter("other.events");
+
+  owned_by_component += 3;
+  depth.set(7.0);
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "net.delivered");
+  EXPECT_EQ(snap.metrics[0].value, 3.0);
+  EXPECT_EQ(snap.metrics[1].value, 7.0);
+
+  reg.detach_prefix("net");
+  snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].name, "other.events");  // owned survives detach
+}
+
+TEST(Registry, DetachPrefixMatchesWholeComponentsOnly) {
+  MetricsRegistry reg;
+  Counter a, b;
+  reg.attach("gateway.g1.accepted", &a);
+  reg.attach("gateway.g10.accepted", &b);
+  reg.detach_prefix("gateway.g1");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);  // g10 must NOT match the g1 prefix
+  EXPECT_EQ(snap.metrics[0].name, "gateway.g10.accepted");
+}
+
+TEST(Export, JsonRoundTripsThroughFlatParser) {
+  MetricsRegistry reg;
+  reg.counter("a.count") += 42;
+  reg.gauge("a.depth").set(2.5);
+  Histogram& h = reg.histogram("a.lat_s");
+  h.observe(0.001);
+  h.observe(0.004);
+
+  const auto parsed = parse_flat_json(to_json(reg.snapshot()));
+  ASSERT_TRUE(parsed.is_ok());
+  const auto& flat = parsed.value();
+  EXPECT_EQ(flat.at("a.count/value"), 42.0);
+  EXPECT_EQ(flat.at("a.depth/value"), 2.5);
+  EXPECT_EQ(flat.at("a.lat_s/count"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("a.lat_s/min"), 0.001);
+  EXPECT_DOUBLE_EQ(flat.at("a.lat_s/max"), 0.004);
+  EXPECT_NEAR(flat.at("a.lat_s/sum"), 0.005, 1e-12);
+}
+
+TEST(Export, TextRendersEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("c") += 1;
+  reg.gauge("g").set(1.0);
+  reg.histogram("h").observe(0.5);
+  const std::string text = to_text(reg.snapshot());
+  EXPECT_NE(text.find("c"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(Export, ParserRejectsWrongSchema) {
+  const auto parsed = parse_flat_json(R"({"schema":"not-metrics"})");
+  EXPECT_FALSE(parsed.is_ok());
+}
+
+TEST(Stats, PercentileInterpolatesBetweenClosestRanks) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);  // rank 1.5 blends 2.0 and 3.0
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 1.75);
+}
+
+TEST(Timer, WallTimerLapAndScopedObserve) {
+  WallTimer t;
+  EXPECT_GE(t.elapsed(), 0.0);
+  EXPECT_GE(t.lap(), 0.0);
+
+  Histogram h;
+  { ScopedWallTimer scoped(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+// Concurrency: counters, gauges and one shared histogram hammered from
+// multiple threads; totals must be exact (relaxed atomics lose no updates)
+// and TSan must stay quiet. Registry get-or-create races are exercised by
+// having every thread resolve the instruments by name first.
+TEST(Concurrency, ParallelUpdatesLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter& c = reg.counter("shared.events");
+      Histogram& h = reg.histogram("shared.lat_s");
+      Gauge& g = reg.gauge("shared.depth");
+      for (int i = 0; i < kIters; ++i) {
+        ++c;
+        h.observe(0.001 * (t + 1));
+        g.set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("shared.events").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  const Histogram& h = reg.histogram("shared.lat_s");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.001 * kThreads);
+}
+
+}  // namespace
+}  // namespace biot::obs

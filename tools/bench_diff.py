@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate and diff biot-bench-v1 trajectories (bench/harness.h output).
+
+Usage:
+  bench_diff.py --validate FILE [FILE...]
+      Check each file against tools/bench_schema.json. Exit 1 on any failure.
+
+  bench_diff.py --baseline DIR --current DIR [--threshold 0.2]
+      Pair BENCH_*.json files by bench name and report per-result deltas.
+      Timing-unit results ("s", "s/op", "us/op", "ms/op") that got slower by
+      more than the threshold are flagged as regressions. Warnings only by
+      default; --fail-on-regress turns them into a non-zero exit for
+      stricter pipelines.
+
+No third-party dependencies: a small interpreter covers the subset of JSON
+Schema the bench schema actually uses (const/type/required/properties/
+pattern/items/minItems/minimum/additionalProperties).
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "bench_schema.json")
+
+TIMING_UNITS = {"s", "s/op", "us/op", "ms/op"}
+
+
+def check(instance, schema, path="$"):
+    """Returns a list of violation strings (empty when valid)."""
+    errors = []
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {instance!r}")
+        return errors
+    expected = schema.get("type")
+    if expected:
+        ok = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "integer": lambda v: isinstance(v, int)
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+        }[expected](instance)
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got "
+                          f"{type(instance).__name__}")
+            return errors
+    if "pattern" in schema and not re.match(schema["pattern"], instance):
+        errors.append(f"{path}: {instance!r} does not match "
+                      f"{schema['pattern']!r}")
+    if "minimum" in schema and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(check(value, props[key], f"{path}.{key}"))
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: {len(instance)} items < minItems "
+                          f"{schema['minItems']}")
+        item_schema = schema.get("items")
+        if item_schema:
+            for i, item in enumerate(instance):
+                errors.extend(check(item, item_schema, f"{path}[{i}]"))
+    return errors
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(paths):
+    schema = load(SCHEMA_PATH)
+    failed = False
+    for path in paths:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {path}: {err}")
+            failed = True
+            continue
+        errors = check(doc, schema)
+        if errors:
+            failed = True
+            print(f"FAIL {path}:")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"OK   {path}: bench={doc['bench']} "
+                  f"results={len(doc['results'])}"
+                  f"{' (quick)' if doc['quick'] else ''}")
+    return 1 if failed else 0
+
+
+def collect(directory):
+    docs = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}")
+            continue
+        docs[doc.get("bench", os.path.basename(path))] = doc
+    return docs
+
+
+def diff(baseline_dir, current_dir, threshold, fail_on_regress):
+    base = collect(baseline_dir)
+    cur = collect(current_dir)
+    if not base:
+        print(f"error: no BENCH_*.json under {baseline_dir}")
+        return 2
+    if not cur:
+        print(f"error: no BENCH_*.json under {current_dir}")
+        return 2
+
+    regressions = 0
+    for bench in sorted(set(base) | set(cur)):
+        if bench not in cur:
+            print(f"{bench}: MISSING from current run")
+            regressions += 1
+            continue
+        if bench not in base:
+            print(f"{bench}: new bench (no baseline)")
+            continue
+        base_results = {r["name"]: r for r in base[bench]["results"]}
+        cur_results = {r["name"]: r for r in cur[bench]["results"]}
+        for name in sorted(set(base_results) | set(cur_results)):
+            if name not in cur_results:
+                print(f"{bench}/{name}: result disappeared")
+                regressions += 1
+                continue
+            if name not in base_results:
+                print(f"{bench}/{name}: new result "
+                      f"{cur_results[name]['value']:g}")
+                continue
+            old, new = base_results[name], cur_results[name]
+            if old["value"] == 0:
+                continue
+            rel = (new["value"] - old["value"]) / abs(old["value"])
+            timing = old.get("unit", "") in TIMING_UNITS
+            # For timing units only slower is a regression; other units are
+            # reported informationally when they moved a lot either way.
+            if timing and rel > threshold:
+                print(f"{bench}/{name}: REGRESSION {old['value']:g} -> "
+                      f"{new['value']:g} {old['unit']} (+{rel * 100:.0f}%)")
+                regressions += 1
+            elif abs(rel) > threshold:
+                print(f"{bench}/{name}: changed {old['value']:g} -> "
+                      f"{new['value']:g} {old.get('unit', '')} "
+                      f"({rel * 100:+.0f}%)")
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond "
+              f"{threshold * 100:.0f}% threshold")
+        return 1 if fail_on_regress else 0
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="validate trajectories against the schema")
+    parser.add_argument("--baseline", metavar="DIR")
+    parser.add_argument("--current", metavar="DIR")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression threshold (default 0.2)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit non-zero when regressions are found")
+    args = parser.parse_args()
+
+    if args.validate:
+        sys.exit(validate(args.validate))
+    if args.baseline and args.current:
+        sys.exit(diff(args.baseline, args.current, args.threshold,
+                      args.fail_on_regress))
+    parser.error("use --validate FILE... or --baseline DIR --current DIR")
+
+
+if __name__ == "__main__":
+    main()

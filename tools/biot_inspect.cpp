@@ -6,11 +6,15 @@
 //   biot_inspect tangle.bin --dot out.dot    also export Graphviz
 //   biot_inspect tangle.bin --audit    run the invariant auditor (exit 2
 //                                      when any invariant is violated)
+//   biot_inspect tangle.bin --metrics  structure metrics as text; with a
+//                                      path (--metrics out.json), write
+//                                      biot-metrics-v1 JSON instead
 #include <algorithm>
 #include <cstdio>
 #include <map>
 
 #include "cli_args.h"
+#include "obs/export.h"
 #include "storage/archive.h"
 #include "storage/tangle_io.h"
 #include "tangle/audit.h"
@@ -87,6 +91,37 @@ int inspect_tangle(const std::string& path, const tools::CliArgs& args) {
     std::printf("%s\n", report.to_string().c_str());
     if (!report.ok()) return 2;
   }
+
+  if (args.has("metrics")) {
+    // Render the replica as a metrics registry: structure gauges, per-type
+    // counters and payload/arrival distributions. Text to stdout, or
+    // biot-metrics-v1 JSON when the flag carries a path.
+    obs::MetricsRegistry registry;
+    const auto scope = registry.scope("tangle");
+    scope.gauge("size").set(static_cast<double>(tangle.value().size()));
+    scope.gauge("tips").set(static_cast<double>(tangle.value().tips().size()));
+    scope.gauge("genesis_depth")
+        .set(static_cast<double>(
+            tangle.value().depth(tangle.value().genesis_id())));
+    auto& payload_bytes =
+        scope.histogram("payload_bytes", obs::HistogramSpec::size());
+    auto& arrival_s =
+        scope.histogram("arrival_sim_s", obs::HistogramSpec::timer_seconds());
+    for (const auto& [tx, arrival] : txs) {
+      ++scope.counter("type." + std::string(tangle::tx_type_name(tx.type)));
+      payload_bytes.observe(static_cast<double>(tx.payload.size()));
+      arrival_s.observe(arrival);
+    }
+    const auto out_path = args.get("metrics", "");
+    if (out_path.empty()) {
+      std::fputs(obs::to_text(registry.snapshot()).c_str(), stdout);
+    } else {
+      const auto status = obs::write_json(registry.snapshot(), out_path);
+      std::printf("metrics written to %s: %s\n", out_path.c_str(),
+                  status.to_string().c_str());
+      if (!status.is_ok()) return 1;
+    }
+  }
   return 0;
 }
 
@@ -109,7 +144,9 @@ int inspect_archive(const std::string& path) {
 int main(int argc, char** argv) {
   const tools::CliArgs args(argc, argv);
   if (args.positional().empty() || args.has("help")) {
-    std::puts("usage: biot_inspect [--archive] FILE [--dot OUT.dot] [--audit]");
+    std::puts(
+        "usage: biot_inspect [--archive] FILE [--dot OUT.dot] [--audit]\n"
+        "                    [--metrics [OUT.json]]");
     return args.has("help") ? 0 : 1;
   }
   const auto& path = args.positional().front();

@@ -30,6 +30,15 @@ optionally followed by a rationale — suppressions without one are rejected):
                    src/ .cpp is its own header (proves the header is
                    self-contained).
 
+  bench-harness    Every bench/*.cpp must be built on bench/harness.h (so
+                   it emits a schema-valid biot-bench-v1 trajectory) and
+                   must not hand-roll timing with `std::chrono` /
+                   `#include <chrono>` — measurement goes through
+                   Harness::bench()/measure() or obs::WallTimer, which the
+                   trajectory and the perf-smoke CI diff can see. Matches
+                   the qualified forms only: bare "chrono" would false-
+                   positive on words like "synchronous" in comments.
+
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
 
@@ -59,6 +68,10 @@ CHECKED_AT_PATHS = [
 ]
 
 ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+# Qualified uses only — `std::chrono` or the header include. A bare
+# "chrono" substring would fire on "synchronous" in bench comments.
+CHRONO_RE = re.compile(r"\bstd\s*::\s*chrono\b|#\s*include\s*<chrono>")
 
 
 @dataclass
@@ -274,6 +287,28 @@ class Linter:
                              "own header first to prove it is self-contained",
                              lines)
 
+    def check_bench_harness(self) -> None:
+        bench_dir = self.root / "bench"
+        if not bench_dir.is_dir():
+            return
+        include_re = re.compile(r'^\s*#include\s+"harness\.h"', re.M)
+        for path in sorted(bench_dir.glob("*.cpp")):
+            raw = path.read_text()
+            lines = raw.split("\n")
+            if not include_re.search(raw):
+                self.add("bench-harness", path, 0,
+                         'bench binary does not include "harness.h" — every '
+                         "bench must emit its biot-bench-v1 trajectory "
+                         "through the shared harness")
+            for i, line in enumerate(
+                    strip_comments_and_strings(raw).split("\n")):
+                if CHRONO_RE.search(line):
+                    self.add("bench-harness", path, i + 1,
+                             "hand-rolled `std::chrono` timing in bench/ — "
+                             "measure through Harness::bench()/measure() or "
+                             "obs::WallTimer so the result lands in the "
+                             "trajectory", lines)
+
     # -- driver --------------------------------------------------------------
 
     def run(self) -> list[Violation]:
@@ -289,6 +324,7 @@ class Linter:
             self.check_include_hygiene(rel, path, raw, lines)
         if (self.root / "tests").is_dir():
             self.check_brute_force_twins()
+        self.check_bench_harness()
         return self.violations
 
 

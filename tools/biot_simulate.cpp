@@ -11,10 +11,10 @@
 #include <unordered_map>
 
 #include "cli_args.h"
-#include "factory/metrics.h"
 #include "factory/scenario.h"
 #include "factory/trace.h"
 #include "node/convergence.h"
+#include "obs/export.h"
 #include "sim/chaos.h"
 #include "storage/tangle_io.h"
 
@@ -53,6 +53,9 @@ void usage() {
       "                         device per sensor in the trace\n"
       "  --save PATH            persist gateway 0's tangle\n"
       "  --dot PATH             export gateway 0's DAG to Graphviz\n"
+      "  --metrics-out PATH     dump the fleet-wide metrics registry\n"
+      "                         (gateway.g*/device.d*/net/chaos scopes) as\n"
+      "                         biot-metrics-v1 JSON\n"
       "  --help                 this text");
 }
 }  // namespace
@@ -160,6 +163,7 @@ int main(int argc, char** argv) {
         });
     chaos->schedule(*plan);
     chaos->schedule_finale(horizon);
+    chaos->stats().attach_to(factory.metrics().scope("chaos"));
   }
 
   for (long i = 0; i < args.get_int("sybils", 0); ++i) {
@@ -268,6 +272,14 @@ int main(int argc, char** argv) {
       std::fclose(f);
       std::printf("DAG exported to %s\n", path.c_str());
     }
+  }
+  if (args.has("metrics-out")) {
+    const auto path = args.get("metrics-out", "");
+    const auto snap = factory.metrics().snapshot();
+    const auto status = obs::write_json(snap, path);
+    std::printf("metrics (%zu) written to %s: %s\n", snap.metrics.size(),
+                path.c_str(), status.to_string().c_str());
+    if (!status.is_ok() && exit_code == 0) exit_code = 1;
   }
   return exit_code;
 }
