@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
 
   const auto pi = sim::DeviceProfile::pi3b_fig7();
   const int scale_down = h.scale(1, 10);
+  const auto& pow_counters = consensus::pow_counters();
+  const std::uint64_t attempts0 = pow_counters.attempts;
+  const std::uint64_t blocks0 = pow_counters.sha_blocks;
   for (int d = 1; d <= 14; ++d) {
     // More repetitions at low difficulty for stable averages.
     const int reps =
@@ -69,6 +72,17 @@ int main(int argc, char** argv) {
     if (d == 1 || d == 11 || d == 14)
       h.record("host_mine_s.D" + std::to_string(d), host, "s");
   }
+
+  // Midstate accounting: with the parents' block cached, grinding costs
+  // ~1 SHA-256 compression per nonce examined (2.0 would mean the prefix
+  // is being re-hashed every attempt — the pre-midstate behaviour).
+  const std::uint64_t attempts = pow_counters.attempts - attempts0;
+  const std::uint64_t blocks = pow_counters.sha_blocks - blocks0;
+  const double blocks_per_attempt =
+      attempts > 0 ? static_cast<double>(blocks) / attempts : 0.0;
+  std::printf("\n# sha blocks per attempt: %.4f (midstate caches the parent "
+              "block; 2.0 = no caching)\n", blocks_per_attempt);
+  h.record("pow_blocks_per_attempt", blocks_per_attempt, "ratio");
 
   // Shape check: doubling per extra bit once past the fixed overhead.
   std::printf("\n# shape: pi-model ratio t(D)/t(D-1) for D in 12..14: ");

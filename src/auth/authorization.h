@@ -19,6 +19,15 @@
 
 namespace biot::auth {
 
+/// Whether AuthRegistry::apply must verify the transaction's signature
+/// itself, or may trust that the caller already did (the admission pipeline
+/// verifies every transaction exactly once before observers run — see
+/// DESIGN.md "Hot-path crypto").
+enum class SigCheck : std::uint8_t {
+  kVerify = 0,
+  kPreVerified,
+};
+
 /// Payload of a kAuthorization transaction: the full replacement list of
 /// authorized device identities (signing + encryption public keys).
 struct AuthorizationList {
@@ -47,8 +56,11 @@ class AuthRegistry {
   /// Applies an authorization transaction: must be type kAuthorization,
   /// sent and signed by a registered manager, with a decodable list payload.
   /// Each successful apply REPLACES that manager's list ("publish or
-  /// update"); different managers' lists are independent.
-  [[nodiscard]] Status apply(const tangle::Transaction& tx);
+  /// update"); different managers' lists are independent. Pass kPreVerified
+  /// when the signature was already checked upstream to skip the redundant
+  /// Ed25519 verification.
+  [[nodiscard]] Status apply(const tangle::Transaction& tx,
+                             SigCheck sig = SigCheck::kVerify);
 
   bool is_authorized(const crypto::Ed25519PublicKey& device_sign_key) const {
     return devices_.contains(device_sign_key);

@@ -1,23 +1,51 @@
 #include "consensus/pow.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
+
+#include "crypto/sha256_midstate.h"
 
 namespace biot::consensus {
+
+PowCounters& pow_counters() {
+  static PowCounters counters;
+  return counters;
+}
 
 std::optional<MineResult> Miner::mine(const tangle::TxId& parent1,
                                       const tangle::TxId& parent2,
                                       int difficulty) {
+  if (difficulty > kMaxPowDifficulty) return std::nullopt;
+
+  PowCounters& counters = pow_counters();
+  const tangle::PowMidstate mid(parent1, parent2);
+  ++counters.sha_blocks;  // the one-off parent-prefix compression
+
+  const std::uint64_t lanes = crypto::sha256_lanes();
+  crypto::Sha256Digest digests[crypto::kSha256MaxLanes];
   std::uint64_t attempts = 0;
   for (;;) {
-    const std::uint64_t nonce = next_nonce_++;
-    ++attempts;
-    ++total_attempts_;
-    const auto out = tangle::pow_output(parent1, parent2, nonce);
-    if (tangle::leading_zero_bits(out) >= difficulty)
-      return MineResult{nonce, attempts};
+    // Clamp the stride to the remaining budget so a bounded search performs
+    // exactly max_attempts_ attempts before giving up.
+    std::uint64_t stride = lanes;
+    if (max_attempts_ != 0)
+      stride = std::min(stride, max_attempts_ - attempts);
+
+    mid.output_many(next_nonce_, stride, digests);
+    counters.sha_blocks += stride;
+    for (std::uint64_t i = 0; i < stride; ++i) {
+      if (tangle::leading_zero_bits(digests[i]) >= difficulty) {
+        const std::uint64_t nonce = next_nonce_ + i;
+        attempts += i + 1;
+        next_nonce_ += i + 1;
+        total_attempts_ += i + 1;
+        counters.attempts += i + 1;
+        return MineResult{nonce, attempts};
+      }
+    }
+    attempts += stride;
+    next_nonce_ += stride;
+    total_attempts_ += stride;
+    counters.attempts += stride;
     if (max_attempts_ != 0 && attempts >= max_attempts_) return std::nullopt;
   }
 }
@@ -27,60 +55,136 @@ ParallelMiner::ParallelMiner(unsigned threads, std::uint64_t start_nonce,
     : threads_(threads != 0 ? threads
                             : std::max(1u, std::thread::hardware_concurrency())),
       start_nonce_(start_nonce),
-      max_attempts_(max_attempts) {}
+      max_attempts_(max_attempts),
+      shard_attempts_(threads_, 0),
+      shard_end_(threads_, 0) {
+  if (threads_ > 1) {
+    pool_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+      pool_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ParallelMiner::~ParallelMiner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : pool_) th.join();
+}
+
+void ParallelMiner::worker_loop(unsigned t) {
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != last_seq; });
+      if (shutdown_) return;
+      last_seq = job_seq_;
+    }
+    grind_shard(t);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelMiner::grind_shard(unsigned t) {
+  // Block-cyclic sharding: blocks of kBlock consecutive nonces, thread t
+  // takes blocks t, t+T, t+2T, ... Consecutive nonces within a block feed
+  // the multi-buffer compressor full strides; 64 is a multiple of every
+  // supported lane count.
+  constexpr std::uint64_t kBlock = 64;
+  const unsigned n = threads_;
+  const std::uint64_t lanes = crypto::sha256_lanes();
+  PowCounters& counters = pow_counters();
+  crypto::Sha256Digest digests[crypto::kSha256MaxLanes];
+
+  std::uint64_t local = 0;
+  std::uint64_t end_nonce = job_start_;
+  const auto finish = [&] {
+    counters.attempts += local;
+    shard_attempts_[t] = local;
+    shard_end_[t] = end_nonce;
+  };
+
+  for (std::uint64_t block = t;; block += n) {
+    const std::uint64_t block_start = job_start_ + block * kBlock;
+    for (std::uint64_t off = 0; off < kBlock;) {
+      if (found_.load(std::memory_order_relaxed)) return finish();
+      std::uint64_t stride = std::min<std::uint64_t>(lanes, kBlock - off);
+      if (job_budget_ != 0) {
+        if (local >= job_budget_) return finish();
+        stride = std::min(stride, job_budget_ - local);
+      }
+      job_mid_->output_many(block_start + off, stride, digests);
+      counters.sha_blocks += stride;
+      for (std::uint64_t i = 0; i < stride; ++i) {
+        if (tangle::leading_zero_bits(digests[i]) >= job_difficulty_) {
+          local += i + 1;
+          end_nonce = block_start + off + i + 1;
+          // First thread to find a nonce wins; losers that found one in the
+          // same instant simply discard theirs.
+          bool expected = false;
+          if (found_.compare_exchange_strong(expected, true))
+            winner_.store(block_start + off + i, std::memory_order_relaxed);
+          return finish();
+        }
+      }
+      local += stride;
+      off += stride;
+      end_nonce = block_start + off;
+    }
+  }
+}
 
 std::optional<MineResult> ParallelMiner::mine(const tangle::TxId& parent1,
                                               const tangle::TxId& parent2,
                                               int difficulty) {
+  if (difficulty > kMaxPowDifficulty) return std::nullopt;
+
   const unsigned n = threads_;
-  // Per-thread attempt budget; round up so the combined bound is >= the
-  // requested one (a bounded search must not give up early).
-  const std::uint64_t per_thread_budget =
-      max_attempts_ == 0 ? 0 : (max_attempts_ + n - 1) / n;
-
-  std::atomic<bool> found{false};
-  std::atomic<std::uint64_t> winner{0};
-  std::vector<std::uint64_t> attempts(n, 0);
-
-  auto worker = [&](unsigned t) {
-    std::uint64_t nonce = start_nonce_ + t;
-    std::uint64_t local = 0;
-    while (!found.load(std::memory_order_relaxed)) {
-      if (per_thread_budget != 0 && local >= per_thread_budget) break;
-      ++local;
-      const auto out = tangle::pow_output(parent1, parent2, nonce);
-      if (tangle::leading_zero_bits(out) >= difficulty) {
-        // First thread to find a nonce wins; losers that found one in the
-        // same instant simply discard theirs.
-        bool expected = false;
-        if (found.compare_exchange_strong(expected, true))
-          winner.store(nonce, std::memory_order_relaxed);
-        break;
-      }
-      nonce += n;  // stay inside this thread's interleaved shard
-    }
-    attempts[t] = local;
-  };
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_mid_.emplace(parent1, parent2);
+    ++pow_counters().sha_blocks;  // the one-off parent-prefix compression
+    job_difficulty_ = difficulty;
+    job_start_ = start_nonce_;
+    // Round the per-thread budget up so the combined bound is >= the
+    // requested one (a bounded search must not give up early).
+    job_budget_ = max_attempts_ == 0 ? 0 : (max_attempts_ + n - 1) / n;
+    found_.store(false, std::memory_order_relaxed);
+    winner_.store(0, std::memory_order_relaxed);
+    std::fill(shard_attempts_.begin(), shard_attempts_.end(), 0);
+    std::fill(shard_end_.begin(), shard_end_.end(), start_nonce_);
+    workers_done_ = 0;
+    ++job_seq_;
+  }
 
   if (n == 1) {
-    worker(0);
+    grind_shard(0);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n);
-    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker, t);
-    for (auto& th : pool) th.join();
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == n; });
   }
 
   std::uint64_t combined = 0;
-  for (const auto a : attempts) combined += a;
+  std::uint64_t max_end = start_nonce_;
+  for (unsigned t = 0; t < n; ++t) {
+    combined += shard_attempts_[t];
+    max_end = std::max(max_end, shard_end_[t]);
+  }
   total_attempts_ += combined;
-  // Advance the search origin so back-to-back searches over the same parents
-  // do not re-grind identical prefixes.
-  start_nonce_ += static_cast<std::uint64_t>(n) *
-                  (combined / n + (combined % n != 0));
+  // Advance the search origin past everything examined so back-to-back
+  // searches over the same parents do not re-grind identical prefixes.
+  start_nonce_ = max_end;
 
-  if (!found.load(std::memory_order_relaxed)) return std::nullopt;
-  return MineResult{winner.load(std::memory_order_relaxed), combined};
+  if (!found_.load(std::memory_order_relaxed)) return std::nullopt;
+  return MineResult{winner_.load(std::memory_order_relaxed), combined};
 }
 
 }  // namespace biot::consensus

@@ -6,20 +6,49 @@
 // bits. The Miner really grinds nonces (used by tests, examples and
 // host-scale benches); the simulator's DeviceProfile models the same search
 // analytically at calibrated device speeds (see sim/device_profile.h).
-// ParallelMiner shards the nonce space across threads (first-found-wins) for
-// server-class gateways serving offloaded-PoW attach requests.
+// ParallelMiner shards the nonce space across a persistent worker pool
+// (first-found-wins) for server-class gateways serving offloaded-PoW attach
+// requests.
+//
+// Both miners grind through tangle::PowMidstate: the 64 parent bytes are
+// compressed once per mine() call and each attempt costs a single SHA-256
+// compression of the 8-byte nonce tail (half the work of re-hashing the full
+// 72-byte message), issued in multi-buffer strides of crypto::sha256_lanes()
+// consecutive nonces. pow_counters() exposes the attempts/compressions ratio
+// so benches can prove the ~1 block-per-attempt claim.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "tangle/transaction.h"
 
 namespace biot::consensus {
 
+/// A SHA-256 digest has 256 bits, so no nonce can ever produce more leading
+/// zero bits than this. Both miners refuse (nullopt) difficulties above it
+/// instead of spinning forever on an unbounded search.
+inline constexpr int kMaxPowDifficulty = 256;
+
+/// Process-wide mining work counters: nonces examined and SHA-256
+/// compressions spent examining them. blocks/attempt ≈ 1 with the midstate
+/// cache (plus one prefix compression per mine() call); it was 2 when every
+/// attempt re-hashed the full 72-byte message.
+struct PowCounters {
+  obs::Counter attempts;
+  obs::Counter sha_blocks;
+};
+PowCounters& pow_counters();
+
 struct MineResult {
   std::uint64_t nonce = 0;
-  std::uint64_t attempts = 0;  // hash evaluations performed
+  std::uint64_t attempts = 0;  // nonces examined up to and incl. the winner
 };
 
 class Miner {
@@ -30,7 +59,8 @@ class Miner {
       : next_nonce_(start_nonce), max_attempts_(max_attempts) {}
 
   /// Searches for a nonce meeting `difficulty` leading zero bits.
-  /// Returns nullopt only when max_attempts is exhausted.
+  /// Returns nullopt when max_attempts is exhausted or the difficulty is
+  /// unattainable (> kMaxPowDifficulty).
   std::optional<MineResult> mine(const tangle::TxId& parent1,
                                  const tangle::TxId& parent2, int difficulty);
 
@@ -42,13 +72,18 @@ class Miner {
   std::uint64_t total_attempts_ = 0;
 };
 
-/// Multi-threaded nonce search: thread t grinds the interleaved shard
-/// {start + t, start + t + T, ...} and the first thread to meet the target
-/// stops the others. Any returned nonce is valid; WHICH valid nonce wins a
-/// given search may differ across thread counts and runs (see DESIGN.md
-/// "ParallelMiner determinism"). Attempts accounting stays exact: the
-/// result's `attempts` (and `total_attempts`) sum every hash evaluated by
-/// every thread, so energy/work proxies remain comparable with Miner.
+/// Multi-threaded nonce search over a persistent worker pool: threads are
+/// spawned once in the constructor and parked between searches, so a
+/// gateway serving offloaded-PoW attach requests pays no spawn/join per
+/// mine() call. The nonce space is sharded block-cyclically (blocks of 64
+/// consecutive nonces, thread t takes blocks t, t+T, ...) so each thread
+/// feeds the multi-buffer compressor runs of consecutive nonces; the first
+/// thread to meet the target stops the others. Any returned nonce is valid;
+/// WHICH valid nonce wins a given search may differ across thread counts and
+/// runs (see DESIGN.md "ParallelMiner determinism"). Attempts accounting
+/// stays exact: the result's `attempts` (and `total_attempts`) sum every
+/// nonce examined by every thread, so energy/work proxies remain comparable
+/// with Miner.
 class ParallelMiner {
  public:
   /// `threads` = 0 picks the hardware concurrency. `max_attempts` (0 =
@@ -56,6 +91,10 @@ class ParallelMiner {
   /// Miner, the search gives up only once the bound is exhausted.
   explicit ParallelMiner(unsigned threads = 0, std::uint64_t start_nonce = 0,
                          std::uint64_t max_attempts = 0);
+  ~ParallelMiner();
+
+  ParallelMiner(const ParallelMiner&) = delete;
+  ParallelMiner& operator=(const ParallelMiner&) = delete;
 
   std::optional<MineResult> mine(const tangle::TxId& parent1,
                                  const tangle::TxId& parent2, int difficulty);
@@ -64,10 +103,37 @@ class ParallelMiner {
   std::uint64_t total_attempts() const { return total_attempts_; }
 
  private:
+  void worker_loop(unsigned t);
+  void grind_shard(unsigned t);
+
   unsigned threads_;
   std::uint64_t start_nonce_;
   std::uint64_t max_attempts_;
   std::uint64_t total_attempts_ = 0;
+
+  // Job handoff: mine() publishes the job fields under mutex_ and bumps
+  // job_seq_; parked workers wake on work_cv_, grind their shard, then
+  // report via workers_done_/done_cv_. Workers read the job fields without
+  // the lock — safe because the fields are written before the seq bump and
+  // read only after observing it (mutex hand-off orders the accesses), and
+  // no worker runs between jobs.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t job_seq_ = 0;
+  unsigned workers_done_ = 0;
+  bool shutdown_ = false;
+
+  std::optional<tangle::PowMidstate> job_mid_;
+  int job_difficulty_ = 0;
+  std::uint64_t job_start_ = 0;
+  std::uint64_t job_budget_ = 0;  // per-thread attempt budget (0 = unbounded)
+  std::atomic<bool> found_{false};
+  std::atomic<std::uint64_t> winner_{0};
+  std::vector<std::uint64_t> shard_attempts_;
+  std::vector<std::uint64_t> shard_end_;  // highest nonce examined + 1
+
+  std::vector<std::thread> pool_;
 };
 
 }  // namespace biot::consensus

@@ -257,8 +257,14 @@ Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message) {
   return sig;
 }
 
+obs::Counter& ed25519_verify_calls() {
+  static obs::Counter counter;
+  return counter;
+}
+
 bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
                     const Ed25519Signature& sig) {
+  ++ed25519_verify_calls();
   const ByteView r_bytes{sig.data.data(), 32};
   const ByteView s_bytes{sig.data.data() + 32, 32};
   if (!sc_is_canonical(s_bytes)) return false;
@@ -274,6 +280,107 @@ bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
   const EdPoint kA = A->negate().scalar_mul(k.view());
   const auto r_check = sB.add(kA).compress();
   return ct_equal(r_check.view(), r_bytes);
+}
+
+std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
+  const std::size_t n = items.size();
+  std::vector<bool> out(n, false);
+  if (n < 2) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = ed25519_verify(*items[i].pk, items[i].message, *items[i].sig);
+    return out;
+  }
+
+  // Pre-filter: everything ed25519_verify rejects before any scalar
+  // multiplication, PLUS a strict R check (decompress and re-compress must
+  // reproduce the wire bytes). The individual verifier compares compress()
+  // output — always a canonical encoding — against the wire R, so a
+  // non-canonical or undecodable R is definitively invalid and must not
+  // reach the combined equation.
+  struct Term {
+    std::size_t index;
+    EdPoint neg_A;
+    EdPoint neg_R;
+    FixedBytes<32> k;
+  };
+  std::vector<Term> terms;
+  terms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ByteView r_bytes{items[i].sig->data.data(), 32};
+    const ByteView s_bytes{items[i].sig->data.data() + 32, 32};
+    if (!sc_is_canonical(s_bytes)) continue;
+    const auto A = EdPoint::decompress(items[i].pk->view());
+    if (!A) continue;
+    const auto R = EdPoint::decompress(r_bytes);
+    if (!R || !ct_equal(R->compress().view(), r_bytes)) continue;
+    const auto k_hash =
+        Sha512::hash_concat({r_bytes, items[i].pk->view(), items[i].message});
+    terms.push_back(Term{i, A->negate(), R->negate(), sc_reduce64(k_hash.view())});
+  }
+  if (terms.empty()) return out;
+
+  // Deterministic 128-bit coefficients z_i from a transcript of the whole
+  // batch (r ‖ pk ‖ S ‖ H(msg) per item): an adversary fixing signatures
+  // cannot steer the z_i after the fact, so a batch containing any invalid
+  // signature passes the combined equation with probability ~2^-128.
+  Bytes transcript;
+  for (const Term& t : terms) {
+    const auto& it = items[t.index];
+    transcript.insert(transcript.end(), it.sig->data.begin(),
+                      it.sig->data.end());
+    transcript.insert(transcript.end(), it.pk->data.begin(), it.pk->data.end());
+    const auto msg_hash = Sha512::hash(it.message);
+    transcript.insert(transcript.end(), msg_hash.data.begin(),
+                      msg_hash.data.end());
+  }
+  const auto seed = Sha512::hash(ByteView{transcript});
+
+  // Combined equation: sum_i z_i * ([S_i]B - R_i - [k_i]A_i) == identity,
+  // i.e. [sum z_i S_i mod L]B + sum [z_i](-R_i) + sum [z_i k_i mod L](-A_i).
+  FixedBytes<32> zero{};
+  FixedBytes<32> s_sum = zero;
+  std::vector<std::pair<FixedBytes<32>, const EdPoint*>> muls;
+  muls.reserve(2 * terms.size() + 1);
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    std::uint8_t idx_le[8];
+    for (int b = 0; b < 8; ++b)
+      idx_le[b] = static_cast<std::uint8_t>(j >> (8 * b));
+    const auto zh = Sha512::hash_concat({seed.view(), ByteView{idx_le, 8}});
+    FixedBytes<32> z = zero;
+    std::memcpy(z.data.data(), zh.data.data(), 16);  // 128-bit coefficient
+    const ByteView s_bytes{items[terms[j].index].sig->data.data() + 32, 32};
+    s_sum = sc_muladd(z.view(), s_bytes, s_sum.view());
+    muls.emplace_back(z, &terms[j].neg_R);
+    muls.emplace_back(sc_muladd(z.view(), terms[j].k.view(), zero.view()),
+                      &terms[j].neg_A);
+  }
+  muls.emplace_back(s_sum, &EdPoint::base());
+
+  // Shared Straus double-and-add: one accumulator, one doubling per bit,
+  // one addition per set scalar bit across every term — ~256 doublings
+  // + ~190 additions per signature instead of ~770 operations each when
+  // verified individually.
+  EdPoint acc = EdPoint::identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    acc = acc.dbl();
+    for (const auto& [scalar, point] : muls) {
+      if ((scalar[bit >> 3] >> (bit & 7)) & 1) acc = acc.add(*point);
+    }
+  }
+
+  if (ct_equal(acc.compress().view(), EdPoint::identity().compress().view())) {
+    ed25519_verify_calls() += terms.size();
+    for (const Term& t : terms) out[t.index] = true;
+    return out;
+  }
+
+  // At least one bad signature slipped past the pre-filter: identify the
+  // corrupt positions individually.
+  for (const Term& t : terms) {
+    const auto& it = items[t.index];
+    out[t.index] = ed25519_verify(*it.pk, it.message, *it.sig);
+  }
+  return out;
 }
 
 }  // namespace biot::crypto

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/field25519.h"
+#include "obs/metrics.h"
 
 namespace biot::crypto {
 
@@ -53,5 +55,27 @@ Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message);
 /// Verifies; strict about canonical S. Returns false on any failure.
 bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
                     const Ed25519Signature& sig);
+
+/// Signature-verification work counter: +1 per ed25519_verify call, +1 per
+/// signature settled by the batch fast path. Lets tests pin "each admitted
+/// transaction is verified exactly once".
+obs::Counter& ed25519_verify_calls();
+
+/// One (public key, message, signature) triple for batch verification. The
+/// pointed-to key/signature must outlive the ed25519_verify_batch call.
+struct VerifyItem {
+  const Ed25519PublicKey* pk = nullptr;
+  ByteView message;
+  const Ed25519Signature* sig = nullptr;
+};
+
+/// Batch verification: returns per-item validity, each entry exactly equal to
+/// what ed25519_verify would return for that item. Sound batches (the common
+/// case) are settled with ONE random-linear-combination group equation over a
+/// shared Straus double-and-add — roughly 3x cheaper than verifying n
+/// signatures individually at n = 8. When the combined equation fails (at
+/// least one bad signature), the batch falls back to per-item verification to
+/// identify the corrupt positions.
+std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items);
 
 }  // namespace biot::crypto

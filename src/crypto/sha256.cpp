@@ -5,8 +5,8 @@
 
 namespace biot::crypto {
 
-namespace {
-constexpr std::uint32_t kK[64] = {
+namespace sha256_internal {
+const std::uint32_t kRoundK[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -19,6 +19,12 @@ constexpr std::uint32_t kK[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+const std::uint32_t kInitState[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                     0x1f83d9ab, 0x5be0cd19};
+}  // namespace sha256_internal
+
+namespace {
 inline std::uint32_t load_be32(const std::uint8_t* p) {
   return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
          (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
@@ -32,35 +38,22 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) {
 }
 }  // namespace
 
-void Sha256::reset() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
-  total_len_ = 0;
-  buffer_len_ = 0;
-}
-
-void Sha256::process_block(const std::uint8_t* block) {
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* block64) {
   std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block64 + 4 * i);
   for (int i = 16; i < 64; ++i) {
     const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
     const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+    const std::uint32_t t1 = h + s1 + ch + sha256_internal::kRoundK[i] + w[i];
     const std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
     const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
     const std::uint32_t t2 = s0 + maj;
@@ -74,14 +67,24 @@ void Sha256::process_block(const std::uint8_t* block) {
     a = t1 + t2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+void Sha256::reset() {
+  for (int i = 0; i < 8; ++i) state_[i] = sha256_internal::kInitState[i];
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  sha256_compress(state_, block);
 }
 
 void Sha256::update(ByteView data) {

@@ -12,6 +12,18 @@ namespace biot::crypto {
 inline constexpr std::size_t kSha256DigestSize = 32;
 using Sha256Digest = FixedBytes<kSha256DigestSize>;
 
+namespace sha256_internal {
+/// FIPS 180-4 round constants and initial hash value H(0), shared with the
+/// multi-buffer compressor in sha256_midstate.cpp.
+extern const std::uint32_t kRoundK[64];
+extern const std::uint32_t kInitState[8];
+}  // namespace sha256_internal
+
+/// One SHA-256 compression: folds a 64-byte message block into `state`
+/// (the eight working words). Building block for the streaming Sha256 class
+/// and the midstate-cached PoW path (crypto/sha256_midstate.h).
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* block64);
+
 /// Incremental SHA-256. Typical use:
 ///   Sha256 h; h.update(a); h.update(b); auto d = h.finish();
 class Sha256 {

@@ -1,0 +1,176 @@
+#include "crypto/sha256_midstate.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace biot::crypto {
+
+namespace {
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+// N independent SHA-256 compressions run in lockstep: every working variable
+// is a lane-indexed array and each round's inner loop walks the lanes, so the
+// compiler can keep N copies of the dataflow in flight (unrolled / vectorized)
+// instead of serializing on SHA-256's single dependency chain. The message
+// schedule uses a 16-entry ring (w[i & 15]) rather than the full 64-word
+// expansion to keep the working set register-resident.
+template <std::size_t N>
+void compress_lanes(const std::uint32_t state_in[8], const std::uint8_t* blocks,
+                    Sha256Digest* out) {
+  std::uint32_t w[16][N];
+  for (int i = 0; i < 16; ++i)
+    for (std::size_t l = 0; l < N; ++l)
+      w[i][l] = load_be32(blocks + 64 * l + 4 * i);
+
+  std::uint32_t a[N], b[N], c[N], d[N], e[N], f[N], g[N], h[N];
+  for (std::size_t l = 0; l < N; ++l) {
+    a[l] = state_in[0];
+    b[l] = state_in[1];
+    c[l] = state_in[2];
+    d[l] = state_in[3];
+    e[l] = state_in[4];
+    f[l] = state_in[5];
+    g[l] = state_in[6];
+    h[l] = state_in[7];
+  }
+
+  for (int i = 0; i < 64; ++i) {
+    if (i >= 16) {
+      const int r = i & 15;
+      for (std::size_t l = 0; l < N; ++l) {
+        const std::uint32_t w15 = w[(i - 15) & 15][l];
+        const std::uint32_t w2 = w[(i - 2) & 15][l];
+        const std::uint32_t s0 =
+            std::rotr(w15, 7) ^ std::rotr(w15, 18) ^ (w15 >> 3);
+        const std::uint32_t s1 =
+            std::rotr(w2, 17) ^ std::rotr(w2, 19) ^ (w2 >> 10);
+        w[r][l] = w[r][l] + s0 + w[(i - 7) & 15][l] + s1;
+      }
+    }
+    const std::uint32_t k = sha256_internal::kRoundK[i];
+    for (std::size_t l = 0; l < N; ++l) {
+      const std::uint32_t s1 =
+          std::rotr(e[l], 6) ^ std::rotr(e[l], 11) ^ std::rotr(e[l], 25);
+      const std::uint32_t ch = (e[l] & f[l]) ^ (~e[l] & g[l]);
+      const std::uint32_t t1 = h[l] + s1 + ch + k + w[i & 15][l];
+      const std::uint32_t s0 =
+          std::rotr(a[l], 2) ^ std::rotr(a[l], 13) ^ std::rotr(a[l], 22);
+      const std::uint32_t maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+      const std::uint32_t t2 = s0 + maj;
+      h[l] = g[l];
+      g[l] = f[l];
+      f[l] = e[l];
+      e[l] = d[l] + t1;
+      d[l] = c[l];
+      c[l] = b[l];
+      b[l] = a[l];
+      a[l] = t1 + t2;
+    }
+  }
+
+  for (std::size_t l = 0; l < N; ++l) {
+    std::uint8_t* digest = out[l].data.data();
+    store_be32(digest + 0, state_in[0] + a[l]);
+    store_be32(digest + 4, state_in[1] + b[l]);
+    store_be32(digest + 8, state_in[2] + c[l]);
+    store_be32(digest + 12, state_in[3] + d[l]);
+    store_be32(digest + 16, state_in[4] + e[l]);
+    store_be32(digest + 20, state_in[5] + f[l]);
+    store_be32(digest + 24, state_in[6] + g[l]);
+    store_be32(digest + 28, state_in[7] + h[l]);
+  }
+}
+
+}  // namespace
+
+std::size_t sha256_lanes() {
+  static const std::size_t lanes = [] {
+    if (const char* env = std::getenv("BIOT_SHA_LANES")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v == 1 || v == 4 || v == 8) return static_cast<std::size_t>(v);
+    }
+    return kSha256MaxLanes;
+  }();
+  return lanes;
+}
+
+Sha256Midstate::Sha256Midstate(ByteView prefix) : prefix_len_(prefix.size()) {
+  if (prefix.size() % 64 != 0)
+    throw std::invalid_argument(
+        "Sha256Midstate: prefix must be a whole number of 64-byte blocks");
+  std::memcpy(state_, sha256_internal::kInitState, sizeof(state_));
+  for (std::size_t off = 0; off < prefix.size(); off += 64)
+    sha256_compress(state_, prefix.data() + off);
+}
+
+void Sha256Midstate::final_block(const std::uint8_t* tail, std::size_t tail_len,
+                                 std::uint8_t block[64]) const {
+  std::memcpy(block, tail, tail_len);
+  block[tail_len] = 0x80;
+  std::memset(block + tail_len + 1, 0, 56 - tail_len - 1);
+  const std::uint64_t bit_len = (prefix_len_ + tail_len) * 8;
+  for (int i = 0; i < 8; ++i)
+    block[56 + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+}
+
+Sha256Digest Sha256Midstate::finish(ByteView tail) const {
+  if (tail.size() > 55)
+    throw std::invalid_argument("Sha256Midstate: tail must fit one block");
+  std::uint8_t block[64];
+  final_block(tail.data(), tail.size(), block);
+  std::uint32_t state[8];
+  std::memcpy(state, state_, sizeof(state));
+  sha256_compress(state, block);
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) store_be32(digest.data.data() + 4 * i, state[i]);
+  return digest;
+}
+
+void Sha256Midstate::finish_many(const std::uint8_t* tails,
+                                 std::size_t tail_len, std::size_t count,
+                                 Sha256Digest* out) const {
+  if (tail_len > 55)
+    throw std::invalid_argument("Sha256Midstate: tail must fit one block");
+  const std::size_t lanes = sha256_lanes();
+  std::size_t i = 0;
+  if (lanes > 1) {
+    std::uint8_t blocks[kSha256MaxLanes * 64];
+    for (; i + lanes <= count; i += lanes) {
+      for (std::size_t l = 0; l < lanes; ++l)
+        final_block(tails + (i + l) * tail_len, tail_len, blocks + 64 * l);
+      switch (lanes) {
+        case 4:
+          compress_lanes<4>(state_, blocks, out + i);
+          break;
+        default:
+          compress_lanes<8>(state_, blocks, out + i);
+          break;
+      }
+    }
+  }
+  for (; i < count; ++i)
+    out[i] = finish(ByteView{tails + i * tail_len, tail_len});
+}
+
+void Sha256Midstate::finish_many_brute_force(const std::uint8_t* tails,
+                                             std::size_t tail_len,
+                                             std::size_t count,
+                                             Sha256Digest* out) const {
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = finish(ByteView{tails + i * tail_len, tail_len});
+}
+
+}  // namespace biot::crypto

@@ -1,0 +1,62 @@
+// Midstate-cached SHA-256 with an N-way multi-buffer finisher.
+//
+// The PoW message (Eqn 6) is `parent1 ‖ parent2 ‖ nonce` = 72 bytes = two
+// SHA-256 blocks, where the first block (the 64 parent bytes) is constant for
+// an entire mining session. Sha256Midstate runs the compression function over
+// that constant prefix once, then finishes many candidate tails (the 8-byte
+// nonces) from the cached state — one compression per attempt instead of two.
+//
+// finish_many() additionally grinds several tails at once through a
+// lane-interleaved compressor (4 or 8 lanes of plain C++, giving the compiler
+// straight-line ILP / auto-vectorization room). The scalar finish() path is
+// kept as the reference implementation and the two are cross-checked in
+// tests/test_hash.cpp; finish_many_brute_force() exposes the scalar loop for
+// that comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace biot::crypto {
+
+/// Widest multi-buffer lane count compiled in. finish_many() consumes tails in
+/// groups of sha256_lanes() (<= this) and drains the remainder scalarly.
+inline constexpr std::size_t kSha256MaxLanes = 8;
+
+/// Active lane count: reads BIOT_SHA_LANES (accepted values 1, 4, 8) once and
+/// caches it; defaults to 8. Lane count never changes digests, only speed.
+std::size_t sha256_lanes();
+
+class Sha256Midstate {
+ public:
+  /// Precomputes the compression state after absorbing `prefix`, which must be
+  /// a multiple of 64 bytes (whole blocks only). Throws std::invalid_argument
+  /// otherwise.
+  explicit Sha256Midstate(ByteView prefix);
+
+  /// Digest of `prefix ‖ tail` where tail fits in the final padded block
+  /// (tail.size() <= 55). Equivalent to Sha256::hash over the concatenation.
+  Sha256Digest finish(ByteView tail) const;
+
+  /// Digests of `prefix ‖ tails[i]` for `count` equal-length tails packed
+  /// contiguously (tails + i*tail_len, tail_len <= 55). Byte-identical to
+  /// calling finish() per tail; grinds sha256_lanes() tails per pass.
+  void finish_many(const std::uint8_t* tails, std::size_t tail_len,
+                   std::size_t count, Sha256Digest* out) const;
+
+  /// Scalar reference twin of finish_many(), used by cross-check tests.
+  void finish_many_brute_force(const std::uint8_t* tails, std::size_t tail_len,
+                               std::size_t count, Sha256Digest* out) const;
+
+  std::uint64_t prefix_len() const { return prefix_len_; }
+
+ private:
+  void final_block(const std::uint8_t* tail, std::size_t tail_len,
+                   std::uint8_t block[64]) const;
+
+  std::uint32_t state_[8];
+  std::uint64_t prefix_len_;
+};
+
+}  // namespace biot::crypto

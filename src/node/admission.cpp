@@ -17,6 +17,7 @@ void GatewayStats::attach_to(const obs::Scope& scope) const {
   admission.attach("rejected_difficulty", &rejected_difficulty);
   admission.attach("rejected_pow", &rejected_pow);
   admission.attach("rejected_conflict", &rejected_conflict);
+  admission.attach("rejected_signature", &rejected_signature);
   admission.attach("rejected_other", &rejected_other);
   admission.attach("lazy_detected", &lazy_detected);
   admission.attach("poor_quality_detected", &poor_quality_detected);
@@ -39,6 +40,7 @@ void AdmissionMetrics::attach_to(const obs::Scope& scope) const {
   scope.attach("authorize_wall_s", &authorize_wall_s);
   scope.attach("difficulty_wall_s", &difficulty_wall_s);
   scope.attach("conflict_wall_s", &conflict_wall_s);
+  scope.attach("verify_wall_s", &verify_wall_s);
   scope.attach("lazy_wall_s", &lazy_wall_s);
   scope.attach("attach_wall_s", &attach_wall_s);
   scope.attach("observers_wall_s", &observers_wall_s);
@@ -113,7 +115,9 @@ void MilestoneObserver::on_attach(AttachEvent& event) {
 
 void AuthObserver::on_attach(AttachEvent& event) {
   if (event.tx.type != tangle::TxType::kAuthorization) return;
-  if (auto s = auth_.apply(event.tx); !s) {
+  // The pipeline verified the signature before attaching (it is what minted
+  // the AttachEvent), so the registry must not verify a second time.
+  if (auto s = auth_.apply(event.tx, auth::SigCheck::kPreVerified); !s) {
     // Another factory's manager publishing its own list arrives via
     // gossip and is expected to be ignored here — only log real failures.
     if (s.code() == ErrorCode::kUnauthorized)
@@ -151,6 +155,9 @@ void StatsObserver::on_reject(const RejectEvent& event) {
       else
         ++stats_.rejected_other;
       break;
+    case AdmissionStage::kVerify:
+      ++stats_.rejected_signature;
+      break;
   }
 }
 
@@ -165,7 +172,8 @@ Status AdmissionPipeline::reject(const tangle::Transaction& tx,
 }
 
 Status AdmissionPipeline::admit(const tangle::Transaction& tx,
-                                TimePoint arrival, Ingress ingress) {
+                                TimePoint arrival, Ingress ingress,
+                                const tangle::VerifiedToken* pre_verified) {
   // Stage latency instrumentation: one clock read per stage boundary
   // (WallTimer::lap), all gated so an uninstrumented pipeline pays only
   // the two reads of the idle timers.
@@ -221,21 +229,42 @@ Status AdmissionPipeline::admit(const tangle::Transaction& tx,
   }
   lap(&AdmissionMetrics::conflict_wall_s);
 
-  // Stage 4: lazy-tip detection, BEFORE attaching (the parents' tip and
+  // Stage 4: structural precheck, then the SINGLE signature verification.
+  // The cheap duplicate/unknown-parent checks run first so duplicate or
+  // orphaned gossip costs no Ed25519 work; then the signature is verified
+  // exactly once — here, unless the caller already did it (batch-verified
+  // sync burst, replay of a previously admitted chain) — and the resulting
+  // token authorizes a verification-free Tangle::add.
+  if (auto s = tangle_.attach_precheck(tx); !s)
+    return done(reject(tx, arrival, ingress, AdmissionStage::kAttach,
+                       std::move(s)));
+  std::optional<tangle::VerifiedToken> token;
+  if (pre_verified != nullptr && pre_verified->covers(tx.id()))
+    token = *pre_verified;
+  else
+    token = tangle::VerifiedToken::check(tx);
+  if (!token)
+    return done(reject(tx, arrival, ingress, AdmissionStage::kVerify,
+                       Status::error(ErrorCode::kVerifyFailed,
+                                     "bad transaction signature")));
+  lap(&AdmissionMetrics::verify_wall_s);
+
+  // Stage 5: lazy-tip detection, BEFORE attaching (the parents' tip and
   // approval state changes once the transaction attaches). Lazy
   // transactions are structurally valid — they attach, but the credit
   // observer prices the behaviour (alpha_l).
-  AttachEvent event{tx, tx.id(), arrival, ingress};
+  AttachEvent event{tx, token->id(), arrival, ingress};
   event.lazy = consensus::is_lazy_approval(tangle_, tx, arrival, lazy_policy_);
   lap(&AdmissionMetrics::lazy_wall_s);
 
-  // Stage 5: attach (structural validation lives in Tangle::add).
-  if (auto s = tangle_.add(tx, arrival); !s)
+  // Stage 6: attach (structural validation lives in Tangle::add; the token
+  // replaces its signature check).
+  if (auto s = tangle_.add(tx, arrival, *token); !s)
     return done(reject(tx, arrival, ingress, AdmissionStage::kAttach,
                        std::move(s)));
   lap(&AdmissionMetrics::attach_wall_s);
 
-  // Stage 6: derived state, via the ordered observer list.
+  // Stage 7: derived state, via the ordered observer list.
   for (const auto& observer : observers_) observer->on_attach(event);
   lap(&AdmissionMetrics::observers_wall_s);
   return done(Status::ok());

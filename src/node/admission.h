@@ -14,7 +14,10 @@
 // ReplayEqualsLive).
 //
 // Stages (in order): authorize → difficulty-policy → conflict-check →
-// lazy-detect → attach → derived-state. The derived-state stage does not
+// precheck+verify → lazy-detect → attach → derived-state. The verify stage
+// performs the ONE Ed25519 verification per transaction (or accepts a
+// caller-supplied VerifiedToken); Tangle::add consumes the token instead of
+// re-verifying. The derived-state stage does not
 // mutate subsystems inline; it emits one typed AttachEvent to an ordered
 // observer list (ledger, quality, credit, milestones, authorization,
 // stats). Rejections emit a RejectEvent naming the failing stage. New
@@ -89,6 +92,7 @@ enum class AdmissionStage : std::uint8_t {
   kDifficulty = 1,
   kConflictCheck = 2,
   kAttach = 3,
+  kVerify = 4,  // signature verification (runs between conflict and attach)
 };
 
 /// Emitted once per successful attach, after the transaction is in the
@@ -143,6 +147,7 @@ struct GatewayStats {
   obs::Counter rejected_difficulty;
   obs::Counter rejected_pow;
   obs::Counter rejected_conflict;   // double-spends caught
+  obs::Counter rejected_signature;  // invalid Ed25519 signatures
   obs::Counter rejected_other;
   obs::Counter lazy_detected;
   obs::Counter poor_quality_detected;
@@ -168,6 +173,7 @@ struct AdmissionMetrics {
   obs::Histogram authorize_wall_s;
   obs::Histogram difficulty_wall_s;
   obs::Histogram conflict_wall_s;
+  obs::Histogram verify_wall_s;
   obs::Histogram lazy_wall_s;
   obs::Histogram attach_wall_s;
   obs::Histogram observers_wall_s;
@@ -290,8 +296,15 @@ class AdmissionPipeline {
   /// gateway's current time for live ingresses and the recorded arrival
   /// for replay — it is the timestamp every stage and observer sees, which
   /// is exactly why replay reproduces live derived state.
+  ///
+  /// `pre_verified` (optional) is a token proving the signature was already
+  /// checked (batch-verified sync burst, replay of a previously admitted
+  /// chain). When it covers tx.id() the pipeline skips its own verification;
+  /// each transaction is Ed25519-verified exactly once either way.
   [[nodiscard]] Status admit(const tangle::Transaction& tx, TimePoint arrival,
-                             Ingress ingress);
+                             Ingress ingress,
+                             const tangle::VerifiedToken* pre_verified =
+                                 nullptr);
 
  private:
   Status reject(const tangle::Transaction& tx, TimePoint arrival,

@@ -2,9 +2,11 @@
 
 #include "common/codec.h"
 #include "common/log.h"
+#include "crypto/ed25519.h"
 
 #include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "storage/snapshot.h"
 
@@ -103,7 +105,11 @@ void Gateway::replay(const tangle::Tangle& restored) {
   for (const auto& id_in_order : restored.arrival_order()) {
     const auto* rec = restored.find(id_in_order);
     if (rec->tx.type == tangle::TxType::kGenesis) continue;
-    (void)pipeline_->admit(rec->tx, rec->arrival, Ingress::kReplay);
+    // Every member of `restored` already passed a verifying Tangle::add
+    // (deserialize_tangle re-checks each signature as it loads), so replay
+    // admits with an assume_valid token instead of verifying a second time.
+    const auto token = tangle::VerifiedToken::assume_valid(rec->tx);
+    (void)pipeline_->admit(rec->tx, rec->arrival, Ingress::kReplay, &token);
   }
 }
 
@@ -297,12 +303,37 @@ void Gateway::handle_sync_missing(const RpcMessage& msg) {
   Reader r(msg.body);
   const auto count = r.u32();
   if (!count) return;
+  // Decode the whole burst first so the signatures can be checked with one
+  // batched Ed25519 verification instead of one scalar verify per tx; the
+  // admission pipeline then accepts each batch-verified tx via its token.
+  std::vector<tangle::Transaction> txs;
+  txs.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     const auto wire = r.blob();
-    if (!wire) return;
-    const auto tx = tangle::Transaction::decode(wire.value());
+    if (!wire) break;
+    auto tx = tangle::Transaction::decode(wire.value());
     if (!tx) continue;
-    if (admit(tx.value(), Ingress::kSync).is_ok()) ++stats_.sync_txs_applied;
+    txs.push_back(std::move(tx).value());
+  }
+  std::vector<Bytes> messages;
+  messages.reserve(txs.size());
+  std::vector<crypto::VerifyItem> items;
+  items.reserve(txs.size());
+  for (const auto& tx : txs) messages.push_back(tx.signing_bytes());
+  for (std::size_t i = 0; i < txs.size(); ++i)
+    items.push_back(crypto::VerifyItem{&txs[i].sender, ByteView{messages[i]},
+                                       &txs[i].signature});
+  const auto valid = crypto::ed25519_verify_batch(items);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (valid[i]) {
+      const auto token = tangle::VerifiedToken::assume_valid(txs[i]);
+      if (admit(txs[i], Ingress::kSync, &token).is_ok())
+        ++stats_.sync_txs_applied;
+    } else {
+      // Let the pipeline reject it through the normal kVerify stage so the
+      // stats/observers see the failure exactly as a scalar path would.
+      (void)admit(txs[i], Ingress::kSync);
+    }
   }
 }
 
@@ -508,8 +539,9 @@ void Gateway::handle_data_query(sim::NodeId from, const RpcMessage& msg) {
   reply(from, MsgType::kDataResponse, msg.request_id, response.encode());
 }
 
-Status Gateway::admit(const tangle::Transaction& tx, Ingress ingress) {
-  const auto status = pipeline_->admit(tx, now(), ingress);
+Status Gateway::admit(const tangle::Transaction& tx, Ingress ingress,
+                      const tangle::VerifiedToken* pre_verified) {
+  const auto status = pipeline_->admit(tx, now(), ingress, pre_verified);
   // A newly attached transaction may be the parent some buffered
   // out-of-order gossip was waiting for.
   if (status.is_ok()) adopt_orphans(tx.id());
@@ -585,11 +617,23 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
               ? parallel_miner_->mine(t.parent1, t.parent2, t.difficulty)
               : miner_.mine(t.parent1, t.parent2, t.difficulty);
       metrics_.pow_grind_wall_s.observe(grind.elapsed());
-      t.nonce = mined->nonce;
-      const auto status = submit(t);
-      result.status = status.code();
-      result.message = status.message();
-      result.tx_id = t.id();
+      if (!mined) {
+        // Bounded miners (or an out-of-range difficulty) can exhaust the
+        // nonce budget without a hit; report that instead of dereferencing
+        // an empty result.
+        ++stats_.rejected_pow;
+        result.status = ErrorCode::kPowInvalid;
+        result.message = "nonce search exhausted without a valid proof";
+      } else {
+        t.nonce = mined->nonce;
+        // decode() cached the id of the nonce-less wire; the nonce is part
+        // of the id, so the cache must be dropped before anyone reads it.
+        t.invalidate_id();
+        const auto status = submit(t);
+        result.status = status.code();
+        result.message = status.message();
+        result.tx_id = t.id();
+      }
     }
   }
   reply(from, MsgType::kAttachResult, msg.request_id, result.encode());

@@ -246,8 +246,11 @@ class Gateway {
   /// Retries orphans that were waiting for `arrived`.
   void adopt_orphans(const tangle::TxId& arrived);
   /// Runs the staged admission pipeline, then retries any orphans the new
-  /// transaction unblocks.
-  [[nodiscard]] Status admit(const tangle::Transaction& tx, Ingress ingress);
+  /// transaction unblocks. `pre_verified` forwards a caller-held proof that
+  /// the signature was already checked (batch sync, replay).
+  [[nodiscard]] Status admit(const tangle::Transaction& tx, Ingress ingress,
+                             const tangle::VerifiedToken* pre_verified =
+                                 nullptr);
   void reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
              const Bytes& body);
   TimePoint now() const { return network_.scheduler().now(); }

@@ -38,7 +38,30 @@ void Tangle::bump_generation() {
   generation_ = ++g_generation;
 }
 
+Status Tangle::attach_precheck(const Transaction& tx) const {
+  if (tx.type == TxType::kGenesis)
+    return Status::error(ErrorCode::kRejected, "tangle: duplicate genesis");
+  if (records_.contains(tx.id()))
+    return Status::error(ErrorCode::kRejected, "tangle: duplicate transaction");
+  if (!records_.contains(tx.parent1) || !records_.contains(tx.parent2))
+    return Status::error(ErrorCode::kNotFound, "tangle: unknown parent");
+  return Status::ok();
+}
+
 Status Tangle::add(const Transaction& tx, TimePoint arrival) {
+  return add_impl(tx, arrival, /*pre_verified=*/false);
+}
+
+Status Tangle::add(const Transaction& tx, TimePoint arrival,
+                   const VerifiedToken& token) {
+  if (!token.covers(tx.id()))
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "tangle: verified token does not cover this tx");
+  return add_impl(tx, arrival, /*pre_verified=*/true);
+}
+
+Status Tangle::add_impl(const Transaction& tx, TimePoint arrival,
+                        bool pre_verified) {
   if (tx.type == TxType::kGenesis)
     return Status::error(ErrorCode::kRejected, "tangle: duplicate genesis");
 
@@ -51,7 +74,7 @@ Status Tangle::add(const Transaction& tx, TimePoint arrival) {
   if (p1 == records_.end() || p2 == records_.end())
     return Status::error(ErrorCode::kNotFound, "tangle: unknown parent");
 
-  if (!tx.signature_valid())
+  if (!pre_verified && !tx.signature_valid())
     return Status::error(ErrorCode::kVerifyFailed, "tangle: bad signature");
 
   if (tx.difficulty == 0 || !pow_valid(tx))

@@ -77,6 +77,18 @@ class Tangle {
   /// ledger conflicts — those belong to the gateway (node layer).
   [[nodiscard]] Status add(const Transaction& tx, TimePoint arrival);
 
+  /// Single-verify attach: like add(), but the signature check is replaced by
+  /// the token (kVerifyFailed if it does not cover tx.id()). Lets the
+  /// admission pipeline verify each transaction exactly once.
+  [[nodiscard]] Status add(const Transaction& tx, TimePoint arrival,
+                           const VerifiedToken& token);
+
+  /// The cheap structural subset of add(): genesis/duplicate/unknown-parent.
+  /// kOk means add() would proceed to signature+PoW validation. Lets callers
+  /// order checks cheapest-first (e.g. admission runs this BEFORE paying the
+  /// Ed25519 verification, so duplicate or orphan gossip costs no verify).
+  [[nodiscard]] Status attach_precheck(const Transaction& tx) const;
+
   bool contains(const TxId& id) const { return records_.contains(id); }
   /// Record access; nullptr when unknown.
   const TxRecord* find(const TxId& id) const;
@@ -166,6 +178,7 @@ class Tangle {
   // detects the damage. Defined only in tests — never in product code.
   friend struct TangleTestAccess;
 
+  Status add_impl(const Transaction& tx, TimePoint arrival, bool pre_verified);
   void bump_generation();
   void index_tx(const Transaction& tx, const TxId& id, TimePoint arrival);
   static void insert_sorted(std::vector<IndexEntry>& index, IndexEntry entry);

@@ -1,5 +1,9 @@
 #include "tangle/transaction.h"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+
 #include "common/codec.h"
 
 namespace biot::tangle {
@@ -113,13 +117,83 @@ Result<Transaction> Transaction::decode(ByteView wire) {
 
   if (!r.at_end())
     return Status::error(ErrorCode::kInvalidArgument, "tx: trailing bytes");
+
+  // The wire bytes ARE the canonical encoding, so the id is free here — cache
+  // it now instead of re-encoding on the first id() call.
+  tx.id_cache_ = crypto::Sha256::hash(wire);
+  tx.id_cached_ = true;
+  ++tx_id_computes();
   return tx;
 }
 
-TxId Transaction::id() const { return crypto::Sha256::hash(encode()); }
+Transaction::Transaction(const Transaction& other)
+    : type(other.type),
+      sender(other.sender),
+      parent1(other.parent1),
+      parent2(other.parent2),
+      sequence(other.sequence),
+      timestamp(other.timestamp),
+      difficulty(other.difficulty),
+      nonce(other.nonce),
+      transfer(other.transfer),
+      payload(other.payload),
+      payload_encrypted(other.payload_encrypted),
+      signature(other.signature) {}
+
+Transaction& Transaction::operator=(const Transaction& other) {
+  if (this == &other) return *this;
+  type = other.type;
+  sender = other.sender;
+  parent1 = other.parent1;
+  parent2 = other.parent2;
+  sequence = other.sequence;
+  timestamp = other.timestamp;
+  difficulty = other.difficulty;
+  nonce = other.nonce;
+  transfer = other.transfer;
+  payload = other.payload;
+  payload_encrypted = other.payload_encrypted;
+  signature = other.signature;
+  id_cached_ = false;
+  return *this;
+}
+
+bool operator==(const Transaction& a, const Transaction& b) {
+  return a.type == b.type && a.sender == b.sender && a.parent1 == b.parent1 &&
+         a.parent2 == b.parent2 && a.sequence == b.sequence &&
+         a.timestamp == b.timestamp && a.difficulty == b.difficulty &&
+         a.nonce == b.nonce && a.transfer == b.transfer &&
+         a.payload == b.payload && a.payload_encrypted == b.payload_encrypted &&
+         a.signature == b.signature;
+}
+
+obs::Counter& tx_id_computes() {
+  static obs::Counter counter;
+  return counter;
+}
+
+TxId Transaction::id() const {
+  // The cache is seeded ONLY by decode(), where the wire bytes are final;
+  // a transaction assembled or mutated field-by-field always recomputes,
+  // so direct edits (tests, builders) are reflected immediately. The one
+  // post-decode mutation site (the gateway writing a mined nonce) calls
+  // invalidate_id().
+  if (id_cached_) return id_cache_;
+  ++tx_id_computes();
+  return crypto::Sha256::hash(encode());
+}
 
 bool Transaction::signature_valid() const {
   return crypto::ed25519_verify(sender, signing_bytes(), signature);
+}
+
+std::optional<VerifiedToken> VerifiedToken::check(const Transaction& tx) {
+  if (!tx.signature_valid()) return std::nullopt;
+  return VerifiedToken(tx.id());
+}
+
+VerifiedToken VerifiedToken::assume_valid(const Transaction& tx) {
+  return VerifiedToken(tx.id());
 }
 
 crypto::Sha256Digest pow_output(const TxId& parent1, const TxId& parent2,
@@ -129,6 +203,43 @@ crypto::Sha256Digest pow_output(const TxId& parent1, const TxId& parent2,
     nonce_bytes[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
   return crypto::Sha256::hash_concat(
       {parent1.view(), parent2.view(), ByteView{nonce_bytes, 8}});
+}
+
+namespace {
+std::array<std::uint8_t, 64> pow_prefix(const TxId& parent1,
+                                        const TxId& parent2) {
+  std::array<std::uint8_t, 64> prefix;
+  std::memcpy(prefix.data(), parent1.data.data(), 32);
+  std::memcpy(prefix.data() + 32, parent2.data.data(), 32);
+  return prefix;
+}
+}  // namespace
+
+PowMidstate::PowMidstate(const TxId& parent1, const TxId& parent2)
+    : mid_(ByteView{pow_prefix(parent1, parent2).data(), 64}) {}
+
+crypto::Sha256Digest PowMidstate::output(std::uint64_t nonce) const {
+  std::uint8_t nonce_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    nonce_bytes[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  return mid_.finish(ByteView{nonce_bytes, 8});
+}
+
+void PowMidstate::output_many(std::uint64_t first_nonce, std::size_t count,
+                              crypto::Sha256Digest* out) const {
+  std::uint8_t tails[crypto::kSha256MaxLanes * 8];
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t chunk =
+        std::min(count - done, crypto::kSha256MaxLanes);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const std::uint64_t nonce = first_nonce + done + i;
+      for (int b = 0; b < 8; ++b)
+        tails[i * 8 + b] = static_cast<std::uint8_t>(nonce >> (8 * b));
+    }
+    mid_.finish_many(tails, 8, chunk, out + done);
+    done += chunk;
+  }
 }
 
 int leading_zero_bits(const crypto::Sha256Digest& digest) {

@@ -19,6 +19,8 @@
 #include "common/status.h"
 #include "crypto/ed25519.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_midstate.h"
+#include "obs/metrics.h"
 
 namespace biot::tangle {
 
@@ -57,6 +59,15 @@ struct Transaction {
   bool payload_encrypted = false;
   crypto::Ed25519Signature signature{};
 
+  Transaction() = default;
+  // Copies DROP the id cache: the common idiom is copy-then-mutate (rebuild a
+  // tx with a different nonce/field), and a stale cached id there would be a
+  // silent correctness bug. Moves keep it — a moved tx is the same tx.
+  Transaction(const Transaction& other);
+  Transaction& operator=(const Transaction& other);
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+
   /// Canonical encoding of the signed portion: everything except the
   /// signature and the PoW nonce. The nonce is an *attachment* field (as in
   /// IOTA): it can be ground after signing, which is what makes PoW
@@ -68,18 +79,72 @@ struct Transaction {
   Bytes encode() const;
   static Result<Transaction> decode(ByteView wire);
 
-  /// Transaction id: SHA-256 of the full encoding.
+  /// Transaction id: SHA-256 of the full encoding, computed once and cached
+  /// (decode() pre-fills the cache from the wire bytes it already has).
   TxId id() const;
+
+  /// Drops the cached id. Must be called after mutating any field of a tx
+  /// whose id() may already have been computed (e.g. re-grinding the nonce of
+  /// a decoded tx in the PoW-offload path).
+  void invalidate_id() { id_cached_ = false; }
 
   /// Checks the Ed25519 signature against `sender`.
   bool signature_valid() const;
 
-  friend bool operator==(const Transaction&, const Transaction&) = default;
+  /// Logical equality: compares every wire field, ignores the id cache.
+  friend bool operator==(const Transaction& a, const Transaction& b);
+
+ private:
+  mutable TxId id_cache_{};
+  mutable bool id_cached_ = false;
+};
+
+/// Counts actual id computations (encode + SHA-256), not cache hits. Lets
+/// tests pin "admission computes the id once per tx".
+obs::Counter& tx_id_computes();
+
+/// Capability token proving a Transaction's signature has been verified.
+/// Produced by check() (which performs the one verification) or by
+/// assume_valid() (for txs whose signatures were verified elsewhere, e.g. a
+/// batch-verified sync burst or a replayed tangle whose members were verified
+/// at first admission). Bound to the tx by id, so a token cannot be replayed
+/// onto a different transaction.
+class VerifiedToken {
+ public:
+  /// Verifies the signature; nullopt if invalid.
+  static std::optional<VerifiedToken> check(const Transaction& tx);
+  /// Asserts validity without verifying. Caller must have proof.
+  static VerifiedToken assume_valid(const Transaction& tx);
+
+  const TxId& id() const { return id_; }
+  bool covers(const TxId& id) const { return id_ == id; }
+
+ private:
+  explicit VerifiedToken(TxId id) : id_(id) {}
+  TxId id_;
 };
 
 /// Eqn 6 bundle hash: H( H-as-id(TX1) || H-as-id(TX2) || nonce ).
 crypto::Sha256Digest pow_output(const TxId& parent1, const TxId& parent2,
                                 std::uint64_t nonce);
+
+/// Midstate-cached Eqn 6 hasher for mining sessions: the 64 parent bytes form
+/// exactly one SHA-256 block, compressed once at construction; each attempt
+/// then costs a single compression of the 8-byte nonce tail instead of two
+/// full-message compressions. output() is byte-identical to pow_output();
+/// output_many() grinds consecutive nonces through the multi-buffer lanes.
+class PowMidstate {
+ public:
+  PowMidstate(const TxId& parent1, const TxId& parent2);
+
+  crypto::Sha256Digest output(std::uint64_t nonce) const;
+  /// Digests for nonces first_nonce, first_nonce+1, ..., first_nonce+count-1.
+  void output_many(std::uint64_t first_nonce, std::size_t count,
+                   crypto::Sha256Digest* out) const;
+
+ private:
+  crypto::Sha256Midstate mid_;
+};
 
 /// Number of leading zero bits in a digest (the PoW "difficulty met").
 int leading_zero_bits(const crypto::Sha256Digest& digest);

@@ -7,4 +7,7 @@ int lookup(const std::map<int, int>& m, int id) {
 int lookup2(const std::map<int, int>& m, int id) {
   return m.at(id);  // biot-lint: allow(checked-at)
 }
+unsigned grind(unsigned nonce) {
+  return pow_output(0, 0, nonce);
+}
 }  // namespace biot::consensus

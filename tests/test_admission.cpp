@@ -4,6 +4,8 @@
 // the rate limiter's bucket map stays bounded under a Sybil request flood.
 #include <gtest/gtest.h>
 
+#include "common/codec.h"
+#include "crypto/ed25519.h"
 #include "node/gateway.h"
 #include "node/manager.h"
 #include "storage/tangle_io.h"
@@ -306,6 +308,153 @@ TEST_F(AdmissionTest, IdleRateBucketsAreEvicted) {
   // Limiting behaviour itself is unchanged: a burst from one sender is shed.
   for (int i = 0; i < 5; ++i) probe_from(9999);
   EXPECT_GT(limited.stats().rate_limited, 0u);
+}
+
+// ---- Single-verify pinning ---------------------------------------------------
+//
+// The admission pipeline verifies each transaction's Ed25519 signature
+// exactly once, whatever the ingress. These tests pin the global
+// verification counter so a future refactor that sneaks a second
+// signature_valid() (or drops the only one) fails loudly.
+
+TEST_F(AdmissionTest, ServiceWireAdmissionVerifiesExactlyOnce) {
+  authorize_device();
+  const auto tx = device_tx(to_bytes("svc"));
+  const auto expected_id = tx.id();  // local factory tx: uncached, recomputes
+
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  const std::uint64_t ids0 = tangle::tx_id_computes();
+  RpcMessage msg;
+  msg.type = MsgType::kSubmitTx;
+  msg.sender_key = tx.sender;
+  msg.body = tx.encode();
+  network_.send(200, 1, msg.encode());
+  run_a_little();
+
+  ASSERT_TRUE(gateway_.tangle().contains(expected_id));
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 1u);
+  // decode() hashed the wire once; every later id() read hit the cache.
+  EXPECT_EQ(tangle::tx_id_computes() - ids0, 1u);
+}
+
+TEST_F(AdmissionTest, GossipAdmissionVerifiesExactlyOnce) {
+  const auto tx = device_tx(to_bytes("gsp"));  // gossip skips the auth list
+  const auto expected_id = tx.id();
+
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  const std::uint64_t ids0 = tangle::tx_id_computes();
+  gossip(tx);
+
+  ASSERT_TRUE(gateway_.tangle().contains(expected_id));
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 1u);
+  EXPECT_EQ(tangle::tx_id_computes() - ids0, 1u);
+}
+
+TEST_F(AdmissionTest, DuplicateGossipCostsNoVerification) {
+  const auto tx = device_tx(to_bytes("dup"));
+  gossip(tx);
+  ASSERT_TRUE(gateway_.tangle().contains(tx.id()));
+
+  // The structural precheck runs before the signature stage, so replayed
+  // gossip of an already-attached transaction costs zero Ed25519 work.
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  gossip(tx);
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 0u);
+}
+
+TEST_F(AdmissionTest, SyncBurstBatchVerifiesOncePerTransaction) {
+  const auto genesis = gateway_.tangle().genesis_id();
+  const auto tx1 = device_.make(genesis, genesis, 4, to_bytes("s1"));
+  const auto tx2 = device_.make(tx1.id(), genesis, 4, to_bytes("s2"));
+  const auto tx3 = device_.make(tx2.id(), tx1.id(), 4, to_bytes("s3"));
+
+  Writer w;
+  w.u32(3);
+  for (const auto* tx : {&tx1, &tx2, &tx3}) w.blob(tx->encode());
+  RpcMessage msg;
+  msg.type = MsgType::kSyncMissing;
+  msg.sender_key = device_.key();
+  msg.body = std::move(w).take();
+
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  network_.send(200, 1, msg.encode());
+  run_a_little();
+
+  EXPECT_TRUE(gateway_.tangle().contains(tx1.id()));
+  EXPECT_TRUE(gateway_.tangle().contains(tx2.id()));
+  EXPECT_TRUE(gateway_.tangle().contains(tx3.id()));
+  EXPECT_EQ(gateway_.stats().sync_txs_applied, 3u);
+  // One batched verification accounting one call per signature — not the
+  // 6 calls a verify-in-admit + verify-in-attach double-check would cost.
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 3u);
+}
+
+TEST_F(AdmissionTest, OrphanBufferAndRetryVerifyTheChildExactlyOnce) {
+  TxFactory stranger(502);
+  const auto genesis = gateway_.tangle().genesis_id();
+  const auto parent = stranger.make(genesis, genesis, 4, {}, 0.0);
+  const auto child = stranger.make(parent.id(), genesis, 4, {}, 0.0);
+
+  // Orphaned gossip fails the parent precheck BEFORE the signature stage:
+  // buffering costs no verification at all.
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  gossip(child);
+  EXPECT_EQ(gateway_.orphan_count(), 1u);
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 0u);
+
+  // Parent arrives: one verify for the parent, one for the adopted child.
+  gossip(parent);
+  EXPECT_TRUE(gateway_.tangle().contains(child.id()));
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 2u);
+}
+
+TEST_F(AdmissionTest, ReplayAdmitsRestoredHistoryWithoutReVerifying) {
+  authorize_device();
+  ASSERT_TRUE(gateway_.submit(device_tx(to_bytes("r1"))).is_ok());
+  run_a_little();
+  ASSERT_TRUE(gateway_.submit(device_tx(to_bytes("r2"))).is_ok());
+  run_a_little();
+
+  const Bytes wire = storage::serialize_tangle(gateway_.tangle());
+  // Deserialization is the trust boundary: it verifies every signature as
+  // it loads. Replay through the pipeline must then add ZERO verifications.
+  auto reloaded = storage::deserialize_tangle(wire);
+  ASSERT_TRUE(reloaded.is_ok());
+
+  const std::uint64_t verifies0 = crypto::ed25519_verify_calls();
+  sim::Scheduler sched2;
+  sim::Network net2(sched2, std::make_unique<sim::FixedLatency>(0.001),
+                    Rng(2));
+  Gateway restored(99, gateway_identity_,
+                   manager_identity_.public_identity().sign_key,
+                   std::move(reloaded).take(), net2, admission_config());
+  EXPECT_EQ(restored.tangle().size(), gateway_.tangle().size());
+  EXPECT_EQ(crypto::ed25519_verify_calls() - verifies0, 0u);
+}
+
+TEST_F(AdmissionTest, OffloadedPowInvalidatesTheCachedWireId) {
+  authorize_device();
+  auto tx = device_tx(to_bytes("offload"));
+  // The device leaves the nonce to the gateway (the nonce sits outside the
+  // signature, so zeroing it keeps the signature valid).
+  tx.nonce = 0;
+
+  RpcMessage msg;
+  msg.type = MsgType::kAttachRequest;
+  msg.sender_key = tx.sender;
+  msg.body = tx.encode();
+  const std::size_t size0 = gateway_.tangle().size();
+  network_.send(200, 1, msg.encode());
+  run_a_little();
+
+  ASSERT_EQ(gateway_.tangle().size(), size0 + 1);
+  // Regression: decode() caches the id of the nonce-LESS wire; writing the
+  // mined nonce must drop that cache or the tx attaches under a stale id.
+  for (const auto& id : gateway_.tangle().arrival_order()) {
+    const auto* rec = gateway_.tangle().find(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->tx.id(), id) << "record indexed under a stale id";
+  }
 }
 
 }  // namespace

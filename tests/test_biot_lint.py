@@ -70,6 +70,10 @@ class ViolationsTree(unittest.TestCase):
         self.assert_finding("src/consensus/hot.cpp:8", "checked-at")
         self.assertIn("without a rationale", self.out)
 
+    def test_pow_midstate_in_consensus(self):
+        self.assert_finding("src/consensus/hot.cpp:11", "pow-midstate")
+        self.assertIn("grind through tangle::PowMidstate", self.out)
+
     def test_brute_force_twin_missing(self):
         self.assert_finding("src/node/helper.h:5", "brute-force-twin")
         self.assertIn("has no incremental twin", self.out)

@@ -128,6 +128,69 @@ TEST(ParallelMiner, MatchesSerialMinerWorkDistribution) {
   EXPECT_LT(parallel_attempts, serial_attempts * 8);
 }
 
+// ---- Wedge + midstate regressions -------------------------------------------
+
+TEST(Miner, ImpossibleDifficultyReturnsImmediately) {
+  // Regression: difficulty > 256 can never be satisfied by a 256-bit digest;
+  // with max_attempts == 0 (unbounded) the old loop spun forever. Both
+  // miners must bail out before doing any work.
+  Miner miner;  // unbounded
+  TxId p1{}, p2{};
+  EXPECT_FALSE(miner.mine(p1, p2, kMaxPowDifficulty + 1).has_value());
+  EXPECT_FALSE(miner.mine(p1, p2, 10000).has_value());
+  EXPECT_EQ(miner.total_attempts(), 0u);
+
+  ParallelMiner parallel(4);  // unbounded
+  EXPECT_FALSE(parallel.mine(p1, p2, kMaxPowDifficulty + 1).has_value());
+  EXPECT_EQ(parallel.total_attempts(), 0u);
+}
+
+TEST(Miner, MaxDifficultyItselfStillSearches) {
+  // 256 is astronomically hard but not structurally impossible: a bounded
+  // miner must search its budget, not refuse up front.
+  Miner miner(0, 8);
+  TxId p1{}, p2{};
+  EXPECT_FALSE(miner.mine(p1, p2, kMaxPowDifficulty).has_value());
+  EXPECT_EQ(miner.total_attempts(), 8u);
+}
+
+TEST(Pow, MidstateMatchesPowOutput) {
+  // PowMidstate::output / output_many are the miner's hot path; both must
+  // agree byte-for-byte with the reference pow_output (Eqn 6).
+  TxId p1{}, p2{};
+  p1[0] = 0xab;
+  p2[31] = 0xcd;
+  const tangle::PowMidstate mid(p1, p2);
+  for (const std::uint64_t nonce :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{42},
+        std::uint64_t{0xffffffffull}, ~std::uint64_t{0}}) {
+    EXPECT_EQ(mid.output(nonce), tangle::pow_output(p1, p2, nonce))
+        << "nonce=" << nonce;
+  }
+  crypto::Sha256Digest many[13];
+  mid.output_many(1000, 13, many);
+  for (std::uint64_t i = 0; i < 13; ++i)
+    EXPECT_EQ(many[i], tangle::pow_output(p1, p2, 1000 + i)) << i;
+}
+
+TEST(Pow, CountersTrackOneBlockPerAttempt) {
+  // With the midstate cached, grinding costs ~1 compression per nonce
+  // (plus 1 for the prefix per mine() call) instead of 2.
+  auto& counters = pow_counters();
+  const std::uint64_t attempts0 = counters.attempts;
+  const std::uint64_t blocks0 = counters.sha_blocks;
+  Miner miner;
+  TxId p1{}, p2{};
+  p1[0] = 9;
+  ASSERT_TRUE(miner.mine(p1, p2, 4).has_value());
+  const std::uint64_t attempts = counters.attempts - attempts0;
+  const std::uint64_t blocks = counters.sha_blocks - blocks0;
+  EXPECT_GE(attempts, 1u);
+  // blocks = attempts rounded up to the lane stride, + 1 prefix compression.
+  EXPECT_GE(blocks, attempts);
+  EXPECT_LE(blocks, attempts + crypto::kSha256MaxLanes + 1);
+}
+
 // ---- Credit model --------------------------------------------------------------
 
 WeightOracle unit_weights() {

@@ -340,6 +340,103 @@ TEST(Ed25519, DeterministicSignature) {
   EXPECT_EQ(ed25519_sign(kp, msg), ed25519_sign(kp, msg));
 }
 
+// ---- Batch verification ------------------------------------------------------
+
+// Builds n (pk, msg, sig) triples; `corrupt` positions get a broken entry of
+// rotating kind (flipped sig byte, flipped msg, non-canonical S, garbage pk).
+struct BatchFixture {
+  std::vector<Ed25519PublicKey> pks;
+  std::vector<Bytes> msgs;
+  std::vector<Ed25519Signature> sigs;
+  std::vector<crypto::VerifyItem> items() const {
+    std::vector<crypto::VerifyItem> out;
+    for (std::size_t i = 0; i < pks.size(); ++i)
+      out.push_back({&pks[i], ByteView{msgs[i]}, &sigs[i]});
+    return out;
+  }
+};
+
+BatchFixture make_batch(std::size_t n, const std::vector<std::size_t>& corrupt,
+                        std::uint64_t seed) {
+  Csprng rng(seed);
+  BatchFixture f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
+    f.pks.push_back(kp.public_key);
+    f.msgs.push_back(rng.bytes(11 + i * 7));
+    f.sigs.push_back(ed25519_sign(kp, f.msgs.back()));
+  }
+  std::size_t kind = 0;
+  for (const auto i : corrupt) {
+    switch (kind++ % 4) {
+      case 0: f.sigs[i][5] ^= 0x40; break;                  // broken sig
+      case 1: f.msgs[i].push_back(0x99); break;             // broken message
+      case 2:                                               // non-canonical S
+        for (std::size_t b = 32; b < 64; ++b) f.sigs[i][b] = 0xff;
+        break;
+      default: f.pks[i] = Ed25519PublicKey{}; break;        // undecodable pk
+    }
+  }
+  return f;
+}
+
+// The batch path must agree with per-signature verification bit-for-bit, for
+// every batch size and every corrupted position.
+TEST(Ed25519Batch, MatchesIndividualVerifyAcrossSizes) {
+  for (const std::size_t n : {1u, 2u, 3u, 8u, 16u}) {
+    const auto f = make_batch(n, {}, 3000 + n);
+    const auto got = ed25519_verify_batch(f.items());
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(got[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Ed25519Batch, CorruptedPositionsIsolated) {
+  for (const std::size_t n : {2u, 3u, 8u, 16u}) {
+    for (std::size_t bad = 0; bad < n; ++bad) {
+      const auto f = make_batch(n, {bad}, 4000 + n * 31 + bad);
+      const auto got = ed25519_verify_batch(f.items());
+      ASSERT_EQ(got.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool expect =
+            ed25519_verify(f.pks[i], f.msgs[i], f.sigs[i]);
+        EXPECT_EQ(got[i], expect) << "n=" << n << " bad=" << bad << " i=" << i;
+        EXPECT_EQ(expect, i != bad);
+      }
+    }
+  }
+}
+
+TEST(Ed25519Batch, MultipleCorruptionKindsInOneBatch) {
+  // All four corruption kinds plus valid entries in a single batch.
+  const auto f = make_batch(8, {1, 3, 5, 6}, 5555);
+  const auto got = ed25519_verify_batch(f.items());
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[i], ed25519_verify(f.pks[i], f.msgs[i], f.sigs[i])) << i;
+    EXPECT_EQ(got[i], i != 1 && i != 3 && i != 5 && i != 6) << i;
+  }
+}
+
+TEST(Ed25519Batch, AllInvalidAndEmpty) {
+  EXPECT_TRUE(ed25519_verify_batch({}).empty());
+  const auto f = make_batch(4, {0, 1, 2, 3}, 6666);
+  const auto got = ed25519_verify_batch(f.items());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(got[i]) << i;
+}
+
+TEST(Ed25519Batch, CountsOneVerifyPerItemOnFastPath) {
+  const auto f = make_batch(8, {}, 7777);
+  const std::uint64_t before = ed25519_verify_calls();
+  const auto got = ed25519_verify_batch(f.items());
+  const std::uint64_t after = ed25519_verify_calls();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(got[i]);
+  // The combined equation replaced 8 scalar verifies; the counter still
+  // accounts one logical verification per signature.
+  EXPECT_EQ(after - before, 8u);
+}
+
 TEST(Identity, DeterministicIsStable) {
   const auto a = Identity::deterministic(5);
   const auto b = Identity::deterministic(5);

@@ -6,6 +6,7 @@
 #include "crypto/csprng.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_midstate.h"
 #include "crypto/sha512.h"
 
 namespace biot::crypto {
@@ -195,6 +196,70 @@ TEST(ChaCha20, Rfc8439BlockVector) {
   EXPECT_EQ(to_hex(ByteView{out, 64}),
             "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
             "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// ---- SHA-256 midstate + multi-buffer lanes ---------------------------------
+
+TEST(Sha256Midstate, FinishMatchesStreamingForAllTailLengths) {
+  Csprng rng(1234);
+  for (std::size_t prefix_blocks : {1u, 2u, 3u}) {
+    const Bytes prefix = rng.bytes(prefix_blocks * 64);
+    const Sha256Midstate mid{ByteView{prefix}};
+    for (std::size_t tail_len = 0; tail_len <= 55; ++tail_len) {
+      const Bytes tail = rng.bytes(tail_len);
+      Bytes whole = prefix;
+      whole.insert(whole.end(), tail.begin(), tail.end());
+      EXPECT_EQ(mid.finish(tail), Sha256::hash(whole))
+          << "prefix_blocks=" << prefix_blocks << " tail_len=" << tail_len;
+    }
+  }
+}
+
+TEST(Sha256Midstate, MatchesKnownVectorThroughPowShape) {
+  // The PoW message shape: 64-byte prefix + 8-byte tail (Eqn 6).
+  const Bytes prefix(64, 0x42);
+  const Bytes tail(8, 0x17);
+  Bytes whole = prefix;
+  whole.insert(whole.end(), tail.begin(), tail.end());
+  EXPECT_EQ(Sha256Midstate{ByteView{prefix}}.finish(tail), Sha256::hash(whole));
+}
+
+TEST(Sha256Midstate, RejectsUnalignedPrefixAndOversizedTail) {
+  EXPECT_THROW(Sha256Midstate{ByteView{Bytes(63, 0)}}, std::invalid_argument);
+  EXPECT_THROW(Sha256Midstate{ByteView{Bytes(65, 0)}}, std::invalid_argument);
+  const Sha256Midstate mid{ByteView{Bytes(64, 0)}};
+  EXPECT_THROW((void)mid.finish(Bytes(56, 0)), std::invalid_argument);
+}
+
+TEST(Sha256Midstate, FinishManyMatchesBruteForceAndStreaming) {
+  // Every count that exercises full lanes, partial remainder, and the
+  // scalar path must be byte-identical to both the brute-force twin and
+  // the streaming hasher.
+  Csprng rng(77);
+  const Bytes prefix = rng.bytes(64);
+  const Sha256Midstate mid{ByteView{prefix}};
+  for (std::size_t tail_len : {1u, 8u, 32u, 55u}) {
+    for (std::size_t count = 1; count <= 17; ++count) {
+      const Bytes tails = rng.bytes(tail_len * count);
+      std::vector<Sha256Digest> fast(count), slow(count);
+      mid.finish_many(tails.data(), tail_len, count, fast.data());
+      mid.finish_many_brute_force(tails.data(), tail_len, count, slow.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        Bytes whole = prefix;
+        whole.insert(whole.end(), tails.begin() + i * tail_len,
+                     tails.begin() + (i + 1) * tail_len);
+        EXPECT_EQ(fast[i], slow[i]) << "count=" << count << " i=" << i;
+        EXPECT_EQ(fast[i], Sha256::hash(whole))
+            << "tail_len=" << tail_len << " count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Sha256Midstate, LaneCountIsSane) {
+  const auto lanes = sha256_lanes();
+  EXPECT_TRUE(lanes == 1 || lanes == 4 || lanes == 8);
+  EXPECT_LE(lanes, kSha256MaxLanes);
 }
 
 TEST(Csprng, DeterministicWithSeed) {

@@ -12,6 +12,13 @@ Usage:
       default; --fail-on-regress turns them into a non-zero exit for
       stricter pipelines.
 
+      The STRICT_BENCHES set (hot-path crypto and PoW benches) is held to a
+      harder line: a timing regression beyond --strict-threshold (default
+      0.35), or the bench missing from the current run entirely, exits 1
+      regardless of --fail-on-regress. These benches guard the midstate
+      multi-buffer miner and the single-verify admission path, where a
+      silent 35% slide means the optimization quietly fell off.
+
 No third-party dependencies: a small interpreter covers the subset of JSON
 Schema the bench schema actually uses (const/type/required/properties/
 pattern/items/minItems/minimum/additionalProperties).
@@ -28,6 +35,11 @@ SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "bench_schema.json")
 
 TIMING_UNITS = {"s", "s/op", "us/op", "ms/op"}
+
+# Benches that guard the hot-path crypto work (midstate multi-buffer PoW,
+# batch verification). Regressions here hard-fail the diff even without
+# --fail-on-regress.
+STRICT_BENCHES = {"crypto_micro", "fig7_pow_difficulty", "pow_offload"}
 
 
 def check(instance, schema, path="$"):
@@ -118,7 +130,8 @@ def collect(directory):
     return docs
 
 
-def diff(baseline_dir, current_dir, threshold, fail_on_regress):
+def diff(baseline_dir, current_dir, threshold, fail_on_regress,
+         strict_threshold):
     base = collect(baseline_dir)
     cur = collect(current_dir)
     if not base:
@@ -129,10 +142,15 @@ def diff(baseline_dir, current_dir, threshold, fail_on_regress):
         return 2
 
     regressions = 0
+    strict_failures = 0
     for bench in sorted(set(base) | set(cur)):
+        strict = bench in STRICT_BENCHES
         if bench not in cur:
-            print(f"{bench}: MISSING from current run")
+            print(f"{bench}: MISSING from current run"
+                  + (" [strict]" if strict else ""))
             regressions += 1
+            if strict:
+                strict_failures += 1
             continue
         if bench not in base:
             print(f"{bench}: new bench (no baseline)")
@@ -141,8 +159,11 @@ def diff(baseline_dir, current_dir, threshold, fail_on_regress):
         cur_results = {r["name"]: r for r in cur[bench]["results"]}
         for name in sorted(set(base_results) | set(cur_results)):
             if name not in cur_results:
-                print(f"{bench}/{name}: result disappeared")
+                print(f"{bench}/{name}: result disappeared"
+                      + (" [strict]" if strict else ""))
                 regressions += 1
+                if strict:
+                    strict_failures += 1
                 continue
             if name not in base_results:
                 print(f"{bench}/{name}: new result "
@@ -155,7 +176,12 @@ def diff(baseline_dir, current_dir, threshold, fail_on_regress):
             timing = old.get("unit", "") in TIMING_UNITS
             # For timing units only slower is a regression; other units are
             # reported informationally when they moved a lot either way.
-            if timing and rel > threshold:
+            if timing and strict and rel > strict_threshold:
+                print(f"{bench}/{name}: STRICT REGRESSION {old['value']:g} -> "
+                      f"{new['value']:g} {old['unit']} (+{rel * 100:.0f}%)")
+                regressions += 1
+                strict_failures += 1
+            elif timing and rel > threshold:
                 print(f"{bench}/{name}: REGRESSION {old['value']:g} -> "
                       f"{new['value']:g} {old['unit']} (+{rel * 100:.0f}%)")
                 regressions += 1
@@ -163,6 +189,11 @@ def diff(baseline_dir, current_dir, threshold, fail_on_regress):
                 print(f"{bench}/{name}: changed {old['value']:g} -> "
                       f"{new['value']:g} {old.get('unit', '')} "
                       f"({rel * 100:+.0f}%)")
+    if strict_failures:
+        print(f"\n{strict_failures} hard failure(s) in strict benches "
+              f"({', '.join(sorted(STRICT_BENCHES))}) beyond "
+              f"{strict_threshold * 100:.0f}% threshold")
+        return 1
     if regressions:
         print(f"\n{regressions} regression(s) beyond "
               f"{threshold * 100:.0f}% threshold")
@@ -181,13 +212,17 @@ def main():
                         help="relative regression threshold (default 0.2)")
     parser.add_argument("--fail-on-regress", action="store_true",
                         help="exit non-zero when regressions are found")
+    parser.add_argument("--strict-threshold", type=float, default=0.35,
+                        help="hard-fail threshold for STRICT_BENCHES "
+                        "(default 0.35; applies regardless of "
+                        "--fail-on-regress)")
     args = parser.parse_args()
 
     if args.validate:
         sys.exit(validate(args.validate))
     if args.baseline and args.current:
         sys.exit(diff(args.baseline, args.current, args.threshold,
-                      args.fail_on_regress))
+                      args.fail_on_regress, args.strict_threshold))
     parser.error("use --validate FILE... or --baseline DIR --current DIR")
 
 

@@ -30,6 +30,15 @@ optionally followed by a rationale — suppressions without one are rejected):
                    src/ .cpp is its own header (proves the header is
                    self-contained).
 
+  pow-midstate     No call to the single-shot `pow_output(...)` inside
+                   src/consensus/ — the miners grind through
+                   tangle::PowMidstate, which caches the parents' SHA-256
+                   block and compresses only the nonce block per attempt.
+                   A pow_output call in a mining loop silently doubles the
+                   hash work (it recompresses the constant prefix every
+                   nonce). Validation outside src/consensus/ may still use
+                   pow_output as the reference form.
+
   bench-harness    Every bench/*.cpp must be built on bench/harness.h (so
                    it emits a schema-valid biot-bench-v1 trajectory) and
                    must not hand-roll timing with `std::chrono` /
@@ -65,6 +74,12 @@ GUARDED_ENUMS = {
 CHECKED_AT_PATHS = [
     re.compile(r"^src/consensus/[^/]+\.cpp$"),
     re.compile(r"^src/tangle/tip_selection\.cpp$"),
+]
+
+# Paths where the single-shot pow_output would re-hash the constant parent
+# prefix on every nonce — mining code must grind through tangle::PowMidstate.
+POW_MIDSTATE_PATHS = [
+    re.compile(r"^src/consensus/[^/]+\.(?:h|cpp)$"),
 ]
 
 ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
@@ -260,6 +275,19 @@ class Linter:
                          "or allow() with the invariant guaranteeing presence",
                          lines)
 
+    def check_pow_midstate(self, rel: str, path: pathlib.Path, text: str,
+                           lines: list[str]) -> None:
+        if not any(p.match(rel) for p in POW_MIDSTATE_PATHS):
+            return
+        for i, line in enumerate(text.split("\n")):
+            if re.search(r"\bpow_output\s*\(", line):
+                self.add("pow-midstate", path, i + 1,
+                         "single-shot pow_output() in src/consensus/ re-hashes "
+                         "the constant parent prefix on every nonce — grind "
+                         "through tangle::PowMidstate (output/output_many), or "
+                         "allow() with why this call is off the mining path",
+                         lines)
+
     def check_include_hygiene(self, rel: str, path: pathlib.Path,
                               text: str, lines: list[str]) -> None:
         includes = [(i + 1, m.group(1))
@@ -321,6 +349,7 @@ class Linter:
             rel = path.relative_to(self.root).as_posix()
             self.check_enum_switch(path, stripped, lines)
             self.check_checked_at(rel, path, raw, lines)
+            self.check_pow_midstate(rel, path, stripped, lines)
             self.check_include_hygiene(rel, path, raw, lines)
         if (self.root / "tests").is_dir():
             self.check_brute_force_twins()
