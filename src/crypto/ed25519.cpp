@@ -175,6 +175,17 @@ EdPoint EdPoint::dbl() const {
 
 EdPoint EdPoint::negate() const { return EdPoint{X.negate(), Y, Z, T.negate()}; }
 
+namespace {
+// True iff p is the neutral element, for any projective representation.
+// X = 0 forces affine x = 0, so p is (0, 1) or the order-2 point (0, -1);
+// Y == Z picks out (0, 1) without paying compress()'s field inversion.
+bool is_identity(const EdPoint& p) { return p.X.is_zero() && p.Y == p.Z; }
+
+// [8]p via three doublings — maps any curve point into the prime-order
+// subgroup (the full group is Z_L x Z_8).
+EdPoint mul_cofactor(const EdPoint& p) { return p.dbl().dbl().dbl(); }
+}  // namespace
+
 EdPoint EdPoint::scalar_mul(ByteView scalar32) const {
   if (scalar32.size() != 32)
     throw std::invalid_argument("scalar_mul: need 32-byte scalar");
@@ -271,15 +282,27 @@ bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
 
   const auto A = EdPoint::decompress(pk.view());
   if (!A) return false;
+  // Strict R: must decode AND be canonically encoded (re-compression
+  // reproduces the wire bytes) — the same acceptance set as the historical
+  // compare-by-encoding check, which only ever matched canonical encodings.
+  const auto R = EdPoint::decompress(r_bytes);
+  if (!R || !ct_equal(R->compress().view(), r_bytes)) return false;
 
   const auto k_hash = Sha512::hash_concat({r_bytes, pk.view(), message});
   const auto k = sc_reduce64(k_hash.view());
 
-  // R' = [S]B + [k](-A); accept iff encoding matches R.
+  // Cofactored acceptance: [8]([S]B - [k]A - R) == identity. Multiplying by
+  // the cofactor folds any small-order component of A or R out of the check,
+  // which is what makes this rule batchable: a random-linear-combination
+  // batch equation over the prime-order subgroup decides EXACTLY this
+  // predicate (up to ~2^-128), for every input. The cofactorless rule does
+  // not batch soundly — for A carrying an 8-torsion component the batch
+  // term z*[k]T vanishes whenever z*k = 0 mod 8, a condition an adversary
+  // who controls the batch transcript can grind for in ~8 tries — so both
+  // paths use the cofactored rule and stay consensus-consistent.
   const EdPoint sB = EdPoint::base().scalar_mul(s_bytes);
   const EdPoint kA = A->negate().scalar_mul(k.view());
-  const auto r_check = sB.add(kA).compress();
-  return ct_equal(r_check.view(), r_bytes);
+  return is_identity(mul_cofactor(sB.add(kA).add(R->negate())));
 }
 
 std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
@@ -291,12 +314,11 @@ std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
     return out;
   }
 
-  // Pre-filter: everything ed25519_verify rejects before any scalar
-  // multiplication, PLUS a strict R check (decompress and re-compress must
-  // reproduce the wire bytes). The individual verifier compares compress()
-  // output — always a canonical encoding — against the wire R, so a
-  // non-canonical or undecodable R is definitively invalid and must not
-  // reach the combined equation.
+  // Pre-filter: exactly the decode/canonicality rejections ed25519_verify
+  // makes before any scalar multiplication (non-canonical S, undecodable A,
+  // undecodable or non-canonically-encoded R). Each rejection here settles
+  // the item, so it accounts one verification — the counter reads the same
+  // whether a workload arrives through the batch or the scalar path.
   struct Term {
     std::size_t index;
     EdPoint neg_A;
@@ -308,11 +330,20 @@ std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
   for (std::size_t i = 0; i < n; ++i) {
     const ByteView r_bytes{items[i].sig->data.data(), 32};
     const ByteView s_bytes{items[i].sig->data.data() + 32, 32};
-    if (!sc_is_canonical(s_bytes)) continue;
+    if (!sc_is_canonical(s_bytes)) {
+      ++ed25519_verify_calls();
+      continue;
+    }
     const auto A = EdPoint::decompress(items[i].pk->view());
-    if (!A) continue;
+    if (!A) {
+      ++ed25519_verify_calls();
+      continue;
+    }
     const auto R = EdPoint::decompress(r_bytes);
-    if (!R || !ct_equal(R->compress().view(), r_bytes)) continue;
+    if (!R || !ct_equal(R->compress().view(), r_bytes)) {
+      ++ed25519_verify_calls();
+      continue;
+    }
     const auto k_hash =
         Sha512::hash_concat({r_bytes, items[i].pk->view(), items[i].message});
     terms.push_back(Term{i, A->negate(), R->negate(), sc_reduce64(k_hash.view())});
@@ -321,8 +352,15 @@ std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
 
   // Deterministic 128-bit coefficients z_i from a transcript of the whole
   // batch (r ‖ pk ‖ S ‖ H(msg) per item): an adversary fixing signatures
-  // cannot steer the z_i after the fact, so a batch containing any invalid
-  // signature passes the combined equation with probability ~2^-128.
+  // cannot steer the z_i after the fact. Soundness (a batch containing any
+  // cofactored-invalid signature passes with probability ~2^-128) holds
+  // because the final check multiplies the accumulated sum by the cofactor:
+  // every term [8]([S_i]B - R_i - [k_i]A_i) then lies in the prime-order
+  // subgroup, where a nonzero term survives a random 128-bit combination
+  // only with ~2^-128 probability — grinding the transcript cannot help.
+  // (Without the [8], an 8-torsion component in A_i or R_i survives exactly
+  // when z_i*k_i = 0 mod 8, which a transcript-controlling adversary can
+  // grind for in ~8 tries; see ed25519_verify.)
   Bytes transcript;
   for (const Term& t : terms) {
     const auto& it = items[t.index];
@@ -368,7 +406,7 @@ std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
     }
   }
 
-  if (ct_equal(acc.compress().view(), EdPoint::identity().compress().view())) {
+  if (is_identity(mul_cofactor(acc))) {
     ed25519_verify_calls() += terms.size();
     for (const Term& t : terms) out[t.index] = true;
     return out;

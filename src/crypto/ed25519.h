@@ -52,13 +52,22 @@ struct Ed25519KeyPair {
 /// Signs `message` with the key pair (deterministic per RFC 8032).
 Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message);
 
-/// Verifies; strict about canonical S. Returns false on any failure.
+/// Verifies under the COFACTORED rule: strict about canonical S and the R
+/// encoding, then accepts iff [8]([S]B - [k]A - R) is the identity. RFC 8032
+/// permits either the cofactored or the cofactorless group equation; the
+/// cofactored one is the consensus-safe choice because it is the unique rule
+/// a random-linear-combination batch can decide exactly — scalar and batch
+/// ingress therefore always agree, even for public keys or R values carrying
+/// a small-order component. Returns false on any failure.
 bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
                     const Ed25519Signature& sig);
 
-/// Signature-verification work counter: +1 per ed25519_verify call, +1 per
-/// signature settled by the batch fast path. Lets tests pin "each admitted
-/// transaction is verified exactly once".
+/// Signature-verification work counter: +1 per ed25519_verify call (accepts
+/// and rejections alike), +1 per item settled by ed25519_verify_batch —
+/// whether by the canonicality pre-filter, the combined equation, or the
+/// per-item fallback. Batch and scalar ingress account identically, so tests
+/// can pin "each admitted transaction is verified exactly once" regardless
+/// of path.
 obs::Counter& ed25519_verify_calls();
 
 /// One (public key, message, signature) triple for batch verification. The
@@ -69,13 +78,14 @@ struct VerifyItem {
   const Ed25519Signature* sig = nullptr;
 };
 
-/// Batch verification: returns per-item validity, each entry exactly equal to
-/// what ed25519_verify would return for that item. Sound batches (the common
-/// case) are settled with ONE random-linear-combination group equation over a
-/// shared Straus double-and-add — roughly 3x cheaper than verifying n
-/// signatures individually at n = 8. When the combined equation fails (at
-/// least one bad signature), the batch falls back to per-item verification to
-/// identify the corrupt positions.
+/// Batch verification: returns per-item validity under the same cofactored
+/// rule as ed25519_verify (equal to the per-item result except with the
+/// ~2^-128 probability that a bad batch defeats the 128-bit random linear
+/// combination). Sound batches (the common case) are settled with ONE
+/// combined group equation over a shared Straus double-and-add — roughly 3x
+/// cheaper than verifying n signatures individually at n = 8. When the
+/// combined equation fails (at least one bad signature), the batch falls
+/// back to per-item verification to identify the corrupt positions.
 std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items);
 
 }  // namespace biot::crypto

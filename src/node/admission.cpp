@@ -16,6 +16,7 @@ void GatewayStats::attach_to(const obs::Scope& scope) const {
   admission.attach("rejected_unauthorized", &rejected_unauthorized);
   admission.attach("rejected_difficulty", &rejected_difficulty);
   admission.attach("rejected_pow", &rejected_pow);
+  admission.attach("pow_offload_exhausted", &pow_offload_exhausted);
   admission.attach("rejected_conflict", &rejected_conflict);
   admission.attach("rejected_signature", &rejected_signature);
   admission.attach("rejected_other", &rejected_other);

@@ -145,7 +145,8 @@ struct GatewayStats {
   obs::Counter accepted;
   obs::Counter rejected_unauthorized;
   obs::Counter rejected_difficulty;
-  obs::Counter rejected_pow;
+  obs::Counter rejected_pow;        // client-submitted PoW failed validation
+  obs::Counter pow_offload_exhausted;  // gateway-side nonce search gave up
   obs::Counter rejected_conflict;   // double-spends caught
   obs::Counter rejected_signature;  // invalid Ed25519 signatures
   obs::Counter rejected_other;

@@ -306,8 +306,13 @@ void Gateway::handle_sync_missing(const RpcMessage& msg) {
   // Decode the whole burst first so the signatures can be checked with one
   // batched Ed25519 verification instead of one scalar verify per tx; the
   // admission pipeline then accepts each batch-verified tx via its token.
+  // The count is attacker-controlled wire data: never reserve off it
+  // directly (a forged 2^32-1 would ask for hundreds of GB up front).
+  // Every blob costs at least its u32 length prefix, so the remaining body
+  // bounds how many transactions the message can actually carry.
   std::vector<tangle::Transaction> txs;
-  txs.reserve(count.value());
+  txs.reserve(std::min<std::size_t>(count.value(),
+                                    r.remaining() / sizeof(std::uint32_t)));
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     const auto wire = r.blob();
     if (!wire) break;
@@ -620,8 +625,10 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
       if (!mined) {
         // Bounded miners (or an out-of-range difficulty) can exhaust the
         // nonce budget without a hit; report that instead of dereferencing
-        // an empty result.
-        ++stats_.rejected_pow;
+        // an empty result. This is gateway-side mining giving up, not a
+        // client submitting an invalid proof, so it gets its own counter
+        // rather than polluting rejected_pow.
+        ++stats_.pow_offload_exhausted;
         result.status = ErrorCode::kPowInvalid;
         result.message = "nonce search exhausted without a valid proof";
       } else {

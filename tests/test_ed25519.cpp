@@ -2,11 +2,14 @@
 // and signature robustness properties.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/bytes.h"
 #include "crypto/csprng.h"
 #include "crypto/ed25519.h"
 #include "crypto/field25519.h"
 #include "crypto/identity.h"
+#include "crypto/sha512.h"
 
 namespace biot::crypto {
 namespace {
@@ -435,6 +438,127 @@ TEST(Ed25519Batch, CountsOneVerifyPerItemOnFastPath) {
   // The combined equation replaced 8 scalar verifies; the counter still
   // accounts one logical verification per signature.
   EXPECT_EQ(after - before, 8u);
+}
+
+TEST(Ed25519Batch, CountsOneVerifyPerItemIncludingRejections) {
+  // Items settled by the canonicality pre-filter, items settled by the
+  // per-item fallback after a failed combined equation, and clean items
+  // must each account exactly one verification — the counter reads the
+  // same whether a workload arrives batched or one scalar verify at a time.
+  const std::vector<std::vector<std::size_t>> corruption_sets = {
+      {2}, {1, 3, 5, 6}, {0, 1, 2, 3, 4, 5, 6, 7}};
+  std::uint64_t seed = 8800;
+  for (const auto& corrupt : corruption_sets) {
+    const auto f = make_batch(8, corrupt, seed++);
+    const std::uint64_t before = ed25519_verify_calls();
+    (void)ed25519_verify_batch(f.items());
+    EXPECT_EQ(ed25519_verify_calls() - before, 8u)
+        << "corrupt positions: " << corrupt.size();
+  }
+}
+
+// ---- Cofactored rule: small-order components --------------------------------
+//
+// Both verification paths use the cofactored group equation
+// [8]([S]B - [k]A - R) == identity. These tests pin the property that
+// motivates it: for inputs whose verification residue lands in the 8-torsion
+// subgroup, a cofactorless scalar check and a random-linear-combination
+// batch check provably DISAGREE (the batch term z*[k]T vanishes whenever
+// z*k = 0 mod 8, a condition an adversarial sync peer grinding the burst
+// transcript hits in ~8 tries) — which would split admission decisions
+// between sync-ingested and gossip-ingested replicas. Under the cofactored
+// rule the two paths agree on every input.
+
+// Finds a point with a nontrivial 8-torsion component: decompress random
+// candidates until one works, then multiply by L. The full curve group is
+// Z_L x Z_8, so [L]P lies in the torsion subgroup and is nontrivial for 7 of
+// 8 random P.
+EdPoint nontrivial_torsion_point(std::uint64_t seed) {
+  // Group order L, 32 little-endian bytes.
+  const Bytes L = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  const auto identity_enc = EdPoint::identity().compress();
+  Csprng rng(seed);
+  for (;;) {
+    const auto cand = rng.fixed<32>();
+    const auto P = EdPoint::decompress(cand.view());
+    if (!P) continue;
+    const auto T = P->scalar_mul(L);
+    if (!(T.compress() == identity_enc)) return T;
+  }
+}
+
+struct TorsionFixture {
+  Ed25519PublicKey pk;
+  Bytes msg;
+  Ed25519Signature sig;
+};
+
+// Crafts a signature whose verification residue is pure torsion: for
+// A' = A + T (T nontrivial torsion, a the secret scalar of A), pick nonce r,
+// R = [r]B, k = H(R ‖ A' ‖ msg), S = r + k*a mod L. Then
+// [S]B - [k]A' - R = -[k]T, so the cofactored rule accepts while a
+// cofactorless check would accept only when [k]T happens to vanish.
+TorsionFixture make_torsioned(std::uint64_t seed) {
+  Csprng rng(seed);
+  const auto kp = Ed25519KeyPair::from_seed(rng.fixed<32>());
+  // Re-derive the clamped secret scalar exactly as key expansion does.
+  const auto h = Sha512::hash(kp.seed.view());
+  FixedBytes<32> a;
+  std::memcpy(a.data.data(), h.data.data(), 32);
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+
+  const auto T = nontrivial_torsion_point(seed ^ 0x7052);
+  const auto A = EdPoint::decompress(kp.public_key.view());
+  TorsionFixture f;
+  f.pk = A->add(T).compress();
+  f.msg = rng.bytes(33);
+
+  const Bytes nonce64 = rng.bytes(64);
+  const auto r = sc_reduce64(ByteView{nonce64});
+  const auto R = EdPoint::base().scalar_mul(r.view()).compress();
+  const auto k = sc_reduce64(
+      Sha512::hash_concat({R.view(), f.pk.view(), ByteView{f.msg}}).view());
+  const auto S = sc_muladd(k.view(), a.view(), r.view());
+  std::memcpy(f.sig.data.data(), R.data.data(), 32);
+  std::memcpy(f.sig.data.data() + 32, S.data.data(), 32);
+  return f;
+}
+
+TEST(Ed25519Cofactored, TorsionedKeyAgreesAcrossScalarAndBatchPaths) {
+  const auto tf = make_torsioned(9100);
+  EXPECT_TRUE(ed25519_verify(tf.pk, tf.msg, tf.sig));
+
+  // Embedded among honest signatures at every position, the batch result
+  // must match the scalar result item for item.
+  for (std::size_t pos = 0; pos < 4; ++pos) {
+    auto f = make_batch(4, {}, 9200 + pos);
+    f.pks[pos] = tf.pk;
+    f.msgs[pos] = tf.msg;
+    f.sigs[pos] = tf.sig;
+    const auto got = ed25519_verify_batch(f.items());
+    ASSERT_EQ(got.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(got[i], ed25519_verify(f.pks[i], f.msgs[i], f.sigs[i]))
+          << "pos=" << pos << " i=" << i;
+  }
+}
+
+TEST(Ed25519Cofactored, CorruptTorsionedEntryRejectedOnBothPaths) {
+  auto tf = make_torsioned(9300);
+  tf.sig[40] ^= 0x04;  // break S: the residue is no longer pure torsion
+  EXPECT_FALSE(ed25519_verify(tf.pk, tf.msg, tf.sig));
+
+  auto f = make_batch(3, {}, 9301);
+  f.pks[1] = tf.pk;
+  f.msgs[1] = tf.msg;
+  f.sigs[1] = tf.sig;
+  const auto got = ed25519_verify_batch(f.items());
+  EXPECT_TRUE(got[0]);
+  EXPECT_FALSE(got[1]);
+  EXPECT_TRUE(got[2]);
 }
 
 TEST(Identity, DeterministicIsStable) {

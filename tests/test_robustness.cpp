@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "auth/authorization.h"
+#include "common/codec.h"
 #include "factory/sensors.h"
 #include "node/gateway.h"
 #include "node/manager.h"
@@ -154,6 +155,39 @@ TEST(Fuzz, GatewayShrugsOffGarbageTraffic) {
   sched.run();
   EXPECT_EQ(gateway.tangle().size(), 1u);  // unmoved
   EXPECT_EQ(gateway.stats().accepted, 0u);
+}
+
+TEST(Fuzz, SyncMissingForgedCountDoesNotReserveGigabytes) {
+  // A kSyncMissing body is entirely attacker-controlled. A forged
+  // count=2^32-1 over an empty body used to drive txs.reserve(count) — a
+  // ~4-billion-Transaction allocation (hundreds of GB) throwing
+  // std::bad_alloc before a single blob was decoded. The reservation must
+  // be bounded by what the body could actually carry.
+  sim::Scheduler sched;
+  sim::Network network(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(3));
+  const auto manager_identity = crypto::Identity::deterministic(1);
+  const auto gateway_identity = crypto::Identity::deterministic(2);
+  node::Gateway gateway(1, gateway_identity,
+                        manager_identity.public_identity().sign_key,
+                        tangle::Tangle::make_genesis(), network, {});
+  gateway.attach();
+
+  Rng rng(404);
+  for (const std::size_t padding : {0u, 3u, 64u, 1000u}) {
+    Writer w;
+    w.u32(0xFFFFFFFFu);
+    Bytes junk(padding);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    w.raw(junk);
+    node::RpcMessage msg;
+    msg.type = node::MsgType::kSyncMissing;
+    msg.request_id = 7;
+    msg.body = std::move(w).take();
+    network.send(50, 1, msg.encode());
+  }
+  sched.run();
+  EXPECT_EQ(gateway.tangle().size(), 1u);  // unmoved, and still alive
+  EXPECT_EQ(gateway.stats().sync_txs_applied, 0u);
 }
 
 // ---- Duplicate / out-of-order gossip ---------------------------------------
