@@ -1,0 +1,135 @@
+// Concurrent admission core: whole-gateway throughput of the two-phase
+// batch pipeline (Gateway::admit_many, DESIGN.md section 11) on a
+// gossip-burst workload, across admission_threads 1/2/4/8.
+//
+// Configurations measured:
+//   t1       the deterministic serial reference: admission_threads=1 AND
+//            admission_max_batch=1, i.e. every transaction runs the staged
+//            pipeline per item (scalar Ed25519 verify, per-item attach
+//            maintenance) — the pre-batch gateway behaviour.
+//   t2/4/8   the concurrent pipeline: ThreadPoolExecutor(N) read fan-out,
+//            one batched Ed25519 verification per chunk, one AttachBatch
+//            per slice (admission_max_batch=256).
+//
+// On a single-core host the t2/t4/t8 columns measure the amortization win
+// (batch verification + batched attach maintenance); on multi-core hosts
+// the read fan-out overlaps on top of it. Attach p50/p99 come from the
+// gateway's own admission-stage histograms (obs), so the bench reports
+// exactly what production metrics would.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "harness.h"
+#include "node/gateway.h"
+
+namespace {
+using namespace biot;
+
+/// A linear gossip burst: tx_i approves the two previous transactions.
+/// Signed and mined (difficulty 1) up front so the measured region is
+/// admission only, not workload construction.
+std::vector<tangle::Transaction> build_burst(const tangle::TxId& genesis,
+                                             std::size_t count) {
+  crypto::Identity device = crypto::Identity::deterministic(77);
+  consensus::Miner miner;
+  std::vector<tangle::Transaction> txs;
+  txs.reserve(count);
+  tangle::TxId p1 = genesis;
+  tangle::TxId p2 = genesis;
+  for (std::size_t i = 0; i < count; ++i) {
+    tangle::Transaction tx;
+    tx.type = tangle::TxType::kData;
+    tx.sender = device.public_identity().sign_key;
+    tx.parent1 = p1;
+    tx.parent2 = p2;
+    tx.sequence = i;
+    tx.timestamp = 0.0;
+    tx.difficulty = 1;
+    tx.nonce = miner.mine(p1, p2, tx.difficulty)->nonce;
+    tx.signature = device.sign(tx.signing_bytes());
+    p2 = p1;
+    p1 = tx.id();
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+struct GatewayRig {
+  explicit GatewayRig(unsigned threads, std::size_t max_batch)
+      : identity(crypto::Identity::deterministic(1)),
+        manager(crypto::Identity::deterministic(2)),
+        network(sched, std::make_unique<sim::FixedLatency>(0.001), Rng(1)),
+        gateway(1, identity, manager.public_identity().sign_key,
+                tangle::Tangle::make_genesis(), network, config(threads,
+                                                               max_batch)) {
+    sched.run_until(0.001);
+  }
+
+  static node::GatewayConfig config(unsigned threads, std::size_t max_batch) {
+    node::GatewayConfig c;
+    c.admission_threads = threads;
+    c.admission_max_batch = max_batch;
+    return c;
+  }
+
+  sim::Scheduler sched;
+  crypto::Identity identity;
+  crypto::Identity manager;
+  sim::Network network;
+  node::Gateway gateway;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("admission_pipeline", argc, argv);
+  const std::size_t burst = h.scale<std::size_t>(1536, 192);
+
+  // The workload parents on the genesis every gateway replica shares, so
+  // one pre-built burst feeds every configuration.
+  const auto genesis_tx = tangle::Tangle::make_genesis();
+  const auto txs = build_burst(tangle::Tangle(genesis_tx).genesis_id(), burst);
+
+  std::printf("# admission pipeline: %zu-tx gossip burst per pass\n", burst);
+  std::printf("%-8s | %14s %12s %12s\n", "config", "admissions/s", "attach p50",
+              "attach p99");
+
+  double throughput_t1 = 0.0;
+  double throughput_t4 = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    // t1 is the serial per-item reference (slice = 1 transaction); wider
+    // configs run the batched two-phase pipeline.
+    const std::size_t max_batch = threads == 1 ? 1 : 256;
+    std::unique_ptr<GatewayRig> rig;
+    const std::string tag = "t" + std::to_string(threads);
+    const double pass_s = h.measure("admit_burst_s." + tag, [&] {
+      rig = std::make_unique<GatewayRig>(threads, max_batch);
+      const auto statuses =
+          rig->gateway.admit_many(txs, node::Ingress::kGossip);
+      for (const auto& s : statuses)
+        if (!s.is_ok()) std::abort();  // the burst is valid by construction
+      bench::do_not_optimize(statuses);
+    });
+    const double admissions_per_s = static_cast<double>(burst) / pass_s;
+    // Stage histograms accumulated across every timed pass of this config.
+    const auto& attach =
+        rig->gateway.metrics().admission.attach_wall_s;
+    const double p50 = attach.quantile(0.5);
+    const double p99 = attach.quantile(0.99);
+    h.record("admissions_per_s." + tag, admissions_per_s, "ops/s");
+    h.record("attach_p50_s." + tag, p50, "s");
+    h.record("attach_p99_s." + tag, p99, "s");
+    if (threads == 1) throughput_t1 = admissions_per_s;
+    if (threads == 4) throughput_t4 = admissions_per_s;
+    std::printf("%-8s | %14.0f %10.2fus %10.2fus\n", tag.c_str(),
+                admissions_per_s, p50 * 1e6, p99 * 1e6);
+  }
+
+  // Headline: batched pipeline at 4 lanes vs the serial per-item reference.
+  const double speedup =
+      throughput_t1 > 0.0 ? throughput_t4 / throughput_t1 : 0.0;
+  h.record("throughput_speedup_t4_vs_t1", speedup, "ratio");
+  std::printf("# t4 vs t1 throughput: %.2fx\n", speedup);
+  return h.finish();
+}

@@ -1,0 +1,73 @@
+#include "common/executor.h"
+
+#include <utility>
+
+namespace biot {
+
+ThreadPoolExecutor::ThreadPoolExecutor(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPoolExecutor::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t ThreadPoolExecutor::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPoolExecutor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain-before-exit: shutdown only stops a worker once the queue is
+      // empty, so every submitted task runs exactly once.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  executor_.submit([this, task = std::move(task)] {
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace biot

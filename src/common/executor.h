@@ -1,0 +1,116 @@
+// Task execution backends for the concurrent admission core (and any future
+// fan-out work). Two backends share one interface:
+//
+//   InlineExecutor     runs every task at the submit() call site, in order.
+//                      Zero threads, zero queues — the deterministic twin
+//                      used by the simulator and by equivalence tests (the
+//                      ROADMAP `_brute_force` pattern applied to
+//                      concurrency: the concurrent pipeline run on an
+//                      InlineExecutor must be byte-identical to the serial
+//                      reference).
+//
+//   ThreadPoolExecutor fixed worker pool draining one MPMC queue under a
+//                      mutex + condvar (the action-queue shape: producers
+//                      enqueue closures, any idle worker picks the next).
+//                      Workers live for the executor's lifetime; shutdown
+//                      drains the queue before joining so no submitted task
+//                      is lost.
+//
+// TaskGroup layers structured fan-out/join on either backend: spawn() hands
+// tasks to the executor, wait() blocks until every spawned task finished.
+// The join is a full happens-before edge (mutex + condvar), so results
+// written by worker threads are safely readable after wait() returns.
+//
+// Tasks must not throw: an exception escaping a worker-thread closure has no
+// caller to land in, so it would terminate the process either way. Keep
+// failure signalling in the task's captured state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace biot {
+
+/// Where to run a closure. Implementations may run it synchronously at the
+/// call site (InlineExecutor) or hand it to a worker thread.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Schedules `task` for execution exactly once. May run it before
+  /// returning (inline backend).
+  virtual void submit(std::function<void()> task) = 0;
+
+  /// Number of tasks this executor can run at the same time (1 = serial).
+  /// Callers size their fan-out chunks off this.
+  virtual std::size_t concurrency() const = 0;
+
+  /// Tasks submitted but not yet picked up by a worker (0 for the inline
+  /// backend, which never queues). A sampling gauge, not a synchronization
+  /// primitive.
+  virtual std::size_t queue_depth() const { return 0; }
+};
+
+/// Runs every task synchronously at the submit() call site — deterministic
+/// by construction and the sim/test default.
+class InlineExecutor final : public Executor {
+ public:
+  void submit(std::function<void()> task) override { task(); }
+  std::size_t concurrency() const override { return 1; }
+};
+
+/// Fixed pool of worker threads draining a shared FIFO queue.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// `threads` workers (0 = hardware concurrency, minimum 1).
+  explicit ThreadPoolExecutor(unsigned threads);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void submit(std::function<void()> task) override;
+  std::size_t concurrency() const override { return workers_.size(); }
+  std::size_t queue_depth() const override;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Structured fan-out/join over any Executor. Destruction waits, so a group
+/// cannot outlive the state its tasks reference.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` on the executor and counts it toward wait().
+  void spawn(std::function<void()> task);
+
+  /// Blocks until every spawned task has finished. Establishes
+  /// happens-before with each task's completion, so their writes are
+  /// visible to the caller afterwards.
+  void wait();
+
+ private:
+  Executor& executor_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace biot

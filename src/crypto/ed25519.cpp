@@ -394,15 +394,32 @@ std::vector<bool> ed25519_verify_batch(const std::vector<VerifyItem>& items) {
   }
   muls.emplace_back(s_sum, &EdPoint::base());
 
-  // Shared Straus double-and-add: one accumulator, one doubling per bit,
-  // one addition per set scalar bit across every term — ~256 doublings
-  // + ~190 additions per signature instead of ~770 operations each when
-  // verified individually.
+  // Shared Straus double-and-add with interleaved 4-bit fixed windows: one
+  // accumulator, 4 doublings per window position across EVERY term, and per
+  // term one table addition per nonzero base-16 digit. The 15-entry tables
+  // (T[d] = d*P, 14 additions each) turn the ~128 set-bit additions of a
+  // 256-bit scalar into ~60 digit additions — ~256 doublings + ~120
+  // additions per signature instead of ~770 operations each when verified
+  // individually, and the doublings amortize away as the batch grows.
+  struct WindowedTerm {
+    const std::uint8_t* scalar;  // 32 bytes, little-endian
+    EdPoint table[15];           // table[d - 1] = d * P
+  };
+  std::vector<WindowedTerm> windowed;
+  windowed.reserve(muls.size());
+  for (const auto& [scalar, point] : muls) {
+    WindowedTerm wt;
+    wt.scalar = scalar.data.data();
+    wt.table[0] = *point;
+    for (int d = 1; d < 15; ++d) wt.table[d] = wt.table[d - 1].add(*point);
+    windowed.push_back(wt);
+  }
   EdPoint acc = EdPoint::identity();
-  for (int bit = 255; bit >= 0; --bit) {
-    acc = acc.dbl();
-    for (const auto& [scalar, point] : muls) {
-      if ((scalar[bit >> 3] >> (bit & 7)) & 1) acc = acc.add(*point);
+  for (int w = 63; w >= 0; --w) {
+    acc = acc.dbl().dbl().dbl().dbl();
+    for (const auto& t : windowed) {
+      const unsigned digit = (t.scalar[w >> 1] >> (4 * (w & 1))) & 0x0f;
+      if (digit != 0) acc = acc.add(t.table[digit - 1]);
     }
   }
 

@@ -1,6 +1,9 @@
 #include "node/admission.h"
 
+#include <algorithm>
+
 #include "common/log.h"
+#include "crypto/ed25519.h"
 
 namespace biot::node {
 
@@ -46,6 +49,13 @@ void AdmissionMetrics::attach_to(const obs::Scope& scope) const {
   scope.attach("attach_wall_s", &attach_wall_s);
   scope.attach("observers_wall_s", &observers_wall_s);
   scope.attach("admit_wall_s", &admit_wall_s);
+}
+
+void BatchAdmissionMetrics::attach_to(const obs::Scope& scope) const {
+  scope.attach("batch_size", &batch_size);
+  scope.attach("read_wall_s", &read_wall_s);
+  scope.attach("commit_wall_s", &commit_wall_s);
+  scope.attach("read_queue_depth", &read_queue_depth);
 }
 
 std::string_view ingress_name(Ingress ingress) noexcept {
@@ -175,6 +185,16 @@ Status AdmissionPipeline::reject(const tangle::Transaction& tx,
 Status AdmissionPipeline::admit(const tangle::Transaction& tx,
                                 TimePoint arrival, Ingress ingress,
                                 const tangle::VerifiedToken* pre_verified) {
+  // The serial reference path: the staged body, attaching directly through
+  // Tangle::add. admit_many runs the SAME body per item (phase B), so the
+  // two cannot drift apart.
+  return admit_one(tx, arrival, ingress, pre_verified, /*batch=*/nullptr);
+}
+
+Status AdmissionPipeline::admit_one(const tangle::Transaction& tx,
+                                    TimePoint arrival, Ingress ingress,
+                                    const tangle::VerifiedToken* pre_verified,
+                                    tangle::Tangle::AttachBatch* batch) {
   // Stage latency instrumentation: one clock read per stage boundary
   // (WallTimer::lap), all gated so an uninstrumented pipeline pays only
   // the two reads of the idle timers.
@@ -259,8 +279,12 @@ Status AdmissionPipeline::admit(const tangle::Transaction& tx,
   lap(&AdmissionMetrics::lazy_wall_s);
 
   // Stage 6: attach (structural validation lives in Tangle::add; the token
-  // replaces its signature check).
-  if (auto s = tangle_.add(tx, arrival, *token); !s)
+  // replaces its signature check). Batch admission routes through the
+  // AttachBatch so the index/digest/sketch maintenance is paid once per
+  // batch; the structural outcome is identical either way.
+  if (auto s = batch != nullptr ? batch->add(tx, arrival, *token)
+                                : tangle_.add(tx, arrival, *token);
+      !s)
     return done(reject(tx, arrival, ingress, AdmissionStage::kAttach,
                        std::move(s)));
   lap(&AdmissionMetrics::attach_wall_s);
@@ -269,6 +293,99 @@ Status AdmissionPipeline::admit(const tangle::Transaction& tx,
   for (const auto& observer : observers_) observer->on_attach(event);
   lap(&AdmissionMetrics::observers_wall_s);
   return done(Status::ok());
+}
+
+void AdmissionPipeline::verify_chunk(
+    const std::vector<AdmissionBatchItem>& items, std::size_t begin,
+    std::size_t end,
+    std::vector<std::optional<tangle::VerifiedToken>>& tokens) const {
+  // Pre-verified items (replay of a persisted chain) keep their caller-held
+  // token; everything else runs the cheap structural precheck first, so
+  // duplicates cost no Ed25519 work. kNotFound still verifies: the missing
+  // parent may be an earlier member of this very batch, attached by the
+  // time phase B reaches this item.
+  std::vector<std::size_t> need;
+  need.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& item = items[i];
+    if (item.pre_verified != nullptr &&
+        item.pre_verified->covers(item.tx->id())) {
+      tokens[i] = *item.pre_verified;
+      continue;
+    }
+    const auto precheck = tangle_.attach_precheck(*item.tx);
+    if (precheck.is_ok() || precheck.code() == ErrorCode::kNotFound)
+      need.push_back(i);
+  }
+  if (need.empty()) return;
+
+  std::vector<Bytes> messages;
+  messages.reserve(need.size());
+  for (const auto i : need) messages.push_back(items[i].tx->signing_bytes());
+  std::vector<crypto::VerifyItem> to_verify;
+  to_verify.reserve(need.size());
+  for (std::size_t k = 0; k < need.size(); ++k)
+    to_verify.push_back(crypto::VerifyItem{&items[need[k]].tx->sender,
+                                           ByteView{messages[k]},
+                                           &items[need[k]].tx->signature});
+  const auto valid = crypto::ed25519_verify_batch(to_verify);
+  // Failed signatures mint no token; phase B re-runs them through the
+  // normal kVerify stage so stats and observers see the rejection exactly
+  // as the serial path reports it.
+  for (std::size_t k = 0; k < need.size(); ++k) {
+    if (valid[k])
+      tokens[need[k]] =
+          tangle::VerifiedToken::assume_valid(*items[need[k]].tx);
+  }
+}
+
+std::vector<Status> AdmissionPipeline::admit_many(
+    const std::vector<AdmissionBatchItem>& items, Ingress ingress,
+    Executor& executor) {
+  std::vector<Status> out(items.size());
+  if (items.empty()) return out;
+
+  // Phase A: chunked read fan-out. One chunk per executor lane; each task
+  // reads the frozen tangle (no mutation happens until every task joined)
+  // and writes only its own slice of `tokens`, so the fan-out is race-free
+  // by partitioning — and with InlineExecutor it degenerates to a plain
+  // in-order loop, which is what makes the equivalence pin exact.
+  obs::WallTimer phase_timer;
+  std::vector<std::optional<tangle::VerifiedToken>> tokens(items.size());
+  const std::size_t lanes = std::max<std::size_t>(1, executor.concurrency());
+  const std::size_t chunk = (items.size() + lanes - 1) / lanes;
+  {
+    TaskGroup group(executor);
+    for (std::size_t begin = 0; begin < items.size(); begin += chunk) {
+      const std::size_t end = std::min(items.size(), begin + chunk);
+      group.spawn([this, &items, &tokens, begin, end] {
+        verify_chunk(items, begin, end, tokens);
+      });
+    }
+    if (batch_metrics_ != nullptr)
+      batch_metrics_->read_queue_depth.set(
+          static_cast<double>(executor.queue_depth()));
+    group.wait();
+  }
+  if (batch_metrics_ != nullptr) {
+    batch_metrics_->batch_size.observe(static_cast<double>(items.size()));
+    batch_metrics_->read_wall_s.observe(phase_timer.lap());
+  }
+
+  // Phase B: the serialized commit — every item runs the full staged body
+  // in input order (so verdicts, observer order and all derived state match
+  // the serial reference byte for byte), attaching through one AttachBatch.
+  {
+    tangle::Tangle::AttachBatch batch(tangle_);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out[i] = admit_one(*items[i].tx, items[i].arrival, ingress,
+                         tokens[i].has_value() ? &*tokens[i] : nullptr,
+                         &batch);
+    }
+  }
+  if (batch_metrics_ != nullptr)
+    batch_metrics_->commit_wall_s.observe(phase_timer.lap());
+  return out;
 }
 
 }  // namespace biot::node

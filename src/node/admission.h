@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "auth/authorization.h"
+#include "common/executor.h"
 #include "consensus/credit.h"
 #include "consensus/detectors.h"
 #include "obs/metrics.h"
@@ -184,6 +185,21 @@ struct AdmissionMetrics {
   void attach_to(const obs::Scope& scope) const;
 };
 
+/// Instrumentation of the batch ingress (admit_many): how big the bursts
+/// are, how the wall time splits between the parallel read phase and the
+/// serialized commit phase, and how deep the executor queue ran while the
+/// read fan-out was in flight. Owned by the gateway next to
+/// AdmissionMetrics; nullptr disables all of it.
+struct BatchAdmissionMetrics {
+  obs::Histogram batch_size{obs::HistogramSpec::size()};
+  obs::Histogram read_wall_s;    // phase A: precheck + batch signature verify
+  obs::Histogram commit_wall_s;  // phase B: serialized stages + batched attach
+  obs::Gauge read_queue_depth;   // executor backlog sampled mid-fan-out
+
+  /// Registers everything under `scope` (e.g. "gateway.g0.admission.batch").
+  void attach_to(const obs::Scope& scope) const;
+};
+
 // ---- Built-in derived-state observers (registration order matters) --------
 
 /// Applies the transaction to the account ledger and annotates the event
@@ -267,6 +283,16 @@ class StatsObserver : public AttachObserver {
 
 // ---- The pipeline ----------------------------------------------------------
 
+/// One transaction of a batch ingress (admit_many). `pre_verified` follows
+/// the same contract as AdmissionPipeline::admit: a token covering tx.id()
+/// skips the pipeline's own signature verification (replay of a persisted
+/// chain arrives with one per transaction).
+struct AdmissionBatchItem {
+  const tangle::Transaction* tx = nullptr;
+  TimePoint arrival = 0.0;
+  const tangle::VerifiedToken* pre_verified = nullptr;
+};
+
 class AdmissionPipeline {
  public:
   /// Difficulty the active policy currently requires of a sender (the
@@ -307,9 +333,56 @@ class AdmissionPipeline {
                              const tangle::VerifiedToken* pre_verified =
                                  nullptr);
 
+  /// Two-phase batch admission of a gossip/sync burst or a replay slice.
+  ///
+  /// Phase A (read): the items are chunked across `executor` and each chunk
+  /// runs the read-mostly work against a stable read view of the tangle —
+  /// the structural precheck (so duplicates cost no Ed25519 work; unknown
+  /// parents still verify, since the parent may attach earlier in this very
+  /// batch) and ONE batched signature verification
+  /// (crypto::ed25519_verify_batch) minting a VerifiedToken per valid item.
+  /// Nothing mutates until every read task has joined.
+  ///
+  /// Phase B (commit): the items run the full staged pipeline serially, in
+  /// input order, inside one Tangle::AttachBatch — byte-identical stage
+  /// semantics, verdicts and observer order to calling admit() per item,
+  /// with the secondary-index/digest/sketch maintenance amortized across
+  /// the batch. Items whose signature failed phase A carry no token and are
+  /// rejected by the normal kVerify stage, exactly as the serial path
+  /// rejects them.
+  ///
+  /// Determinism: phase A is pure per-item work (the only shared state is
+  /// the frozen tangle), so the returned statuses — and every byte of
+  /// tangle/ledger/credit state — are identical for InlineExecutor and any
+  /// ThreadPoolExecutor width, pinned by tests/test_concurrency.cpp.
+  [[nodiscard]] std::vector<Status> admit_many(
+      const std::vector<AdmissionBatchItem>& items, Ingress ingress,
+      Executor& executor);
+
+  /// Installs batch-ingress instrumentation (nullptr disables it).
+  void set_batch_metrics(BatchAdmissionMetrics* metrics) {
+    batch_metrics_ = metrics;
+  }
+
  private:
   Status reject(const tangle::Transaction& tx, TimePoint arrival,
                 Ingress ingress, AdmissionStage stage, Status status);
+
+  /// The staged admission body shared by admit() and admit_many(): when
+  /// `batch` is non-null the attach stage goes through it (deferred index
+  /// maintenance) instead of Tangle::add.
+  Status admit_one(const tangle::Transaction& tx, TimePoint arrival,
+                   Ingress ingress,
+                   const tangle::VerifiedToken* pre_verified,
+                   tangle::Tangle::AttachBatch* batch);
+
+  /// Phase A worker: precheck + batched signature verification of
+  /// items[begin, end), writing minted tokens into `tokens`. Runs on
+  /// executor threads; touches only the frozen tangle and its own slice.
+  void verify_chunk(const std::vector<AdmissionBatchItem>& items,
+                    std::size_t begin, std::size_t end,
+                    std::vector<std::optional<tangle::VerifiedToken>>& tokens)
+      const;
 
   tangle::Tangle& tangle_;
   const auth::AuthRegistry& auth_;
@@ -320,6 +393,7 @@ class AdmissionPipeline {
   DifficultyFn required_difficulty_;
   std::vector<std::unique_ptr<AttachObserver>> observers_;
   AdmissionMetrics* metrics_ = nullptr;
+  BatchAdmissionMetrics* batch_metrics_ = nullptr;
 };
 
 }  // namespace biot::node

@@ -23,6 +23,7 @@ constexpr std::uint8_t kSyncSummaryV2 = 2;
 
 void GatewayMetrics::attach_to(const obs::Scope& scope) const {
   admission.attach_to(scope.scope("admission"));
+  admission_batch.attach_to(scope.scope("admission").scope("batch"));
   scope.attach("pow.grind_wall_s", &pow_grind_wall_s);
   scope.attach("sync.rtt_sim_s", &sync_rtt_sim_s);
   scope.attach("tips.walk_steps", &tip_walk_steps);
@@ -59,6 +60,12 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
     parallel_miner_ = std::make_unique<consensus::ParallelMiner>(
         config_.pow_threads, (std::uint64_t{id} << 48) | 0xa77ull);
 
+  if (config_.admission_threads == 1)
+    admission_executor_ = std::make_unique<InlineExecutor>();
+  else
+    admission_executor_ =
+        std::make_unique<ThreadPoolExecutor>(config_.admission_threads);
+
   build_pipeline();
 }
 
@@ -80,6 +87,7 @@ void Gateway::build_pipeline() {
   pipeline_->add_observer(std::make_unique<AuthObserver>(auth_));
   pipeline_->add_observer(std::make_unique<StatsObserver>(stats_));
   pipeline_->set_metrics(&metrics_.admission);
+  pipeline_->set_batch_metrics(&metrics_.admission_batch);
 }
 
 Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
@@ -102,15 +110,23 @@ Gateway::Gateway(sim::NodeId id, const crypto::Identity& identity,
 }
 
 void Gateway::replay(const tangle::Tangle& restored) {
+  // Every member of `restored` already passed a verifying Tangle::add
+  // (deserialize_tangle re-checks each signature as it loads), so replay
+  // admits with an assume_valid token per transaction instead of verifying
+  // a second time — batch ingress with zero Ed25519 work. The batch runs
+  // the same staged pipeline per item, in the recorded arrival order, so
+  // every derived-state observer re-runs exactly as it did live.
+  std::vector<tangle::VerifiedToken> tokens;
+  std::vector<AdmissionBatchItem> items;
+  tokens.reserve(restored.size());
+  items.reserve(restored.size());
   for (const auto& id_in_order : restored.arrival_order()) {
     const auto* rec = restored.find(id_in_order);
     if (rec->tx.type == tangle::TxType::kGenesis) continue;
-    // Every member of `restored` already passed a verifying Tangle::add
-    // (deserialize_tangle re-checks each signature as it loads), so replay
-    // admits with an assume_valid token instead of verifying a second time.
-    const auto token = tangle::VerifiedToken::assume_valid(rec->tx);
-    (void)pipeline_->admit(rec->tx, rec->arrival, Ingress::kReplay, &token);
+    tokens.push_back(tangle::VerifiedToken::assume_valid(rec->tx));
+    items.push_back(AdmissionBatchItem{&rec->tx, rec->arrival, &tokens.back()});
   }
+  (void)admit_batch_items(items, Ingress::kReplay);
 }
 
 void Gateway::stop() {
@@ -320,26 +336,14 @@ void Gateway::handle_sync_missing(const RpcMessage& msg) {
     if (!tx) continue;
     txs.push_back(std::move(tx).value());
   }
-  std::vector<Bytes> messages;
-  messages.reserve(txs.size());
-  std::vector<crypto::VerifyItem> items;
-  items.reserve(txs.size());
-  for (const auto& tx : txs) messages.push_back(tx.signing_bytes());
-  for (std::size_t i = 0; i < txs.size(); ++i)
-    items.push_back(crypto::VerifyItem{&txs[i].sender, ByteView{messages[i]},
-                                       &txs[i].signature});
-  const auto valid = crypto::ed25519_verify_batch(items);
-  for (std::size_t i = 0; i < txs.size(); ++i) {
-    if (valid[i]) {
-      const auto token = tangle::VerifiedToken::assume_valid(txs[i]);
-      if (admit(txs[i], Ingress::kSync, &token).is_ok())
-        ++stats_.sync_txs_applied;
-    } else {
-      // Let the pipeline reject it through the normal kVerify stage so the
-      // stats/observers see the failure exactly as a scalar path would.
-      (void)admit(txs[i], Ingress::kSync);
-    }
-  }
+  // The pipeline's batch ingress does the rest: its read phase checks the
+  // whole burst with one batched Ed25519 verification per chunk (invalid
+  // signatures fall through to the normal kVerify rejection), and its
+  // commit phase attaches in shipped order — parents precede children, so
+  // a burst of linked history lands in one pass.
+  const auto statuses = admit_many(txs, Ingress::kSync);
+  for (const auto& status : statuses)
+    if (status.is_ok()) ++stats_.sync_txs_applied;
 }
 
 bool Gateway::rate_limit_allows(const crypto::Ed25519PublicKey& sender) {
@@ -551,6 +555,39 @@ Status Gateway::admit(const tangle::Transaction& tx, Ingress ingress,
   // out-of-order gossip was waiting for.
   if (status.is_ok()) adopt_orphans(tx.id());
   return status;
+}
+
+std::vector<Status> Gateway::admit_many(
+    const std::vector<tangle::Transaction>& txs, Ingress ingress) {
+  const TimePoint arrival = now();
+  std::vector<AdmissionBatchItem> items;
+  items.reserve(txs.size());
+  for (const auto& tx : txs)
+    items.push_back(AdmissionBatchItem{&tx, arrival, nullptr});
+  return admit_batch_items(items, ingress);
+}
+
+std::vector<Status> Gateway::admit_batch_items(
+    const std::vector<AdmissionBatchItem>& items, Ingress ingress) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  for (std::size_t begin = 0; begin < items.size();
+       begin += config_.admission_max_batch) {
+    const std::size_t end =
+        std::min(items.size(), begin + config_.admission_max_batch);
+    const std::vector<AdmissionBatchItem> slice(items.begin() + begin,
+                                                items.begin() + end);
+    auto statuses =
+        pipeline_->admit_many(slice, ingress, *admission_executor_);
+    // Orphan adoption after the slice committed, in slice order — the same
+    // "newly attached tx may be a buffered child's parent" rule as the
+    // serial path, just amortized to the batch boundary.
+    for (std::size_t i = 0; i < statuses.size(); ++i)
+      if (statuses[i].is_ok()) adopt_orphans(slice[i].tx->id());
+    out.insert(out.end(), std::make_move_iterator(statuses.begin()),
+               std::make_move_iterator(statuses.end()));
+  }
+  return out;
 }
 
 Status Gateway::submit(const tangle::Transaction& tx) {

@@ -35,6 +35,7 @@ namespace biot::node {
 /// latency on the simulated clock.
 struct GatewayMetrics {
   AdmissionMetrics admission;      // per-stage wall latencies
+  BatchAdmissionMetrics admission_batch;  // admit_many phase split + sizes
   obs::Histogram pow_grind_wall_s; // offloaded-PoW grind (handle_attach)
   obs::Histogram sync_rtt_sim_s;   // summary sent -> missing txs received
   obs::Histogram tip_walk_steps{obs::HistogramSpec::size()};
@@ -62,6 +63,18 @@ struct GatewayConfig {
   /// trades nonce determinism for wall-clock speed (attempt accounting stays
   /// exact either way); 0 = hardware concurrency.
   unsigned pow_threads = 1;
+  /// Worker lanes for the admission read phase (structural precheck +
+  /// batched Ed25519 verification fanned out by admit_many). 1 = the
+  /// deterministic InlineExecutor — every batch runs the read phase at the
+  /// call site, byte-identical to the serial reference, the sim/test
+  /// default; >1 = a ThreadPoolExecutor with that many workers (the commit
+  /// phase stays serialized either way, so verdicts and state are identical
+  /// at any width); 0 = hardware concurrency.
+  unsigned admission_threads = 1;
+  /// Upper bound on one admit_many slice. Bursts larger than this are
+  /// split, bounding token/scratch memory per batch and keeping the batch
+  /// latency histograms meaningful; orphan adoption runs between slices.
+  std::size_t admission_max_batch = 256;
   /// Anti-entropy: every `sync_interval` seconds each gateway sends its
   /// constant-size inventory summary (count + XOR digest + invertible
   /// sketch, tangle/reconcile.h) to one peer (round-robin); the peer decodes
@@ -176,6 +189,16 @@ class Gateway {
   /// Performs the exact same admission pipeline as a kSubmitTx message.
   [[nodiscard]] Status submit(const tangle::Transaction& tx);
 
+  /// Batch ingress: admits `txs` through the two-phase pipeline
+  /// (AdmissionPipeline::admit_many on admission_threads lanes) in slices
+  /// of at most admission_max_batch, preserving input order; returns one
+  /// status per transaction. Sync backfill bursts route through this, and
+  /// in-process callers (benches, bulk feeds) can use it directly. Orphans
+  /// unblocked by a newly attached transaction are adopted after its slice
+  /// commits.
+  [[nodiscard]] std::vector<Status> admit_many(
+      const std::vector<tangle::Transaction>& txs, Ingress ingress);
+
   /// Installs (or replaces) the data-quality inspector post-construction.
   /// Prefer GatewayConfig::quality_inspector so cold-start replay sees it.
   void set_quality_inspector(QualityInspector inspector) {
@@ -251,6 +274,11 @@ class Gateway {
   [[nodiscard]] Status admit(const tangle::Transaction& tx, Ingress ingress,
                              const tangle::VerifiedToken* pre_verified =
                                  nullptr);
+  /// Shared batch driver behind admit_many() and replay(): slices `items`
+  /// by admission_max_batch, runs each slice through the pipeline on the
+  /// admission executor, then adopts orphans for every attached id.
+  std::vector<Status> admit_batch_items(
+      const std::vector<AdmissionBatchItem>& items, Ingress ingress);
   void reply(sim::NodeId to, MsgType type, std::uint64_t request_id,
              const Bytes& body);
   TimePoint now() const { return network_.scheduler().now(); }
@@ -274,6 +302,9 @@ class Gateway {
   consensus::Miner miner_;  // serves offloaded-PoW attach requests
   // Threaded variant, engaged when config.pow_threads != 1.
   std::unique_ptr<consensus::ParallelMiner> parallel_miner_;
+  // Read-phase lanes for admit_many: InlineExecutor (admission_threads ==
+  // 1, deterministic) or ThreadPoolExecutor (> 1, or 0 = hardware width).
+  std::unique_ptr<Executor> admission_executor_;
   Rng rng_;
 
   struct TokenBucket {

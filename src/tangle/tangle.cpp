@@ -60,8 +60,35 @@ Status Tangle::add(const Transaction& tx, TimePoint arrival,
   return add_impl(tx, arrival, /*pre_verified=*/true);
 }
 
+Status Tangle::AttachBatch::add(const Transaction& tx, TimePoint arrival,
+                                const VerifiedToken& token) {
+  if (!token.covers(tx.id()))
+    return Status::error(ErrorCode::kVerifyFailed,
+                         "tangle: verified token does not cover this tx");
+  return tangle_.add_impl(tx, arrival, /*pre_verified=*/true, this);
+}
+
+void Tangle::AttachBatch::commit() {
+  if (pending_.empty()) return;
+  for (const auto* rec : pending_)
+    tangle_.index_tx(rec->tx, rec->tx.id(), rec->arrival);
+  tangle_.bump_generation();
+  pending_.clear();
+}
+
+std::vector<Status> Tangle::attach_batch(
+    const std::vector<BatchAttachItem>& items) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  AttachBatch batch(*this);
+  for (const auto& item : items)
+    out.push_back(batch.add(*item.tx, item.arrival, *item.token));
+  batch.commit();
+  return out;
+}
+
 Status Tangle::add_impl(const Transaction& tx, TimePoint arrival,
-                        bool pre_verified) {
+                        bool pre_verified, AttachBatch* batch) {
   if (tx.type == TxType::kGenesis)
     return Status::error(ErrorCode::kRejected, "tangle: duplicate genesis");
 
@@ -137,8 +164,17 @@ Status Tangle::add_impl(const Transaction& tx, TimePoint arrival,
   tips_.erase(tx.parent2);
   tips_.insert(id);
   order_.push_back(id);
-  index_tx(tx, id, arrival);
-  bump_generation();
+  if (batch == nullptr) {
+    index_tx(tx, id, arrival);
+    bump_generation();
+  } else {
+    // Deferred maintenance: the index entries, summary toggles and the
+    // generation bump land in AttachBatch::commit(), in this attach order —
+    // the XOR digest/sketch folds are order-independent and insert_sorted
+    // sees the same monotone arrivals, so the post-commit state is
+    // identical to per-transaction indexing.
+    batch->pending_.push_back(&new_rec);
+  }
   return Status::ok();
 }
 

@@ -83,6 +83,58 @@ class Tangle {
   [[nodiscard]] Status add(const Transaction& tx, TimePoint arrival,
                            const VerifiedToken& token);
 
+  /// Scoped single-writer attach batch. add() performs the full structural
+  /// attach immediately — records, approvers, tips, arrival order, weight
+  /// and depth propagation all stay live, so later batch members can parent
+  /// on earlier ones and duplicate/lazy checks see the true DAG — but the
+  /// secondary-index inserts, the XOR digest / SetSketch toggles and the
+  /// generation bump are deferred to one commit() epilogue, amortizing
+  /// their maintenance across the batch (one cache invalidation per batch
+  /// instead of one per transaction). Mid-batch, readers of the DEFERRED
+  /// state (data_since, arrival_index, id_digest/id_sketch, generation-
+  /// keyed caches) see the pre-batch snapshot; the admission loop is the
+  /// only writer and reads none of them, and commit() runs before control
+  /// returns to anything that does.
+  ///
+  /// Failed add() calls leave no trace, exactly like Tangle::add. The
+  /// destructor commits whatever attached, so a batch cannot be dropped
+  /// half-indexed.
+  class AttachBatch {
+   public:
+    explicit AttachBatch(Tangle& tangle) : tangle_(tangle) {}
+    ~AttachBatch() { commit(); }
+
+    AttachBatch(const AttachBatch&) = delete;
+    AttachBatch& operator=(const AttachBatch&) = delete;
+
+    /// Token-gated attach, same contract as Tangle::add(tx, arrival, token).
+    [[nodiscard]] Status add(const Transaction& tx, TimePoint arrival,
+                             const VerifiedToken& token);
+
+    /// Applies the deferred index/digest/sketch updates and bumps the
+    /// generation once. Idempotent; called by the destructor.
+    void commit();
+
+    /// Attaches not yet indexed (zero after commit()).
+    std::size_t pending() const { return pending_.size(); }
+
+   private:
+    friend class Tangle;
+    Tangle& tangle_;
+    std::vector<const TxRecord*> pending_;
+  };
+
+  /// Convenience wrapper: attaches `items` in order inside one AttachBatch
+  /// and returns one status per item. Equivalent to calling add() per item
+  /// except the deferred maintenance is paid once.
+  struct BatchAttachItem {
+    const Transaction* tx = nullptr;
+    TimePoint arrival = 0.0;
+    const VerifiedToken* token = nullptr;
+  };
+  [[nodiscard]] std::vector<Status> attach_batch(
+      const std::vector<BatchAttachItem>& items);
+
   /// The cheap structural subset of add(): genesis/duplicate/unknown-parent.
   /// kOk means add() would proceed to signature+PoW validation. Lets callers
   /// order checks cheapest-first (e.g. admission runs this BEFORE paying the
@@ -178,7 +230,8 @@ class Tangle {
   // detects the damage. Defined only in tests — never in product code.
   friend struct TangleTestAccess;
 
-  Status add_impl(const Transaction& tx, TimePoint arrival, bool pre_verified);
+  Status add_impl(const Transaction& tx, TimePoint arrival, bool pre_verified,
+                  AttachBatch* batch = nullptr);
   void bump_generation();
   void index_tx(const Transaction& tx, const TxId& id, TimePoint arrival);
   static void insert_sorted(std::vector<IndexEntry>& index, IndexEntry entry);

@@ -1,0 +1,7 @@
+namespace biot::node {
+// Final stage of the staged pipeline — the one place in node/ that may
+// attach directly.
+int stage_attach(Tangle& tangle_) {
+  return tangle_.add(0);
+}
+}  // namespace biot::node

@@ -81,6 +81,13 @@ class ViolationsTree(unittest.TestCase):
     def test_brute_force_never_tested(self):
         self.assertIn("never cross-checked under tests/", self.out)
 
+    def test_tangle_add_direct_call(self):
+        self.assert_finding("src/node/ingress.cpp:3", "tangle-add")
+        self.assertIn("bypasses the admission pipeline", self.out)
+
+    def test_tangle_add_allow_requires_rationale(self):
+        self.assert_finding("src/node/ingress.cpp:6", "tangle-add")
+
     def test_bench_harness_missing_include(self):
         self.assertIn("bench/bad_timing.cpp: [bench-harness]", self.out)
         self.assertIn('does not include "harness.h"', self.out)

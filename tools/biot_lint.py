@@ -39,6 +39,16 @@ optionally followed by a rationale — suppressions without one are rejected):
                    nonce). Validation outside src/consensus/ may still use
                    pow_output as the reference form.
 
+  tangle-add       No direct `Tangle::add` / `Tangle::attach_batch` call in
+                   src/ outside the admission pipeline
+                   (src/node/admission.cpp), the tangle layer itself
+                   (src/tangle/), or the persistence replay path
+                   (src/storage/tangle_io.cpp). Every other ingress must go
+                   through Gateway::admit()/admit_many() so the staged
+                   checks (PoW, signature, credit, rate limits) cannot be
+                   skipped. A deliberate bypass carries an allow() naming
+                   why the staged checks are unnecessary there.
+
   bench-harness    Every bench/*.cpp must be built on bench/harness.h (so
                    it emits a schema-valid biot-bench-v1 trajectory) and
                    must not hand-roll timing with `std::chrono` /
@@ -81,6 +91,21 @@ CHECKED_AT_PATHS = [
 POW_MIDSTATE_PATHS = [
     re.compile(r"^src/consensus/[^/]+\.(?:h|cpp)$"),
 ]
+
+# Paths that legitimately attach to the tangle directly: the admission
+# pipeline's final stage, the tangle layer itself (AttachBatch, tests of
+# invariants), and replay of locally persisted, already-admitted records.
+TANGLE_ADD_ALLOWED_PATHS = [
+    re.compile(r"^src/node/admission\.cpp$"),
+    re.compile(r"^src/tangle/"),
+    re.compile(r"^src/storage/tangle_io\.cpp$"),
+]
+
+# A receiver whose name starts with tangle/Tangle (member, local, accessor
+# call) invoking add()/attach_batch(). AttachBatch::add via `batch->add`
+# deliberately does not match: batches are only mintable from a Tangle&.
+TANGLE_ADD_RE = re.compile(
+    r"\b[Tt]angle\w*(?:\s*\(\s*\))?\s*(?:\.|->)\s*(?:add|attach_batch)\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
 
@@ -288,6 +313,18 @@ class Linter:
                          "allow() with why this call is off the mining path",
                          lines)
 
+    def check_tangle_add(self, rel: str, path: pathlib.Path, text: str,
+                         lines: list[str]) -> None:
+        if any(p.match(rel) for p in TANGLE_ADD_ALLOWED_PATHS):
+            return
+        for i, line in enumerate(text.split("\n")):
+            if TANGLE_ADD_RE.search(line):
+                self.add("tangle-add", path, i + 1,
+                         "direct Tangle attach bypasses the admission "
+                         "pipeline's staged checks — route through "
+                         "Gateway::admit()/admit_many(), or allow() with why "
+                         "the staged checks are unnecessary here", lines)
+
     def check_include_hygiene(self, rel: str, path: pathlib.Path,
                               text: str, lines: list[str]) -> None:
         includes = [(i + 1, m.group(1))
@@ -350,6 +387,7 @@ class Linter:
             self.check_enum_switch(path, stripped, lines)
             self.check_checked_at(rel, path, raw, lines)
             self.check_pow_midstate(rel, path, stripped, lines)
+            self.check_tangle_add(rel, path, stripped, lines)
             self.check_include_hygiene(rel, path, raw, lines)
         if (self.root / "tests").is_dir():
             self.check_brute_force_twins()
