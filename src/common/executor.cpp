@@ -12,9 +12,12 @@ ThreadPoolExecutor::ThreadPoolExecutor(unsigned threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPoolExecutor::~ThreadPoolExecutor() {
+ThreadPoolExecutor::~ThreadPoolExecutor() { shutdown(); }
+
+void ThreadPoolExecutor::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
+    if (shutdown_) return;  // already drained and joined
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -22,15 +25,26 @@ ThreadPoolExecutor::~ThreadPoolExecutor() {
 }
 
 void ThreadPoolExecutor::submit(std::function<void()> task) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    const sync::MutexLock lock(mutex_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      task = nullptr;
+    }
+    // else: fall through and run inline below, outside the lock — the
+    // workers are draining (or already joined), so handing them the task
+    // could lose it; running it at the call site keeps exactly-once.
+  }
+  if (task) {
+    task();
+    return;
   }
   work_cv_.notify_one();
 }
 
 std::size_t ThreadPoolExecutor::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -38,8 +52,8 @@ void ThreadPoolExecutor::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      sync::MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) work_cv_.wait(mutex_);
       // Drain-before-exit: shutdown only stops a worker once the queue is
       // empty, so every submitted task runs exactly once.
       if (queue_.empty()) return;
@@ -52,13 +66,13 @@ void ThreadPoolExecutor::worker_loop() {
 
 void TaskGroup::spawn(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     ++pending_;
   }
   executor_.submit([this, task = std::move(task)] {
     task();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       --pending_;
     }
     done_cv_.notify_all();
@@ -66,8 +80,8 @@ void TaskGroup::spawn(std::function<void()> task) {
 }
 
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  sync::MutexLock lock(mutex_);
+  while (pending_ != 0) done_cv_.wait(mutex_);
 }
 
 }  // namespace biot

@@ -10,11 +10,12 @@
 //                      reference).
 //
 //   ThreadPoolExecutor fixed worker pool draining one MPMC queue under a
-//                      mutex + condvar (the action-queue shape: producers
-//                      enqueue closures, any idle worker picks the next).
-//                      Workers live for the executor's lifetime; shutdown
-//                      drains the queue before joining so no submitted task
-//                      is lost.
+//                      capability-annotated mutex + condvar (the action-
+//                      queue shape: producers enqueue closures, any idle
+//                      worker picks the next). Workers live until
+//                      shutdown(); shutdown drains the queue before joining
+//                      and tasks submitted after it run inline at the call
+//                      site, so no submitted task is ever lost.
 //
 // TaskGroup layers structured fan-out/join on either backend: spawn() hands
 // tasks to the executor, wait() blocks until every spawned task finished.
@@ -26,13 +27,15 @@
 // failure signalling in the task's captured state.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace biot {
 
@@ -54,14 +57,28 @@ class Executor {
   /// backend, which never queues). A sampling gauge, not a synchronization
   /// primitive.
   virtual std::size_t queue_depth() const { return 0; }
+
+  /// Total tasks ever handed to submit(). Monotonic; like queue_depth a
+  /// sampling counter (PR 8's batch metrics read both mid-fan-out, which is
+  /// why they are a locked read and an atomic rather than unguarded fields).
+  virtual std::uint64_t submitted() const { return 0; }
 };
 
 /// Runs every task synchronously at the submit() call site — deterministic
 /// by construction and the sim/test default.
 class InlineExecutor final : public Executor {
  public:
-  void submit(std::function<void()> task) override { task(); }
+  void submit(std::function<void()> task) override {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    task();
+  }
   std::size_t concurrency() const override { return 1; }
+  std::uint64_t submitted() const override {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
 };
 
 /// Fixed pool of worker threads draining a shared FIFO queue.
@@ -77,14 +94,27 @@ class ThreadPoolExecutor final : public Executor {
   void submit(std::function<void()> task) override;
   std::size_t concurrency() const override { return workers_.size(); }
   std::size_t queue_depth() const override;
+  std::uint64_t submitted() const override {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the pool: already-queued tasks still run (drain-before-join),
+  /// workers are joined, and any task submitted from here on runs inline at
+  /// its submit() call site. Idempotent from the owning thread; the
+  /// destructor calls it. Racing submit() against shutdown() is safe — the
+  /// exactly-once guarantee holds either way — racing two shutdown() calls
+  /// is not (same rule as racing the destructor).
+  void shutdown();
 
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable sync::Mutex mutex_{sync::kRankExecutorQueue};
+  sync::CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> submitted_{0};
+  // biot-lint: allow(guarded-field) written in ctor, joined in shutdown() only
   std::vector<std::thread> workers_;
 };
 
@@ -108,9 +138,9 @@ class TaskGroup {
 
  private:
   Executor& executor_;
-  std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::size_t pending_ = 0;
+  sync::Mutex mutex_{sync::kRankTaskGroup};
+  sync::CondVar done_cv_;
+  std::size_t pending_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace biot

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace biot {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// kRankLog is the innermost rank in the system: any subsystem may log while
+// holding its own lock (the metrics registry does), so the sink mutex must
+// order after everything else. See DESIGN.md §12.
+sync::Mutex g_mutex{sync::kRankLog};
 
 std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +31,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard lock(g_mutex);
+  const sync::MutexLock lock(g_mutex);
   std::cerr << '[' << level_name(level) << "] " << component << ": " << message << '\n';
 }
 

@@ -1,0 +1,87 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace biot::sync {
+
+namespace {
+
+// -1 = follow the BIOT_AUDIT environment toggle, 0/1 = forced by
+// set_lock_rank_checking. One relaxed load per lock keeps the disabled-path
+// cost negligible on hot paths.
+std::atomic<int> g_rank_checking{-1};
+
+bool env_rank_checking() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("BIOT_AUDIT");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
+
+// Per-thread stack of ranked mutexes currently held, in acquisition order.
+// Unranked (kNoRank) mutexes are never pushed: they opt out of ordering.
+thread_local std::vector<unsigned> t_held_ranks;
+
+}  // namespace
+
+bool lock_rank_checking() {
+  const int forced = g_rank_checking.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return env_rank_checking();
+}
+
+void set_lock_rank_checking(bool enabled) {
+  g_rank_checking.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void on_acquire(unsigned rank) {
+  if (rank == kNoRank || !lock_rank_checking()) return;
+  for (const unsigned held : t_held_ranks) {
+    if (held >= rank) {
+      // Deliberately not the logger: the logger takes kRankLog itself, and
+      // aborting mid-diagnosis must not depend on the subsystem under test.
+      std::fprintf(stderr,
+                   "biot-sync: lock rank violation: acquiring rank %u while "
+                   "holding rank %u (held ranks, outermost first:",
+                   rank, held);
+      for (const unsigned r : t_held_ranks) std::fprintf(stderr, " %u", r);
+      std::fprintf(stderr,
+                   ") — the global acquisition order in DESIGN.md §12 "
+                   "requires strictly increasing ranks\n");
+      std::abort();
+    }
+  }
+  t_held_ranks.push_back(rank);
+}
+
+void on_release(unsigned rank) {
+  if (rank == kNoRank || !lock_rank_checking()) return;
+  // Released in LIFO order virtually always; search from the back so an
+  // out-of-order unlock (legal, if unusual) still unregisters correctly.
+  for (auto it = t_held_ranks.rbegin(); it != t_held_ranks.rend(); ++it) {
+    if (*it == rank) {
+      t_held_ranks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+
+void CondVar::wait(Mutex& mu) {
+  // Adopt the already-held std::mutex, sleep, then release the unique_lock
+  // WITHOUT unlocking so the Mutex wrapper still owns it on return — the
+  // REQUIRES(mu) contract holds across the call.
+  // biot-lint: allow(raw-sync) the one wrapper layer
+  std::unique_lock<std::mutex> native(mu.inner_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace biot::sync

@@ -54,8 +54,8 @@ ParallelMiner::ParallelMiner(unsigned threads, std::uint64_t start_nonce,
                              std::uint64_t max_attempts)
     : threads_(threads != 0 ? threads
                             : std::max(1u, std::thread::hardware_concurrency())),
-      start_nonce_(start_nonce),
       max_attempts_(max_attempts),
+      start_nonce_(start_nonce),
       shard_attempts_(threads_, 0),
       shard_end_(threads_, 0) {
   if (threads_ > 1) {
@@ -67,7 +67,7 @@ ParallelMiner::ParallelMiner(unsigned threads, std::uint64_t start_nonce,
 
 ParallelMiner::~ParallelMiner() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -77,22 +77,27 @@ ParallelMiner::~ParallelMiner() {
 void ParallelMiner::worker_loop(unsigned t) {
   std::uint64_t last_seq = 0;
   for (;;) {
+    std::optional<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != last_seq; });
+      sync::MutexLock lock(mutex_);
+      while (!shutdown_ && job_seq_ == last_seq) work_cv_.wait(mutex_);
       if (shutdown_) return;
       last_seq = job_seq_;
+      job = *job_;  // one copy per job, not per nonce
     }
-    grind_shard(t);
+    const ShardResult result = grind_shard(t, *job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
+      shard_attempts_[t] = result.attempts;
+      shard_end_[t] = result.end_nonce;
       ++workers_done_;
     }
     done_cv_.notify_one();
   }
 }
 
-void ParallelMiner::grind_shard(unsigned t) {
+ParallelMiner::ShardResult ParallelMiner::grind_shard(unsigned t,
+                                                      const Job& job) {
   // Block-cyclic sharding: blocks of kBlock consecutive nonces, thread t
   // takes blocks t, t+T, t+2T, ... Consecutive nonces within a block feed
   // the multi-buffer compressor full strides; 64 is a multiple of every
@@ -104,26 +109,25 @@ void ParallelMiner::grind_shard(unsigned t) {
   crypto::Sha256Digest digests[crypto::kSha256MaxLanes];
 
   std::uint64_t local = 0;
-  std::uint64_t end_nonce = job_start_;
+  std::uint64_t end_nonce = job.start;
   const auto finish = [&] {
     counters.attempts += local;
-    shard_attempts_[t] = local;
-    shard_end_[t] = end_nonce;
+    return ShardResult{local, end_nonce};
   };
 
   for (std::uint64_t block = t;; block += n) {
-    const std::uint64_t block_start = job_start_ + block * kBlock;
+    const std::uint64_t block_start = job.start + block * kBlock;
     for (std::uint64_t off = 0; off < kBlock;) {
       if (found_.load(std::memory_order_relaxed)) return finish();
       std::uint64_t stride = std::min<std::uint64_t>(lanes, kBlock - off);
-      if (job_budget_ != 0) {
-        if (local >= job_budget_) return finish();
-        stride = std::min(stride, job_budget_ - local);
+      if (job.budget != 0) {
+        if (local >= job.budget) return finish();
+        stride = std::min(stride, job.budget - local);
       }
-      job_mid_->output_many(block_start + off, stride, digests);
+      job.mid.output_many(block_start + off, stride, digests);
       counters.sha_blocks += stride;
       for (std::uint64_t i = 0; i < stride; ++i) {
-        if (tangle::leading_zero_bits(digests[i]) >= job_difficulty_) {
+        if (tangle::leading_zero_bits(digests[i]) >= job.difficulty) {
           local += i + 1;
           end_nonce = block_start + off + i + 1;
           // First thread to find a nonce wins; losers that found one in the
@@ -147,15 +151,15 @@ std::optional<MineResult> ParallelMiner::mine(const tangle::TxId& parent1,
   if (difficulty > kMaxPowDifficulty) return std::nullopt;
 
   const unsigned n = threads_;
+  Job job{tangle::PowMidstate(parent1, parent2), difficulty, 0,
+          // Round the per-thread budget up so the combined bound is >= the
+          // requested one (a bounded search must not give up early).
+          max_attempts_ == 0 ? 0 : (max_attempts_ + n - 1) / n};
+  ++pow_counters().sha_blocks;  // the one-off parent-prefix compression
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_mid_.emplace(parent1, parent2);
-    ++pow_counters().sha_blocks;  // the one-off parent-prefix compression
-    job_difficulty_ = difficulty;
-    job_start_ = start_nonce_;
-    // Round the per-thread budget up so the combined bound is >= the
-    // requested one (a bounded search must not give up early).
-    job_budget_ = max_attempts_ == 0 ? 0 : (max_attempts_ + n - 1) / n;
+    const sync::MutexLock lock(mutex_);
+    job.start = start_nonce_;
+    job_ = job;
     found_.store(false, std::memory_order_relaxed);
     winner_.store(0, std::memory_order_relaxed);
     std::fill(shard_attempts_.begin(), shard_attempts_.end(), 0);
@@ -164,24 +168,32 @@ std::optional<MineResult> ParallelMiner::mine(const tangle::TxId& parent1,
     ++job_seq_;
   }
 
+  std::optional<ShardResult> solo;
   if (n == 1) {
-    grind_shard(0);
+    solo = grind_shard(0, job);
   } else {
     work_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_done_ == n; });
   }
 
   std::uint64_t combined = 0;
-  std::uint64_t max_end = start_nonce_;
-  for (unsigned t = 0; t < n; ++t) {
-    combined += shard_attempts_[t];
-    max_end = std::max(max_end, shard_end_[t]);
+  {
+    sync::MutexLock lock(mutex_);
+    if (solo.has_value()) {
+      shard_attempts_[0] = solo->attempts;
+      shard_end_[0] = solo->end_nonce;
+    } else {
+      while (workers_done_ != n) done_cv_.wait(mutex_);
+    }
+    std::uint64_t max_end = job.start;
+    for (unsigned t = 0; t < n; ++t) {
+      combined += shard_attempts_[t];
+      max_end = std::max(max_end, shard_end_[t]);
+    }
+    total_attempts_ += combined;
+    // Advance the search origin past everything examined so back-to-back
+    // searches over the same parents do not re-grind identical prefixes.
+    start_nonce_ = max_end;
   }
-  total_attempts_ += combined;
-  // Advance the search origin past everything examined so back-to-back
-  // searches over the same parents do not re-grind identical prefixes.
-  start_nonce_ = max_end;
 
   if (!found_.load(std::memory_order_relaxed)) return std::nullopt;
   return MineResult{winner_.load(std::memory_order_relaxed), combined};

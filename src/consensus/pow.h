@@ -19,13 +19,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "tangle/transaction.h"
 
@@ -100,39 +99,53 @@ class ParallelMiner {
                                  const tangle::TxId& parent2, int difficulty);
 
   unsigned thread_count() const { return threads_; }
-  std::uint64_t total_attempts() const { return total_attempts_; }
+  std::uint64_t total_attempts() const EXCLUDES(mutex_) {
+    const sync::MutexLock lock(mutex_);
+    return total_attempts_;
+  }
 
  private:
-  void worker_loop(unsigned t);
-  void grind_shard(unsigned t);
+  /// One search's parameters, copied out under mutex_ by each worker at job
+  /// start (a PowMidstate is ~100 bytes; one copy per job, not per nonce).
+  struct Job {
+    tangle::PowMidstate mid;
+    int difficulty = 0;
+    std::uint64_t start = 0;
+    std::uint64_t budget = 0;  // per-thread attempt bound (0 = unbounded)
+  };
 
-  unsigned threads_;
-  std::uint64_t start_nonce_;
-  std::uint64_t max_attempts_;
-  std::uint64_t total_attempts_ = 0;
+  /// What one shard reports back under mutex_ when its grind ends.
+  struct ShardResult {
+    std::uint64_t attempts = 0;
+    std::uint64_t end_nonce = 0;  // highest nonce examined + 1
+  };
 
-  // Job handoff: mine() publishes the job fields under mutex_ and bumps
-  // job_seq_; parked workers wake on work_cv_, grind their shard, then
-  // report via workers_done_/done_cv_. Workers read the job fields without
-  // the lock — safe because the fields are written before the seq bump and
-  // read only after observing it (mutex hand-off orders the accesses), and
-  // no worker runs between jobs.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t job_seq_ = 0;
-  unsigned workers_done_ = 0;
-  bool shutdown_ = false;
+  void worker_loop(unsigned t) EXCLUDES(mutex_);
+  ShardResult grind_shard(unsigned t, const Job& job);
 
-  std::optional<tangle::PowMidstate> job_mid_;
-  int job_difficulty_ = 0;
-  std::uint64_t job_start_ = 0;
-  std::uint64_t job_budget_ = 0;  // per-thread attempt budget (0 = unbounded)
+  const unsigned threads_;
+  const std::uint64_t max_attempts_;
+
+  // Job handoff: mine() publishes job_ under mutex_ and bumps job_seq_;
+  // parked workers wake on work_cv_, copy the job out under the lock, grind
+  // their shard lock-free (early exit rides the found_/winner_ atomics),
+  // then report their ShardResult via workers_done_/done_cv_.
+  mutable sync::Mutex mutex_{sync::kRankMiner};
+  sync::CondVar work_cv_;
+  sync::CondVar done_cv_;
+  std::uint64_t job_seq_ GUARDED_BY(mutex_) = 0;
+  unsigned workers_done_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::optional<Job> job_ GUARDED_BY(mutex_);
+  std::uint64_t start_nonce_ GUARDED_BY(mutex_);
+  std::uint64_t total_attempts_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::uint64_t> shard_attempts_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> shard_end_ GUARDED_BY(mutex_);
+
   std::atomic<bool> found_{false};
   std::atomic<std::uint64_t> winner_{0};
-  std::vector<std::uint64_t> shard_attempts_;
-  std::vector<std::uint64_t> shard_end_;  // highest nonce examined + 1
 
+  // biot-lint: allow(guarded-field) written in ctor, joined in dtor only
   std::vector<std::thread> pool_;
 };
 

@@ -206,7 +206,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   // instrument that is simply never exported, instead of aliasing another
   // kind's storage.
   static Counter dummy;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (auto* entry = find_or_warn(name, MetricKind::kCounter)) {
     if (entry->owned_counter) return *entry->owned_counter;
     return dummy;  // attached externally; owner holds the mutable handle
@@ -220,7 +220,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   static Gauge dummy;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (auto* entry = find_or_warn(name, MetricKind::kGauge)) {
     if (entry->owned_gauge) return *entry->owned_gauge;
     return dummy;
@@ -235,7 +235,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const HistogramSpec& spec) {
   static Histogram dummy;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (auto* entry = find_or_warn(name, MetricKind::kHistogram)) {
     if (entry->owned_histogram) return *entry->owned_histogram;
     return dummy;
@@ -248,7 +248,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 void MetricsRegistry::attach(const std::string& name, const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& entry = entries_[name];
   entry = Entry{};  // re-attach replaces whatever held the name
   entry.kind = MetricKind::kCounter;
@@ -256,7 +256,7 @@ void MetricsRegistry::attach(const std::string& name, const Counter* counter) {
 }
 
 void MetricsRegistry::attach(const std::string& name, const Gauge* gauge) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& entry = entries_[name];
   entry = Entry{};
   entry.kind = MetricKind::kGauge;
@@ -265,7 +265,7 @@ void MetricsRegistry::attach(const std::string& name, const Gauge* gauge) {
 
 void MetricsRegistry::attach(const std::string& name,
                              const Histogram* histogram) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& entry = entries_[name];
   entry = Entry{};
   entry.kind = MetricKind::kHistogram;
@@ -273,7 +273,7 @@ void MetricsRegistry::attach(const std::string& name,
 }
 
 void MetricsRegistry::detach_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
     const bool exact = it->first.size() == prefix.size();
@@ -291,12 +291,12 @@ Scope MetricsRegistry::scope(std::string prefix) {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   RegistrySnapshot snap;
   snap.metrics.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

@@ -34,9 +34,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace biot::obs {
 
@@ -230,10 +231,13 @@ class MetricsRegistry {
     bool external() const { return ext_counter || ext_gauge || ext_histogram; }
   };
 
-  Entry* find_or_warn(const std::string& name, MetricKind kind);
+  Entry* find_or_warn(const std::string& name, MetricKind kind)
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  // ordered => sorted snapshots
+  mutable sync::Mutex mutex_{sync::kRankMetrics};
+  // Ordered => sorted snapshots. Guarded: instrument lookup, attach/detach
+  // and snapshot all contend from gateway threads and the obs exporter.
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
 };
 
 /// Lightweight name-prefixing view of a registry. Copyable; scopes nest:

@@ -1,0 +1,20 @@
+// Fixture: a Mutex-owning class with the guarded-field discipline — every
+// mutable member annotated or carrying a justified allow(), and the raw-sync
+// carve-out path exercised with a rationale (mirrors src/common/sync.h).
+#pragma once
+
+namespace biot {
+class Worker {
+ public:
+  void poke();
+
+ private:
+  sync::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+  // biot-lint: allow(guarded-field) written once in the constructor
+  unsigned seed_ = 0;
+};
+
+// biot-lint: allow(raw-sync) fixture exercising the wrapper-layer carve-out
+using RawHandle = std::mutex*;
+}  // namespace biot

@@ -1,0 +1,10 @@
+#include "common/racy.h"
+
+namespace biot {
+std::mutex g_raw;
+void touch() {
+  std::lock_guard<std::mutex> lock(g_raw);
+}
+// biot-lint: allow(raw-sync)
+std::condition_variable g_cv;
+}  // namespace biot

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace biot {
+class Racy {
+ public:
+  void touch();
+
+ private:
+  sync::Mutex mutex_;
+  int counter_ = 0;
+  // biot-lint: allow(guarded-field)
+  int hits_ = 0;
+};
+}  // namespace biot

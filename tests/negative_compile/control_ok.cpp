@@ -1,0 +1,32 @@
+// Positive control for the negcompile_* ctest entries: the same shape as the
+// failing fixtures but with the locking discipline intact. This file MUST
+// compile under -Werror=thread-safety — it proves that when a sibling fixture
+// fails, the failure came from the analysis firing, not from broken harness
+// flags or include paths.
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const biot::sync::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() REQUIRES(mu_) { return balance_; }
+
+  biot::sync::Mutex mu_;
+
+ private:
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  const biot::sync::MutexLock lock(account.mu_);
+  return account.balance();
+}

@@ -1,0 +1,30 @@
+// Negative-compile fixture: calls a REQUIRES(mu_) method without holding the
+// lock. Registered with WILL_FAIL — Clang's -Werror=thread-safety MUST
+// reject this translation unit ("calling function 'balance' requires holding
+// mutex 'mu_'"). If it ever compiles, the analysis gate is dead.
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const biot::sync::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() REQUIRES(mu_) { return balance_; }
+
+  biot::sync::Mutex mu_;
+
+ private:
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();  // caller never acquires account.mu_
+}

@@ -1,0 +1,27 @@
+// Negative-compile fixture: writes a GUARDED_BY field without holding its
+// mutex. Registered with WILL_FAIL — Clang's -Werror=thread-safety MUST
+// reject this translation unit ("writing variable 'balance_' requires
+// holding mutex 'mu_'"). If it ever compiles, the analysis gate is dead.
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // no lock held: the analysis must flag this write
+  }
+
+  biot::sync::Mutex mu_;
+
+ private:
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -99,6 +99,23 @@ class ViolationsTree(unittest.TestCase):
         self.assert_finding("bench/bad_timing.cpp:5", "bench-harness")
         self.assertIn("hand-rolled `std::chrono`", self.out)
 
+    def test_raw_sync_mutex(self):
+        self.assert_finding("src/common/racy.cpp:4", "raw-sync")
+        self.assertIn("capability-annotated wrappers", self.out)
+
+    def test_raw_sync_lock_guard(self):
+        self.assert_finding("src/common/racy.cpp:6", "raw-sync")
+
+    def test_raw_sync_allow_requires_rationale(self):
+        self.assert_finding("src/common/racy.cpp:9", "raw-sync")
+
+    def test_guarded_field_unannotated_member(self):
+        self.assert_finding("src/common/racy.h:10", "guarded-field")
+        self.assertIn("no GUARDED_BY", self.out)
+
+    def test_guarded_field_allow_requires_rationale(self):
+        self.assert_finding("src/common/racy.h:12", "guarded-field")
+
 
 class RealTree(unittest.TestCase):
     def test_repository_is_clean(self):

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,65 @@ TEST(ThreadPoolExecutorTest, ShutdownDrainsTheQueueBeforeJoining) {
 TEST(ThreadPoolExecutorTest, ZeroThreadsMeansHardwareConcurrency) {
   ThreadPoolExecutor pool(0);
   EXPECT_GE(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPoolExecutorTest, SubmittedCountsEveryTaskEverHanded) {
+  ThreadPoolExecutor pool(2);
+  EXPECT_EQ(pool.submitted(), 0u);
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) group.spawn([] {});
+    group.wait();
+  }
+  EXPECT_EQ(pool.submitted(), 64u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  InlineExecutor inline_exec;
+  inline_exec.submit([] {});
+  inline_exec.submit([] {});
+  EXPECT_EQ(inline_exec.submitted(), 2u);
+}
+
+TEST(ThreadPoolExecutorTest, ShutdownWhileSubmittingLosesNoTask) {
+  // Regression for the submit()/shutdown() race: a task handed to the pool
+  // concurrently with shutdown must still run exactly once — drained by a
+  // worker if it made the queue, or run inline at the submit site if it
+  // arrived after the pool was marked shut down. Either way nothing is
+  // dropped and nothing runs twice.
+  std::atomic<int> ran{0};
+  std::uint64_t handed = 0;
+  ThreadPoolExecutor pool(2);
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ++handed;
+    }
+    // Keep submitting after shutdown: these must run inline, not vanish.
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ++handed;
+    }
+  });
+  while (pool.submitted() < 128) std::this_thread::yield();
+  pool.shutdown();  // races the submitter mid-stream
+  stop.store(true, std::memory_order_relaxed);
+  submitter.join();
+  EXPECT_EQ(ran.load(), static_cast<int>(handed));
+  EXPECT_EQ(pool.submitted(), handed);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolExecutorTest, ShutdownIsIdempotent) {
+  ThreadPoolExecutor pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a double-join
+  EXPECT_EQ(ran.load(), 16);
+  pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 17);  // post-shutdown submit ran inline
 }
 
 TEST(TaskGroupTest, WaitPublishesWorkerWritesToTheCaller) {

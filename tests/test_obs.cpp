@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <random>
@@ -307,6 +308,45 @@ TEST(Concurrency, ParallelUpdatesLoseNothing) {
   EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_DOUBLE_EQ(h.min(), 0.001);
   EXPECT_DOUBLE_EQ(h.max(), 0.001 * kThreads);
+}
+
+// Satellite pin for the atomic_min/atomic_max/atomic_add CAS retry loops in
+// metrics.cpp: compare_exchange_weak reloads `cur` on failure, so no
+// concurrent observe() may lose an update. Eight writers hammer ONE
+// histogram with disjoint integer values (exact in a double up to 2^53), so
+// the final sum/min/max/count are exact regardless of interleaving; any
+// lost CAS retry shows up as a wrong total, and TSan sees the raw traffic.
+TEST(Concurrency, EightThreadCasLoopsLoseNoUpdate) {
+  Histogram h;
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &g, t] {
+      for (int i = 1; i <= kIters; ++i) {
+        // Thread t contributes values t*kIters+1 .. (t+1)*kIters, so across
+        // all threads every integer in [1, kThreads*kIters] lands once.
+        h.observe(static_cast<double>(t * kIters + i));
+        g.set(static_cast<double>(t * kIters + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const double n = static_cast<double>(kThreads) * kIters;
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(h.sum(), n * (n + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), n);
+  // The gauge's final value is whichever set() landed last — all we can pin
+  // is that it is one of the written values, never a torn mix.
+  const double gauge = g.value();
+  EXPECT_GE(gauge, 1.0);
+  EXPECT_LE(gauge, n);
+  EXPECT_EQ(gauge, std::floor(gauge));
 }
 
 }  // namespace

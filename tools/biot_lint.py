@@ -49,6 +49,24 @@ optionally followed by a rationale — suppressions without one are rejected):
                    skipped. A deliberate bypass carries an allow() naming
                    why the staged checks are unnecessary there.
 
+  raw-sync         No raw std::mutex / std::condition_variable /
+                   std::lock_guard / std::unique_lock (or their shared /
+                   recursive / scoped cousins) anywhere in src/ — all
+                   synchronization goes through the capability-annotated
+                   wrappers in src/common/sync.h, so Clang's Thread Safety
+                   Analysis and the lock-rank checker see every acquisition.
+                   src/common/sync.{h,cpp} themselves carry the justified
+                   `// biot-lint: allow(raw-sync)` carve-outs (they ARE the
+                   wrapper layer); any other use needs its own rationale.
+
+  guarded-field    Heuristic: a class owning a sync::Mutex/SharedMutex must
+                   annotate each non-atomic, non-const mutable data member
+                   with GUARDED_BY/PT_GUARDED_BY — or carry an allow() with
+                   the rationale that makes lock-free access safe (e.g.
+                   written only in the constructor). The Clang analysis only
+                   protects fields that are annotated; an unannotated field
+                   next to a mutex is exactly where a silent race hides.
+
   bench-harness    Every bench/*.cpp must be built on bench/harness.h (so
                    it emits a schema-valid biot-bench-v1 trajectory) and
                    must not hand-roll timing with `std::chrono` /
@@ -108,6 +126,35 @@ TANGLE_ADD_RE = re.compile(
     r"\b[Tt]angle\w*(?:\s*\(\s*\))?\s*(?:\.|->)\s*(?:add|attach_batch)\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+# Raw standard-library synchronization vocabulary. Everything here has an
+# annotated wrapper in src/common/sync.h; a qualified use anywhere else in
+# src/ escapes both the Thread Safety Analysis and the lock-rank checker.
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:(?:recursive_|timed_|recursive_timed_|shared_)?mutex"
+    r"|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+# A class member that is one of our annotated mutexes — the trigger for the
+# guarded-field heuristic. Uppercase M keeps std::shared_mutex (raw-sync's
+# business) out of scope.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:sync\s*::\s*)?(?:Shared)?Mutex\s+\w+\s*[;{=]")
+
+# A plain member-variable declaration by repo convention: optional mutable,
+# a type, a trailing-underscore name, an optional initializer. Lines with
+# parens (function declarations, paren-initializers) never match the callers'
+# pre-filter, so this only has to recognize the data-member shape.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,\s*]*[\s>]\s*\w+_\s*"
+    r"(?:=[^;]*|\{[^;]*\})?;")
+
+# Member lines that need no GUARDED_BY: the synchronization primitives
+# themselves, atomics (safe by type), const/static (immutable / not
+# per-instance state), and references (unreassignable).
+GUARDED_FIELD_EXEMPT_RE = re.compile(
+    r"GUARDED_BY|PT_GUARDED_BY|\batomic\b|\bconst\b|\bstatic\b"
+    r"|\bMutex\b|\bCondVar\b|&")
 
 # Qualified uses only — `std::chrono` or the header include. A bare
 # "chrono" substring would fire on "synchronous" in bench comments.
@@ -352,6 +399,67 @@ class Linter:
                              "own header first to prove it is self-contained",
                              lines)
 
+    def check_raw_sync(self, path: pathlib.Path, text: str,
+                       lines: list[str]) -> None:
+        for i, line in enumerate(text.split("\n")):
+            if RAW_SYNC_RE.search(line):
+                self.add("raw-sync", path, i + 1,
+                         "raw std:: synchronization primitive — use the "
+                         "capability-annotated wrappers in src/common/sync.h "
+                         "(sync::Mutex / MutexLock / CondVar) so the Thread "
+                         "Safety Analysis and the lock-rank checker see the "
+                         "acquisition, or allow() with why the wrapper "
+                         "cannot be used here", lines)
+
+    def _class_bodies(self, text: str):
+        """Yields (depth0_lines, …) per class/struct: the body lines at
+        nesting depth 0 as (1-based line_no, line) pairs — member
+        declarations, not inline function bodies or nested classes."""
+        for m in re.finditer(r"\b(?:class|struct)\s+[A-Za-z_]\w*[^;{()]*\{",
+                             text):
+            if re.search(r"\benum\s+$", text[:m.start()]):
+                continue  # enum class — no members to guard
+            brace = m.end() - 1
+            depth = 0
+            end = None
+            for j in range(brace, len(text)):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = j
+                        break
+            if end is None:
+                continue
+            body = text[brace + 1:end]
+            body_line = text.count("\n", 0, brace) + 1
+            depth0: list[tuple[int, str]] = []
+            depth = 0
+            for off, bline in enumerate(body.split("\n")):
+                if depth == 0:
+                    depth0.append((body_line + off, bline))
+                depth += bline.count("{") - bline.count("}")
+            yield depth0
+
+    def check_guarded_field(self, path: pathlib.Path, text: str,
+                            lines: list[str]) -> None:
+        for depth0 in self._class_bodies(text):
+            if not any(MUTEX_MEMBER_RE.search(b) for _, b in depth0):
+                continue
+            for line_no, bline in depth0:
+                if "(" in bline or ")" in bline:
+                    continue  # function decls / annotated or paren-init members
+                if (MEMBER_DECL_RE.match(bline)
+                        and not GUARDED_FIELD_EXEMPT_RE.search(bline)):
+                    self.add("guarded-field", path, line_no,
+                             "class owns a Mutex but this mutable field "
+                             "carries no GUARDED_BY/PT_GUARDED_BY — the "
+                             "Thread Safety Analysis only protects annotated "
+                             "fields; annotate it, make it atomic/const, or "
+                             "allow() with why lock-free access is safe",
+                             lines)
+
     def check_bench_harness(self) -> None:
         bench_dir = self.root / "bench"
         if not bench_dir.is_dir():
@@ -389,6 +497,8 @@ class Linter:
             self.check_pow_midstate(rel, path, stripped, lines)
             self.check_tangle_add(rel, path, stripped, lines)
             self.check_include_hygiene(rel, path, raw, lines)
+            self.check_raw_sync(path, stripped, lines)
+            self.check_guarded_field(path, stripped, lines)
         if (self.root / "tests").is_dir():
             self.check_brute_force_twins()
         self.check_bench_harness()
