@@ -1,0 +1,166 @@
+// Offline drain bench: end-to-end confirmation latency of store-and-forward
+// records versus how long the fleet stayed dark (10 s / 10 min / 2 h), plus
+// how long the reconnect drain takes to clear every outbox after the heal.
+//
+// The whole device fleet loses its radio for the dark window while the
+// gateways stay up; devices exhaust failover, queue signed records into
+// their outboxes and countersign for ring neighbours. On heal the recovery
+// probes (jittered exponential backoff) find a gateway and the queues drain
+// through Gateway::admit_many in bounded chunks. Confirmation latency is
+// enqueue -> admitted on the device's own clock, so it is dominated by the
+// outage itself — the point of the trajectory is that the drain tail stays
+// flat (bounded chunks, no backlog collapse) while the dark window grows by
+// three orders of magnitude.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "factory/scenario.h"
+#include "harness.h"
+#include "node/convergence.h"
+#include "obs/metrics.h"
+
+namespace {
+using namespace biot;
+
+struct Row {
+  double dark_s = 0.0;
+  std::uint64_t queued = 0;      // records enqueued across the fleet
+  std::uint64_t drained = 0;     // settled as admitted
+  std::uint64_t duplicates = 0;  // settled via the witness's evidence copy
+  std::uint64_t backoffs = 0;    // drain backoff events
+  double confirm_mean_s = 0.0;   // enqueue -> admitted, fleet-wide
+  double confirm_p50_s = 0.0;
+  double confirm_max_s = 0.0;
+  double drain_completion_s = -1.0;  // heal -> every outbox empty
+  bool converged = false;
+};
+
+Row run(double dark_s, double collect_interval, std::uint64_t seed) {
+  factory::ScenarioConfig config;
+  config.num_gateways = 2;
+  config.num_devices = 4;
+  config.distribute_keys = false;
+  config.wire_exchange_ring = true;
+  config.seed = seed;
+  config.device.collect_interval = collect_interval;
+  config.device.request_timeout = 1.0;
+  config.device.failback_probe_interval = 1.0;
+  config.device.probe_interval_max = 30.0;
+  config.device.outbox.capacity = 4096;  // never shed: measure latency only
+  config.gateway.sync_interval = 1.0;
+  config.gateway.credit.initial_difficulty = 6;  // keep host PoW cheap
+
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  const double dark_at = 5.0;
+  factory.run_until(dark_at);
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    factory.network().set_radio(factory.device(d).node_id(), false);
+  factory.run_until(dark_at + dark_s);
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    factory.network().set_radio(factory.device(d).node_id(), true);
+  const double heal_at = dark_at + dark_s;
+
+  // Step until every outbox drained (or give up after a generous cap — a
+  // non-terminating drain is itself the regression this bench guards).
+  Row row;
+  row.dark_s = dark_s;
+  const double step = 0.5, cap = 300.0;
+  for (double t = step; t <= cap; t += step) {
+    factory.run_until(heal_at + t);
+    bool all_empty = true;
+    for (std::size_t d = 0; d < factory.device_count(); ++d)
+      all_empty = all_empty && factory.device(d).outbox().empty();
+    if (all_empty) {
+      row.drain_completion_s = t;
+      break;
+    }
+  }
+  factory.stop_devices();
+  factory.run_until(heal_at + cap + 10.0);
+
+  obs::Histogram confirm;
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto& stats = factory.device(d).outbox().stats();
+    row.queued += stats.enqueued.value();
+    row.drained += stats.drained.value();
+    row.duplicates += stats.duplicates.value();
+    row.backoffs += stats.backoff_events.value();
+    confirm.merge(stats.drain_latency_s);
+  }
+  row.confirm_mean_s = confirm.mean();
+  row.confirm_p50_s = confirm.quantile(0.5);
+  row.confirm_max_s = confirm.max();
+
+  node::ConvergenceChecker checker;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    checker.add_replica(&factory.gateway(g));
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    checker.add_device(&factory.device(d));
+  const auto report = checker.check();
+  row.converged = report.ok();
+  if (!row.converged)
+    std::printf("-- dark=%gs:\n%s\n", dark_s, report.to_string().c_str());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("offline_drain", argc, argv);
+
+  // Scenario set fixed across quick/full (identical metric names for
+  // bench_diff); --quick thins the record volume per window instead, via a
+  // coarser collection interval.
+  struct Window {
+    const char* tag;
+    double dark_s;
+  };
+  const Window windows[] = {
+      {"dark_10s", 10.0}, {"dark_600s", 600.0}, {"dark_7200s", 7200.0}};
+  const double records_per_device = h.scale(120.0, 30.0);
+
+  std::printf("# Offline drain: fleet of 4 devices dark for a window, then a "
+              "simultaneous heal; confirmation latency is enqueue->admitted "
+              "(dominated by the outage), drain completion is heal->all "
+              "outboxes empty.\n");
+  std::printf("%-11s | %7s %7s %5s %8s | %9s %9s %9s %9s %s\n", "window",
+              "queued", "drain", "dup", "backoff", "conf_p50", "conf_max",
+              "complete", "", "verdict");
+
+  bool all_ok = true;
+  for (const auto& window : windows) {
+    const double interval =
+        std::max(0.5, window.dark_s / records_per_device);
+    const auto row = run(window.dark_s, interval, /*seed=*/1);
+    all_ok = all_ok && row.converged && row.drain_completion_s >= 0.0;
+    const std::string tag = window.tag;
+    h.record(tag + ".confirm_mean_s", row.confirm_mean_s, "s");
+    h.record(tag + ".confirm_p50_s", row.confirm_p50_s, "s");
+    h.record(tag + ".confirm_max_s", row.confirm_max_s, "s");
+    h.record(tag + ".drain_completion_s", row.drain_completion_s, "s");
+    h.record(tag + ".drained", static_cast<double>(row.drained), "count");
+    h.record(tag + ".duplicates", static_cast<double>(row.duplicates),
+             "count");
+    h.record(tag + ".backoff_events", static_cast<double>(row.backoffs),
+             "count");
+    std::printf("%-11s | %7llu %7llu %5llu %8llu | %8.2fs %8.2fs %8.2fs %9s "
+                "%s\n",
+                window.tag, static_cast<unsigned long long>(row.queued),
+                static_cast<unsigned long long>(row.drained),
+                static_cast<unsigned long long>(row.duplicates),
+                static_cast<unsigned long long>(row.backoffs),
+                row.confirm_p50_s, row.confirm_max_s, row.drain_completion_s,
+                "", row.converged ? "CONVERGED" : "FAILED");
+  }
+
+  std::printf("\n# expected: confirmation latency tracks the dark window "
+              "(records wait out the outage) while drain completion stays "
+              "within tens of seconds for every window — the reconnect "
+              "pipeline is bounded by queue volume, not outage length.\n");
+  h.record("all_converged", all_ok ? 1.0 : 0.0, "bool");
+  const int emit = h.finish();
+  return all_ok ? emit : 1;
+}

@@ -8,7 +8,20 @@ bool parent_is_stale(const tangle::Tangle& tangle, const tangle::TxId& parent,
   const auto* rec = tangle.find(parent);
   if (rec == nullptr) return false;  // unknown parents fail validation anyway
   if (now - rec->arrival <= policy.max_parent_age) return false;
-  if (policy.require_already_approved && rec->approvers.empty()) return false;
+  if (policy.require_already_approved) {
+    if (rec->approvers.empty()) return false;
+    // The approval must predate this submission by the grace window:
+    // otherwise two devices handed the same stale tips (post-outage, those
+    // are the ONLY tips) race to approve them, and the loser would be
+    // priced as an attacker for arriving second.
+    TimePoint earliest = now;
+    for (const auto& approver : rec->approvers) {
+      const auto* arec = tangle.find(approver);
+      if (arec != nullptr && arec->arrival < earliest)
+        earliest = arec->arrival;
+    }
+    if (now - earliest < policy.approval_grace) return false;
+  }
   return true;
 }
 }  // namespace

@@ -20,6 +20,13 @@ struct LazyTipPolicy {
   /// Only count a parent as lazily chosen if someone else already verified
   /// it (a genuinely slow network may leave old true tips around).
   bool require_already_approved = true;
+  /// ... and only if that first verification happened at least this long
+  /// ago. An approval that raced in moments earlier means concurrent
+  /// submitters were handed the same stale tips (a fleet healing from a
+  /// shared outage drains against the only tips that exist) — the loser of
+  /// that race never had a chance to learn fresher parents, which is a
+  /// timing accident, not lazy behaviour.
+  Duration approval_grace = 5.0;
 };
 
 /// True when BOTH parents of `tx` are stale under the policy — the

@@ -72,8 +72,19 @@ SmartFactory::SmartFactory(ScenarioConfig config)
     node->set_data_source([sensor, rng, sched] {
       return sensor->sample(sched->now(), *rng).encode();
     });
-    node->stats().attach_to(metrics_.scope("device.d" + std::to_string(d)));
+    node->bind_metrics(metrics_.scope("device.d" + std::to_string(d)));
     devices_.push_back(std::move(node));
+  }
+
+  // Offline-exchange topology: devices countersign for their ring
+  // neighbours while everyone is dark.
+  if (config_.wire_exchange_ring && devices_.size() >= 2) {
+    const auto n = devices_.size();
+    for (std::size_t d = 0; d < n; ++d) {
+      devices_[d]->add_exchange_peer(devices_[(d + 1) % n]->node_id());
+      if (n > 2)
+        devices_[d]->add_exchange_peer(devices_[(d + n - 1) % n]->node_id());
+    }
   }
 }
 
@@ -134,6 +145,28 @@ void SmartFactory::restart_gateway(std::size_t i) {
   g.restart(restored.value());
 }
 
+void SmartFactory::crash_device(std::size_t i) {
+  auto& d = device(i);
+  if (!d.running()) return;
+  if (device_persisted_.size() < devices_.size())
+    device_persisted_.resize(devices_.size());
+  // Persist first (the flash survives the power loss), then kill it.
+  device_persisted_[i] = d.serialize_offline_state();
+  d.stop();
+}
+
+void SmartFactory::restart_device(std::size_t i) {
+  auto& d = device(i);
+  if (d.running()) return;
+  if (i >= device_persisted_.size() || device_persisted_[i].empty())
+    throw std::runtime_error("restart_device: no persisted offline state");
+  const auto status = d.restore_offline_state(device_persisted_[i]);
+  if (!status.is_ok())
+    throw std::runtime_error("restart_device: snapshot rejected: " +
+                             status.to_string());
+  d.start();
+}
+
 void SmartFactory::stop_devices() {
   for (auto& d : devices_) d->stop();
   for (auto& d : unauthorized_) d->stop();
@@ -146,7 +179,7 @@ std::size_t SmartFactory::add_unauthorized_device(node::LightNodeConfig config) 
       crypto::Identity::deterministic(config_.seed * 9000 + 777 + index),
       gateways_.front()->node_id(), *network_, config);
   node->start();
-  node->stats().attach_to(metrics_.scope("device.u" + std::to_string(index)));
+  node->bind_metrics(metrics_.scope("device.u" + std::to_string(index)));
   unauthorized_.push_back(std::move(node));
   return index;
 }

@@ -36,6 +36,10 @@ struct ScenarioConfig {
   node::LightNodeConfig device;
   /// Device start times are staggered by this much to avoid lockstep.
   Duration device_stagger = 0.05;
+  /// Wire each device's offline-exchange peers as a ring over the fleet
+  /// (device i exchanges with i±1 mod N): the co-located-peer topology the
+  /// countersigned offline protocol assumes. Needs >= 2 devices to matter.
+  bool wire_exchange_ring = false;
   Duration latency_base = 0.002;
   Duration latency_tail = 0.003;
   std::uint64_t seed = 1;
@@ -83,6 +87,20 @@ class SmartFactory {
 
   bool gateway_running(std::size_t i) { return gateway(i).running(); }
 
+  /// Crash device `i` mid-simulation: persists its offline state (ledger
+  /// sequence counter + outbox — the flash a real sensor keeps across power
+  /// loss), then stops it. Pending timers from the dead life are expired.
+  void crash_device(std::size_t i);
+
+  /// Restarts a crashed device from its persisted offline state: the outbox
+  /// (including entries that were mid-drain at crash time) and the sequence
+  /// counter resume exactly where the flash left them, so nothing queued is
+  /// lost and nothing is double-admitted. Throws if the snapshot fails its
+  /// digest check.
+  void restart_device(std::size_t i);
+
+  bool device_running(std::size_t i) { return device(i).running(); }
+
   /// Quiesces all (authorized + unauthorized) devices — used before
   /// convergence checking so replicas only exchange anti-entropy traffic.
   void stop_devices();
@@ -125,6 +143,8 @@ class SmartFactory {
   /// continuous on-disk persistence of a real deployment). Empty = never
   /// crashed.
   std::vector<Bytes> persisted_;
+  /// Per-device persisted offline state (sequence counter + outbox).
+  std::vector<Bytes> device_persisted_;
   sim::NodeId next_node_id_ = 1;
 };
 

@@ -38,6 +38,10 @@ void GatewayStats::attach_to(const obs::Scope& scope) const {
   edge.attach("orphans_buffered", &orphans_buffered);
   edge.attach("orphans_adopted", &orphans_adopted);
   edge.attach("orphans_dropped", &orphans_dropped);
+  const auto offline = scope.scope("offline");
+  offline.attach("drain_requests", &drain_requests);
+  offline.attach("drained", &offline_drained);
+  offline.attach("duplicates", &offline_duplicates);
 }
 
 void AdmissionMetrics::attach_to(const obs::Scope& scope) const {
@@ -161,10 +165,17 @@ void StatsObserver::on_reject(const RejectEvent& event) {
         ++stats_.rejected_other;
       break;
     case AdmissionStage::kAttach:
-      if (event.code == ErrorCode::kPowInvalid)
+      if (event.code == ErrorCode::kPowInvalid) {
         ++stats_.rejected_pow;
-      else
+      } else if (event.code == ErrorCode::kNotFound &&
+                 event.ingress == Ingress::kOrphanRetry) {
+        // Deferral, not rejection: the transaction re-buffers on its other
+        // missing parent (orphans_buffered counts that) and will be retried.
+        // It was already counted once when it first arrived; counting every
+        // retry would inflate rejected_other per reconnect burst.
+      } else {
         ++stats_.rejected_other;
+      }
       break;
     case AdmissionStage::kVerify:
       ++stats_.rejected_signature;

@@ -163,6 +163,9 @@ struct GatewayStats {
   obs::Counter orphans_buffered;   // out-of-order gossip held back
   obs::Counter orphans_adopted;    // later attached successfully
   obs::Counter orphans_dropped;    // shed because the buffer was full
+  obs::Counter drain_requests;     // outbox drain chunks received
+  obs::Counter offline_drained;    // offline-envelope txs admitted via drain
+  obs::Counter offline_duplicates; // drain items answered "already settled"
 
   /// Registers every counter under `scope` (e.g. "gateway.g0.admission").
   void attach_to(const obs::Scope& scope) const;

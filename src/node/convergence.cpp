@@ -85,6 +85,48 @@ ConvergenceReport ConvergenceChecker::check() const {
     if (g.milestones().confirmed_count() != ref.milestones().confirmed_count())
       mismatch("confirmed frontier", ref.milestones().confirmed_count(),
                g.milestones().confirmed_count());
+
+    // Offline-exchange registry: derived state, so replicas that agree on
+    // the id set must agree here too — checked explicitly because a
+    // divergence pinpoints the settlement layer, not just "digest differs".
+    if (g.offline_registry().size() != ref.offline_registry().size()) {
+      mismatch("offline registry size", ref.offline_registry().size(),
+               g.offline_registry().size());
+    } else {
+      for (const auto& [key, tx_id] : ref.offline_registry().entries()) {
+        const auto other = g.offline_registry().find(key);
+        if (!other || !(*other == tx_id)) {
+          report.violations.push_back(replica_tag(g) +
+                                      ": offline registry entry differs from " +
+                                      replica_tag(ref));
+          break;
+        }
+      }
+    }
+  }
+
+  // Offline-first contract per device: the outbox fully drained, and every
+  // exchange the device saw settle as admitted/duplicate is registered on
+  // EVERY running replica (explicit verdict, cluster-wide).
+  for (const auto* d : devices_) {
+    const auto device_tag = "device " + std::to_string(d->node_id());
+    if (!d->outbox().empty()) {
+      report.violations.push_back(
+          device_tag + ": outbox not drained (" +
+          std::to_string(d->outbox().size()) + " records queued)");
+    }
+    for (const auto& settled : d->outbox().settled()) {
+      if (settled.kind == SettleKind::kRejected) continue;  // explicit verdict
+      const OfflineKey key{settled.issuer, settled.seq};
+      for (const auto* g : running) {
+        if (!g->offline_registry().contains(key)) {
+          report.violations.push_back(
+              device_tag + ": settled exchange seq " +
+              std::to_string(settled.seq) + " missing from " +
+              replica_tag(*g) + " offline registry");
+        }
+      }
+    }
   }
   return report;
 }

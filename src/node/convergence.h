@@ -10,6 +10,15 @@
 // sketch, ledger total and the confirmed-milestone frontier. Stopped
 // replicas are skipped (a plan may deliberately end with a node down); at
 // least one replica must be running.
+//
+// Offline-first invariant (DESIGN.md section 13): registered light nodes
+// extend the check with the store-and-forward contract — after the finale
+// heal every device outbox must have fully drained (no queued record left
+// behind), every replica must agree on the offline-exchange registry, and
+// every exchange a device settled as admitted-or-duplicate must be present
+// in every replica's registry. Together these say: no offline transaction
+// was lost, and every countersigned exchange ended in an explicit verdict
+// visible cluster-wide.
 #pragma once
 
 #include <optional>
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "node/gateway.h"
+#include "node/light_node.h"
 
 namespace biot::node {
 
@@ -47,6 +57,12 @@ class ConvergenceChecker {
   /// check() time, so registering the whole fleet up front is fine.
   void add_replica(const Gateway* gateway) { replicas_.push_back(gateway); }
 
+  /// Registers a light node for the offline-first invariant: drained outbox
+  /// and cluster-wide settlement of everything it settled. Devices stopped
+  /// for the finale are still checked — the outbox contract holds across
+  /// stop().
+  void add_device(const LightNode* device) { devices_.push_back(device); }
+
   /// Audits every running replica and compares each against the first
   /// running one. Cheap digest comparisons run even when audits are off.
   ConvergenceReport check() const;
@@ -54,6 +70,7 @@ class ConvergenceChecker {
  private:
   ConvergenceOptions options_;
   std::vector<const Gateway*> replicas_;
+  std::vector<const LightNode*> devices_;
 };
 
 }  // namespace biot::node

@@ -85,6 +85,8 @@ void Gateway::build_pipeline() {
   pipeline_->add_observer(std::make_unique<MilestoneObserver>(
       milestones_, tangle_, coordinator_key_));
   pipeline_->add_observer(std::make_unique<AuthObserver>(auth_));
+  pipeline_->add_observer(
+      std::make_unique<OfflineSettlementObserver>(offline_registry_));
   pipeline_->add_observer(std::make_unique<StatsObserver>(stats_));
   pipeline_->set_metrics(&metrics_.admission);
   pipeline_->set_batch_metrics(&metrics_.admission_batch);
@@ -156,6 +158,7 @@ void Gateway::restart(const tangle::Tangle& restored) {
   auth_ = auth::AuthRegistry(manager_key_);
   credit_ = consensus::CreditRegistry(config_.credit);
   milestones_ = tangle::MilestoneTracker{};
+  offline_registry_ = OfflineRegistry{};
   stats_ = GatewayStats{};
   build_pipeline();
   replay(restored);
@@ -437,6 +440,12 @@ void Gateway::on_message(sim::NodeId from, const Bytes& wire) {
       if (rate_limit_allows(msg.value().sender_key))
         handle_data_query(from, msg.value());
       break;
+    case MsgType::kOfflineDrainRequest:
+      // One token per CHUNK, not per transaction: a healing flash crowd is
+      // exactly when the rate limiter must not starve the drain path.
+      if (rate_limit_allows(msg.value().sender_key))
+        handle_offline_drain(from, msg.value());
+      break;
     case MsgType::kBroadcastTx:
       handle_gossip(msg.value());
       break;
@@ -681,6 +690,70 @@ void Gateway::handle_attach(sim::NodeId from, const RpcMessage& msg) {
     }
   }
   reply(from, MsgType::kAttachResult, msg.request_id, result.encode());
+}
+
+void Gateway::handle_offline_drain(sim::NodeId from, const RpcMessage& msg) {
+  ++stats_.drain_requests;
+  const auto request = OfflineDrainRequest::decode(msg.body);
+  if (!request) return;  // malformed chunk: drop, don't amplify
+  const auto& txs = request.value().transactions;
+
+  OfflineDrainResult result;
+  result.items.resize(txs.size());
+  std::vector<tangle::Transaction> to_admit;
+  std::vector<std::size_t> admit_slot;  // result index per to_admit entry
+  to_admit.reserve(txs.size());
+  admit_slot.reserve(txs.size());
+
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    auto& item = result.items[i];
+    item.tx_id = txs[i].id();
+    if (txs[i].sender != msg.sender_key) {
+      item.status = ErrorCode::kUnauthorized;
+      continue;
+    }
+    // Explicit-duplicate pre-pass: a record whose (issuer, seq) already
+    // settled — the witness's evidence copy landed first, or the device
+    // crashed after a drain was admitted but before the verdict arrived —
+    // is answered "already settled by <tx>" without any admission work.
+    // Service-edge only: gossip/sync/replay of the settling transactions
+    // themselves must stay byte-identical across replicas.
+    if (!txs[i].payload_encrypted &&
+        OfflineEnvelope::is_offline_payload(txs[i].payload)) {
+      if (const auto envelope = OfflineEnvelope::decode(txs[i].payload)) {
+        const OfflineKey key{envelope.value().record.issuer,
+                             envelope.value().record.outbox_seq};
+        if (const auto settled = offline_registry_.find(key)) {
+          ++stats_.offline_duplicates;
+          item.status = ErrorCode::kReplayDetected;
+          item.tx_id = *settled;  // tell the device which tx settled it
+          continue;
+        }
+      }
+    }
+    admit_slot.push_back(i);
+    to_admit.push_back(txs[i]);
+  }
+
+  // The whole chunk goes through batch admission (one batched signature
+  // verification, one attach batch) — never per-item admit() in a drain
+  // loop, which is what the flash-crowd reconnect would wedge on.
+  const auto statuses = admit_many(to_admit, Ingress::kService);
+  for (std::size_t j = 0; j < statuses.size(); ++j) {
+    auto& item = result.items[admit_slot[j]];
+    item.status = statuses[j].code();
+    if (statuses[j].is_ok()) {
+      ++stats_.offline_drained;
+      // Drained history reaches peers like any service submission.
+      RpcMessage gossip;
+      gossip.type = MsgType::kBroadcastTx;
+      gossip.sender_key = identity_.public_identity().sign_key;
+      gossip.body = to_admit[j].encode();
+      const Bytes wire = gossip.encode();
+      for (const auto peer : peers_) network_.send(id_, peer, wire);
+    }
+  }
+  reply(from, MsgType::kOfflineDrainResult, msg.request_id, result.encode());
 }
 
 void Gateway::buffer_orphan(const tangle::TxId& missing_parent,

@@ -20,6 +20,7 @@
 #include "consensus/policy.h"
 #include "consensus/pow.h"
 #include "node/admission.h"
+#include "node/offline.h"
 #include "node/rpc.h"
 #include "sim/network.h"
 #include "tangle/ledger.h"
@@ -167,6 +168,10 @@ class Gateway {
   /// Confirmation status under both rules (weight threshold + milestones).
   ConfirmationInfo confirmation_status(const tangle::TxId& id) const;
   const consensus::CreditRegistry& credit_registry() const { return credit_; }
+  /// Settled offline exchanges, (issuer, outbox_seq) -> settling tx.
+  /// Derived from the tangle by OfflineSettlementObserver, so it is
+  /// replica-convergent and rebuilt by restart() like all derived state.
+  const OfflineRegistry& offline_registry() const { return offline_registry_; }
   const GatewayStats& stats() const { return stats_; }
   const GatewayMetrics& metrics() const { return metrics_; }
 
@@ -243,6 +248,7 @@ class Gateway {
   void handle_attach(sim::NodeId from, const RpcMessage& msg);
   void handle_confirm_query(sim::NodeId from, const RpcMessage& msg);
   void handle_data_query(sim::NodeId from, const RpcMessage& msg);
+  void handle_offline_drain(sim::NodeId from, const RpcMessage& msg);
   void handle_gossip(const RpcMessage& msg);
   void handle_sync_summary(sim::NodeId from, const RpcMessage& msg);
   void handle_sync_inventory_request(sim::NodeId from, const RpcMessage& msg);
@@ -330,6 +336,7 @@ class Gateway {
   QualityInspector quality_inspector_;
   std::optional<crypto::Ed25519PublicKey> coordinator_key_;
   tangle::MilestoneTracker milestones_;
+  OfflineRegistry offline_registry_;
   GatewayStats stats_;
   GatewayMetrics metrics_;
   std::unique_ptr<AdmissionPipeline> pipeline_;

@@ -1,6 +1,10 @@
 #include "node/light_node.h"
 
+#include <algorithm>
+
+#include "common/codec.h"
 #include "common/log.h"
+#include "storage/blob_io.h"
 
 namespace biot::node {
 
@@ -17,6 +21,9 @@ void LightNodeStats::attach_to(const obs::Scope& scope) const {
   scope.attach("timeouts", &timeouts);
   scope.attach("failovers", &failovers);
   scope.attach("failbacks", &failbacks);
+  scope.attach("went_offline", &went_offline);
+  scope.attach("offers_sent", &offers_sent);
+  scope.attach("witnessed", &witnessed);
   scope.attach("pow_sim_s", &pow_sim_s);
 }
 
@@ -31,7 +38,8 @@ LightNode::LightNode(sim::NodeId id, crypto::Identity identity,
       config_(config),
       csprng_(0xb107ull * (id + 1)),
       rng_(0x11aull * (id + 1)),
-      miner_(std::uint64_t{id} << 32) {
+      miner_(std::uint64_t{id} << 32),
+      outbox_(config.outbox) {
   data_source_ = [this] { return csprng_.bytes(config_.payload_size); };
 }
 
@@ -40,35 +48,85 @@ void LightNode::start() {
   network_.attach(id_, [this](sim::NodeId from, const Bytes& wire) {
     on_message(from, wire);
   });
-  network_.scheduler().at(config_.start_time, [this] { begin_cycle(); });
+  // max() because a restarted device re-enters an already-advanced clock.
+  network_.scheduler().at(std::max(config_.start_time, now()),
+                          [this, epoch = lifecycle_epoch_] {
+                            if (running_ && lifecycle_epoch_ == epoch)
+                              begin_cycle();
+                          });
   schedule_failback_probe();
 }
 
 void LightNode::stop() {
   if (!running_) return;
   running_ = false;
+  // Timers scheduled by this life must not fire into the next one: every
+  // scheduled lambda captured the current epoch and expires on mismatch.
+  ++lifecycle_epoch_;
   network_.detach(id_);
   cycle_in_flight_ = false;
   awaiting_results_ = 0;
   probe_request_id_ = 0;
+  probe_attempts_ = 0;
+  drain_request_id_ = 0;
+  drain_in_flight_.clear();
+  offline_ = false;
+}
+
+Duration LightNode::probe_delay() {
+  Duration delay = config_.failback_probe_interval;
+  for (std::uint32_t i = 0; i < probe_attempts_; ++i) {
+    delay *= config_.probe_backoff_factor;
+    if (delay >= config_.probe_interval_max) break;
+  }
+  delay = std::min(delay, config_.probe_interval_max);
+  // Per-device jitter: a fleet that lost its gateway together must not hammer
+  // it in lockstep when it returns.
+  return delay * (1.0 + config_.probe_jitter * rng_.uniform());
+}
+
+Duration LightNode::drain_backoff() {
+  Duration delay = config_.drain_backoff_base;
+  for (std::uint32_t i = 1; i < drain_failures_; ++i) {
+    delay *= 2.0;
+    if (delay >= config_.drain_backoff_max) break;
+  }
+  delay = std::min(delay, config_.drain_backoff_max);
+  return delay * (1.0 + config_.probe_jitter * rng_.uniform());
 }
 
 void LightNode::schedule_failback_probe() {
   if (config_.failback_probe_interval <= 0.0) return;
-  network_.scheduler().after(config_.failback_probe_interval, [this] {
-    if (!running_) return;
-    if (gateway_ != home_gateway_) {
-      // Probe the primary with a plain tips request; ANY answer (even
-      // "unauthorized" — the auth list may still be resyncing) proves it is
-      // back. Sent outside the submission cycle so a dead primary costs
-      // nothing but this message.
-      probe_request_id_ = next_request_id_++;
-      RpcMessage msg;
-      msg.type = MsgType::kGetTipsRequest;
-      msg.request_id = probe_request_id_;
-      msg.sender_key = identity_.public_identity().sign_key;
-      network_.send(id_, home_gateway_, msg.encode());
+  network_.scheduler().after(probe_delay(), [this, epoch = lifecycle_epoch_] {
+    if (!running_ || lifecycle_epoch_ != epoch) return;
+    if (probe_request_id_ != 0) {
+      // The previous probe went unanswered; widen the next delay.
+      probe_request_id_ = 0;
+      ++probe_attempts_;
     }
+    if (offline_) {
+      // Recovery probe: round-robin over every known gateway — any answer
+      // ends the outage.
+      const std::size_t known = 1 + backup_gateways_.size();
+      const std::size_t pick = next_probe_gateway_++ % known;
+      probe_target_ = pick == 0 ? home_gateway_ : backup_gateways_[pick - 1];
+    } else if (gateway_ != home_gateway_) {
+      // Failback probe: poke the primary with a plain tips request; ANY
+      // answer (even "unauthorized" — the auth list may still be resyncing)
+      // proves it is back. Sent outside the submission cycle so a dead
+      // primary costs nothing but this message.
+      probe_target_ = home_gateway_;
+    } else {
+      probe_attempts_ = 0;
+      schedule_failback_probe();
+      return;  // homed and online: nothing to probe
+    }
+    probe_request_id_ = next_request_id_++;
+    RpcMessage msg;
+    msg.type = MsgType::kGetTipsRequest;
+    msg.request_id = probe_request_id_;
+    msg.sender_key = identity_.public_identity().sign_key;
+    network_.send(id_, probe_target_, msg.encode());
     schedule_failback_probe();
   });
 }
@@ -94,8 +152,32 @@ void LightNode::send(MsgType type, const Bytes& body) {
   network_.send(id_, gateway_, msg.encode());
 }
 
+void LightNode::note_gateway_alive() {
+  consecutive_timeouts_ = 0;
+  outage_failovers_ = 0;
+}
+
+bool LightNode::note_timeout_maybe_failover() {
+  ++stats_.timeouts;
+  if (++consecutive_timeouts_ >= config_.failover_after_timeouts &&
+      !backup_gateways_.empty()) {
+    if (outage_failovers_ >= backup_gateways_.size()) {
+      // Every backup was tried since the last successful contact: failover
+      // is exhausted, switch to store-and-forward.
+      enter_offline();
+      return true;
+    }
+    ++outage_failovers_;
+    gateway_ = backup_gateways_[next_backup_++ % backup_gateways_.size()];
+    consecutive_timeouts_ = 0;
+    ++stats_.failovers;
+    logger.info() << "node " << id_ << " failing over to gateway " << gateway_;
+  }
+  return false;
+}
+
 void LightNode::begin_cycle() {
-  if (!running_ || cycle_in_flight_) return;
+  if (!running_ || offline_ || cycle_in_flight_) return;
   cycle_in_flight_ = true;
   ++stats_.cycles_started;
   ++cycle_serial_;
@@ -105,33 +187,273 @@ void LightNode::begin_cycle() {
   // repeated silence means the gateway is likely down — fail over.
   if (config_.request_timeout > 0.0) {
     network_.scheduler().after(
-        config_.request_timeout, [this, serial = cycle_serial_] {
-          if (running_ && cycle_in_flight_ && cycle_serial_ == serial) {
-            ++stats_.timeouts;
+        config_.request_timeout,
+        [this, epoch = lifecycle_epoch_, serial = cycle_serial_] {
+          if (running_ && lifecycle_epoch_ == epoch && cycle_in_flight_ &&
+              cycle_serial_ == serial) {
             awaiting_results_ = 0;
-            if (++consecutive_timeouts_ >= config_.failover_after_timeouts &&
-                !backup_gateways_.empty()) {
-              gateway_ = backup_gateways_[next_backup_++ %
-                                          backup_gateways_.size()];
-              consecutive_timeouts_ = 0;
-              ++stats_.failovers;
-              logger.info() << "node " << id_ << " failing over to gateway "
-                            << gateway_;
-            }
-            schedule_next_cycle();
+            if (!note_timeout_maybe_failover()) schedule_next_cycle();
           }
         });
   }
 }
 
-void LightNode::schedule_next_cycle() {
+void LightNode::schedule_next_cycle(Duration extra_delay) {
   cycle_in_flight_ = false;
-  if (config_.continuous) {
-    network_.scheduler().after(0.0, [this] { begin_cycle(); });
-  } else {
-    network_.scheduler().after(config_.collect_interval, [this] { begin_cycle(); });
+  Duration delay = config_.continuous ? 0.0 : config_.collect_interval;
+  // A non-empty outbox is backlog: keep draining chunk after chunk instead
+  // of waiting out the collect interval (backoff arrives via extra_delay).
+  if (!offline_ && !outbox_.empty()) delay = 0.0;
+  delay += extra_delay;
+  network_.scheduler().after(delay, [this, epoch = lifecycle_epoch_] {
+    if (running_ && lifecycle_epoch_ == epoch) begin_cycle();
+  });
+}
+
+// ---- Offline mode ----------------------------------------------------------
+
+void LightNode::enter_offline() {
+  if (offline_) return;
+  offline_ = true;
+  ++stats_.went_offline;
+  cycle_in_flight_ = false;
+  awaiting_results_ = 0;
+  ++cycle_serial_;  // expire any in-flight cycle/drain watchdog
+  consecutive_timeouts_ = 0;
+  drain_request_id_ = 0;
+  drain_in_flight_.clear();
+  logger.info() << "node " << id_
+                << " offline: failover exhausted, queueing to outbox";
+  network_.scheduler().after(0.0, [this, epoch = lifecycle_epoch_] {
+    if (running_ && lifecycle_epoch_ == epoch) offline_cycle();
+  });
+}
+
+void LightNode::exit_offline(sim::NodeId reachable_gateway) {
+  offline_ = false;
+  gateway_ = reachable_gateway;
+  consecutive_timeouts_ = 0;
+  outage_failovers_ = 0;
+  drain_failures_ = 0;
+  if (reachable_gateway == home_gateway_) ++stats_.failbacks;
+  logger.info() << "node " << id_ << " back online via gateway "
+                << reachable_gateway << ", " << outbox_.size()
+                << " records queued";
+  network_.scheduler().after(0.0, [this, epoch = lifecycle_epoch_] {
+    if (running_ && lifecycle_epoch_ == epoch) begin_cycle();
+  });
+}
+
+void LightNode::offline_cycle() {
+  if (!running_ || !offline_) return;
+  OfflineRecord record;
+  record.issuer = identity_.public_identity().sign_key;
+  record.outbox_seq = outbox_.next_seq();
+  record.issued_at = now();
+  auto [payload, encrypted] = protector_.protect(data_source_(), csprng_);
+  record.payload = std::move(payload);
+  record.payload_encrypted = encrypted;
+  record.signature = identity_.sign(record.signing_bytes());
+
+  const Bytes record_wire = record.encode();
+  outbox_.enqueue(std::move(record), now());
+
+  // Offer the record to a co-located peer for countersigning (IoTLogBlock
+  // exchange) — round-robin so one peer does not carry all the evidence.
+  if (!exchange_peers_.empty()) {
+    const auto peer =
+        exchange_peers_[next_exchange_peer_++ % exchange_peers_.size()];
+    RpcMessage msg;
+    msg.type = MsgType::kOfflineOffer;
+    msg.request_id = next_request_id_++;
+    msg.sender_key = identity_.public_identity().sign_key;
+    msg.body = record_wire;
+    network_.send(id_, peer, msg.encode());
+    ++stats_.offers_sent;
+  }
+
+  // Offline collection always paces at collect_interval, even in continuous
+  // mode: there is no gateway round trip to self-clock against, and an
+  // unpaced loop would spin the outbox at simulator speed.
+  network_.scheduler().after(config_.collect_interval,
+                             [this, epoch = lifecycle_epoch_] {
+                               if (running_ && lifecycle_epoch_ == epoch)
+                                 offline_cycle();
+                             });
+}
+
+void LightNode::drain_outbox(const TipsResponse& tips) {
+  const auto chunk = outbox_.peek(config_.drain_chunk);
+  if (chunk.empty()) {
+    schedule_next_cycle();
+    return;
+  }
+  OfflineDrainRequest request;
+  request.transactions.reserve(chunk.size());
+  drain_in_flight_.clear();
+  drain_in_flight_.reserve(chunk.size());
+  Duration total_pow = 0.0;
+  // The chunk chains: each transaction approves the one built before it
+  // (admit_many attaches in input order, so in-batch parents resolve).
+  // Re-approving one fixed tip pair sixteen times would read as lazy-tips
+  // misbehaviour after the first two attach, tanking the device's credit
+  // and spiralling its required difficulty mid-drain.
+  tangle::TipPair parents{tips.tip1, tips.tip2};
+  for (const auto* entry : chunk) {
+    // Budgeted commitment: stop growing the chunk once its simulated PoW
+    // cost is spent (always ship at least one transaction). A difficulty
+    // spike then costs one short round instead of one enormous one, and
+    // the per-round watchdog keeps covering the whole mine.
+    if (!request.transactions.empty() &&
+        total_pow >= config_.drain_pow_budget) {
+      break;
+    }
+    OfflineEnvelope envelope{entry->record, entry->receipt};
+    auto tx = build_tx(parents, tips.required_difficulty,
+                       sequence_++, envelope.encode(), /*encrypted=*/false);
+    const auto mined = miner_.mine(tx.parent1, tx.parent2, tx.difficulty);
+    tx.nonce = mined->nonce;
+    tx.signature = identity_.sign(tx.signing_bytes());
+    parents = {tx.id(), tx.parent1};
+    const Duration pow_time =
+        config_.profile.sample_pow_time(tx.difficulty, rng_);
+    stats_.pow_durations.push_back(pow_time);
+    stats_.pow_sim_s.observe(pow_time);
+    total_pow += pow_time;
+    drain_in_flight_.push_back(
+        OfflineKey{entry->record.issuer, entry->record.outbox_seq});
+    request.transactions.push_back(std::move(tx));
+  }
+
+  // The chunk mines for total_pow simulated seconds before it can ship, so
+  // the begin_cycle watchdog (armed at request_timeout) would fire mid-mine.
+  // Bump the serial to expire it and arm a fresh one sized to the real
+  // round trip.
+  ++cycle_serial_;
+  drain_request_id_ = next_request_id_++;
+  const Duration send_delay = config_.tip_validation_s + total_pow;
+  network_.scheduler().after(
+      send_delay, [this, epoch = lifecycle_epoch_, rid = drain_request_id_,
+                   wire = request.encode()] {
+        if (!running_ || lifecycle_epoch_ != epoch) return;
+        if (drain_request_id_ != rid) return;  // expired by a timeout
+        RpcMessage msg;
+        msg.type = MsgType::kOfflineDrainRequest;
+        msg.request_id = rid;
+        msg.sender_key = identity_.public_identity().sign_key;
+        msg.body = wire;
+        network_.send(id_, gateway_, msg.encode());
+      });
+  if (config_.request_timeout > 0.0) {
+    network_.scheduler().after(
+        send_delay + config_.request_timeout,
+        [this, epoch = lifecycle_epoch_, serial = cycle_serial_] {
+          if (!running_ || lifecycle_epoch_ != epoch || !cycle_in_flight_ ||
+              cycle_serial_ != serial) {
+            return;
+          }
+          // Drain chunk went unanswered. Entries stay queued (nothing was
+          // settled) and the next attempt backs off.
+          drain_request_id_ = 0;
+          drain_in_flight_.clear();
+          ++drain_failures_;
+          ++outbox_.stats().backoff_events;
+          if (!note_timeout_maybe_failover())
+            schedule_next_cycle(drain_backoff());
+        });
   }
 }
+
+void LightNode::on_drain_result(const OfflineDrainResult& result) {
+  note_gateway_alive();
+  bool retry_needed = false;
+  bool progressed = false;
+  const std::size_t n =
+      std::min(result.items.size(), drain_in_flight_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& key = drain_in_flight_[i];
+    const auto code = result.items[i].status;
+    if (code == ErrorCode::kOk) {
+      outbox_.settle(key.issuer, key.seq, SettleKind::kAdmitted, now());
+      progressed = true;
+    } else if (code == ErrorCode::kReplayDetected) {
+      // Another carrier (peer evidence, or our own pre-crash drain) already
+      // settled this exchange — explicit duplicate, not a loss.
+      outbox_.settle(key.issuer, key.seq, SettleKind::kDuplicate, now());
+      progressed = true;
+    } else if (code == ErrorCode::kPowInvalid || code == ErrorCode::kTimeout ||
+               code == ErrorCode::kNotFound || code == ErrorCode::kInternal) {
+      // Transient: stale difficulty, missing parents, or gateway-side
+      // pressure. Keep the entry queued and retry.
+      retry_needed = true;
+    } else {
+      outbox_.settle(key.issuer, key.seq, SettleKind::kRejected, now());
+      progressed = true;
+    }
+  }
+  drain_in_flight_.clear();
+  drain_request_id_ = 0;
+  if (!cycle_in_flight_) return;  // the drain watchdog already gave up
+  Duration extra = 0.0;
+  if (retry_needed && !progressed) {
+    // Nothing in the chunk settled: the gateway is refusing or overwhelmed,
+    // so hammering it again immediately only feeds the storm — back off.
+    ++drain_failures_;
+    ++outbox_.stats().backoff_events;
+    extra = drain_backoff();
+  } else if (progressed) {
+    // The queue moved (a chunk tail can legitimately bounce with kNotFound
+    // when a mid-chunk duplicate broke the parent chain) — keep draining at
+    // full speed and re-chunk from the survivors.
+    drain_failures_ = 0;
+  }
+  schedule_next_cycle(extra);
+}
+
+void LightNode::handle_offline_offer(sim::NodeId from, const RpcMessage& msg) {
+  auto decoded = OfflineRecord::decode(msg.body);
+  if (!decoded) return;
+  const auto& record = decoded.value();
+  if (record.issuer == identity_.public_identity().sign_key) return;
+  if (!(record.issuer == msg.sender_key)) return;  // only the issuer offers
+  if (!record.verify()) return;
+
+  OfflineReceipt receipt;
+  receipt.witness = identity_.public_identity().sign_key;
+  receipt.record_digest = record.digest();
+  receipt.witnessed_at = now();
+  receipt.signature = identity_.sign(receipt.signing_bytes());
+
+  // First sighting of this (issuer, seq): optionally keep an evidence copy in
+  // our own outbox so either party alone can settle the exchange later.
+  // Repeat offers (the peer may have lost our receipt) are countersigned
+  // again but never re-stored.
+  const OfflineKey key{record.issuer, record.outbox_seq};
+  if (witnessed_keys_.insert(key).second) {
+    ++stats_.witnessed;
+    if (config_.store_witness_evidence) {
+      if (outbox_.enqueue(record, now())) outbox_.attach_receipt(receipt);
+    }
+  }
+
+  RpcMessage out;
+  out.type = MsgType::kOfflineReceipt;
+  out.request_id = msg.request_id;
+  out.sender_key = identity_.public_identity().sign_key;
+  out.body = receipt.encode();
+  network_.send(id_, from, out.encode());
+}
+
+void LightNode::handle_offline_receipt(const RpcMessage& msg) {
+  auto decoded = OfflineReceipt::decode(msg.body);
+  if (!decoded) return;
+  auto receipt = std::move(decoded).take();
+  if (!(receipt.witness == msg.sender_key)) return;
+  if (!receipt.verify()) return;
+  outbox_.attach_receipt(std::move(receipt));
+}
+
+// ---- Message handling ------------------------------------------------------
 
 void LightNode::on_message(sim::NodeId from, const Bytes& wire) {
   const auto msg = RpcMessage::decode(wire);
@@ -143,12 +465,17 @@ void LightNode::on_message(sim::NodeId from, const Bytes& wire) {
     case MsgType::kGetTipsResponse: {
       if (probe_request_id_ != 0 &&
           msg.value().request_id == probe_request_id_) {
-        // Failback probe answered: the primary is back. Not fed to on_tips —
-        // probes must not start a submission outside the cycle.
+        // Probe answered. Not fed to on_tips — probes must not start a
+        // submission outside the cycle.
         probe_request_id_ = 0;
+        probe_attempts_ = 0;
+        if (offline_) {
+          exit_offline(probe_target_);
+          break;
+        }
         if (gateway_ != home_gateway_) {
           gateway_ = home_gateway_;
-          consecutive_timeouts_ = 0;
+          note_gateway_alive();
           ++stats_.failbacks;
           logger.info() << "node " << id_ << " failing back to gateway "
                         << gateway_;
@@ -174,6 +501,20 @@ void LightNode::on_message(sim::NodeId from, const Bytes& wire) {
       if (result) on_result(result.value());
       break;
     }
+    case MsgType::kOfflineDrainResult: {
+      const auto result = OfflineDrainResult::decode(msg.value().body);
+      if (result && drain_request_id_ != 0 &&
+          msg.value().request_id == drain_request_id_) {
+        on_drain_result(result.value());
+      }
+      break;
+    }
+    case MsgType::kOfflineOffer:
+      handle_offline_offer(from, msg.value());
+      break;
+    case MsgType::kOfflineReceipt:
+      handle_offline_receipt(msg.value());
+      break;
     case MsgType::kConfirmResponse: {
       const auto info = ConfirmationInfo::decode(msg.value().body);
       if (info) last_confirmation_ = info.value();
@@ -214,7 +555,10 @@ void LightNode::mine_and_submit(tangle::Transaction tx) {
     ++awaiting_results_;
     network_.scheduler().after(
         config_.tip_validation_s,
-        [this, wire = tx.encode()] { send(MsgType::kAttachRequest, wire); });
+        [this, epoch = lifecycle_epoch_, wire = tx.encode()] {
+          if (running_ && lifecycle_epoch_ == epoch)
+            send(MsgType::kAttachRequest, wire);
+        });
     return;
   }
 
@@ -233,13 +577,24 @@ void LightNode::mine_and_submit(tangle::Transaction tx) {
   ++awaiting_results_;
   network_.scheduler().after(
       config_.tip_validation_s + pow_time,
-      [this, wire = tx.encode()] { send(MsgType::kSubmitTx, wire); });
+      [this, epoch = lifecycle_epoch_, wire = tx.encode()] {
+        if (running_ && lifecycle_epoch_ == epoch)
+          send(MsgType::kSubmitTx, wire);
+      });
 }
 
 void LightNode::on_tips(const TipsResponse& tips) {
   if (tips.status != ErrorCode::kOk) {
     ++stats_.unauthorized;
     schedule_next_cycle();
+    return;
+  }
+  note_gateway_alive();
+
+  // Reconnect backlog first: queued offline records drain in bounded chunks
+  // before fresh collection resumes.
+  if (!outbox_.empty()) {
+    drain_outbox(tips);
     return;
   }
 
@@ -281,7 +636,7 @@ void LightNode::on_tips(const TipsResponse& tips) {
 }
 
 void LightNode::on_result(const SubmitResult& result) {
-  consecutive_timeouts_ = 0;  // the gateway is alive
+  note_gateway_alive();  // the gateway is alive
   if (result.status == ErrorCode::kOk) {
     ++stats_.accepted;
     stats_.accepted_times.push_back(now());
@@ -316,6 +671,32 @@ void LightNode::handle_keydist(const RpcMessage& msg, sim::NodeId from) {
       logger.warn() << "node " << id_ << ": M3 rejected: " << status.to_string();
     }
   }
+}
+
+// ---- Offline persistence ---------------------------------------------------
+
+Bytes LightNode::serialize_offline_state() const {
+  Writer w;
+  w.u64(sequence_);
+  w.blob(outbox_.serialize());
+  return storage::frame_blob(w.bytes());
+}
+
+Status LightNode::restore_offline_state(ByteView wire) {
+  auto body = storage::unframe_blob(wire);
+  if (!body) return body.status();
+  Reader r(body.value());
+  const auto seq = r.u64();
+  if (!seq) return seq.status();
+  const auto outbox_wire = r.blob();
+  if (!outbox_wire) return outbox_wire.status();
+  const auto status = outbox_.restore(outbox_wire.value());
+  if (!status.is_ok()) return status;
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "offline state: trailing bytes");
+  sequence_ = seq.value();
+  return Status::ok();
 }
 
 }  // namespace biot::node

@@ -6,6 +6,14 @@
 // while the *simulated* duration comes from the device's compute profile, so
 // the discrete-event clock reproduces Raspberry-Pi-scale timings.
 //
+// Offline-first operation (DESIGN.md section 13): when failover exhausts —
+// every known gateway unreachable — the device keeps collecting. Readings
+// become signed OfflineRecords queued in a bounded node::Outbox, optionally
+// countersigned by a co-located peer (the IoTLogBlock exchange), and on the
+// first successful probe the queue drains to the gateway in bounded chunks
+// through batch admission, with exponential backoff + jitter so a healing
+// flash crowd cannot wedge the admission pipeline.
+//
 // Attack behaviours from the threat model are built in and schedulable:
 // lazy tips (approve a fixed stale pair) and double-spending (submit two
 // transactions on the same sequence slot).
@@ -14,12 +22,15 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "auth/data_protection.h"
 #include "auth/keydist.h"
 #include "consensus/pow.h"
 #include "crypto/identity.h"
+#include "node/offline.h"
+#include "node/outbox.h"
 #include "node/rpc.h"
 #include "obs/metrics.h"
 #include "tangle/tip_selection.h"
@@ -57,9 +68,19 @@ struct LightNodeConfig {
   /// Failback: with failover alone a device never returns to its primary
   /// gateway even after it recovers, so restarts concentrate the whole fleet
   /// on the surviving gateways forever. When > 0, a re-homed device probes
-  /// its primary every this many seconds (a plain tips request outside the
-  /// submission cycle) and fails back on the first answer. 0 disables.
+  /// its primary every roughly this many seconds (a plain tips request
+  /// outside the submission cycle) and fails back on the first answer. The
+  /// same loop is the recovery path out of offline mode, where it probes all
+  /// known gateways round-robin. 0 disables both.
   Duration failback_probe_interval = 5.0;
+  /// Consecutive unanswered probes multiply the interval by this factor
+  /// (capped at probe_interval_max), and every delay is stretched by a
+  /// uniform [0, probe_jitter] fraction from the device's own stream — a
+  /// fleet that lost its gateway together must NOT probe it in lockstep
+  /// when it returns (the reconnect thundering herd).
+  double probe_backoff_factor = 1.5;
+  Duration probe_interval_max = 60.0;
+  double probe_jitter = 0.5;
   /// Upper bound on the PoW difficulty the device will honour from a tips
   /// response. The field arrives over an unauthenticated wire, so a
   /// corrupted (or forged) response could otherwise demand an absurd
@@ -67,6 +88,28 @@ struct LightNodeConfig {
   /// this bound is dropped as malformed and the cycle watchdog retries.
   /// Default comfortably exceeds CreditConfig::max_difficulty (14).
   int max_difficulty = 20;
+
+  // ---- Offline-first (DESIGN.md section 13) -------------------------------
+  /// Store-and-forward queue bounds and overflow policy.
+  OutboxConfig outbox;
+  /// Outbox entries drained per reconnect chunk (one kOfflineDrainRequest
+  /// carrying up to this many transactions through Gateway::admit_many).
+  std::size_t drain_chunk = 16;
+  /// Cap on the simulated PoW time a single drain chunk may commit to
+  /// before shipping (the chunk shrinks to fit). Without it, a difficulty
+  /// spike — a credit penalty mid-reconnect — would have the device
+  /// silently grinding a full chunk for minutes with no request in flight
+  /// and no watchdog armed, indistinguishable from a wedge.
+  Duration drain_pow_budget = 2.0;
+  /// Exponential backoff applied between drain attempts after a retryable
+  /// rejection or a drain timeout: base, doubling per consecutive failure,
+  /// capped, jittered like the probe loop.
+  Duration drain_backoff_base = 1.0;
+  Duration drain_backoff_max = 60.0;
+  /// Keep a countersigned evidence copy of every record this device
+  /// witnesses for a peer, drained later as this device's own submission
+  /// (either party alone settles the exchange; the registry deduplicates).
+  bool store_witness_evidence = true;
 };
 
 struct LightNodeStats {
@@ -78,6 +121,9 @@ struct LightNodeStats {
   obs::Counter timeouts;   // cycles abandoned waiting for the gateway
   obs::Counter failovers;  // times the device re-homed to a backup
   obs::Counter failbacks;  // times it returned to its recovered primary
+  obs::Counter went_offline;   // times failover exhausted into offline mode
+  obs::Counter offers_sent;    // offline records offered to peers
+  obs::Counter witnessed;      // peer records countersigned (receipts sent)
   /// Simulated PoW seconds spent, one entry per mined transaction.
   std::vector<Duration> pow_durations;
   /// Simulated times at which submissions were accepted.
@@ -118,6 +164,23 @@ class LightNode {
   }
   sim::NodeId current_gateway() const { return gateway_; }
 
+  /// Registers a co-located peer device for the offline exchange: while
+  /// offline, each queued record is offered (round-robin) to one peer for
+  /// countersigning.
+  void add_exchange_peer(sim::NodeId peer) { exchange_peers_.push_back(peer); }
+
+  /// True while failover is exhausted and the device is queueing to its
+  /// outbox instead of submitting.
+  bool offline() const { return offline_; }
+  const Outbox& outbox() const { return outbox_; }
+  Outbox& outbox() { return outbox_; }
+
+  /// Persistent offline state (ledger sequence counter + outbox), digest-
+  /// framed: what a real device keeps on flash across power loss. restore
+  /// must run before start().
+  Bytes serialize_offline_state() const;
+  [[nodiscard]] Status restore_offline_state(ByteView wire);
+
   /// Data source override (default: random bytes of config.payload_size).
   void set_data_source(std::function<Bytes()> source) {
     data_source_ = std::move(source);
@@ -148,6 +211,13 @@ class LightNode {
   sim::NodeId node_id() const { return id_; }
   const LightNodeStats& stats() const { return stats_; }
 
+  /// Exports stats plus the outbox instruments under `scope` (the
+  /// SmartFactory binds "device.d<i>"; the outbox lands under ".outbox").
+  void bind_metrics(const obs::Scope& scope) const {
+    stats_.attach_to(scope);
+    outbox_.stats().attach_to(scope.scope("outbox"));
+  }
+
   /// Resumes the per-sender sequence counter after a device restart — the
   /// ledger's slot for this account continues where history left off
   /// (query Gateway::ledger().next_sequence()). Devices persist this in
@@ -157,12 +227,36 @@ class LightNode {
  private:
   void on_message(sim::NodeId from, const Bytes& wire);
   void begin_cycle();
-  void schedule_next_cycle();
-  /// Periodic primary-recovery probe loop (see failback_probe_interval).
+  void schedule_next_cycle(Duration extra_delay = 0.0);
+  /// Periodic primary-recovery / offline-recovery probe loop (see
+  /// failback_probe_interval and the probe_backoff_* knobs).
   void schedule_failback_probe();
   void on_tips(const TipsResponse& tips);
   void on_result(const SubmitResult& result);
   void handle_keydist(const RpcMessage& msg, sim::NodeId from);
+  /// Any response from the current gateway proves it is alive.
+  void note_gateway_alive();
+  /// Shared timeout accounting for the cycle and drain watchdogs; performs
+  /// failover, and returns true when failover was exhausted and the device
+  /// went offline (the caller must not reschedule).
+  bool note_timeout_maybe_failover();
+
+  // ---- Offline mode --------------------------------------------------------
+  /// Failover exhausted: switch collection cycles to the outbox.
+  void enter_offline();
+  /// A gateway answered a probe: resume cycles (the first one drains).
+  void exit_offline(sim::NodeId reachable_gateway);
+  /// One offline collection: sign a record, queue it, offer it to a peer.
+  void offline_cycle();
+  /// Builds and ships one drain chunk bound to the fetched tips.
+  void drain_outbox(const TipsResponse& tips);
+  void on_drain_result(const OfflineDrainResult& result);
+  void handle_offline_offer(sim::NodeId from, const RpcMessage& msg);
+  void handle_offline_receipt(const RpcMessage& msg);
+  /// Current probe delay under exponential backoff + jitter.
+  Duration probe_delay();
+  /// Current drain retry delay under exponential backoff + jitter.
+  Duration drain_backoff();
 
   tangle::Transaction build_tx(const tangle::TipPair& parents, int difficulty,
                                std::uint64_t sequence, Bytes payload,
@@ -178,6 +272,10 @@ class LightNode {
   sim::Network& network_;
   LightNodeConfig config_;
   bool running_ = false;
+  /// Bumped on every stop(); scheduled lambdas from a previous life compare
+  /// against it and expire (a restarted device must not inherit its dead
+  /// predecessor's timers).
+  std::uint64_t lifecycle_epoch_ = 0;
 
   crypto::Csprng csprng_;
   Rng rng_;
@@ -204,9 +302,32 @@ class LightNode {
   std::vector<sim::NodeId> backup_gateways_;
   std::size_t next_backup_ = 0;
   std::uint32_t consecutive_timeouts_ = 0;
-  /// Request id of the in-flight failback probe (0 = none); its response
-  /// triggers the failback instead of feeding the submission cycle.
+  /// Failovers since the last successful gateway contact; once it exceeds
+  /// the number of known gateways the whole list was tried and the device
+  /// goes offline instead of spinning through dead backups.
+  std::uint32_t outage_failovers_ = 0;
+  /// Request id of the in-flight failback/offline probe (0 = none); its
+  /// response triggers failback or offline recovery instead of feeding the
+  /// submission cycle.
   std::uint64_t probe_request_id_ = 0;
+  sim::NodeId probe_target_ = 0;
+  std::uint32_t probe_attempts_ = 0;  // consecutive unanswered probes
+  std::size_t next_probe_gateway_ = 0;  // offline round-robin cursor
+
+  // ---- Offline state -------------------------------------------------------
+  bool offline_ = false;
+  Outbox outbox_;
+  std::vector<sim::NodeId> exchange_peers_;
+  std::size_t next_exchange_peer_ = 0;
+  /// (issuer, seq) pairs this device has countersigned — replay/duplicate
+  /// protection for the exchange protocol.
+  std::unordered_set<OfflineKey, OfflineKeyHash> witnessed_keys_;
+  /// In-flight drain chunk: request id + the records it carries, in order
+  /// (matched against the OfflineDrainResult items).
+  std::uint64_t drain_request_id_ = 0;
+  std::vector<OfflineKey> drain_in_flight_;
+  std::uint32_t drain_failures_ = 0;  // consecutive, drives the backoff
+
   LightNodeStats stats_;
 };
 

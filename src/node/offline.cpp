@@ -1,0 +1,82 @@
+#include "node/offline.h"
+
+#include "common/codec.h"
+
+namespace biot::node {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'O', 'F', 'X', '1'};
+}  // namespace
+
+Bytes OfflineEnvelope::encode() const {
+  Writer w;
+  w.raw(ByteView{kMagic, sizeof kMagic});
+  w.blob(record.encode());
+  w.u8(receipt ? 1 : 0);
+  if (receipt) w.blob(receipt->encode());
+  return std::move(w).take();
+}
+
+bool OfflineEnvelope::is_offline_payload(ByteView payload) {
+  if (payload.size() < sizeof kMagic) return false;
+  for (std::size_t i = 0; i < sizeof kMagic; ++i)
+    if (payload[i] != kMagic[i]) return false;
+  return true;
+}
+
+Result<OfflineEnvelope> OfflineEnvelope::decode(ByteView payload) {
+  if (!is_offline_payload(payload))
+    return Status::error(ErrorCode::kInvalidArgument, "envelope: bad magic");
+  Reader r(payload.subspan(sizeof kMagic));
+  OfflineEnvelope out;
+  const auto record_wire = r.blob();
+  if (!record_wire) return record_wire.status();
+  auto record = OfflineRecord::decode(record_wire.value());
+  if (!record) return record.status();
+  out.record = std::move(record).take();
+  const auto has_receipt = r.u8();
+  if (!has_receipt) return has_receipt.status();
+  if (has_receipt.value() > 1)
+    return Status::error(ErrorCode::kInvalidArgument, "envelope: bad flag");
+  if (has_receipt.value() == 1) {
+    const auto receipt_wire = r.blob();
+    if (!receipt_wire) return receipt_wire.status();
+    auto receipt = OfflineReceipt::decode(receipt_wire.value());
+    if (!receipt) return receipt.status();
+    out.receipt = std::move(receipt).take();
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "envelope: trailing bytes");
+  return out;
+}
+
+void OfflineRegistry::record(const OfflineKey& key,
+                             const tangle::TxId& settled_by) {
+  const auto [it, inserted] = entries_.try_emplace(key, settled_by);
+  // Smallest-id-wins makes the winner independent of attach order, so every
+  // replica converges on the same registry whatever order gossip delivered
+  // the competing carriers in.
+  if (!inserted && settled_by < it->second) it->second = settled_by;
+}
+
+std::optional<tangle::TxId> OfflineRegistry::find(const OfflineKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void OfflineSettlementObserver::on_attach(AttachEvent& event) {
+  if (event.tx.payload_encrypted) return;
+  if (!OfflineEnvelope::is_offline_payload(event.tx.payload)) return;
+  const auto envelope = OfflineEnvelope::decode(event.tx.payload);
+  if (!envelope) return;  // malformed magic-bearing payload: plain data tx
+  // The record signature authenticates the (issuer, seq) claim — without it
+  // any device could squat a peer's sequence slot and censor its drain.
+  if (!envelope.value().record.verify()) return;
+  registry_.record(OfflineKey{envelope.value().record.issuer,
+                              envelope.value().record.outbox_seq},
+                   event.tx.id());
+}
+
+}  // namespace biot::node

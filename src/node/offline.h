@@ -1,0 +1,91 @@
+// Offline exchange settlement: the gateway-side half of the outbox protocol.
+//
+// A drained outbox entry rides inside a normal data transaction whose payload
+// is an OfflineEnvelope: the signed OfflineRecord plus (when a peer
+// countersigned it) the OfflineReceipt. Because a record can reach the tangle
+// through two independent carriers — the issuer draining its own outbox, or
+// the witness submitting its evidence copy — settlement must be idempotent on
+// (issuer, outbox_seq). The OfflineRegistry tracks which key settled under
+// which transaction; it is DERIVED state, rebuilt from the tangle by the
+// OfflineExchangeObserver on every attach (live, gossip, sync and cold-start
+// replay alike), so all replicas converge on the same registry and a
+// restarted gateway re-derives it from chain like credit and the ledger.
+//
+// When the same key is attached by more than one transaction (two carriers
+// raced through different gateways before gossip converged), every replica
+// deterministically keeps the smallest transaction id as the settling one —
+// an order-independent rule, so replicas agree regardless of arrival order.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "node/admission.h"
+#include "node/outbox.h"
+#include "tangle/transaction.h"
+
+namespace biot::node {
+
+/// Payload framing for a drained outbox entry. is_offline_payload() is a
+/// cheap magic check so the attach path only pays a decode for real
+/// envelopes.
+struct OfflineEnvelope {
+  OfflineRecord record;
+  std::optional<OfflineReceipt> receipt;
+
+  Bytes encode() const;
+  static bool is_offline_payload(ByteView payload);
+  static Result<OfflineEnvelope> decode(ByteView payload);
+};
+
+/// Replay/dedup key of an offline exchange.
+struct OfflineKey {
+  crypto::Ed25519PublicKey issuer{};
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const OfflineKey&, const OfflineKey&) = default;
+};
+
+struct OfflineKeyHash {
+  std::size_t operator()(const OfflineKey& key) const {
+    return FixedBytesHash<32>{}(key.issuer) ^
+           (key.seq * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// (issuer, seq) -> the transaction that settled it. Deterministic across
+/// replicas: ties (same key settled by several carriers) keep the smallest
+/// transaction id.
+class OfflineRegistry {
+ public:
+  /// Records `settled_by` for `key`; keeps the smaller id on collision.
+  void record(const OfflineKey& key, const tangle::TxId& settled_by);
+
+  bool contains(const OfflineKey& key) const { return entries_.contains(key); }
+  std::optional<tangle::TxId> find(const OfflineKey& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  const std::unordered_map<OfflineKey, tangle::TxId, OfflineKeyHash>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<OfflineKey, tangle::TxId, OfflineKeyHash> entries_;
+};
+
+/// Admission observer feeding the registry: every attached transaction whose
+/// payload is an offline envelope settles its (issuer, seq). Runs on every
+/// ingress — service, gossip, sync, orphan retry and replay — which is what
+/// makes the registry replica-convergent and restart-derivable.
+class OfflineSettlementObserver : public AttachObserver {
+ public:
+  explicit OfflineSettlementObserver(OfflineRegistry& registry)
+      : registry_(registry) {}
+  void on_attach(AttachEvent& event) override;
+
+ private:
+  OfflineRegistry& registry_;
+};
+
+}  // namespace biot::node

@@ -1,0 +1,263 @@
+#include "node/outbox.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "crypto/ed25519.h"
+#include "storage/blob_io.h"
+
+namespace biot::node {
+
+// ---- OfflineRecord ---------------------------------------------------------
+
+Bytes OfflineRecord::signing_bytes() const {
+  Writer w;
+  w.raw(issuer.view());
+  w.u64(outbox_seq);
+  w.f64(issued_at);
+  w.blob(payload);
+  w.u8(payload_encrypted ? 1 : 0);
+  return std::move(w).take();
+}
+
+Bytes OfflineRecord::encode() const {
+  Writer w;
+  w.raw(signing_bytes());
+  w.raw(signature.view());
+  return std::move(w).take();
+}
+
+Result<OfflineRecord> OfflineRecord::decode(ByteView wire) {
+  Reader r(wire);
+  OfflineRecord out;
+  const auto issuer = r.raw(32);
+  if (!issuer) return issuer.status();
+  out.issuer = crypto::Ed25519PublicKey::from_view(issuer.value());
+  const auto seq = r.u64();
+  if (!seq) return seq.status();
+  out.outbox_seq = seq.value();
+  const auto at = r.f64();
+  if (!at) return at.status();
+  out.issued_at = at.value();
+  auto payload = r.blob();
+  if (!payload) return payload.status();
+  out.payload = std::move(payload).take();
+  const auto enc = r.u8();
+  if (!enc) return enc.status();
+  if (enc.value() > 1)
+    return Status::error(ErrorCode::kInvalidArgument, "record: bad flag");
+  out.payload_encrypted = enc.value() != 0;
+  const auto sig = r.raw(64);
+  if (!sig) return sig.status();
+  out.signature = crypto::Ed25519Signature::from_view(sig.value());
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "record: trailing bytes");
+  return out;
+}
+
+crypto::Sha256Digest OfflineRecord::digest() const {
+  return crypto::Sha256::hash(signing_bytes());
+}
+
+bool OfflineRecord::verify() const {
+  return crypto::ed25519_verify(issuer, signing_bytes(), signature);
+}
+
+// ---- OfflineReceipt --------------------------------------------------------
+
+Bytes OfflineReceipt::signing_bytes() const {
+  Writer w;
+  w.raw(witness.view());
+  w.raw(record_digest.view());
+  w.f64(witnessed_at);
+  return std::move(w).take();
+}
+
+Bytes OfflineReceipt::encode() const {
+  Writer w;
+  w.raw(signing_bytes());
+  w.raw(signature.view());
+  return std::move(w).take();
+}
+
+Result<OfflineReceipt> OfflineReceipt::decode(ByteView wire) {
+  Reader r(wire);
+  OfflineReceipt out;
+  const auto witness = r.raw(32);
+  if (!witness) return witness.status();
+  out.witness = crypto::Ed25519PublicKey::from_view(witness.value());
+  const auto digest = r.raw(32);
+  if (!digest) return digest.status();
+  out.record_digest = crypto::Sha256Digest::from_view(digest.value());
+  const auto at = r.f64();
+  if (!at) return at.status();
+  out.witnessed_at = at.value();
+  const auto sig = r.raw(64);
+  if (!sig) return sig.status();
+  out.signature = crypto::Ed25519Signature::from_view(sig.value());
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "receipt: trailing bytes");
+  return out;
+}
+
+bool OfflineReceipt::verify() const {
+  return crypto::ed25519_verify(witness, signing_bytes(), signature);
+}
+
+// ---- Outbox ----------------------------------------------------------------
+
+void OutboxStats::attach_to(const obs::Scope& scope) const {
+  scope.attach("enqueued", &enqueued);
+  scope.attach("dropped", &dropped);
+  scope.attach("drained", &drained);
+  scope.attach("duplicates", &duplicates);
+  scope.attach("rejected", &rejected);
+  scope.attach("receipts", &receipts);
+  scope.attach("backoff_events", &backoff_events);
+  scope.attach("depth", &depth);
+  scope.attach("drain_latency_s", &drain_latency_s);
+}
+
+bool Outbox::enqueue(OfflineRecord record, TimePoint now) {
+  if (entries_.size() >= config_.capacity) {
+    ++stats_.dropped;
+    if (config_.overflow == OutboxConfig::OverflowPolicy::kRejectNew) {
+      stats_.depth.set(static_cast<double>(entries_.size()));
+      return false;
+    }
+    entries_.pop_front();  // freshest data wins
+  }
+  entries_.push_back(OutboxEntry{std::move(record), std::nullopt, now});
+  ++stats_.enqueued;
+  stats_.depth.set(static_cast<double>(entries_.size()));
+  return true;
+}
+
+bool Outbox::attach_receipt(OfflineReceipt receipt) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&receipt](const OutboxEntry& e) {
+                                 return e.record.digest() ==
+                                        receipt.record_digest;
+                               });
+  if (it == entries_.end()) return false;
+  it->receipt = std::move(receipt);
+  ++stats_.receipts;
+  return true;
+}
+
+std::vector<const OutboxEntry*> Outbox::peek(std::size_t limit) const {
+  std::vector<const OutboxEntry*> out;
+  out.reserve(std::min(limit, entries_.size()));
+  for (const auto& entry : entries_) {
+    if (out.size() >= limit) break;
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+void Outbox::settle(const crypto::Ed25519PublicKey& issuer, std::uint64_t seq,
+                    SettleKind kind, TimePoint now) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&issuer, seq](const OutboxEntry& e) {
+                                 return e.record.outbox_seq == seq &&
+                                        e.record.issuer == issuer;
+                               });
+  if (it == entries_.end()) return;
+  if (kind == SettleKind::kAdmitted) {
+    ++stats_.drained;
+    stats_.drain_latency_s.observe(now - it->enqueued_at);
+  } else if (kind == SettleKind::kDuplicate) {
+    ++stats_.duplicates;
+  } else {
+    ++stats_.rejected;
+  }
+  settled_.push_back(SettledRecord{issuer, seq, kind});
+  entries_.erase(it);
+  stats_.depth.set(static_cast<double>(entries_.size()));
+}
+
+Bytes Outbox::serialize() const {
+  Writer w;
+  w.u64(next_seq_);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& entry : entries_) {
+    w.blob(entry.record.encode());
+    w.u8(entry.receipt ? 1 : 0);
+    if (entry.receipt) w.blob(entry.receipt->encode());
+    w.f64(entry.enqueued_at);
+  }
+  w.u32(static_cast<std::uint32_t>(settled_.size()));
+  for (const auto& rec : settled_) {
+    w.raw(rec.issuer.view());
+    w.u64(rec.seq);
+    w.u8(static_cast<std::uint8_t>(rec.kind));
+  }
+  return storage::frame_blob(w.bytes());
+}
+
+Status Outbox::restore(ByteView wire) {
+  auto body = storage::unframe_blob(wire);
+  if (!body) return body.status();
+  Reader r(body.value());
+
+  const auto next = r.u64();
+  if (!next) return next.status();
+  const auto count = r.u32();
+  if (!count) return count.status();
+  std::deque<OutboxEntry> entries;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    OutboxEntry entry;
+    const auto record_wire = r.blob();
+    if (!record_wire) return record_wire.status();
+    auto record = OfflineRecord::decode(record_wire.value());
+    if (!record) return record.status();
+    entry.record = std::move(record).take();
+    const auto has_receipt = r.u8();
+    if (!has_receipt) return has_receipt.status();
+    if (has_receipt.value() > 1)
+      return Status::error(ErrorCode::kInvalidArgument, "outbox: bad flag");
+    if (has_receipt.value() == 1) {
+      const auto receipt_wire = r.blob();
+      if (!receipt_wire) return receipt_wire.status();
+      auto receipt = OfflineReceipt::decode(receipt_wire.value());
+      if (!receipt) return receipt.status();
+      entry.receipt = std::move(receipt).take();
+    }
+    const auto at = r.f64();
+    if (!at) return at.status();
+    entry.enqueued_at = at.value();
+    entries.push_back(std::move(entry));
+  }
+
+  const auto settled_count = r.u32();
+  if (!settled_count) return settled_count.status();
+  std::vector<SettledRecord> settled;
+  settled.reserve(
+      std::min<std::size_t>(settled_count.value(), r.remaining() / 41));
+  for (std::uint32_t i = 0; i < settled_count.value(); ++i) {
+    SettledRecord rec;
+    const auto issuer = r.raw(32);
+    if (!issuer) return issuer.status();
+    rec.issuer = crypto::Ed25519PublicKey::from_view(issuer.value());
+    const auto seq = r.u64();
+    if (!seq) return seq.status();
+    rec.seq = seq.value();
+    const auto kind = r.u8();
+    if (!kind) return kind.status();
+    if (kind.value() > static_cast<std::uint8_t>(SettleKind::kRejected))
+      return Status::error(ErrorCode::kInvalidArgument, "outbox: bad settle");
+    rec.kind = static_cast<SettleKind>(kind.value());
+    settled.push_back(rec);
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "outbox: trailing bytes");
+
+  next_seq_ = next.value();
+  entries_ = std::move(entries);
+  settled_ = std::move(settled);
+  stats_.depth.set(static_cast<double>(entries_.size()));
+  return Status::ok();
+}
+
+}  // namespace biot::node

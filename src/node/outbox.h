@@ -1,0 +1,166 @@
+// Store-and-forward outbox for offline-first light nodes.
+//
+// When a device exhausts failover (no reachable gateway at all) it keeps
+// collecting sensor data: each reading becomes a signed OfflineRecord queued
+// here under a monotonic per-device outbox sequence number. Co-located peers
+// may countersign a record (the IoTLogBlock two-party exchange, LCN 2019) and
+// the receipt rides along with it, so either party can later submit evidence
+// of the exchange. On reconnect the queue drains to a gateway in bounded
+// chunks (light_node.cpp) and every entry is settled exactly once: admitted,
+// explicitly rejected, or recognized as a duplicate of an already-settled
+// copy.
+//
+// The queue is bounded: overflow either drops the oldest entry (freshest-data
+// wins, the sensor default) or rejects the new one, per OverflowPolicy, and
+// counts what it shed — never unbounded growth during a multi-hour outage.
+// serialize()/restore() persist the queue through the storage codec with a
+// trailing digest, so a crash mid-outage or mid-drain loses nothing.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "crypto/identity.h"
+#include "crypto/sha256.h"
+#include "obs/metrics.h"
+
+namespace biot::node {
+
+/// One transaction's worth of sensor data issued while offline. Signed by
+/// the issuing device over signing_bytes(), so a countersigning peer (and
+/// later the gateway) can authenticate it without trusting the carrier.
+struct OfflineRecord {
+  crypto::Ed25519PublicKey issuer{};
+  std::uint64_t outbox_seq = 0;  // per-issuer monotone; replay/dedup key
+  TimePoint issued_at = 0.0;
+  Bytes payload;
+  bool payload_encrypted = false;
+  crypto::Ed25519Signature signature{};
+
+  /// Canonical encoding of everything except the signature.
+  Bytes signing_bytes() const;
+  Bytes encode() const;
+  static Result<OfflineRecord> decode(ByteView wire);
+
+  /// SHA-256 over signing_bytes() — what a receipt countersigns, so the
+  /// receipt stays valid however the record is later framed.
+  crypto::Sha256Digest digest() const;
+  bool verify() const;
+};
+
+/// A peer's countersignature over an OfflineRecord: proof the exchange
+/// happened while both parties were dark. The witness keeps its own copy of
+/// the record, so either side alone suffices to settle the exchange later.
+struct OfflineReceipt {
+  crypto::Ed25519PublicKey witness{};
+  crypto::Sha256Digest record_digest{};
+  TimePoint witnessed_at = 0.0;
+  crypto::Ed25519Signature signature{};
+
+  Bytes signing_bytes() const;
+  Bytes encode() const;
+  static Result<OfflineReceipt> decode(ByteView wire);
+  bool verify() const;
+};
+
+/// What ultimately happened to a drained outbox entry.
+enum class SettleKind : std::uint8_t {
+  kAdmitted = 0,   // attached to the gateway's tangle
+  kDuplicate = 1,  // another copy (peer evidence / pre-crash drain) already
+                   // settled this (issuer, seq); explicit, not silent
+  kRejected = 2,   // terminal gateway rejection (unauthorized, conflict, ...)
+};
+
+struct OutboxConfig {
+  std::size_t capacity = 256;
+  enum class OverflowPolicy : std::uint8_t {
+    kDropOldest = 0,  // freshest data wins (sensor default)
+    kRejectNew = 1,   // earliest data wins (audit-log shape)
+  } overflow = OverflowPolicy::kDropOldest;
+};
+
+struct OutboxStats {
+  obs::Counter enqueued;
+  obs::Counter dropped;     // shed by the overflow policy (either end)
+  obs::Counter drained;     // settled as admitted
+  obs::Counter duplicates;  // settled as already-known duplicates
+  obs::Counter rejected;    // settled as terminal rejections
+  obs::Counter receipts;    // peer countersignatures attached
+  obs::Counter backoff_events;  // drain attempts delayed by backoff
+  obs::Gauge depth;             // live queue depth
+  obs::Histogram drain_latency_s;  // enqueue -> admitted (sim seconds)
+
+  /// Registers everything under `scope` (e.g. "device.d3.outbox").
+  void attach_to(const obs::Scope& scope) const;
+};
+
+struct OutboxEntry {
+  OfflineRecord record;
+  std::optional<OfflineReceipt> receipt;
+  TimePoint enqueued_at = 0.0;
+};
+
+class Outbox {
+ public:
+  explicit Outbox(OutboxConfig config = {}) : config_(config) {}
+
+  /// Next record sequence number (monotone across restore()).
+  std::uint64_t next_seq() { return next_seq_++; }
+
+  /// Queues a record; returns false when the overflow policy rejected it
+  /// (kRejectNew on a full queue). kDropOldest always accepts, shedding the
+  /// head instead.
+  bool enqueue(OfflineRecord record, TimePoint now);
+
+  /// Attaches a peer countersignature to the queued entry whose record
+  /// matches receipt.record_digest. False when the entry is gone (already
+  /// settled or shed).
+  bool attach_receipt(OfflineReceipt receipt);
+
+  /// The first `limit` entries, front (oldest) first — one drain chunk.
+  std::vector<const OutboxEntry*> peek(std::size_t limit) const;
+
+  /// One settled exchange: who issued it, its slot, what happened. Keyed on
+  /// (issuer, seq) — NOT seq alone — because an outbox holding witness
+  /// evidence carries other issuers' records whose sequence spaces overlap
+  /// this device's own.
+  struct SettledRecord {
+    crypto::Ed25519PublicKey issuer{};
+    std::uint64_t seq = 0;
+    SettleKind kind = SettleKind::kAdmitted;
+  };
+
+  /// Removes the entry for (issuer, seq) and records its outcome. No-op when
+  /// the entry is gone (duplicate drain result after a crash window).
+  void settle(const crypto::Ed25519PublicKey& issuer, std::uint64_t seq,
+              SettleKind kind, TimePoint now);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::deque<OutboxEntry>& entries() const { return entries_; }
+  /// Settlement log, in settle order.
+  const std::vector<SettledRecord>& settled() const { return settled_; }
+
+  OutboxStats& stats() { return stats_; }
+  const OutboxStats& stats() const { return stats_; }
+  const OutboxConfig& config() const { return config_; }
+
+  /// Digest-framed snapshot of the queue, the sequence counter and the
+  /// settlement log (storage::frame_blob) — what a device persists.
+  Bytes serialize() const;
+  /// Replaces this outbox's state from a serialize() snapshot.
+  [[nodiscard]] Status restore(ByteView wire);
+
+ private:
+  OutboxConfig config_;
+  std::deque<OutboxEntry> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<SettledRecord> settled_;
+  OutboxStats stats_;
+};
+
+}  // namespace biot::node

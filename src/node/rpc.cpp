@@ -20,7 +20,7 @@ Result<RpcMessage> RpcMessage::decode(ByteView wire) {
   const auto type_byte = r.u8();
   if (!type_byte) return type_byte.status();
   if (type_byte.value() < 1 ||
-      type_byte.value() > static_cast<std::uint8_t>(MsgType::kSyncInventory))
+      type_byte.value() > static_cast<std::uint8_t>(MsgType::kOfflineDrainResult))
     return Status::error(ErrorCode::kInvalidArgument, "rpc: bad message type");
   msg.type = static_cast<MsgType>(type_byte.value());
 
@@ -153,6 +153,66 @@ Result<DataResponse> DataResponse::decode(ByteView wire) {
   }
   if (!r.at_end())
     return Status::error(ErrorCode::kInvalidArgument, "data: trailing bytes");
+  return out;
+}
+
+Bytes OfflineDrainRequest::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(transactions.size()));
+  for (const auto& tx : transactions) w.blob(tx.encode());
+  return std::move(w).take();
+}
+
+Result<OfflineDrainRequest> OfflineDrainRequest::decode(ByteView wire) {
+  Reader r(wire);
+  const auto count = r.u32();
+  if (!count) return count.status();
+  OfflineDrainRequest out;
+  // Attacker-controlled count: bound the reserve by what the body could
+  // physically carry (every blob costs at least its length prefix).
+  out.transactions.reserve(std::min<std::size_t>(
+      count.value(), r.remaining() / sizeof(std::uint32_t)));
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    const auto tx_wire = r.blob();
+    if (!tx_wire) return tx_wire.status();
+    auto tx = tangle::Transaction::decode(tx_wire.value());
+    if (!tx) return tx.status();
+    out.transactions.push_back(std::move(tx).take());
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument, "drain: trailing bytes");
+  return out;
+}
+
+Bytes OfflineDrainResult::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    w.u8(static_cast<std::uint8_t>(item.status));
+    w.raw(item.tx_id.view());
+  }
+  return std::move(w).take();
+}
+
+Result<OfflineDrainResult> OfflineDrainResult::decode(ByteView wire) {
+  Reader r(wire);
+  const auto count = r.u32();
+  if (!count) return count.status();
+  OfflineDrainResult out;
+  out.items.reserve(std::min<std::size_t>(count.value(), r.remaining() / 33));
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    OfflineDrainResult::Item item;
+    const auto st = r.u8();
+    if (!st) return st.status();
+    item.status = static_cast<ErrorCode>(st.value());
+    const auto id = r.raw(32);
+    if (!id) return id.status();
+    item.tx_id = tangle::TxId::from_view(id.value());
+    out.items.push_back(item);
+  }
+  if (!r.at_end())
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "drain result: trailing bytes");
   return out;
 }
 

@@ -35,6 +35,11 @@ enum class MsgType : std::uint8_t {
   kSyncInventoryRequest = 17,  // gateway -> gateway: sketch undecodable,
                                // request the full id inventory (fallback)
   kSyncInventory = 18,   // gateway -> gateway: full id inventory
+  kOfflineOffer = 19,    // device -> device: signed OfflineRecord, offered
+                         // for countersigning while both are dark
+  kOfflineReceipt = 20,  // device -> device: countersignature over the offer
+  kOfflineDrainRequest = 21,  // device -> gateway: one outbox drain chunk
+  kOfflineDrainResult = 22,   // gateway -> device: per-item drain verdicts
 };
 
 /// Envelope for every message on the wire.
@@ -91,6 +96,29 @@ struct DataResponse {
 
   Bytes encode() const;
   static Result<DataResponse> decode(ByteView wire);
+};
+
+/// Body of kOfflineDrainRequest: one bounded chunk of outbox transactions
+/// (kOfflineOffer/kOfflineReceipt bodies are a bare OfflineRecord /
+/// OfflineReceipt encoding — see node/outbox.h).
+struct OfflineDrainRequest {
+  std::vector<tangle::Transaction> transactions;
+
+  Bytes encode() const;
+  static Result<OfflineDrainRequest> decode(ByteView wire);
+};
+
+/// Body of kOfflineDrainResult: one verdict per drained transaction, in
+/// request order.
+struct OfflineDrainResult {
+  struct Item {
+    ErrorCode status = ErrorCode::kOk;
+    tangle::TxId tx_id{};
+  };
+  std::vector<Item> items;
+
+  Bytes encode() const;
+  static Result<OfflineDrainResult> decode(ByteView wire);
 };
 
 /// Body of kSubmitResult.

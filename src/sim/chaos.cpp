@@ -13,6 +13,7 @@ void ChaosStats::attach_to(const obs::Scope& scope) const {
   scope.attach("heals", &heals);
   scope.attach("rate_changes", &rate_changes);
   scope.attach("link_changes", &link_changes);
+  scope.attach("radio_changes", &radio_changes);
 }
 
 namespace {
@@ -89,6 +90,8 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kBandwidth: return "bandwidth";
     case FaultKind::kLinkDown: return "linkdown";
     case FaultKind::kLinkUp: return "linkup";
+    case FaultKind::kRadioOff: return "radiooff";
+    case FaultKind::kRadioOn: return "radioon";
   }
   return "unknown";
 }
@@ -102,7 +105,9 @@ std::string FaultEvent::to_string() const {
     case FaultKind::kRestart:
     case FaultKind::kPartition:
     case FaultKind::kLinkDown:
-    case FaultKind::kLinkUp: {
+    case FaultKind::kLinkUp:
+    case FaultKind::kRadioOff:
+    case FaultKind::kRadioOn: {
       char sep = ':';
       for (const auto id : nodes) {
         out += sep;
@@ -193,6 +198,11 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
           (!parse_number(fields[3], event.value2) || event.value2 < 0.0))
         return parse_error(index, "bad reorder jitter '" + fields[3] + "'");
       event.kind = FaultKind::kReordering;
+    } else if (action == "radiooff" || action == "radioon") {
+      if (!need(1) || !parse_nodes(fields[2], event.nodes))
+        return parse_error(index, action + " needs a node-id group");
+      event.kind =
+          action == "radiooff" ? FaultKind::kRadioOff : FaultKind::kRadioOn;
     } else if (action == "linkdown" || action == "linkup") {
       if (!need(1) || !parse_nodes(fields[2], event.nodes) ||
           event.nodes.size() != 2)
@@ -305,6 +315,14 @@ void ChaosEngine::schedule_finale(TimePoint at) {
       if (restart_) restart_(id);
       ++stats_.restarts;
     }
+    // Wake every radio still duty-cycled off: the finale is the mass
+    // reconnect moment the outbox drain path has to survive.
+    const auto dark = radios_off_;
+    for (const auto id : dark) {
+      radios_off_.erase(id);
+      network_.set_radio(id, true);
+      ++stats_.radio_changes;
+    }
   });
 }
 
@@ -363,6 +381,20 @@ void ChaosEngine::apply(const FaultEvent& event) {
     case FaultKind::kLinkUp:
       network_.set_link_down(event.nodes[0], event.nodes[1], false);
       ++stats_.link_changes;
+      return;
+    case FaultKind::kRadioOff:
+      for (const auto id : event.nodes) {
+        network_.set_radio(id, false);
+        radios_off_.insert(id);
+        ++stats_.radio_changes;
+      }
+      return;
+    case FaultKind::kRadioOn:
+      for (const auto id : event.nodes) {
+        network_.set_radio(id, true);
+        radios_off_.erase(id);
+        ++stats_.radio_changes;
+      }
       return;
   }
 }

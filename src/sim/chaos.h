@@ -29,6 +29,11 @@
 //   TIME:bandwidth:BPS       set link bandwidth (0 = unconstrained)
 //   TIME:linkdown:ID,ID      sever one bidirectional link
 //   TIME:linkup:ID,ID        restore it
+//   TIME:radiooff:ID[,ID]*   duty-cycle radios off ({IDs} go dark together;
+//                            dark nodes can still reach each other — the
+//                            co-located offline-exchange model)
+//   TIME:radioon:ID[,ID]*    turn those radios back on (reconnect storm
+//                            when the group is large)
 //
 // Example: "0:loss:0.05;0:dup:0.05;2:partition:2;4:heal;5:crash:1;9:restart:1"
 #pragma once
@@ -59,6 +64,8 @@ enum class FaultKind : std::uint8_t {
   kBandwidth,
   kLinkDown,
   kLinkUp,
+  kRadioOff,
+  kRadioOn,
 };
 
 std::string_view fault_kind_name(FaultKind kind) noexcept;
@@ -125,6 +132,7 @@ struct ChaosStats {
   obs::Counter heals;
   obs::Counter rate_changes;  // loss/dup/reorder/corrupt/bandwidth
   obs::Counter link_changes;
+  obs::Counter radio_changes;  // duty-cycle on/off transitions
 
   /// Registers every counter under `scope` (biot_simulate binds "chaos").
   void attach_to(const obs::Scope& scope) const;
@@ -159,6 +167,8 @@ class ChaosEngine {
   const ChaosStats& stats() const { return stats_; }
   /// Nodes crashed by this engine and not yet restarted.
   const std::set<NodeId>& crashed() const { return crashed_; }
+  /// Nodes whose radios this engine duty-cycled off and not yet back on.
+  const std::set<NodeId>& radios_off() const { return radios_off_; }
 
  private:
   void apply(const FaultEvent& event);
@@ -167,6 +177,7 @@ class ChaosEngine {
   LifecycleHandler crash_;
   LifecycleHandler restart_;
   std::set<NodeId> crashed_;
+  std::set<NodeId> radios_off_;
   ChaosStats stats_;
 };
 

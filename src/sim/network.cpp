@@ -14,6 +14,7 @@ void NetworkStats::attach_to(const obs::Scope& scope) const {
   scope.attach("duplicated", &duplicated);
   scope.attach("reordered", &reordered);
   scope.attach("corrupted", &corrupted);
+  scope.attach("dropped_radio", &dropped_radio);
 }
 
 double Network::clamp_probability(double p) {
@@ -24,6 +25,7 @@ double Network::clamp_probability(double p) {
 void Network::detach(NodeId id) {
   handlers_.erase(id);
   partitioned_.erase(id);
+  radio_off_.erase(id);
   std::erase_if(down_links_, [id](std::uint64_t key) {
     return static_cast<NodeId>(key >> 32) == id ||
            static_cast<NodeId>(key & 0xffffffffu) == id;
@@ -34,6 +36,12 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
 
+  if (radio_off_.contains(from) != radio_off_.contains(to)) {
+    // A duty-cycled radio severs the node from everything except fellow
+    // dark (co-located) devices — see set_radio().
+    ++stats_.dropped_radio;
+    return;
+  }
   if (!link_up(from, to)) {
     ++stats_.dropped_link;
     return;
@@ -90,6 +98,13 @@ void Network::set_link_down(NodeId a, NodeId b, bool down) {
     down_links_.insert(link_key(a, b));
   else
     down_links_.erase(link_key(a, b));
+}
+
+void Network::set_radio(NodeId id, bool on) {
+  if (on)
+    radio_off_.erase(id);
+  else
+    radio_off_.insert(id);
 }
 
 void Network::partition(const std::set<NodeId>& group, bool active) {

@@ -40,6 +40,7 @@ struct NetworkStats {
   obs::Counter duplicated;        // adversarial extra copies queued
   obs::Counter reordered;         // messages given extra delay jitter
   obs::Counter corrupted;         // payloads bit-flipped in transit
+  obs::Counter dropped_radio;     // endpoint radio duty-cycled off
 
   /// Registers every counter under `scope` (the SmartFactory binds "net").
   void attach_to(const obs::Scope& scope) const;
@@ -106,6 +107,13 @@ class Network {
   void set_link_down(NodeId a, NodeId b, bool down);
   /// Severs every link crossing the boundary of `group` (network partition).
   void partition(const std::set<NodeId>& group, bool active);
+  /// Duty-cycles a node's wide-area radio. While off, the node cannot reach
+  /// (or be reached by) any radio-ON node; two radio-OFF nodes can still
+  /// talk — they are modelled as co-located dark devices exchanging over a
+  /// short-range link, which is what the offline countersigning protocol
+  /// rides on. Same boundary rule as partition(), applied per node.
+  void set_radio(NodeId id, bool on);
+  bool radio_on(NodeId id) const { return !radio_off_.contains(id); }
 
   const NetworkStats& stats() const { return stats_; }
   Scheduler& scheduler() { return sched_; }
@@ -132,6 +140,7 @@ class Network {
   std::unordered_map<NodeId, Handler> handlers_;
   std::set<std::uint64_t> down_links_;
   std::set<NodeId> partitioned_;
+  std::set<NodeId> radio_off_;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,50 @@
+#include "storage/blob_io.h"
+
+#include <cstdio>
+
+#include "crypto/sha256.h"
+
+namespace biot::storage {
+
+Bytes frame_blob(ByteView body) {
+  Bytes out(body.begin(), body.end());
+  const auto digest = crypto::Sha256::hash(body);
+  out.insert(out.end(), digest.view().begin(), digest.view().end());
+  return out;
+}
+
+Result<Bytes> unframe_blob(ByteView wire) {
+  if (wire.size() < 32)
+    return Status::error(ErrorCode::kInvalidArgument, "blob: too short");
+  const ByteView body = wire.subspan(0, wire.size() - 32);
+  const ByteView digest = wire.subspan(wire.size() - 32);
+  if (!ct_equal(crypto::Sha256::hash(body).view(), digest))
+    return Status::error(ErrorCode::kVerifyFailed, "blob: digest mismatch");
+  return Bytes(body.begin(), body.end());
+}
+
+Status save_blob(ByteView body, const std::string& path) {
+  const Bytes wire = frame_blob(body);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    return Status::error(ErrorCode::kInternal, "cannot open " + path);
+  const bool ok = std::fwrite(wire.data(), 1, wire.size(), f) == wire.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kInternal, "short write to " + path);
+  return Status::ok();
+}
+
+Result<Bytes> load_blob(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  Bytes contents;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    contents.insert(contents.end(), buf, buf + n);
+  std::fclose(f);
+  return unframe_blob(contents);
+}
+
+}  // namespace biot::storage

@@ -1,0 +1,25 @@
+// Generic digest-framed blob persistence: the tangle_io trailing-SHA-256
+// discipline factored out for other durable state (the light-node outbox).
+// A framed blob is body || SHA-256(body); unframing verifies the digest so a
+// truncated or tampered file surfaces as kVerifyFailed instead of feeding
+// garbage into a strict-parse decoder.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace biot::storage {
+
+/// Appends SHA-256(body) to a copy of `body`.
+Bytes frame_blob(ByteView body);
+
+/// Strips and verifies the trailing digest, returning the body.
+Result<Bytes> unframe_blob(ByteView wire);
+
+/// File convenience wrappers (frame on save, verify on load).
+[[nodiscard]] Status save_blob(ByteView body, const std::string& path);
+Result<Bytes> load_blob(const std::string& path);
+
+}  // namespace biot::storage

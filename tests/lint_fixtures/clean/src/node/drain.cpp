@@ -1,0 +1,12 @@
+namespace biot::node {
+// The reconnect drain batches the whole chunk through admit_many; the one
+// single admission is a justified control-plane case, not a queue drain.
+int drain_outbox(Gateway& gateway, int chunk) {
+  return gateway.admit_many(chunk);
+}
+int drain_probe(Gateway& gateway, int tx) {
+  // biot-lint: allow(drain-batch) liveness probe tx, not an outbox drain
+  return gateway.admit(tx);
+}
+int request_drain(Gateway& gateway);  // declaration: no body to scan
+}  // namespace biot::node

@@ -271,6 +271,30 @@ TEST_F(AdmissionTest, OrphanWithBothParentsMissingRebuffersThenAdopts) {
   EXPECT_EQ(gateway_.stats().orphans_adopted, 1u);
 }
 
+TEST_F(AdmissionTest, OrphanRetriesAreNotDoubleCountedAsRejections) {
+  // A reconnect burst replays this dance once per drained chunk: the child
+  // arrives before its parents, each adopted parent triggers a retry, and
+  // the retry may find the OTHER parent still missing. Only the first
+  // arrival is a rejection; every kNotFound retry is a deferral and must
+  // not inflate rejected_other.
+  TxFactory stranger(502);
+  const auto genesis = gateway_.tangle().genesis_id();
+  const auto parent_a = stranger.make(genesis, genesis, 4, {}, 0.0);
+  const auto parent_b = stranger.make(genesis, genesis, 4, {}, 0.0);
+  const auto child = stranger.make(parent_a.id(), parent_b.id(), 4, {}, 0.0);
+
+  gossip(child);
+  EXPECT_EQ(gateway_.stats().rejected_other, 1u);  // the real first miss
+
+  gossip(parent_a);  // adoption retry re-buffers on parent_b: not a rejection
+  EXPECT_EQ(gateway_.orphan_count(), 1u);
+  EXPECT_EQ(gateway_.stats().rejected_other, 1u);
+
+  gossip(parent_b);
+  EXPECT_TRUE(gateway_.tangle().contains(child.id()));
+  EXPECT_EQ(gateway_.stats().rejected_other, 1u);
+}
+
 // ---- Rate-limiter bucket bounding -------------------------------------------
 
 TEST_F(AdmissionTest, IdleRateBucketsAreEvicted) {

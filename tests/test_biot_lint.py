@@ -88,6 +88,13 @@ class ViolationsTree(unittest.TestCase):
     def test_tangle_add_allow_requires_rationale(self):
         self.assert_finding("src/node/ingress.cpp:6", "tangle-add")
 
+    def test_drain_batch_per_item_admit(self):
+        self.assert_finding("src/node/drain.cpp:4", "drain-batch")
+        self.assertIn("Gateway::admit_many()", self.out)
+
+    def test_drain_batch_allow_requires_rationale(self):
+        self.assert_finding("src/node/drain.cpp:6", "drain-batch")
+
     def test_bench_harness_missing_include(self):
         self.assertIn("bench/bad_timing.cpp: [bench-harness]", self.out)
         self.assertIn('does not include "harness.h"', self.out)

@@ -428,6 +428,20 @@ TEST_F(LazyDetectorTest, OneFreshParentIsNotLazy) {
   EXPECT_FALSE(is_lazy_approval(tangle_, tx, 60.0, policy_));
 }
 
+TEST_F(LazyDetectorTest, ApprovalThatRacedInRecentlyIsNotLazy) {
+  // Post-outage shape: the only tips in the tangle are old, and a
+  // concurrent submitter approved them moments before us. Losing that race
+  // is a timing accident, not a lazy choice — but once the approval has
+  // stood for the grace window, the same parents ARE a lazy choice.
+  const auto g = tangle_.genesis_id();
+  const auto old1 = attach(g, g, 0.0);
+  const auto old2 = attach(g, g, 0.0);
+  attach(old1, old2, 59.0);  // raced in 1 s before our submission
+  const auto tx = node_.make(old1, old2, 2, {}, 60.0);
+  EXPECT_FALSE(is_lazy_approval(tangle_, tx, 60.0, policy_));
+  EXPECT_TRUE(is_lazy_approval(tangle_, tx, 66.0, policy_));
+}
+
 TEST_F(LazyDetectorTest, PolicyAgeIsRespected) {
   const auto g = tangle_.genesis_id();
   const auto old1 = attach(g, g, 0.0);

@@ -1,0 +1,529 @@
+// Offline-first suite: the store-and-forward Outbox (bounded queue, both
+// overflow policies, settlement keyed on (issuer, seq), digest-framed
+// persistence), the strict-parse offline codecs, the IoTLogBlock-style
+// countersigned exchange between dark devices, the reconnect drain path, the
+// probe de-synchronization regression, and crash-mid-drain durability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "factory/scenario.h"
+#include "node/convergence.h"
+#include "node/offline.h"
+#include "node/outbox.h"
+#include "test_util.h"
+
+namespace biot {
+namespace {
+
+using node::OfflineEnvelope;
+using node::OfflineKey;
+using node::OfflineReceipt;
+using node::OfflineRecord;
+using node::Outbox;
+using node::OutboxConfig;
+using node::SettleKind;
+
+OfflineRecord make_record(const crypto::Identity& issuer, std::uint64_t seq,
+                          Bytes payload = to_bytes("reading")) {
+  OfflineRecord record;
+  record.issuer = issuer.public_identity().sign_key;
+  record.outbox_seq = seq;
+  record.issued_at = 1.5;
+  record.payload = std::move(payload);
+  record.signature = issuer.sign(record.signing_bytes());
+  return record;
+}
+
+OfflineReceipt make_receipt(const crypto::Identity& witness,
+                            const OfflineRecord& record) {
+  OfflineReceipt receipt;
+  receipt.witness = witness.public_identity().sign_key;
+  receipt.record_digest = record.digest();
+  receipt.witnessed_at = 2.0;
+  receipt.signature = witness.sign(receipt.signing_bytes());
+  return receipt;
+}
+
+// ---- Codec strict-parse -----------------------------------------------------
+
+TEST(OfflineCodec, RecordRoundTripsAndAuthenticates) {
+  const auto issuer = crypto::Identity::deterministic(21);
+  const auto record = make_record(issuer, 7);
+  ASSERT_TRUE(record.verify());
+
+  const auto decoded = OfflineRecord::decode(record.encode());
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(decoded.value().issuer == record.issuer);
+  EXPECT_EQ(decoded.value().outbox_seq, 7u);
+  EXPECT_EQ(decoded.value().payload, record.payload);
+  EXPECT_TRUE(decoded.value().verify());
+  EXPECT_TRUE(decoded.value().digest() == record.digest());
+
+  // A tampered payload still decodes but no longer authenticates.
+  auto tampered = decoded.value();
+  tampered.payload[0] ^= 0xff;
+  EXPECT_FALSE(tampered.verify());
+}
+
+TEST(OfflineCodec, RecordRejectsTruncationAndTrailingBytes) {
+  const auto record = make_record(crypto::Identity::deterministic(22), 0);
+  auto wire = record.encode();
+  for (std::size_t cut = 0; cut < wire.size(); cut += 13) {
+    EXPECT_FALSE(OfflineRecord::decode(ByteView(wire.data(), cut)))
+        << "accepted truncation at " << cut;
+  }
+  wire.push_back(0);
+  EXPECT_FALSE(OfflineRecord::decode(wire));
+}
+
+TEST(OfflineCodec, ReceiptRoundTripsAndRejectsForgery) {
+  const auto issuer = crypto::Identity::deterministic(23);
+  const auto witness = crypto::Identity::deterministic(24);
+  const auto record = make_record(issuer, 3);
+  const auto receipt = make_receipt(witness, record);
+  ASSERT_TRUE(receipt.verify());
+
+  const auto decoded = OfflineReceipt::decode(receipt.encode());
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(decoded.value().record_digest == record.digest());
+  EXPECT_TRUE(decoded.value().verify());
+
+  auto wire = receipt.encode();
+  wire.push_back(0);
+  EXPECT_FALSE(OfflineReceipt::decode(wire));
+
+  // A receipt re-bound to a different record must not verify.
+  auto forged = receipt;
+  forged.record_digest =
+      make_record(issuer, 4).digest();
+  EXPECT_FALSE(forged.verify());
+}
+
+TEST(OfflineCodec, EnvelopeMagicGatesTheDecode) {
+  const auto issuer = crypto::Identity::deterministic(25);
+  const auto witness = crypto::Identity::deterministic(26);
+  const auto record = make_record(issuer, 9);
+
+  const OfflineEnvelope bare{record, std::nullopt};
+  const auto bare_wire = bare.encode();
+  ASSERT_TRUE(OfflineEnvelope::is_offline_payload(bare_wire));
+  const auto bare_back = OfflineEnvelope::decode(bare_wire);
+  ASSERT_TRUE(bare_back) << bare_back.status().to_string();
+  EXPECT_FALSE(bare_back.value().receipt.has_value());
+  EXPECT_EQ(bare_back.value().record.outbox_seq, 9u);
+
+  const OfflineEnvelope carried{record, make_receipt(witness, record)};
+  const auto carried_back = OfflineEnvelope::decode(carried.encode());
+  ASSERT_TRUE(carried_back);
+  ASSERT_TRUE(carried_back.value().receipt.has_value());
+  EXPECT_TRUE(carried_back.value().receipt->verify());
+
+  // Ordinary sensor payloads never look like envelopes.
+  EXPECT_FALSE(OfflineEnvelope::is_offline_payload(to_bytes("temp=21.4")));
+  EXPECT_FALSE(OfflineEnvelope::is_offline_payload({}));
+}
+
+// ---- Outbox ----------------------------------------------------------------
+
+TEST(Outbox, DropOldestShedsTheHeadAndCounts) {
+  const auto issuer = crypto::Identity::deterministic(31);
+  OutboxConfig config;
+  config.capacity = 3;
+  config.overflow = OutboxConfig::OverflowPolicy::kDropOldest;
+  Outbox outbox(config);
+
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(outbox.enqueue(make_record(issuer, outbox.next_seq()), 0.0));
+
+  EXPECT_EQ(outbox.size(), 3u);
+  EXPECT_EQ(outbox.stats().dropped.value(), 2u);
+  // Freshest data wins: sequences 2, 3, 4 survive.
+  EXPECT_EQ(outbox.entries().front().record.outbox_seq, 2u);
+  EXPECT_EQ(outbox.entries().back().record.outbox_seq, 4u);
+}
+
+TEST(Outbox, RejectNewKeepsTheEarliestRecords) {
+  const auto issuer = crypto::Identity::deterministic(32);
+  OutboxConfig config;
+  config.capacity = 3;
+  config.overflow = OutboxConfig::OverflowPolicy::kRejectNew;
+  Outbox outbox(config);
+
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(outbox.enqueue(make_record(issuer, outbox.next_seq()), 0.0));
+  for (int i = 0; i < 2; ++i)
+    EXPECT_FALSE(outbox.enqueue(make_record(issuer, outbox.next_seq()), 0.0));
+
+  EXPECT_EQ(outbox.size(), 3u);
+  EXPECT_EQ(outbox.stats().dropped.value(), 2u);
+  // Audit-log shape: the earliest records survive.
+  EXPECT_EQ(outbox.entries().front().record.outbox_seq, 0u);
+  EXPECT_EQ(outbox.entries().back().record.outbox_seq, 2u);
+}
+
+TEST(Outbox, SettlementIsKeyedOnIssuerAndSequence) {
+  // A witness's outbox carries its own records AND evidence copies from a
+  // peer whose sequence space overlaps: settling (peer, 0) must not touch
+  // (own, 0).
+  const auto own = crypto::Identity::deterministic(33);
+  const auto peer = crypto::Identity::deterministic(34);
+  Outbox outbox;
+  ASSERT_TRUE(outbox.enqueue(make_record(own, 0), 1.0));
+  ASSERT_TRUE(outbox.enqueue(make_record(peer, 0), 1.0));
+
+  outbox.settle(peer.public_identity().sign_key, 0, SettleKind::kAdmitted, 2.0);
+  ASSERT_EQ(outbox.size(), 1u);
+  EXPECT_TRUE(outbox.entries().front().record.issuer ==
+              own.public_identity().sign_key);
+  EXPECT_EQ(outbox.stats().drained.value(), 1u);
+
+  // Settling an already-gone key is a no-op (stale drain result).
+  outbox.settle(peer.public_identity().sign_key, 0, SettleKind::kAdmitted, 3.0);
+  EXPECT_EQ(outbox.stats().drained.value(), 1u);
+  EXPECT_EQ(outbox.settled().size(), 1u);
+  EXPECT_EQ(outbox.settled().front().seq, 0u);
+  EXPECT_TRUE(outbox.settled().front().issuer ==
+              peer.public_identity().sign_key);
+}
+
+TEST(Outbox, SerializeRestoreRoundTripsQueueSequenceAndSettlementLog) {
+  const auto issuer = crypto::Identity::deterministic(35);
+  const auto witness = crypto::Identity::deterministic(36);
+  Outbox outbox;
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(
+        outbox.enqueue(make_record(issuer, outbox.next_seq()), 0.5 * i));
+  ASSERT_TRUE(
+      outbox.attach_receipt(make_receipt(witness, outbox.entries()[1].record)));
+  outbox.settle(issuer.public_identity().sign_key, 0, SettleKind::kAdmitted,
+                9.0);
+  outbox.settle(issuer.public_identity().sign_key, 3, SettleKind::kDuplicate,
+                9.5);
+
+  const auto snapshot = outbox.serialize();
+  Outbox restored;
+  ASSERT_TRUE(restored.restore(snapshot).is_ok());
+
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.entries()[0].record.outbox_seq, 1u);
+  ASSERT_TRUE(restored.entries()[0].receipt.has_value());
+  EXPECT_TRUE(restored.entries()[0].receipt->verify());
+  EXPECT_EQ(restored.entries()[1].record.outbox_seq, 2u);
+  EXPECT_FALSE(restored.entries()[1].receipt.has_value());
+  ASSERT_EQ(restored.settled().size(), 2u);
+  EXPECT_EQ(restored.settled()[0].kind, SettleKind::kAdmitted);
+  EXPECT_EQ(restored.settled()[1].kind, SettleKind::kDuplicate);
+  // The sequence counter survives: a restarted device never reuses a slot.
+  EXPECT_EQ(restored.next_seq(), 4u);
+}
+
+TEST(Outbox, RestoreRejectsCorruptSnapshots) {
+  const auto issuer = crypto::Identity::deterministic(37);
+  Outbox outbox;
+  ASSERT_TRUE(outbox.enqueue(make_record(issuer, outbox.next_seq()), 0.0));
+  auto snapshot = outbox.serialize();
+
+  auto flipped = snapshot;
+  flipped[flipped.size() / 2] ^= 0x01;
+  Outbox victim;
+  EXPECT_FALSE(victim.restore(flipped).is_ok());
+  EXPECT_TRUE(victim.empty());  // a rejected snapshot must not half-apply
+
+  auto truncated = snapshot;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(victim.restore(truncated).is_ok());
+
+  EXPECT_TRUE(victim.restore(snapshot).is_ok());
+  EXPECT_EQ(victim.size(), 1u);
+}
+
+// ---- Full-stack offline scenarios ------------------------------------------
+
+factory::ScenarioConfig offline_config(std::uint64_t seed, int gateways = 2,
+                                       int devices = 4) {
+  factory::ScenarioConfig config;
+  config.num_gateways = gateways;
+  config.num_devices = devices;
+  config.distribute_keys = false;
+  config.wire_exchange_ring = true;
+  config.seed = seed;
+  config.device.collect_interval = 0.5;
+  config.device.request_timeout = 1.0;
+  config.device.failback_probe_interval = 1.0;
+  config.device.probe_interval_max = 5.0;
+  config.gateway.sync_interval = 1.0;
+  config.gateway.credit.initial_difficulty = 6;  // keep host PoW cheap
+  return config;
+}
+
+void set_fleet_radio(factory::SmartFactory& factory, bool on) {
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    factory.network().set_radio(factory.device(d).node_id(), on);
+}
+
+node::ConvergenceReport check_convergence(factory::SmartFactory& factory) {
+  node::ConvergenceChecker checker;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    checker.add_replica(&factory.gateway(g));
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    checker.add_device(&factory.device(d));
+  return checker.check();
+}
+
+TEST(OfflineScenario, DarkFleetCountersignsQueuesAndDrainsToConvergence) {
+  factory::SmartFactory factory(offline_config(41));
+  factory.bootstrap();
+  factory.run_until(3.0);
+
+  // The whole fleet goes dark: every device exhausts failover, enters
+  // offline mode, and keeps collecting into its outbox while countersigning
+  // for its ring neighbours over the still-working short-range links.
+  set_fleet_radio(factory, false);
+  factory.run_until(20.0);
+
+  std::uint64_t queued = 0, offers = 0, witnessed = 0, receipts = 0;
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto& device = factory.device(d);
+    EXPECT_TRUE(device.offline()) << "device " << d << " never went offline";
+    EXPECT_GT(device.outbox().size(), 0u);
+    queued += device.outbox().size();
+    offers += device.stats().offers_sent.value();
+    witnessed += device.stats().witnessed.value();
+    receipts += device.outbox().stats().receipts.value();
+  }
+  EXPECT_GT(offers, 0u);
+  EXPECT_GT(witnessed, 0u);
+  EXPECT_GT(receipts, 0u);  // countersignatures attached to queued entries
+
+  // Heal: the recovery probes find a gateway and the backlog drains.
+  set_fleet_radio(factory, true);
+  factory.run_until(60.0);
+  factory.stop_devices();
+  factory.run_until(70.0);
+
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    EXPECT_TRUE(factory.device(d).outbox().empty())
+        << "device " << d << ": "
+        << factory.device(d).outbox().size() << " records still queued";
+  }
+  const auto report = check_convergence(factory);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(queued, 0u);
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    testutil::audit_if_enabled(factory.gateway(g).tangle());
+}
+
+TEST(OfflineScenario, SimultaneousHealDoesNotLazyPenalizeTheDrainRace) {
+  // Regression: after a fleet-wide outage longer than
+  // LazyTipPolicy::max_parent_age, the only tips in the tangle are stale,
+  // and the concurrently healing devices race to approve them. The loser
+  // of that race used to be priced as a lazy attacker — credit penalty,
+  // difficulty spike, and the device then committed to mining one enormous
+  // drain chunk with no request in flight and no watchdog armed: a silent
+  // wedge with zero backoff events. The approval-grace window in the lazy
+  // detector plus the drain PoW budget turn that into a normal drain.
+  auto config = offline_config(17);
+  config.distribute_keys = true;  // the shape the simulate presets run
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+
+  factory.run_until(12.0);
+  set_fleet_radio(factory, false);
+  factory.run_until(72.0);  // dark 60 s: tips are well past max_parent_age
+  set_fleet_radio(factory, true);
+
+  double drained_at = -1.0;
+  for (double t = 72.5; t <= 112.0; t += 0.5) {
+    factory.run_until(t);
+    bool all_empty = true;
+    for (std::size_t d = 0; d < factory.device_count(); ++d)
+      all_empty = all_empty && factory.device(d).outbox().empty();
+    if (all_empty) {
+      drained_at = t;
+      break;
+    }
+  }
+  EXPECT_GE(drained_at, 0.0) << "fleet failed to drain within 40 s of heal";
+
+  factory.stop_devices();
+  factory.run_until(120.0);
+  const auto report = check_convergence(factory);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g)
+    testutil::audit_if_enabled(factory.gateway(g).tangle());
+}
+
+TEST(OfflineScenario, WitnessEvidenceSettlesExchangeWhenIssuerStaysDark) {
+  // Only the witness reconnects: the issuer's records must still settle on
+  // chain through the evidence copies the witness carried (the IoTLogBlock
+  // "either party alone suffices" property).
+  factory::SmartFactory factory(offline_config(43, /*gateways=*/2,
+                                               /*devices=*/2));
+  factory.bootstrap();
+  factory.run_until(3.0);
+  set_fleet_radio(factory, false);
+  factory.run_until(20.0);
+
+  auto& issuer = factory.device(0);
+  auto& witness = factory.device(1);
+  ASSERT_TRUE(issuer.offline());
+  ASSERT_TRUE(witness.offline());
+  ASSERT_GT(witness.stats().witnessed.value(), 0u);
+
+  // Only the witness regains a radio; the issuer stays dark to the end.
+  factory.network().set_radio(witness.node_id(), true);
+  factory.run_until(60.0);
+
+  const auto issuer_key = issuer.public_identity().sign_key;
+  std::uint64_t evidence_settled = 0;
+  for (const auto& settled : witness.outbox().settled()) {
+    if (!(settled.issuer == issuer_key)) continue;
+    if (settled.kind == SettleKind::kRejected) continue;
+    ++evidence_settled;
+    const OfflineKey key{settled.issuer, settled.seq};
+    for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+      EXPECT_TRUE(factory.gateway(g).offline_registry().contains(key))
+          << "evidence for seq " << settled.seq << " missing on gateway " << g;
+    }
+  }
+  EXPECT_GT(evidence_settled, 0u);
+}
+
+// ---- Probe de-synchronization (regression) ----------------------------------
+
+TEST(OfflineScenario, RecoveryProbesDesynchronizeAndBackOff) {
+  // All gateways die. The devices end up offline, probing for recovery on
+  // the same configured interval — the probes must NOT arrive in lockstep
+  // (jitter) and must space out over time (exponential backoff).
+  auto config = offline_config(47, /*gateways=*/2, /*devices=*/4);
+  config.device.probe_interval_max = 30.0;
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(3.0);
+
+  std::vector<sim::NodeId> dead_gateways;
+  for (std::size_t g = 0; g < factory.gateway_count(); ++g) {
+    dead_gateways.push_back(factory.gateway(g).node_id());
+    factory.crash_gateway(g);
+  }
+  // Give the fleet time to exhaust failover and enter offline mode.
+  factory.run_until(15.0);
+  for (std::size_t d = 0; d < factory.device_count(); ++d)
+    ASSERT_TRUE(factory.device(d).offline()) << "device " << d;
+
+  // Listen on the dead gateways' addresses and record each device's probe
+  // arrival times. Never answering keeps the outage going.
+  std::map<sim::NodeId, std::vector<TimePoint>> probes;
+  auto& sched = factory.scheduler();
+  for (const auto id : dead_gateways) {
+    factory.network().attach(id, [&probes, &sched](sim::NodeId from,
+                                                   const Bytes&) {
+      probes[from].push_back(sched.now());
+    });
+  }
+  factory.run_until(120.0);
+  for (const auto id : dead_gateways) factory.network().detach(id);
+
+  std::vector<std::vector<Duration>> gaps(factory.device_count());
+  for (std::size_t d = 0; d < factory.device_count(); ++d) {
+    const auto& times = probes[factory.device(d).node_id()];
+    ASSERT_GE(times.size(), 3u) << "device " << d << " barely probed";
+    // Backoff: unanswered probes must space out. Compare the first gap to
+    // the last one; jitter alone cannot produce a 2x stretch with these
+    // knobs (factor 1.5, jitter 0.5), only compounding backoff can.
+    const auto first_gap = times[1] - times[0];
+    const auto last_gap = times[times.size() - 1] - times[times.size() - 2];
+    EXPECT_GT(last_gap, 2.0 * first_gap) << "device " << d << " never backed off";
+    for (std::size_t i = 1; i < times.size(); ++i)
+      gaps[d].push_back(times[i] - times[i - 1]);
+  }
+  // De-sync: per-device jitter must break the fleet out of lockstep. With
+  // jitter removed every device walks the identical deterministic delay
+  // ladder (base * factor^k, capped), so some pair of gap sequences would
+  // match to machine precision — assert every pair visibly differs.
+  for (std::size_t a = 0; a < gaps.size(); ++a) {
+    for (std::size_t b = a + 1; b < gaps.size(); ++b) {
+      const std::size_t n = std::min(gaps[a].size(), gaps[b].size());
+      bool differs = false;
+      for (std::size_t i = 0; i < n && !differs; ++i)
+        differs = std::abs(gaps[a][i] - gaps[b][i]) >
+                  0.05 * std::max(gaps[a][i], gaps[b][i]);
+      EXPECT_TRUE(differs) << "devices " << a << " and " << b
+                           << " probe in lockstep";
+    }
+  }
+}
+
+// ---- Crash-mid-drain durability ---------------------------------------------
+
+TEST(OfflineScenario, CrashMidDrainLosesNothingAndAdmitsNothingTwice) {
+  auto config = offline_config(53, /*gateways=*/2, /*devices=*/2);
+  config.wire_exchange_ring = false;  // isolate the issuer's own records
+  factory::SmartFactory factory(config);
+  factory.bootstrap();
+  factory.run_until(3.0);
+
+  // Device 0 alone goes dark and fills its outbox.
+  auto& device = factory.device(0);
+  factory.network().set_radio(device.node_id(), false);
+  factory.run_until(25.0);
+  ASSERT_TRUE(device.offline());
+  const auto queued_before = device.outbox().size();
+  ASSERT_GT(queued_before, 10u);
+
+  // Heal, then run in small steps until the drain is provably mid-flight:
+  // some records settled, some still queued.
+  factory.network().set_radio(device.node_id(), true);
+  TimePoint t = factory.scheduler().now();
+  while (device.outbox().settled().empty() && t < 80.0) {
+    t += 0.25;
+    factory.run_until(t);
+  }
+  ASSERT_FALSE(device.outbox().settled().empty()) << "drain never started";
+  ASSERT_FALSE(device.outbox().empty()) << "drain finished before the crash";
+
+  // Power loss mid-drain: flash (sequence counter + outbox) survives, RAM
+  // and in-flight requests do not.
+  factory.crash_device(0);
+  ASSERT_FALSE(factory.device_running(0));
+  factory.run_until(t + 5.0);  // let in-flight wreckage land
+  factory.restart_device(0);
+  factory.run_until(t + 60.0);
+  factory.stop_devices();
+  factory.run_until(t + 70.0);
+
+  // Nothing lost: the outbox fully drained and every settled exchange is
+  // registered on every replica.
+  EXPECT_TRUE(device.outbox().empty())
+      << device.outbox().size() << " records lost in the crash window";
+  const auto report = check_convergence(factory);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Nothing admitted twice: for each (issuer, seq) the converged tangle
+  // holds exactly one settling transaction — a duplicate drain after the
+  // restart must have been answered kReplayDetected, not re-attached.
+  std::unordered_map<OfflineKey, int, node::OfflineKeyHash> copies;
+  for (const auto* rec :
+       factory.gateway(0).tangle().data_since(nullptr, 0.0, 1000000)) {
+    if (rec->tx.payload_encrypted ||
+        !OfflineEnvelope::is_offline_payload(rec->tx.payload))
+      continue;
+    const auto envelope = OfflineEnvelope::decode(rec->tx.payload);
+    ASSERT_TRUE(envelope);
+    const auto& r = envelope.value().record;
+    ++copies[OfflineKey{r.issuer, r.outbox_seq}];
+  }
+  EXPECT_GT(copies.size(), 0u);
+  for (const auto& [key, count] : copies) {
+    EXPECT_EQ(count, 1) << "exchange seq " << key.seq
+                        << " attached " << count << " times";
+  }
+  testutil::audit_if_enabled(factory.gateway(0).tangle());
+}
+
+}  // namespace
+}  // namespace biot

@@ -49,6 +49,18 @@ optionally followed by a rationale — suppressions without one are rejected):
                    skipped. A deliberate bypass carries an allow() naming
                    why the staged checks are unnecessary there.
 
+  drain-batch      Outbox/reconnect drain paths in src/node/ must admit
+                   through Gateway::admit_many() — no per-item `admit(`
+                   call inside a function whose name contains "drain".
+                   Batched admission is what lets an intra-chunk parent
+                   chain resolve (earlier chunk members attach before
+                   later ones verify) and bounds a flash-crowd reconnect
+                   to one staged pass per chunk; a per-item loop orphans
+                   the chained children and re-runs the staged checks per
+                   record. A deliberate single admission (e.g. a control-
+                   plane probe) carries an allow() naming why it is not a
+                   queue drain.
+
   raw-sync         No raw std::mutex / std::condition_variable /
                    std::lock_guard / std::unique_lock (or their shared /
                    recursive / scoped cousins) anywhere in src/ — all
@@ -126,6 +138,17 @@ TANGLE_ADD_RE = re.compile(
     r"\b[Tt]angle\w*(?:\s*\(\s*\))?\s*(?:\.|->)\s*(?:add|attach_batch)\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*biot-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+# An identifier containing "drain" followed by an argument list — matched at
+# every call/definition site; check_drain_batch keeps only definitions (the
+# token run between the closing paren and `{` is qualifiers-only, so call
+# expressions inside conditions never open a scanned scope).
+DRAIN_FN_RE = re.compile(r"\b\w*[Dd]rain\w*\s*\(")
+
+# A bare per-item admit() call. admit_many / admit_batch_items do not match
+# (no word boundary before their suffix); try_admit-style wrappers would
+# need the boundary before "admit" and so stay out of scope.
+ADMIT_ONE_RE = re.compile(r"\badmit\s*\(")
 
 # Raw standard-library synchronization vocabulary. Everything here has an
 # annotated wrapper in src/common/sync.h; a qualified use anywhere else in
@@ -372,6 +395,54 @@ class Linter:
                          "Gateway::admit()/admit_many(), or allow() with why "
                          "the staged checks are unnecessary here", lines)
 
+    def check_drain_batch(self, rel: str, path: pathlib.Path, text: str,
+                          lines: list[str]) -> None:
+        if not rel.startswith("src/node/"):
+            return
+        n = len(text)
+        for m in DRAIN_FN_RE.finditer(text):
+            # Walk the argument list to its closing paren.
+            i, depth = m.end() - 1, 0
+            while i < n:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            if i >= n:
+                continue
+            # Definition, not a call: only whitespace and qualifier tokens
+            # (const, noexcept, override) may sit between `)` and the body.
+            j = i + 1
+            while j < n and text[j] not in "{;":
+                j += 1
+            if j >= n or text[j] == ";":
+                continue
+            if not re.fullmatch(r"[\s\w]*", text[i + 1:j]):
+                continue
+            # Brace-match the body and flag every per-item admit inside it.
+            k, depth = j, 0
+            while k < n:
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            base_line = text.count("\n", 0, j)
+            for off, body_line in enumerate(text[j:k].split("\n")):
+                if ADMIT_ONE_RE.search(body_line):
+                    self.add("drain-batch", path, base_line + off + 1,
+                             "per-item admit() inside a drain path — batch "
+                             "the chunk through Gateway::admit_many() so "
+                             "in-chunk parent chains resolve and the "
+                             "reconnect storm stays one staged pass per "
+                             "chunk, or allow() with why this single "
+                             "admission is not a queue drain", lines)
+
     def check_include_hygiene(self, rel: str, path: pathlib.Path,
                               text: str, lines: list[str]) -> None:
         includes = [(i + 1, m.group(1))
@@ -496,6 +567,7 @@ class Linter:
             self.check_checked_at(rel, path, raw, lines)
             self.check_pow_midstate(rel, path, stripped, lines)
             self.check_tangle_add(rel, path, stripped, lines)
+            self.check_drain_batch(rel, path, stripped, lines)
             self.check_include_hygiene(rel, path, raw, lines)
             self.check_raw_sync(path, stripped, lines)
             self.check_guarded_field(path, stripped, lines)

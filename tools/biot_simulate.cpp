@@ -44,6 +44,15 @@ void usage() {
       "                         heal, quiesce and check convergence.\n"
       "                         e.g. --chaos '0:loss:0.05;0:dup:0.05;\n"
       "                         0:reorder:0.3:0.05;5:crash:1;12:restart:1'\n"
+      "                         Presets (offline-first, DESIGN.md sec 13):\n"
+      "                           --chaos duty_cycle   devices duty-cycle\n"
+      "                             their radios in shared dark windows and\n"
+      "                             drain their outboxes on each wake\n"
+      "                           --chaos flash_crowd  the whole fleet goes\n"
+      "                             dark at 10%% of the horizon and heals\n"
+      "                             simultaneously at 60%% (reconnect storm)\n"
+      "  --outbox-capacity N    per-device store-and-forward outbox bound\n"
+      "                         (default 1024 for the offline presets)\n"
       "  --sync-interval S      gateway anti-entropy cadence (default 2 when\n"
       "                         --chaos is given, else 0 = off)\n"
       "  --settle S             post-horizon quiescence before the\n"
@@ -78,13 +87,32 @@ int main(int argc, char** argv) {
   config.milestone_interval = args.get_double("milestone-interval", 5.0);
   if (args.has("fixed-pow"))
     config.gateway.policy = node::GatewayConfig::Policy::kFixed;
-  config.gateway.fixed_difficulty =
-      static_cast<int>(args.get_int("difficulty", 11));
-  config.gateway.credit.initial_difficulty = config.gateway.fixed_difficulty;
 
   const double horizon = args.get_double("seconds", 60.0);
 
   const bool chaos_on = args.has("chaos");
+  const std::string chaos_spec = args.get("chaos", "");
+  const bool preset_duty = chaos_spec == "duty_cycle";
+  const bool preset_flash = chaos_spec == "flash_crowd";
+  const bool offline_preset = preset_duty || preset_flash;
+  if (offline_preset) {
+    // Offline-first presets: co-located exchange ring, fast outage
+    // detection (dark windows are short relative to the horizon), and IoT
+    // difficulty low enough that a queued backlog can drain before the
+    // horizon.
+    config.wire_exchange_ring = true;
+    config.device.request_timeout = 1.0;
+    config.device.failback_probe_interval = 1.0;
+    // Keep the probe backoff cap small relative to the dark windows so a
+    // device whose backoff peaked mid-outage still reconnects (jittered)
+    // within a few seconds of the heal.
+    config.device.probe_interval_max = 5.0;
+    config.device.outbox.capacity = static_cast<std::size_t>(
+        args.get_int("outbox-capacity", 1024));
+  }
+  config.gateway.fixed_difficulty =
+      static_cast<int>(args.get_int("difficulty", offline_preset ? 6 : 11));
+  config.gateway.credit.initial_difficulty = config.gateway.fixed_difficulty;
   // Chaos without anti-entropy cannot converge (live gossip alone never
   // backfills a restarted gateway), so sync defaults on with the plan.
   config.gateway.sync_interval =
@@ -126,8 +154,41 @@ int main(int argc, char** argv) {
 
   std::optional<sim::FaultPlan> plan;
   std::optional<sim::ChaosEngine> chaos;
-  if (chaos_on) {
-    auto parsed = sim::FaultPlan::parse(args.get("chaos", ""));
+  if (chaos_on && offline_preset) {
+    // Preset plans address real device NodeIds directly — no gateway-index
+    // validation or map_ids pass.
+    std::vector<sim::NodeId> fleet;
+    for (std::size_t d = 0; d < factory.device_count(); ++d)
+      fleet.push_back(factory.device(d).node_id());
+    plan.emplace();
+    if (preset_flash) {
+      // Whole fleet dark together, simultaneous heal: the reconnect storm.
+      plan->events.push_back(sim::FaultEvent{
+          horizon * 0.1, sim::FaultKind::kRadioOff, fleet, 0.0, 0.0});
+      plan->events.push_back(sim::FaultEvent{
+          horizon * 0.6, sim::FaultKind::kRadioOn, fleet, 0.0, 0.0});
+    } else {
+      // Three shared duty-cycle windows over the first 70% of the horizon:
+      // dark 70% of each period, awake (draining) the rest.
+      const double period = horizon * 0.7 / 3.0;
+      for (int k = 0; k < 3; ++k) {
+        const double off_at = horizon * 0.05 + k * period;
+        plan->events.push_back(sim::FaultEvent{
+            off_at, sim::FaultKind::kRadioOff, fleet, 0.0, 0.0});
+        plan->events.push_back(sim::FaultEvent{
+            off_at + period * 0.7, sim::FaultKind::kRadioOn, fleet, 0.0,
+            0.0});
+      }
+    }
+    std::printf("chaos: seed=%llu preset=%s (%zu devices)\n",
+                static_cast<unsigned long long>(config.seed),
+                chaos_spec.c_str(), fleet.size());
+    chaos.emplace(factory.network());
+    chaos->schedule(*plan);
+    chaos->schedule_finale(horizon);
+    chaos->stats().attach_to(factory.metrics().scope("chaos"));
+  } else if (chaos_on) {
+    auto parsed = sim::FaultPlan::parse(chaos_spec);
     if (!parsed) {
       std::printf("bad chaos plan: %s\n", parsed.status().to_string().c_str());
       return 1;
@@ -242,15 +303,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(net.corrupted));
     const auto& cs = chaos->stats();
     std::printf("chaos: %llu crashes, %llu restarts, %llu partitions, "
-                "%llu heals, %llu rate changes\n",
+                "%llu heals, %llu rate changes, %llu radio changes\n",
                 static_cast<unsigned long long>(cs.crashes),
                 static_cast<unsigned long long>(cs.restarts),
                 static_cast<unsigned long long>(cs.partitions),
                 static_cast<unsigned long long>(cs.heals),
-                static_cast<unsigned long long>(cs.rate_changes));
+                static_cast<unsigned long long>(cs.rate_changes),
+                static_cast<unsigned long long>(cs.radio_changes));
+    if (offline_preset) {
+      std::uint64_t enqueued = 0, drained = 0, duplicates = 0, rejected = 0,
+                    dropped = 0, backoffs = 0, offline_entries = 0;
+      for (std::size_t d = 0; d < factory.device_count(); ++d) {
+        const auto& os = factory.device(d).outbox().stats();
+        enqueued += os.enqueued;
+        drained += os.drained;
+        duplicates += os.duplicates;
+        rejected += os.rejected;
+        dropped += os.dropped;
+        backoffs += os.backoff_events;
+        offline_entries += factory.device(d).stats().went_offline;
+      }
+      std::printf("outbox: %llu queued -> %llu drained + %llu duplicates + "
+                  "%llu rejected (%llu shed by policy, %llu backoffs, "
+                  "%llu offline entries)\n",
+                  static_cast<unsigned long long>(enqueued),
+                  static_cast<unsigned long long>(drained),
+                  static_cast<unsigned long long>(duplicates),
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(backoffs),
+                  static_cast<unsigned long long>(offline_entries));
+    }
     node::ConvergenceChecker checker;
     for (std::size_t g = 0; g < factory.gateway_count(); ++g)
       checker.add_replica(&factory.gateway(g));
+    if (offline_preset) {
+      // Offline-first contract: every outbox drained, every settled
+      // exchange registered on every replica.
+      for (std::size_t d = 0; d < factory.device_count(); ++d)
+        checker.add_device(&factory.device(d));
+    }
     const auto report = checker.check();
     std::printf("%s\n", report.to_string().c_str());
     if (!report.ok()) exit_code = 2;
